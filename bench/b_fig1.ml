@@ -1,0 +1,66 @@
+(* FIG1 — Fig. 1's geographic database: construction of the MAD
+   diagram + atom networks at growing scale, and the one-to-one ER->MAD
+   mapping versus the ER->relational mapping. *)
+
+open Mad_store
+open Workloads
+module ER = Er_model.Er
+
+let geo rows cols =
+  { Geo_gen.default with Geo_gen.rows; cols; rivers = rows; river_len = cols }
+
+let run () =
+  Bench_util.section "FIG1 - the geographic database and the ER mappings";
+
+  (* the exact paper instance *)
+  let brazil = Geo_brazil.build () in
+  let bdb = Geo_brazil.db brazil in
+  Format.printf "Brazil (Fig. 1 instance): %a@." Database.pp_summary bdb;
+
+  (* ER mapping comparison (the 'no auxiliary structures' claim) *)
+  let er = ER.geographic () in
+  let rel = ER.to_relational er in
+  let t = Table.create [ "mapping"; "relations/types"; "auxiliary"; "foreign keys" ] in
+  Table.add_row t
+    [
+      "ER -> MAD";
+      string_of_int
+        (List.length er.ER.entities + List.length er.ER.relationships);
+      string_of_int (ER.mad_auxiliary_count er);
+      "0";
+    ];
+  Table.add_row t
+    [
+      "ER -> relational";
+      string_of_int (List.length rel.ER.schema);
+      string_of_int (List.length rel.ER.auxiliary);
+      string_of_int (List.length rel.ER.foreign_keys);
+    ];
+  Table.print t;
+
+  (* construction throughput at scale *)
+  let t = Table.create [ "scale"; "atoms"; "links"; "build"; "map to relational" ] in
+  List.iter
+    (fun (label, p) ->
+      let g = Geo_gen.build p in
+      let db = g.Geo_grid.db in
+      let build_ns = Bench_util.time_ns ("fig1/build/" ^ label) (fun () -> Geo_gen.build p) in
+      let map_ns =
+        Bench_util.time_ns ("fig1/map/" ^ label) (fun () ->
+            Relational.Mapping.of_database db)
+      in
+      Table.add_row t
+        [
+          label;
+          string_of_int (Database.total_atoms db);
+          string_of_int (Database.total_links db);
+          Bench_util.pp_ns build_ns;
+          Bench_util.pp_ns map_ns;
+        ])
+    [
+      ("brazil(5x2)", geo 5 2);
+      ("geo 4x4", geo 4 4);
+      ("geo 8x8", geo 8 8);
+      ("geo 16x16", geo 16 16);
+    ];
+  Table.print t

@@ -1,0 +1,148 @@
+(* FIG2 — the two molecule types of Fig. 2 ('mt state' and 'point
+   neighborhood') derived from the same atom networks, with shared
+   subobjects; cost compared across the three engines: MAD derivation,
+   the relational join plan over auxiliary relations, and the NF²
+   embedding (which must duplicate shared atoms). *)
+
+open Mad_store
+open Workloads
+
+let run () =
+  Bench_util.section
+    "FIG2 - molecule types 'mt state' and 'point neighborhood'";
+
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+
+  (* reproduce the figure's content *)
+  let mt_state =
+    Mad.Molecule_algebra.define db ~name:"mt_state"
+      (Geo_brazil.mt_state_desc brazil)
+  in
+  let pn_mt =
+    Mad.Molecule_algebra.define db ~name:"pn"
+      (Geo_brazil.point_neighborhood_desc brazil)
+  in
+  Format.printf
+    "mt state: %d molecules; shared atoms across molecules: %d; NF2 \
+     duplication: %.2f@."
+    (Mad.Molecule_type.cardinality mt_state)
+    (List.length (Mad.Render.shared_subobjects mt_state))
+    (Nf2.Embed.duplication (Nf2.Embed.of_molecule_type db mt_state));
+  let pn =
+    match Mad.Molecule_type.find_by_root pn_mt brazil.Geo_brazil.pn with
+    | Some m -> m
+    | None -> assert false
+  in
+  Format.printf
+    "point neighborhood of pn: %d states, %d rivers (Fig. 2: SP MS MG GO; \
+     Parana)@."
+    (Aid.Set.cardinal (Mad.Molecule.component pn "state"))
+    (Aid.Set.cardinal (Mad.Molecule.component pn "river"));
+
+  (* derivation cost across engines, at scale *)
+  let t =
+    Table.create
+      [ "scale"; "structure"; "MAD derive"; "relational joins"; "rel/MAD" ]
+  in
+  List.iter
+    (fun (label, p) ->
+      let g = Geo_gen.build p in
+      let gdb = g.Geo_grid.db in
+      let map = Relational.Mapping.of_database gdb in
+      List.iter
+        (fun (sname, desc) ->
+          let mad_ns =
+            Bench_util.time_ns
+              (Printf.sprintf "fig2/mad/%s/%s" label sname)
+              (fun () -> Mad.Derive.m_dom gdb desc)
+          in
+          let rel_ns =
+            Bench_util.time_ns
+              (Printf.sprintf "fig2/rel/%s/%s" label sname)
+              (fun () -> Relational.Emulate.derive map gdb desc)
+          in
+          Table.add_row t
+            [
+              label;
+              sname;
+              Bench_util.pp_ns mad_ns;
+              Bench_util.pp_ns rel_ns;
+              Bench_util.ratio rel_ns mad_ns;
+            ])
+        [
+          ("mt_state", Geo_schema.mt_state_desc gdb);
+          ("point_nbhd", Geo_schema.point_neighborhood_desc gdb);
+        ])
+    [
+      ("4x4", { Geo_gen.default with Geo_gen.rows = 4; cols = 4 });
+      ("8x8", { Geo_gen.default with Geo_gen.rows = 8; cols = 8 });
+    ];
+  Table.print t;
+
+  (* the symmetric-index ablation: a single frontier expansion
+     (area -> edge for every area) through the adjacency index vs by
+     scanning the link type's pairs — the per-traversal price a model
+     without first-class links pays *)
+  let t = Table.create [ "scale"; "via index"; "via pair scan"; "scan/index" ] in
+  List.iter
+    (fun (label, p) ->
+      let g = Geo_gen.build p in
+      let gdb = g.Geo_grid.db in
+      let areas = Database.atoms gdb "area" in
+      let expand neighbors =
+        List.iter
+          (fun (a : Atom.t) -> ignore (neighbors gdb "area-edge" ~dir:`Fwd a.Atom.id))
+          areas
+      in
+      let idx_ns =
+        Bench_util.time_ns ("fig2/index/" ^ label) (fun () ->
+            expand Database.neighbors)
+      in
+      let scan_ns =
+        Bench_util.time_ns ("fig2/scan/" ^ label) (fun () ->
+            expand Database.neighbors_scan)
+      in
+      Table.add_row t
+        [
+          label;
+          Bench_util.pp_ns idx_ns;
+          Bench_util.pp_ns scan_ns;
+          Bench_util.ratio scan_ns idx_ns;
+        ])
+    [
+      ("4x4", { Geo_gen.default with Geo_gen.rows = 4; cols = 4 });
+      ("8x8", { Geo_gen.default with Geo_gen.rows = 8; cols = 8 });
+    ];
+  Table.print t;
+
+  (* NF2 embedding cost and duplication at scale *)
+  let t =
+    Table.create
+      [ "scale"; "distinct atoms"; "NF2 instances"; "duplication"; "embed time" ]
+  in
+  List.iter
+    (fun (label, p) ->
+      let g = Geo_gen.build p in
+      let gdb = g.Geo_grid.db in
+      let mt =
+        Mad.Molecule_algebra.define gdb ~name:"s" (Geo_schema.mt_state_desc gdb)
+      in
+      let e = Nf2.Embed.of_molecule_type gdb mt in
+      let ns =
+        Bench_util.time_ns ("fig2/nf2/" ^ label) (fun () ->
+            Nf2.Embed.of_molecule_type gdb mt)
+      in
+      Table.add_row t
+        [
+          label;
+          string_of_int e.Nf2.Embed.atoms_distinct;
+          string_of_int e.Nf2.Embed.atoms_embedded;
+          Printf.sprintf "%.2f" (Nf2.Embed.duplication e);
+          Bench_util.pp_ns ns;
+        ])
+    [
+      ("4x4", { Geo_gen.default with Geo_gen.rows = 4; cols = 4 });
+      ("8x8", { Geo_gen.default with Geo_gen.rows = 8; cols = 8 });
+    ];
+  Table.print t

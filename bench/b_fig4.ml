@@ -1,0 +1,51 @@
+(* FIG4 — the formal specification of the database (Fig. 4), printed
+   from the live catalog, and the cost of verifying membership in the
+   database domain (referential integrity + cardinality restrictions)
+   as the occurrence grows — the machinery behind the paper's
+   "referential integrity (!)" row of Fig. 3. *)
+
+open Mad_store
+open Workloads
+
+let run () =
+  Bench_util.section "FIG4 - formal specification and integrity checking";
+
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  Format.printf "%s@." (Notation.database_to_string ~name:"GEO_DB" db);
+
+  let t =
+    Table.create [ "scale"; "atoms"; "links"; "violations"; "full check" ]
+  in
+  List.iter
+    (fun (label, p) ->
+      let g = Geo_gen.build p in
+      let gdb = g.Geo_grid.db in
+      let violations = List.length (Integrity.check gdb) in
+      let ns =
+        Bench_util.time_ns ("fig4/check/" ^ label) (fun () -> Integrity.check gdb)
+      in
+      Table.add_row t
+        [
+          label;
+          string_of_int (Database.total_atoms gdb);
+          string_of_int (Database.total_links gdb);
+          string_of_int violations;
+          Bench_util.pp_ns ns;
+        ])
+    [
+      ("4x4", { Geo_gen.default with Geo_gen.rows = 4; cols = 4 });
+      ("8x8", { Geo_gen.default with Geo_gen.rows = 8; cols = 8 });
+      ("16x16", { Geo_gen.default with Geo_gen.rows = 16; cols = 16 });
+    ];
+  Table.print t;
+
+  (* failure injection: a corrupted database is detected *)
+  let g = Geo_gen.build Geo_gen.default in
+  let gdb = g.Geo_grid.db in
+  let victim = List.hd (Database.atoms gdb "point") in
+  let tbl = Database.atom_table gdb "point" in
+  Hashtbl.remove tbl.Database.atoms victim.Atom.id;
+  tbl.Database.ids <- Aid.Set.remove victim.Atom.id tbl.Database.ids;
+  Format.printf "after corrupting one point atom: %d violations detected@."
+    (List.length (Integrity.check gdb))

@@ -1,0 +1,141 @@
+(* REC — recursive molecule types (ch. 5 outlook): parts explosion
+   over the reflexive composition link type.  Depth sweep, and MAD
+   recursion vs the relational iterated self-join. *)
+
+open Mad_store
+open Workloads
+module R = Mad_recursive.Recursive
+
+(* relational transitive closure by iterated self-joins over the
+   auxiliary composition relation *)
+let relational_closure ?stats map root =
+  let aux = Relational.Mapping.relation map "composition" in
+  let rec go frontier members =
+    let joined =
+      Relational.Rel_algebra.hash_join ?stats frontier aux ~lkey:"member"
+        ~rkey:"part_id"
+    in
+    let next =
+      Relational.Rel_algebra.project ?stats [ "root"; "part_id2" ] joined
+      |> Relational.Rel_algebra.rename [ ("part_id2", "member") ]
+    in
+    let fresh = Relational.Rel_algebra.diff ?stats next members in
+    if Relational.Relation.cardinality fresh = 0 then members
+    else go fresh (Relational.Rel_algebra.union ?stats members fresh)
+  in
+  let f0 = Relational.Emulate.frontier "f0" [ (root, root) ] in
+  go f0 f0
+
+let run () =
+  Bench_util.section "REC - recursive molecules (parts explosion)";
+
+  (* depth sweep on a fixed BOM *)
+  let bom =
+    Bom_gen.build
+      { Bom_gen.default with Bom_gen.depth = 8; width = 16; fanout = 3; share = 0.5 }
+  in
+  let db = bom.Bom_gen.db in
+  let root = bom.Bom_gen.levels.(0).(0) in
+  Format.printf "BOM: %d parts, %d composition links@."
+    (Database.count_atoms db "part")
+    (Database.count_links db "composition");
+  let t = Table.create [ "depth bound"; "parts reached"; "derive" ] in
+  List.iter
+    (fun d ->
+      let desc =
+        R.v db ~root_type:"part" ~link:"composition"
+          ?max_depth:(if d < 0 then None else Some d)
+          ()
+      in
+      let m = R.derive_one db desc root in
+      let ns =
+        Bench_util.time_ns
+          (Printf.sprintf "rec/depth/%d" d)
+          (fun () -> R.derive_one db desc root)
+      in
+      Table.add_row t
+        [
+          (if d < 0 then "unbounded" else string_of_int d);
+          string_of_int (Aid.Set.cardinal m.R.members);
+          Bench_util.pp_ns ns;
+        ])
+    [ 1; 2; 4; 6; -1 ];
+  Table.print t;
+
+  (* MAD vs relational closure, scaling the BOM *)
+  let t =
+    Table.create [ "BOM"; "parts"; "MAD explosion"; "relational self-joins"; "rel/MAD" ]
+  in
+  List.iter
+    (fun (label, p) ->
+      let bom = Bom_gen.build p in
+      let db = bom.Bom_gen.db in
+      let root = bom.Bom_gen.levels.(0).(0) in
+      let desc = R.v db ~root_type:"part" ~link:"composition" () in
+      let map = Relational.Mapping.of_database db in
+      (* check agreement first *)
+      let m = R.derive_one db desc root in
+      let rel = relational_closure map root in
+      assert (Aid.Set.cardinal m.R.members = Relational.Relation.cardinality rel);
+      let mad_ns =
+        Bench_util.time_ns ("rec/mad/" ^ label) (fun () -> R.derive_one db desc root)
+      in
+      let rel_ns =
+        Bench_util.time_ns ("rec/rel/" ^ label) (fun () ->
+            relational_closure map root)
+      in
+      Table.add_row t
+        [
+          label;
+          string_of_int (Database.count_atoms db "part");
+          Bench_util.pp_ns mad_ns;
+          Bench_util.pp_ns rel_ns;
+          Bench_util.ratio rel_ns mad_ns;
+        ])
+    [
+      ("d4 w8", { Bom_gen.default with Bom_gen.depth = 4; width = 8 });
+      ("d6 w16", { Bom_gen.default with Bom_gen.depth = 6; width = 16; fanout = 3 });
+      ("d8 w32", { Bom_gen.default with Bom_gen.depth = 8; width = 32; fanout = 3 });
+    ];
+  Table.print t;
+
+  (* Schöning's full recursive molecules: flattening a VLSI design with
+     each cell's pin interface attached (WITH component structure) *)
+  let design = Vlsi_gen.build { Vlsi_gen.default with Vlsi_gen.levels = 4; modules_per_level = 6 } in
+  let vdb = design.Vlsi_gen.db in
+  let plain = R.v vdb ~root_type:"cell" ~link:"instantiates" () in
+  let pins =
+    Mad.Mdesc.v vdb ~nodes:[ "cell"; "pin" ]
+      ~edges:[ ("cell-pin", "cell", "pin") ]
+  in
+  let with_pins =
+    R.v vdb ~root_type:"cell" ~link:"instantiates" ~component:pins ()
+  in
+  let plain_ns =
+    Bench_util.time_ns "rec/flatten" (fun () ->
+        R.derive_one vdb plain design.Vlsi_gen.top)
+  in
+  let with_ns =
+    Bench_util.time_ns "rec/flatten-with-pins" (fun () ->
+        R.derive_one vdb with_pins design.Vlsi_gen.top)
+  in
+  let m = R.derive_one vdb with_pins design.Vlsi_gen.top in
+  Format.printf
+    "VLSI flatten: %d cells %s; WITH pin interfaces (%d sub-molecules) %s@."
+    (Aid.Set.cardinal m.R.members)
+    (Bench_util.pp_ns plain_ns)
+    (Aid.Map.cardinal m.R.components)
+    (Bench_util.pp_ns with_ns);
+
+  (* the symmetric-view claim: where-used costs the same as explosion *)
+  let sub = R.v db ~root_type:"part" ~link:"composition" () in
+  let super = R.v db ~root_type:"part" ~link:"composition" ~view:R.Super () in
+  let leaf = bom.Bom_gen.levels.(Array.length bom.Bom_gen.levels - 1).(0) in
+  let sub_ns = Bench_util.time_ns "rec/sub" (fun () -> R.derive_one db sub root) in
+  let super_ns =
+    Bench_util.time_ns "rec/super" (fun () -> R.derive_one db super leaf)
+  in
+  Format.printf
+    "symmetry: explosion from a root %s, where-used from a leaf %s (same \
+     link type, both directions indexed)@."
+    (Bench_util.pp_ns sub_ns) (Bench_util.pp_ns super_ns)

@@ -1,0 +1,45 @@
+(* Shared measurement helpers for the experiment harness: a thin
+   Bechamel wrapper returning ns/run estimates, and formatting. *)
+
+open Bechamel
+open Toolkit
+
+let quota =
+  match Sys.getenv_opt "BENCH_QUOTA_MS" with
+  | Some s -> float_of_string s /. 1000.0
+  | None -> 0.25
+
+(** Measure [f] with Bechamel's OLS estimator; returns ns per run. *)
+let time_ns name f =
+  let test = Test.make ~name (Staged.stage f) in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false
+      ~compaction:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols_result -> begin
+    match Analyze.OLS.estimates ols_result with
+    | Some (est :: _) -> est
+    | Some [] | None -> nan
+  end
+
+let pp_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let ratio a b = if b = 0.0 || Float.is_nan b then "n/a" else Printf.sprintf "%.1fx" (a /. b)
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let subsection title = Format.printf "@.-- %s@." title

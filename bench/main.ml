@@ -1,0 +1,42 @@
+(* The experiment harness: one section per experiment id of DESIGN.md.
+   Each section prints the rows/series the paper's artifact shows and
+   measures the associated costs with Bechamel.
+
+   Run everything:        dune exec bench/main.exe
+   Run a subset:          dune exec bench/main.exe -- fig2 q2 share
+   Faster, noisier runs:  BENCH_QUOTA_MS=50 dune exec bench/main.exe *)
+
+let experiments =
+  [
+    ("fig1", B_fig1.run);
+    ("fig2", B_fig2.run);
+    ("fig3", B_fig3.run);
+    ("fig4", B_fig4.run);
+    ("fig5", B_fig5.run);
+    ("q1", B_q1.run);
+    ("q2", B_q2.run);
+    ("rec", B_rec.run);
+    ("share", B_share.run);
+    ("clos", B_clos.run);
+    ("clust", B_clust.run);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  Format.printf
+    "MAD model / molecule algebra - experiment harness (quota %.0f ms per \
+     measurement)@."
+    (Bench_util.quota *. 1000.);
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+        Format.eprintf "unknown experiment %s (known: %s)@." name
+          (String.concat ", " (List.map fst experiments)))
+    selected;
+  Format.printf "@.done.@."

@@ -1,0 +1,67 @@
+(* geo_gen — generate synthetic cartographic databases (the SHARE
+   workload) and report their structure. *)
+
+open Mad_store
+open Cmdliner
+
+let run rows cols rivers river_len cities shared seed dot =
+  let p =
+    {
+      Workloads.Geo_gen.rows;
+      cols;
+      rivers;
+      river_len;
+      cities;
+      shared_rivers = shared;
+      seed;
+    }
+  in
+  let g = Workloads.Geo_gen.build p in
+  let db = g.Workloads.Geo_grid.db in
+  if dot then print_string (Dot.occurrence_to_string db)
+  else begin
+    Format.printf "%a@." Database.pp_summary db;
+    List.iter
+      (fun at ->
+        Format.printf "  %-6s: %5d atoms@." at (Database.count_atoms db at))
+      (Database.atom_type_names db);
+    List.iter
+      (fun lt ->
+        Format.printf "  %-12s: %5d links@." lt (Database.count_links db lt))
+      (Database.link_type_names db);
+    (* sharing report: how many edges serve more than one owner *)
+    let shared_edges =
+      List.length
+        (List.filter
+           (fun (e : Atom.t) ->
+             let owners =
+               Aid.Set.cardinal (Database.neighbors db "area-edge" ~dir:`Bwd e.id)
+               + Aid.Set.cardinal (Database.neighbors db "net-edge" ~dir:`Bwd e.id)
+             in
+             owners > 1)
+           (Database.atoms db "edge"))
+    in
+    Format.printf "edges with more than one owner (shared subobjects): %d@."
+      shared_edges
+  end;
+  0
+
+let () =
+  let rows = Arg.(value & opt int 4 & info [ "rows" ] ~doc:"Grid rows.") in
+  let cols = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Grid columns.") in
+  let rivers = Arg.(value & opt int 4 & info [ "rivers" ] ~doc:"River count.") in
+  let river_len =
+    Arg.(value & opt int 4 & info [ "river-len" ] ~doc:"Edges per river.")
+  in
+  let cities = Arg.(value & opt int 8 & info [ "cities" ] ~doc:"City count.") in
+  let shared =
+    Arg.(value & opt bool true & info [ "shared" ] ~doc:"Rivers reuse border edges.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
+  let term =
+    Term.(
+      const run $ rows $ cols $ rivers $ river_len $ cities $ shared $ seed
+      $ dot)
+  in
+  exit (Cmd.eval' (Cmd.v (Cmd.info "geo_gen" ~version:"1.0") term))

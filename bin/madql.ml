@@ -1,0 +1,264 @@
+(* madql — the MOL command-line processor.
+
+   Subcommands:
+     repl     interactive MOL session against a built-in database
+     query    evaluate one MOL statement
+     explain  show the algebra plan and PRIMA's optimized plan
+     schema   print the schema (MAD diagram) or the formal Fig. 4 view
+     dot      emit Graphviz for the schema or the atom networks *)
+
+open Mad_store
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Built-in databases                                                   *)
+
+let load_db = function
+  | "brazil" -> Workloads.Geo_brazil.db (Workloads.Geo_brazil.build ())
+  | "geo" -> (Workloads.Geo_gen.build Workloads.Geo_gen.default).Workloads.Geo_grid.db
+  | "bom" -> (Workloads.Bom_gen.build Workloads.Bom_gen.default).Workloads.Bom_gen.db
+  | "office" -> Workloads.Office_gen.build Workloads.Office_gen.default
+  | path when Sys.file_exists path -> Serialize.load_file path
+  | other ->
+    Err.failf
+      "unknown database %s (expected brazil, geo, bom, office or a .mad file)"
+      other
+
+let db_arg =
+  let doc =
+    "Database: brazil (Fig. 1), geo (synthetic cartography), bom (bill of \
+     material), office (documents), or the path of a .mad dump."
+  in
+  Arg.(value & opt string "brazil" & info [ "d"; "db" ] ~docv:"DB" ~doc)
+
+let handle f =
+  match f () with
+  | () -> 0
+  | exception Err.Mad_error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* repl                                                                 *)
+
+let repl db_name =
+  handle @@ fun () ->
+  let db = load_db db_name in
+  let session = Mad_mql.Session.create db in
+  Format.printf "madql: %s loaded (%a)@." db_name Database.pp_summary db;
+  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :explain <stmt>@.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buf = 0 then print_string "MOL> " else print_string "...> ";
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      let trimmed = String.trim line in
+      if String.equal trimmed ":quit" || String.equal trimmed ":q" then ()
+      else if String.equal trimmed ":schema" then begin
+        Format.printf "%s@." (Notation.database_to_string db);
+        loop ()
+      end
+      else if String.equal trimmed ":types" then begin
+        List.iter
+          (fun at -> Format.printf "  %a@." Schema.Atom_type.pp (Database.atom_type db at))
+          (Database.atom_type_names db);
+        List.iter
+          (fun lt -> Format.printf "  %a@." Schema.Link_type.pp (Database.link_type db lt))
+          (Database.link_type_names db);
+        loop ()
+      end
+      else if String.equal trimmed ":stats" then begin
+        let s = session.Mad_mql.Session.stats in
+        Format.printf "atoms visited: %d, links traversed: %d@."
+          s.Mad.Derive.atoms_visited s.Mad.Derive.links_traversed;
+        loop ()
+      end
+      else if String.length trimmed >= 9 && String.sub trimmed 0 9 = ":explain " then begin
+        let stmt = String.sub trimmed 9 (String.length trimmed - 9) in
+        (try Format.printf "%s@." (Mad_mql.Session.explain session stmt)
+         with Err.Mad_error msg -> Format.printf "error: %s@." msg);
+        loop ()
+      end
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        if String.contains line ';' then begin
+          let src = Buffer.contents buf in
+          Buffer.clear buf;
+          (try Format.printf "%s@." (Mad_mql.Session.run_to_string session src)
+           with Err.Mad_error msg -> Format.printf "error: %s@." msg)
+        end;
+        loop ()
+      end
+  in
+  loop ()
+
+let repl_cmd =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive MOL session")
+    Term.(const repl $ db_arg)
+
+(* ------------------------------------------------------------------ *)
+(* query / explain                                                      *)
+
+let stmt_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STATEMENT")
+
+let query db_name stmt =
+  handle @@ fun () ->
+  let db = load_db db_name in
+  let session = Mad_mql.Session.create db in
+  print_string (Mad_mql.Session.run_to_string session stmt)
+
+let query_cmd =
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate one MOL statement")
+    Term.(const query $ db_arg $ stmt_arg)
+
+let explain db_name stmt =
+  handle @@ fun () ->
+  let db = load_db db_name in
+  let session = Mad_mql.Session.create db in
+  Format.printf "algebra: %s@." (Mad_mql.Session.explain session stmt);
+  (* if the statement is a plain restricted query, also show PRIMA's
+     physical plan *)
+  match Mad_mql.Session.parse session stmt with
+  | Mad_mql.Ast.Query
+      (Mad_mql.Ast.Q
+         {
+           select;
+           from = Mad_mql.Ast.From_anon s | Mad_mql.Ast.From_named_def (_, s);
+           where;
+         }) ->
+    let desc = Mad_mql.Translate.resolve_structure db s in
+    let select_items =
+      match select with
+      | Mad_mql.Ast.All -> None
+      | Mad_mql.Ast.Items items -> Some items
+    in
+    let q = { Prima.Planner.name = "q"; desc; where; select = select_items } in
+    Format.printf "%s" (Prima.Stats.explain_with_estimates db q)
+  | _ -> ()
+
+let explain_cmd =
+  Cmd.v (Cmd.info "explain" ~doc:"Show the algebra and PRIMA plans")
+    Term.(const explain $ db_arg $ stmt_arg)
+
+(* ------------------------------------------------------------------ *)
+(* schema / dot                                                         *)
+
+let schema db_name formal =
+  handle @@ fun () ->
+  let db = load_db db_name in
+  if formal then Format.printf "%s@." (Notation.database_to_string db)
+  else begin
+    Format.printf "%a@." Database.pp_summary db;
+    List.iter
+      (fun at -> Format.printf "  %a@." Schema.Atom_type.pp (Database.atom_type db at))
+      (Database.atom_type_names db);
+    List.iter
+      (fun lt -> Format.printf "  %a@." Schema.Link_type.pp (Database.link_type db lt))
+      (Database.link_type_names db)
+  end
+
+let formal_arg =
+  Arg.(value & flag & info [ "formal" ] ~doc:"Print the Fig. 4 formal notation.")
+
+let schema_cmd =
+  Cmd.v (Cmd.info "schema" ~doc:"Print the database schema")
+    Term.(const schema $ db_arg $ formal_arg)
+
+let dot db_name occurrence =
+  handle @@ fun () ->
+  let db = load_db db_name in
+  if occurrence then print_string (Dot.occurrence_to_string db)
+  else print_string (Dot.schema_to_string db)
+
+let occurrence_arg =
+  Arg.(value & flag & info [ "occurrence" ] ~doc:"Emit the atom networks instead of the schema.")
+
+let dot_cmd =
+  Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz DOT")
+    Term.(const dot $ db_arg $ occurrence_arg)
+
+(* split a MOL script into statements at top-level ';' (strings may
+   contain semicolons) *)
+let split_statements src =
+  let out = ref [] in
+  let buf = Buffer.create 256 in
+  let n = String.length src in
+  let rec go i in_string =
+    if i >= n then begin
+      if String.trim (Buffer.contents buf) <> "" then
+        out := Buffer.contents buf :: !out
+    end
+    else begin
+      let c = src.[i] in
+      Buffer.add_char buf c;
+      if in_string then go (i + 1) (c <> '\'')
+      else if c = '\'' then go (i + 1) true
+      else if c = ';' then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf;
+        go (i + 1) false
+      end
+      else go (i + 1) false
+    end
+  in
+  go 0 false;
+  List.rev !out
+
+let script db_name path =
+  handle @@ fun () ->
+  let db = load_db db_name in
+  let session = Mad_mql.Session.create db in
+  let src =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+  in
+  List.iter
+    (fun stmt ->
+      let trimmed = String.trim stmt in
+      Format.printf "MOL> %s@." trimmed;
+      Format.printf "%s@." (Mad_mql.Session.run_to_string session trimmed))
+    (split_statements src)
+
+let script_path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT.mql")
+
+let script_cmd =
+  Cmd.v (Cmd.info "script" ~doc:"Execute a file of MOL statements")
+    Term.(const script $ db_arg $ script_path_arg)
+
+let dump db_name out =
+  handle @@ fun () ->
+  let db = load_db db_name in
+  match out with
+  | None -> print_string (Serialize.dump db)
+  | Some path ->
+    Serialize.dump_file db path;
+    Format.printf "wrote %s (%d atoms, %d links)@." path
+      (Database.total_atoms db) (Database.total_links db)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+
+let dump_cmd =
+  Cmd.v (Cmd.info "dump" ~doc:"Dump a database as a .mad text file")
+    Term.(const dump $ db_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "madql" ~version:"1.0"
+      ~doc:"The MOL (molecule query language) processor over the MAD model"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            repl_cmd; query_cmd; explain_cmd; schema_cmd; dot_cmd; dump_cmd;
+            script_cmd;
+          ]))

@@ -1,0 +1,78 @@
+(* Quickstart: define a small MAD database, link atoms, define a
+   molecule type dynamically, and query it in MOL.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Mad_store
+
+let () =
+  (* 1. schema: atom types and (bidirectional) link types *)
+  let db = Database.create () in
+  ignore
+    (Database.declare_atom_type db "author"
+       [ Schema.Attr.v "name" Domain.String ]);
+  ignore
+    (Database.declare_atom_type db "paper"
+       [ Schema.Attr.v "title" Domain.String; Schema.Attr.v "year" Domain.Int ]);
+  ignore
+    (Database.declare_atom_type db "venue"
+       [ Schema.Attr.v "name" Domain.String ]);
+  (* n:m — papers share authors, the MAD model's home turf *)
+  ignore (Database.declare_link_type db "wrote" ("author", "paper"));
+  ignore
+    (Database.declare_link_type db ~card:(Some 1, None) "appeared"
+       ("venue", "paper"));
+
+  (* 2. occurrence: atoms and links *)
+  let author name = Database.insert_atom db ~atype:"author" [ Value.String name ] in
+  let paper title year =
+    Database.insert_atom db ~atype:"paper"
+      [ Value.String title; Value.Int year ]
+  in
+  let venue name = Database.insert_atom db ~atype:"venue" [ Value.String name ] in
+  let mitschang = author "Mitschang" in
+  let haerder = author "Haerder" in
+  let meyer = author "Meyer-Wegener" in
+  let p1 = paper "The MAD model" 1988 in
+  let p2 = paper "PRIMA - a DBMS prototype" 1987 in
+  let p3 = paper "Molecule algebra" 1989 in
+  let vldb = venue "VLDB" in
+  let edbs = venue "Expert DB Systems" in
+  List.iter
+    (fun (a, p) -> Database.add_link db "wrote" ~left:a ~right:p)
+    [
+      (mitschang.Atom.id, p1.Atom.id);
+      (mitschang.Atom.id, p2.Atom.id);
+      (mitschang.Atom.id, p3.Atom.id);
+      (haerder.Atom.id, p2.Atom.id);
+      (meyer.Atom.id, p2.Atom.id);
+    ];
+  List.iter
+    (fun (v, p) -> Database.add_link db "appeared" ~left:v ~right:p)
+    [
+      (edbs.Atom.id, p1.Atom.id);
+      (vldb.Atom.id, p2.Atom.id);
+      (vldb.Atom.id, p3.Atom.id);
+    ];
+  Format.printf "%a@.@." Database.pp_summary db;
+
+  (* 3. dynamic molecule definition + MOL queries *)
+  let session = Mad_mql.Session.create db in
+  let run src =
+    Format.printf ">> %s@.%s@." src (Mad_mql.Session.run_to_string session src)
+  in
+  run "SELECT ALL FROM bibliography(author-paper-venue);";
+  run "SELECT ALL FROM bibliography WHERE paper.year >= 1988;";
+  (* the same links traversed the other way round: which papers share
+     which authors (symmetric use, Fig. 2 style) *)
+  run "SELECT ALL FROM paper-(author,venue) WHERE venue.name = 'VLDB';";
+
+  (* 4. molecules can share subobjects: papers share authors *)
+  let mt =
+    match Mad_mql.Session.lookup session "bibliography" with
+    | Some mt -> mt
+    | None -> assert false
+  in
+  Format.printf "%a"
+    (fun ppf () -> Mad.Render.pp_shared db ppf mt)
+    ()

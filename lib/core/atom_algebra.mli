@@ -1,0 +1,40 @@
+(** The atom-type algebra (Def. 4, Theorem 1): projection π,
+    restriction σ, cartesian product ×, union ω, difference δ, each
+    producing a new atom type registered in the (enlarged) database
+    with inherited link types — every link type incident to an operand
+    is re-created on the result and re-pointed through the operation's
+    provenance, which is what makes results reusable (the closure of
+    Theorem 1).
+
+    Occurrences follow the paper's set semantics: π, ω and δ
+    de-duplicate by attribute values. *)
+
+open Mad_store
+
+type t = {
+  at : Schema.Atom_type.t;  (** the result atom type (registered) *)
+  inherited : (string * Schema.Link_type.t) list;
+      (** (original link-type name, inherited link type) *)
+  provenance : Aid.t list Aid.Map.t;
+      (** result atom -> source atom(s) it was built from *)
+}
+
+val result_ids : t -> Aid.Set.t
+
+val project : Database.t -> name:string -> attrs:string list -> string -> t
+(** π — keeps (and orders) the named attributes; de-duplicates. *)
+
+val restrict : Database.t -> name:string -> pred:Qual.t -> string -> t
+(** σ — the predicate may reference only the operand type. *)
+
+val product : Database.t -> name:string -> string -> string -> t
+(** × — concatenates descriptions and values; colliding attributes of
+    the second operand are qualified [<operand>_<attr>]; links of both
+    operands are inherited. *)
+
+val union : Database.t -> name:string -> string -> string -> t
+(** ω — requires identically described operands. *)
+
+val diff : Database.t -> name:string -> string -> string -> t
+(** δ — atoms of the first operand whose values do not occur in the
+    second. *)

@@ -1,0 +1,98 @@
+(** Machine checks of the closure theorems.
+
+    Theorem 1: every atom-type operation yields a valid atom type with
+    well-defined inherited link types, all inside the database domain —
+    checked by re-validating the enlarged database's integrity and the
+    result type's registration.
+
+    Theorems 2/3: every molecule-type operation yields a valid molecule
+    type over the enlarged database — checked by (a) validating the
+    propagated description with [md_graph], (b) verifying every result
+    molecule against the specification predicate [mv_graph], and (c)
+    verifying the Def. 9 bijection (re-derivation returns exactly the
+    propagated occurrence). *)
+
+open Mad_store
+
+type report = { checks : int; failures : string list }
+
+let ok r = r.failures = []
+
+let pp_report ppf r =
+  if ok r then Fmt.pf ppf "closure: %d checks, all passed" r.checks
+  else
+    Fmt.pf ppf "closure: %d checks, %d FAILED:@.%a" r.checks
+      (List.length r.failures)
+      Fmt.(list ~sep:(any "@.") string)
+      r.failures
+
+let empty = { checks = 0; failures = [] }
+
+let add r name cond =
+  {
+    checks = r.checks + 1;
+    failures = (if cond then r.failures else name :: r.failures);
+  }
+
+(** Theorem 1 instance: the database (enlarged by atom-type operations)
+    is still a member of the database domain, and the result type is a
+    registered, integrity-clean atom type. *)
+let check_atom_result db (r : Atom_algebra.t) =
+  let rep = empty in
+  let rep =
+    add rep
+      (Printf.sprintf "result type %s registered" r.at.name)
+      (Database.has_atom_type db r.at.name)
+  in
+  let rep =
+    List.fold_left
+      (fun rep (_, (lt : Schema.Link_type.t)) ->
+        add rep
+          (Printf.sprintf "inherited link type %s registered" lt.name)
+          (Database.has_link_type db lt.name))
+      rep r.inherited
+  in
+  add rep "database integrity" (Integrity.is_valid db)
+
+(** Theorem 2/3 instance for a molecule type carrying a
+    materialization. *)
+let check_molecule_type db (mt : Molecule_type.t) =
+  let rep = empty in
+  match mt.materialized with
+  | None ->
+    (* α results are directly derivable; check mv_graph of each molecule *)
+    List.fold_left
+      (fun rep (m : Molecule.t) ->
+        add rep
+          (Printf.sprintf "%s: molecule rooted %s satisfies mv_graph" mt.name
+             (Aid.to_string m.root))
+          (Molecule.mv_graph db mt.desc m))
+      rep mt.occ
+  | Some mat ->
+    let rep =
+      add rep
+        (Printf.sprintf "%s: propagated description satisfies md_graph" mt.name)
+        (match
+           Mdesc.md_graph ~nodes:(Mdesc.nodes mat.mdesc)
+             ~edges:(Mdesc.edges mat.mdesc)
+         with
+         | Ok root -> String.equal root (Mdesc.root mat.mdesc)
+         | Error _ -> false)
+    in
+    let rep =
+      add rep
+        (Printf.sprintf "%s: Def. 9 bijection (re-derivation)" mt.name)
+        (Propagate.exact db mat.mdesc mat.mocc)
+    in
+    let rep =
+      List.fold_left
+        (fun rep (m : Molecule.t) ->
+          add rep
+            (Printf.sprintf "%s: propagated molecule %s satisfies mv_graph"
+               mt.name (Aid.to_string m.root))
+            (Molecule.mv_graph db mat.mdesc m))
+        rep mat.mocc
+    in
+    add rep
+      (Printf.sprintf "%s: database integrity" mt.name)
+      (Integrity.is_valid db)

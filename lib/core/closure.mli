@@ -1,0 +1,13 @@
+(** Machine checks of the closure theorems: Theorem 1 for atom-type
+    operations, Theorems 2-3 (validity, the Def. 9 bijection, and the
+    mv_graph predicate per molecule) for molecule-type operations. *)
+
+open Mad_store
+
+type report = { checks : int; failures : string list }
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+val check_atom_result : Database.t -> Atom_algebra.t -> report
+val check_molecule_type : Database.t -> Molecule_type.t -> report

@@ -1,0 +1,17 @@
+(** Molecule derivation — the function [m_dom] of Def. 6 read
+    operationally: the structure is a template laid over the atom
+    networks; per root atom, hierarchical join along the branches until
+    the leaves; diamonds include an atom only if every incoming edge
+    supplies a contained, linked parent. *)
+
+open Mad_store
+
+type stats = { mutable atoms_visited : int; mutable links_traversed : int }
+
+val stats : unit -> stats
+
+val derive_one : ?stats:stats -> Database.t -> Mdesc.t -> Aid.t -> Molecule.t
+(** The molecule rooted at the given root-type atom. *)
+
+val m_dom : ?stats:stats -> Database.t -> Mdesc.t -> Molecule.t list
+(** One molecule per root-type atom, in identity order. *)

@@ -1,0 +1,117 @@
+(** Manipulation facilities on molecules.
+
+    The paper demands "powerful manipulation facilities" next to the
+    query side (ch. 1), and MOL is introduced as a "query and
+    manipulation language" (ch. 4).  The interesting semantics is
+    deletion in the presence of shared subobjects: removing a molecule
+    must not tear atoms out of the *other* molecules that share them.
+
+    [delete_molecules] therefore deletes a component atom only when
+    every molecule of the occurrence containing it is itself being
+    deleted (the shared-subobject-safe rule); links incident to deleted
+    atoms cascade in the store.  [`Unlink_only] instead detaches the
+    root atoms from their components without deleting any component —
+    the non-destructive variant. *)
+
+open Mad_store
+module Smap = Map.Make (String)
+
+(** Insert a fresh atom plus links to existing partners in one step —
+    the primitive molecule-building operation. *)
+let insert_atom_linked db ~atype values ~links =
+  let atom = Database.insert_atom db ~atype values in
+  List.iter
+    (fun (ltname, partner) ->
+      let lt = Database.link_type db ltname in
+      match Schema.Link_type.role_of lt atype with
+      | `Left -> Database.add_link db ltname ~left:atom.Atom.id ~right:partner
+      | `Right -> Database.add_link db ltname ~left:partner ~right:atom.Atom.id
+      | `Both -> Database.add_link db ltname ~left:atom.Atom.id ~right:partner
+      | `None ->
+        Err.failf "link type %s does not touch atom type %s" ltname atype)
+    links;
+  atom
+
+type delete_mode =
+  [ `Shared_safe  (** delete atoms only when no surviving molecule holds them *)
+  | `Unlink_only  (** keep all component atoms; remove the roots and their links *)
+  ]
+
+type delete_report = {
+  molecules_deleted : int;
+  atoms_deleted : int;
+  atoms_kept_shared : int;  (** atoms spared by the shared-subobject rule *)
+}
+
+(** Delete the molecules of [victims] (a subset of [mt]'s occurrence,
+    e.g. a Σ result over it) from the database. *)
+let delete_molecules ?(mode = `Shared_safe) db (mt : Molecule_type.t)
+    (victims : Molecule.t list) =
+  let victim_roots =
+    List.fold_left
+      (fun s (m : Molecule.t) -> Aid.Set.add m.Molecule.root s)
+      Aid.Set.empty victims
+  in
+  (* atoms held by surviving molecules of the same occurrence *)
+  let survivors =
+    List.filter
+      (fun (m : Molecule.t) -> not (Aid.Set.mem m.Molecule.root victim_roots))
+      mt.Molecule_type.occ
+  in
+  let protected_atoms =
+    List.fold_left
+      (fun s m -> Aid.Set.union s (Molecule.atoms m))
+      Aid.Set.empty survivors
+  in
+  let victim_atoms =
+    List.fold_left
+      (fun s m -> Aid.Set.union s (Molecule.atoms m))
+      Aid.Set.empty victims
+  in
+  let to_delete =
+    match mode with
+    | `Unlink_only -> victim_roots
+    | `Shared_safe -> Aid.Set.diff victim_atoms protected_atoms
+  in
+  (match mode with
+   | `Unlink_only ->
+     (* also drop the links the victim molecules used, detaching kept
+        components from each other along this structure *)
+     List.iter
+       (fun (m : Molecule.t) ->
+         Link.Set.iter
+           (fun (l : Link.t) ->
+             Database.remove_link db l.Link.lt ~left:l.Link.left
+               ~right:l.Link.right)
+           m.Molecule.links)
+       victims
+   | `Shared_safe -> ());
+  Aid.Set.iter (fun id -> Database.delete_atom db id) to_delete;
+  {
+    molecules_deleted = List.length victims;
+    atoms_deleted = Aid.Set.cardinal to_delete;
+    atoms_kept_shared =
+      Aid.Set.cardinal (Aid.Set.inter victim_atoms protected_atoms);
+  }
+
+(** Update one attribute on every atom of [node] inside the given
+    molecules.  Returns the number of atoms modified (each shared atom
+    is modified once). *)
+let modify_attribute db ~node ~attr value (molecules : Molecule.t list) =
+  let at = Database.atom_type db node in
+  let i = Schema.Atom_type.attr_index at attr in
+  let dom = (List.nth at.Schema.Atom_type.attrs i).Schema.Attr.domain in
+  if not (Domain.mem value dom) then
+    Err.failf "value %s outside domain %s of %s.%s" (Value.to_string value)
+      (Domain.to_string dom) node attr;
+  let targets =
+    List.fold_left
+      (fun s m -> Aid.Set.union s (Molecule.component m node))
+      Aid.Set.empty molecules
+  in
+  Aid.Set.iter
+    (fun id ->
+      let a = Database.get_atom db ~atype:node id in
+      a.Atom.values.(i) <- value)
+    targets;
+  Aid.Set.cardinal targets

@@ -1,0 +1,45 @@
+(** Manipulation facilities on molecules (the paper's "powerful
+    manipulation facilities"): insertion with links, shared-subobject-
+    safe deletion, attribute modification. *)
+
+open Mad_store
+
+val insert_atom_linked :
+  Database.t ->
+  atype:string ->
+  Value.t list ->
+  links:(string * Aid.t) list ->
+  Atom.t
+(** Insert a fresh atom and link it to existing partners (role inferred
+    from the atom's type). *)
+
+type delete_mode =
+  [ `Shared_safe  (** delete atoms only when no surviving molecule holds them *)
+  | `Unlink_only  (** keep components; remove the roots and the used links *)
+  ]
+
+type delete_report = {
+  molecules_deleted : int;
+  atoms_deleted : int;
+  atoms_kept_shared : int;  (** spared by the shared-subobject rule *)
+}
+
+val delete_molecules :
+  ?mode:delete_mode ->
+  Database.t ->
+  Molecule_type.t ->
+  Molecule.t list ->
+  delete_report
+(** Delete the given molecules (a subset of the type's occurrence).
+    With [`Shared_safe] an atom dies only when every molecule of the
+    occurrence containing it is itself deleted. *)
+
+val modify_attribute :
+  Database.t ->
+  node:string ->
+  attr:string ->
+  Value.t ->
+  Molecule.t list ->
+  int
+(** Set one attribute on every atom of [node] inside the molecules
+    (domain-checked); returns the number of atoms modified. *)

@@ -1,0 +1,226 @@
+(** Molecule-type descriptions (Def. 5) and the [md_graph] predicate.
+
+    A description [md = <C,G>] is a type graph: nodes [C] are atom-type
+    names, edges [G] are *directed* uses of link types.  [md_graph]
+    demands the graph be directed, acyclic, coherent (weakly connected)
+    and single-rooted; Def. 5 makes [C] a set, so each atom type occurs
+    at most once per structure — consequently a *reflexive* link type
+    cannot appear in a plain description (it would be a self-loop);
+    reflexive traversal is the business of the recursive extension
+    (ch. 5 outlook, implemented in [Mad_recursive]). *)
+
+open Mad_store
+
+type edge = {
+  link : string;  (** link-type name *)
+  from_at : string;  (** start node *)
+  to_at : string;  (** end node *)
+  dir : [ `Fwd | `Bwd ];
+      (** traversal orientation w.r.t. the link type's ends:
+          [`Fwd] when [from_at] plays the first-end (left) role *)
+}
+
+type t = { nodes : string list; edges : edge list; root : string }
+
+let nodes t = t.nodes
+let edges t = t.edges
+let root t = t.root
+
+let in_edges t node = List.filter (fun e -> String.equal e.to_at node) t.edges
+let out_edges t node = List.filter (fun e -> String.equal e.from_at node) t.edges
+
+let pp_edge ppf e = Fmt.pf ppf "<%s,%s,%s>" e.link e.from_at e.to_at
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>md = <{%a}, {%a}> (root %s)@]"
+    Fmt.(list ~sep:(any ",") string)
+    t.nodes
+    Fmt.(list ~sep:(any ",") pp_edge)
+    t.edges t.root
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Validation: the md_graph predicate                                   *)
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+let find_roots ~nodes ~edges =
+  let with_in =
+    List.fold_left (fun s (e : edge) -> Sset.add e.to_at s) Sset.empty edges
+  in
+  List.filter (fun n -> not (Sset.mem n with_in)) nodes
+
+let is_acyclic ~nodes ~edges =
+  (* Kahn's algorithm *)
+  let indeg =
+    List.fold_left
+      (fun m (e : edge) ->
+        Smap.add e.to_at (1 + Option.value ~default:0 (Smap.find_opt e.to_at m)) m)
+      (List.fold_left (fun m n -> Smap.add n 0 m) Smap.empty nodes)
+      edges
+  in
+  let rec go indeg queue seen =
+    match queue with
+    | [] -> seen = List.length nodes
+    | n :: rest ->
+      let indeg, ready =
+        List.fold_left
+          (fun (indeg, ready) (e : edge) ->
+            if String.equal e.from_at n then
+              let d = Smap.find e.to_at indeg - 1 in
+              let indeg = Smap.add e.to_at d indeg in
+              if d = 0 then (indeg, e.to_at :: ready) else (indeg, ready)
+            else (indeg, ready))
+          (indeg, []) edges
+      in
+      go indeg (ready @ rest) (seen + 1)
+  in
+  let initial = Smap.fold (fun n d acc -> if d = 0 then n :: acc else acc) indeg [] in
+  go indeg initial 0
+
+let is_coherent ~nodes ~edges =
+  match nodes with
+  | [] -> false
+  | first :: _ ->
+    let adj n =
+      List.concat_map
+        (fun (e : edge) ->
+          if String.equal e.from_at n then [ e.to_at ]
+          else if String.equal e.to_at n then [ e.from_at ]
+          else [])
+        edges
+    in
+    let rec bfs seen = function
+      | [] -> seen
+      | n :: rest ->
+        if Sset.mem n seen then bfs seen rest
+        else bfs (Sset.add n seen) (adj n @ rest)
+    in
+    Sset.cardinal (bfs Sset.empty [ first ]) = List.length nodes
+
+(** Check the pure graph conditions of [md_graph] on (nodes, edges):
+    set-ness of C, directedness/acyclicity, coherence, unique root. *)
+let md_graph ~nodes ~edges =
+  let sorted = List.sort_uniq String.compare nodes in
+  if List.length sorted <> List.length nodes then
+    Error "node set contains duplicates"
+  else if nodes = [] then Error "empty node set"
+  else if
+    List.exists
+      (fun (e : edge) ->
+        not (List.mem e.from_at nodes) || not (List.mem e.to_at nodes))
+      edges
+  then Error "edge references a node outside C"
+  else if List.exists (fun (e : edge) -> String.equal e.from_at e.to_at) edges
+  then Error "self-loop (reflexive link types need the recursive extension)"
+  else if not (is_acyclic ~nodes ~edges) then Error "type graph is cyclic"
+  else if not (is_coherent ~nodes ~edges) then Error "type graph is not coherent"
+  else
+    match find_roots ~nodes ~edges with
+    | [ r ] -> Ok r
+    | [] -> Error "no root node"
+    | rs ->
+      Error
+        (Printf.sprintf "multiple root nodes: %s" (String.concat ", " rs))
+
+(** Build and validate a description against a database: all nodes must
+    be atom types, every edge's link type must exist and connect the
+    two nodes; the orientation is derived from the link type's ends. *)
+let v db ~nodes ~edges =
+  List.iter (fun n -> ignore (Database.atom_type db n)) nodes;
+  let edges =
+    List.map
+      (fun (link, from_at, to_at) ->
+        let lt = Database.link_type db link in
+        let e1, e2 = lt.ends in
+        if Schema.Link_type.reflexive lt then
+          Err.failf
+            "link type %s is reflexive; plain molecule structures cannot \
+             use it (see the recursive extension)"
+            link
+        else if String.equal e1 from_at && String.equal e2 to_at then
+          { link; from_at; to_at; dir = `Fwd }
+        else if String.equal e2 from_at && String.equal e1 to_at then
+          { link; from_at; to_at; dir = `Bwd }
+        else
+          Err.failf "link type %s connects {%s,%s}, not <%s,%s>" link e1 e2
+            from_at to_at)
+      edges
+  in
+  match md_graph ~nodes ~edges with
+  | Ok root -> { nodes; edges; root }
+  | Error msg -> Err.failf "invalid molecule structure: %s" msg
+
+(** Nodes in topological order, root first.  Deterministic (ties broken
+    by name). *)
+let topo_order t =
+  let rec go placed acc =
+    if List.length placed = List.length t.nodes then List.rev acc
+    else
+      let ready =
+        List.filter
+          (fun n ->
+            (not (List.mem n placed))
+            && List.for_all (fun e -> List.mem e.from_at placed) (in_edges t n))
+          t.nodes
+        |> List.sort String.compare
+      in
+      match ready with
+      | [] -> assert false (* impossible on a validated DAG *)
+      | n :: _ -> go (n :: placed) (n :: acc)
+  in
+  go [] []
+
+(** The sub-description induced by a subset of nodes (used by molecule
+    projection Π).  Fails unless the induced graph still satisfies
+    [md_graph] with the same root. *)
+let induced t keep =
+  let nodes = List.filter (fun n -> List.mem n keep) t.nodes in
+  List.iter
+    (fun k ->
+      if not (List.mem k t.nodes) then
+        Err.failf "projection keeps unknown node %s" k)
+    keep;
+  let edges =
+    List.filter
+      (fun e -> List.mem e.from_at nodes && List.mem e.to_at nodes)
+      t.edges
+  in
+  match md_graph ~nodes ~edges with
+  | Ok root when String.equal root t.root -> { nodes; edges; root }
+  | Ok root ->
+    Err.failf "projection changes the root from %s to %s" t.root root
+  | Error msg -> Err.failf "projection breaks the structure: %s" msg
+
+(** Rename nodes and edge link types through [f_node]/[f_link]
+    (used by propagation, Def. 9: same graph structure over renamed
+    types). *)
+let rename t ~f_node ~f_link =
+  {
+    nodes = List.map f_node t.nodes;
+    edges =
+      List.map
+        (fun e ->
+          {
+            link = f_link e;
+            from_at = f_node e.from_at;
+            to_at = f_node e.to_at;
+            dir = e.dir;
+          })
+        t.edges;
+    root = f_node t.root;
+  }
+
+let equal a b =
+  List.equal String.equal
+    (List.sort String.compare a.nodes)
+    (List.sort String.compare b.nodes)
+  && String.equal a.root b.root
+  && List.equal
+       (fun (x : edge) (y : edge) ->
+         String.equal x.link y.link
+         && String.equal x.from_at y.from_at
+         && String.equal x.to_at y.to_at)
+       (List.sort compare a.edges) (List.sort compare b.edges)

@@ -1,0 +1,58 @@
+(** Molecule-type descriptions (Def. 5): a directed, acyclic, coherent,
+    single-rooted type graph over atom types and link types, validated
+    by the [md_graph] predicate.
+
+    Def. 5 makes the node collection a set, so each atom type occurs at
+    most once per structure; consequently plain descriptions cannot use
+    reflexive link types (see [Mad_recursive] for the recursive
+    extension). *)
+
+open Mad_store
+
+type edge = {
+  link : string;
+  from_at : string;
+  to_at : string;
+  dir : [ `Fwd | `Bwd ];
+      (** traversal orientation w.r.t. the link type's ends: [`Fwd]
+          when [from_at] plays the first-end (left) role *)
+}
+
+type t = { nodes : string list; edges : edge list; root : string }
+(** Build values with {!v} (validated); the representation is exposed
+    for the propagation machinery, which re-orients renamed edges. *)
+
+val nodes : t -> string list
+val edges : t -> edge list
+val root : t -> string
+val in_edges : t -> string -> edge list
+val out_edges : t -> string -> edge list
+
+val pp_edge : Format.formatter -> edge -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val md_graph : nodes:string list -> edges:edge list -> (string, string) result
+(** The pure graph conditions of [md_graph]; [Ok root] on success. *)
+
+val v :
+  Database.t ->
+  nodes:string list ->
+  edges:(string * string * string) list ->
+  t
+(** Build and validate against a database; edges are
+    [(link, from, to)] triples, orientations derived from the link
+    types' ends.  Fails with a precise diagnostic otherwise. *)
+
+val topo_order : t -> string list
+(** Nodes in topological order, root first; deterministic. *)
+
+val induced : t -> string list -> t
+(** The sub-description induced by a node subset (molecule projection
+    Π); fails unless it still satisfies [md_graph] with the same
+    root. *)
+
+val rename : t -> f_node:(string -> string) -> f_link:(edge -> string) -> t
+(** Rename nodes and edge link types (propagation, Def. 9). *)
+
+val equal : t -> t -> bool

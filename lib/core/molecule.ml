@@ -1,0 +1,259 @@
+(** Molecules: occurrence-level complex objects (Def. 6).
+
+    A molecule [m = <c,g>] is a set of atoms [c] plus a set of links
+    [g], adhering to a molecule-type description.  We store [c]
+    partitioned by structure node ([by_node]) — nodes are atom-type
+    names and, by Def. 5, each occurs at most once per structure, so
+    the partition is canonical.
+
+    This module also implements the paper's specification predicates
+    ([contained], [total], [mv_graph]) *verbatim and independently of
+    the derivation algorithm*, so that derivation can be checked against
+    the specification (property tests).  Two operational readings are
+    fixed where the paper's text underdetermines them:
+    - the base case of [contained] anchors at *the molecule's root
+      atom* (the derivation "for each atom of the root atom type one
+      molecule is derived");
+    - maximality ([total]) is judged against the *database's* link
+      occurrence (hierarchical join along the branches picks up every
+      linked partner), and [g] carries exactly the database links
+      between contained atoms along the structure's edges. *)
+
+open Mad_store
+module Smap = Map.Make (String)
+
+type t = {
+  root : Aid.t;
+  by_node : Aid.Set.t Smap.t;  (** node (atom-type name) -> component atoms *)
+  links : Link.Set.t;
+}
+
+let v ~root ~by_node ~links = { root; by_node; links }
+
+let component m node =
+  Option.value ~default:Aid.Set.empty (Smap.find_opt node m.by_node)
+
+let component_list m node = Aid.Set.elements (component m node)
+
+let atoms m =
+  Smap.fold (fun _ s acc -> Aid.Set.union s acc) m.by_node Aid.Set.empty
+
+let atom_count m = Aid.Set.cardinal (atoms m)
+let link_count m = Link.Set.cardinal m.links
+
+let mem_atom m id = Aid.Set.mem id (atoms m)
+
+let compare a b =
+  let c = Aid.compare a.root b.root in
+  if c <> 0 then c
+  else
+    let c = Aid.Set.compare (atoms a) (atoms b) in
+    if c <> 0 then c else Link.Set.compare a.links b.links
+
+let equal a b = compare a b = 0
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+(** Atoms shared between two molecules — the paper's shared subobjects
+    (Fig. 2: "molecules can overlap having non-disjoint atom sets"). *)
+let shared a b = Aid.Set.inter (atoms a) (atoms b)
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>molecule(root %a)@," Aid.pp m.root;
+  Smap.iter
+    (fun node s -> Fmt.pf ppf "  %s: %a@," node Aid.pp_set s)
+    m.by_node;
+  Fmt.pf ppf "  links: %a@]" Link.pp_set m.links
+
+(* ------------------------------------------------------------------ *)
+(* Specification predicates (Def. 6), used to validate derivations      *)
+
+(** [contained db desc m a_node a] — the recursive predicate of Def. 6:
+    the root atom is contained; a non-root atom is contained iff *for
+    every* incoming edge of its node there is a contained parent atom
+    linked to it within [m.links]. *)
+let contained db desc m =
+  let memo = Hashtbl.create 64 in
+  let rec go node id =
+    match Hashtbl.find_opt memo (node, id) with
+    | Some b -> b
+    | None ->
+      let b =
+        if String.equal node (Mdesc.root desc) then Aid.equal id m.root
+        else
+          let ins = Mdesc.in_edges desc node in
+          ins <> []
+          && List.for_all
+               (fun (e : Mdesc.edge) ->
+                 Aid.Set.exists
+                   (fun p ->
+                     go e.from_at p
+                     &&
+                     let l, r =
+                       match e.dir with `Fwd -> (p, id) | `Bwd -> (id, p)
+                     in
+                     Link.Set.mem (Link.v e.link l r) m.links)
+                   (component m e.from_at))
+               ins
+      in
+      Hashtbl.replace memo (node, id) b;
+      ignore db;
+      b
+  in
+  go
+
+(** [total db desc m]: every atom of [m] is contained, and no database
+    atom outside [m] would be contained if added (maximality judged
+    against the database's links, with [m]'s links extended by the
+    candidate's own links). *)
+let total db desc m =
+  let cont = contained db desc m in
+  let all_in =
+    List.for_all
+      (fun node ->
+        Aid.Set.for_all (fun id -> cont node id) (component m node))
+      (Mdesc.nodes desc)
+  in
+  let none_out =
+    List.for_all
+      (fun node ->
+        let comp = component m node in
+        let would_be_contained id =
+          if String.equal node (Mdesc.root desc) then Aid.equal id m.root
+          else
+            let ins = Mdesc.in_edges desc node in
+            ins <> []
+            && List.for_all
+                 (fun (e : Mdesc.edge) ->
+                   Aid.Set.exists
+                     (fun p ->
+                       cont e.from_at p
+                       &&
+                       let left, right =
+                         match e.dir with `Fwd -> (p, id) | `Bwd -> (id, p)
+                       in
+                       Database.link_exists db e.link ~left ~right)
+                     (component m e.from_at))
+                 ins
+        in
+        Aid.Set.for_all
+          (fun id -> (not (would_be_contained id)) || Aid.Set.mem id comp)
+          (Database.atom_ids db node))
+      (Mdesc.nodes desc)
+  in
+  (* link completeness: g holds exactly the database links between
+     contained atoms along the structure's edges *)
+  let links_complete =
+    List.for_all
+      (fun (e : Mdesc.edge) ->
+        let parents = component m e.from_at and children = component m e.to_at in
+        Aid.Set.for_all
+          (fun p ->
+            Aid.Set.for_all
+              (fun c ->
+                let left, right =
+                  match e.dir with `Fwd -> (p, c) | `Bwd -> (c, p)
+                in
+                (not (Database.link_exists db e.link ~left ~right))
+                || Link.Set.mem (Link.v e.link left right) m.links)
+              children)
+          parents)
+      (Mdesc.edges desc)
+    && Link.Set.for_all
+         (fun (l : Link.t) ->
+           List.exists
+             (fun (e : Mdesc.edge) ->
+               String.equal e.link l.lt
+               &&
+               let p, c =
+                 match e.dir with
+                 | `Fwd -> (l.left, l.right)
+                 | `Bwd -> (l.right, l.left)
+               in
+               Aid.Set.mem p (component m e.from_at)
+               && Aid.Set.mem c (component m e.to_at))
+             (Mdesc.edges desc))
+         m.links
+  in
+  all_in && none_out && links_complete
+
+(** [md_graph] on the molecule's own graph (atoms as nodes, links as
+    directed edges in structure orientation): acyclic, coherent, single
+    root — Def. 6 demands the same graph properties for type and
+    occurrence. *)
+let instance_md_graph desc m =
+  let directed_edges =
+    Link.Set.fold
+      (fun (l : Link.t) acc ->
+        match
+          List.find_opt
+            (fun (e : Mdesc.edge) -> String.equal e.link l.lt)
+            (Mdesc.edges desc)
+        with
+        | Some e ->
+          let p, c =
+            match e.dir with `Fwd -> (l.left, l.right) | `Bwd -> (l.right, l.left)
+          in
+          (p, c) :: acc
+        | None -> acc)
+      m.links []
+  in
+  let nodes = Aid.Set.elements (atoms m) in
+  (* acyclicity via DFS colouring *)
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun (p, c) ->
+      Hashtbl.replace adj p (c :: Option.value ~default:[] (Hashtbl.find_opt adj p)))
+    directed_edges;
+  let colour = Hashtbl.create 64 in
+  let rec acyclic_from n =
+    match Hashtbl.find_opt colour n with
+    | Some `Done -> true
+    | Some `Active -> false
+    | None ->
+      Hashtbl.replace colour n `Active;
+      let ok =
+        List.for_all acyclic_from
+          (Option.value ~default:[] (Hashtbl.find_opt adj n))
+      in
+      Hashtbl.replace colour n `Done;
+      ok
+  in
+  let acyclic = List.for_all acyclic_from nodes in
+  (* coherence on the undirected view *)
+  let uadj = Hashtbl.create 64 in
+  List.iter
+    (fun (p, c) ->
+      Hashtbl.replace uadj p (c :: Option.value ~default:[] (Hashtbl.find_opt uadj p));
+      Hashtbl.replace uadj c (p :: Option.value ~default:[] (Hashtbl.find_opt uadj c)))
+    directed_edges;
+  let coherent =
+    match nodes with
+    | [] -> false
+    | first :: _ ->
+      let seen = Hashtbl.create 64 in
+      let rec bfs = function
+        | [] -> ()
+        | n :: rest ->
+          if Hashtbl.mem seen n then bfs rest
+          else begin
+            Hashtbl.replace seen n ();
+            bfs (Option.value ~default:[] (Hashtbl.find_opt uadj n) @ rest)
+          end
+      in
+      bfs [ first ];
+      Hashtbl.length seen = List.length nodes
+  in
+  (* unique root: exactly one atom without incoming edge, and it is m.root *)
+  let with_in =
+    List.fold_left (fun s (_, c) -> Aid.Set.add c s) Aid.Set.empty directed_edges
+  in
+  let roots = List.filter (fun n -> not (Aid.Set.mem n with_in)) nodes in
+  acyclic && coherent && roots = [ m.root ]
+
+(** The full correctness predicate [mv_graph(m, md)] of Def. 6. *)
+let mv_graph db desc m = instance_md_graph desc m && total db desc m

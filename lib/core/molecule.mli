@@ -1,0 +1,53 @@
+(** Molecules (Def. 6): a set of atoms partitioned by structure node
+    plus the set of links connecting them, together with the paper's
+    specification predicates [contained], [total] and [mv_graph]
+    implemented verbatim and independently of the derivation algorithm
+    (so derivation can be property-tested against the spec). *)
+
+open Mad_store
+module Smap :
+  Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type t = {
+  root : Aid.t;
+  by_node : Aid.Set.t Smap.t;  (** node (atom-type name) -> atoms *)
+  links : Link.Set.t;
+}
+
+val v : root:Aid.t -> by_node:Aid.Set.t Smap.t -> links:Link.Set.t -> t
+
+val component : t -> string -> Aid.Set.t
+val component_list : t -> string -> Aid.t list
+val atoms : t -> Aid.Set.t
+val atom_count : t -> int
+val link_count : t -> int
+val mem_atom : t -> Aid.t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+module Set : Set.S with type elt = t
+
+val shared : t -> t -> Aid.Set.t
+(** Atoms common to two molecules — the paper's shared subobjects. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Specification predicates (Def. 6)} *)
+
+val contained : Database.t -> Mdesc.t -> t -> string -> Aid.t -> bool
+(** [contained db desc m node id]: the root atom is contained; a
+    non-root atom is contained iff for {e every} incoming edge of its
+    node some contained parent links to it within [m]. *)
+
+val total : Database.t -> Mdesc.t -> t -> bool
+(** Every atom contained, no outside atom would be (maximality judged
+    against the database's links), and [m.links] holds exactly the
+    database links between contained atoms along the structure. *)
+
+val instance_md_graph : Mdesc.t -> t -> bool
+(** [md_graph] on the molecule's own graph: acyclic, coherent, single
+    root. *)
+
+val mv_graph : Database.t -> Mdesc.t -> t -> bool
+(** The full correctness predicate: [instance_md_graph] and [total]. *)

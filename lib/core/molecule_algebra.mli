@@ -1,0 +1,56 @@
+(** The molecule algebra (Defs. 8 and 10, Theorems 2-3): definition α,
+    restriction Σ, projection Π, product X, union Ω, difference Δ and
+    the derived intersection Ψ(a,b) = Δ(a, Δ(a,b)).  Every operator
+    follows Fig. 5's scheme: operation-specific actions, propagation
+    ({!Propagate.prop}), molecule-type definition. *)
+
+open Mad_store
+
+val gen_name : string -> string
+(** A fresh result-type name with the given prefix. *)
+
+val define : ?stats:Derive.stats -> Database.t -> name:string -> Mdesc.t -> Molecule_type.t
+(** α — molecule-type definition (Def. 8). *)
+
+val define' :
+  ?stats:Derive.stats ->
+  Database.t ->
+  name:string ->
+  nodes:string list ->
+  edges:(string * string * string) list ->
+  unit ->
+  Molecule_type.t
+(** Convenience: validate the description, then α. *)
+
+val typecheck_qual : Database.t -> Molecule_type.t -> Qual.t -> unit
+(** Structure-scoped typecheck including attribute visibility after
+    molecule projection. *)
+
+val molecule_satisfies : Database.t -> Molecule_type.t -> Molecule.t -> Qual.t -> bool
+(** [qual(m, restr(md))] of Def. 10. *)
+
+val restrict : ?name:string -> Database.t -> Qual.t -> Molecule_type.t -> Molecule_type.t
+(** Σ *)
+
+val project :
+  ?name:string ->
+  Database.t ->
+  (string * string list option) list ->
+  Molecule_type.t ->
+  Molecule_type.t
+(** Π — retained nodes (with [None] = all visible attributes or
+    [Some attrs]); the retained set must induce a coherent
+    single-rooted sub-DAG containing the root. *)
+
+val union : ?name:string -> Database.t -> Molecule_type.t -> Molecule_type.t -> Molecule_type.t
+(** Ω — requires {!Molecule_type.compatible} operands. *)
+
+val diff : ?name:string -> Database.t -> Molecule_type.t -> Molecule_type.t -> Molecule_type.t
+(** Δ *)
+
+val intersect : ?name:string -> Database.t -> Molecule_type.t -> Molecule_type.t -> Molecule_type.t
+(** Ψ = Δ(a, Δ(a,b)) — the paper's worked composition example. *)
+
+val product : ?name:string -> Database.t -> Molecule_type.t -> Molecule_type.t -> Molecule_type.t
+(** X — operands are propagated onto fresh types; a synthetic pair root
+    keeps the combined structure single-rooted. *)

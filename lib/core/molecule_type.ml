@@ -1,0 +1,80 @@
+(** Molecule types (Def. 7): a name, a molecule-type description and the
+    corresponding molecule-type occurrence.
+
+    A molecule type carries its occurrence in the coordinates of the
+    database types its description mentions (the "result set" [rst] view
+    of Def. 9/10); the [materialized] field holds the outcome of
+    propagation — the renamed atom types, inherited link types and the
+    re-derived occurrence over the enlarged database — which is what
+    Theorems 2/3 quantify over.  Operators compose on the result-set
+    view and re-materialize, mirroring Fig. 5's three-stage scheme
+    (operation-specific actions, propagation, molecule-type
+    definition). *)
+
+open Mad_store
+module Smap = Map.Make (String)
+
+type materialization = {
+  mdesc : Mdesc.t;  (** description over the propagated (renamed) types *)
+  node_map : string Smap.t;  (** source node -> propagated atom-type name *)
+  link_map : string Smap.t;  (** source link -> propagated link-type name *)
+  atom_map : Aid.t Aid.Map.t;  (** source atom -> propagated copy *)
+  mocc : Molecule.t list;  (** the occurrence over the propagated types *)
+  strategy : [ `Shared | `Copied ];
+      (** [`Shared]: one propagated copy per distinct source atom
+          (sharing preserved); [`Copied]: per-molecule copies (the
+          fallback that guarantees Def. 9's exactness). *)
+}
+
+type t = {
+  name : string;
+  desc : Mdesc.t;
+  attr_proj : string list Smap.t;
+      (** node -> attribute names visible after molecule projection;
+          nodes absent from the map expose all attributes *)
+  occ : Molecule.t list;
+  materialized : materialization option;
+}
+
+let v ?(attr_proj = Smap.empty) ?materialized ~name ~desc occ =
+  { name; desc; attr_proj; occ; materialized }
+
+let name t = t.name
+let desc t = t.desc
+let occ t = t.occ
+let cardinality t = List.length t.occ
+
+let visible_attrs db t node =
+  match Smap.find_opt node t.attr_proj with
+  | Some attrs -> attrs
+  | None ->
+    let at = Database.atom_type db node in
+    List.map (fun (a : Schema.Attr.t) -> a.name) at.attrs
+
+let attr_visible t node attr =
+  match Smap.find_opt node t.attr_proj with
+  | Some attrs -> List.mem attr attrs
+  | None -> true
+
+let find_by_root t root =
+  List.find_opt (fun (m : Molecule.t) -> Aid.equal m.root root) t.occ
+
+(** Structural compatibility in the sense of Def. 4/10's "same
+    description" requirement, lifted to molecule types: same structure
+    graph over the same database types and the same visible
+    attributes. *)
+let compatible a b =
+  Mdesc.equal a.desc b.desc
+  && List.for_all
+       (fun node ->
+         (match (Smap.find_opt node a.attr_proj, Smap.find_opt node b.attr_proj) with
+          | None, None -> true
+          | Some xs, Some ys -> List.equal String.equal xs ys
+          | Some _, None | None, Some _ -> false))
+       (Mdesc.nodes a.desc)
+
+let molecule_set t = Molecule.Set.of_list t.occ
+
+let pp_summary ppf t =
+  Fmt.pf ppf "molecule type %s: %a, %d molecules" t.name Mdesc.pp t.desc
+    (List.length t.occ)

@@ -1,0 +1,31 @@
+(** Propagation of result sets (Def. 9): enlarge the database by
+    renamed atom types (occurrences restricted to the result set's
+    atoms, optionally attribute-projected) and inherited link types
+    (restricted to its links) such that the result set is exactly
+    derivable as a molecule type over the enlarged database.
+
+    Exactness (the Def. 9 bijection) is verified after shared
+    propagation; on failure (molecule projection can provoke it on
+    diamonds) the per-molecule-copies fallback guarantees it. *)
+
+open Mad_store
+module Smap :
+  Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+val fresh_name : Database.t -> string -> string
+(** An atom-/link-type name not yet used in the database. *)
+
+val prop :
+  ?strategy:[ `Auto | `Shared | `Copied ] ->
+  Database.t ->
+  name:string ->
+  desc:Mdesc.t ->
+  attr_proj:string list Smap.t ->
+  Molecule.t list ->
+  Molecule_type.materialization
+(** The propagation function.  [`Auto] (default) tries shared
+    propagation, checks exactness and falls back to copies. *)
+
+val exact : Database.t -> Mdesc.t -> Molecule.t list -> bool
+(** Does re-derivation over the propagated types return exactly the
+    propagated occurrence? *)

@@ -1,0 +1,316 @@
+(** Qualification formulas — the [qual-formulas(ad)] of Def. 4 and the
+    [restr(md)] of Def. 10.
+
+    A formula is a boolean combination of comparisons over attribute
+    references.  An attribute reference names a *node* (an atom-type
+    name: the operand type for atom-type restriction, a structure node
+    for molecule restriction) and one of its attributes.
+
+    Molecule semantics: the root node binds its single root atom;
+    a comparison whose references are not bound by an enclosing
+    [Exists]/[Forall] quantifier is evaluated with *implicit existential
+    quantification* over the referenced nodes' component-atom sets —
+    the natural reading of [WHERE point.name = 'pn'] style predicates
+    and the standard choice for complex-object restriction. *)
+
+open Mad_store
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type agg = Sum | Min | Max | Avg
+
+type expr =
+  | Const of Value.t
+  | Attr of { node : string; attr : string }
+  | Count of string  (** number of component atoms at a node *)
+  | Agg of agg * string * string
+      (** [Agg (Sum, node, attr)]: aggregate over the node's component
+          atoms; MIN/MAX/AVG of an empty component are undefined (the
+          enclosing comparison is false), SUM of it is 0 *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Exists of string * t  (** [Exists (node, p)]: some atom of [node] satisfies [p] *)
+  | Forall of string * t
+
+(* ------------------------------------------------------------------ *)
+(* Constructors (a small embedded DSL used by examples and tests)      *)
+
+let attr node attr = Attr { node; attr }
+let int i = Const (Value.Int i)
+let str s = Const (Value.String s)
+let flt f = Const (Value.Float f)
+let ( =% ) a b = Cmp (Eq, a, b)
+let ( <>% ) a b = Cmp (Ne, a, b)
+let ( <% ) a b = Cmp (Lt, a, b)
+let ( <=% ) a b = Cmp (Le, a, b)
+let ( >% ) a b = Cmp (Gt, a, b)
+let ( >=% ) a b = Cmp (Ge, a, b)
+let ( &&% ) a b = And (a, b)
+let ( ||% ) a b = Or (a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                      *)
+
+let pp_cmp ppf c =
+  Fmt.string ppf
+    (match c with Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let pp_agg ppf a =
+  Fmt.string ppf
+    (match a with Sum -> "SUM" | Min -> "MIN" | Max -> "MAX" | Avg -> "AVG")
+
+let rec pp_expr ppf = function
+  | Const v -> Value.pp ppf v
+  | Attr { node; attr } -> Fmt.pf ppf "%s.%s" node attr
+  | Count n -> Fmt.pf ppf "COUNT(%s)" n
+  | Agg (a, n, at) -> Fmt.pf ppf "%a(%s.%s)" pp_agg a n at
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp_expr a pp_expr b
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "TRUE"
+  | False -> Fmt.string ppf "FALSE"
+  | Cmp (c, a, b) -> Fmt.pf ppf "%a %a %a" pp_expr a pp_cmp c pp_expr b
+  | And (a, b) -> Fmt.pf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Fmt.pf ppf "(NOT %a)" pp a
+  | Exists (n, p) -> Fmt.pf ppf "EXISTS %s (%a)" n pp p
+  | Forall (n, p) -> Fmt.pf ppf "FORALL %s (%a)" n pp p
+
+let to_string p = Format.asprintf "%a" pp p
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis                                                      *)
+
+module Sset = Set.Make (String)
+
+let rec expr_nodes = function
+  | Const _ -> Sset.empty
+  | Attr { node; _ } -> Sset.singleton node
+  | Count n -> Sset.singleton n
+  | Agg (_, n, _) -> Sset.singleton n
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+    Sset.union (expr_nodes a) (expr_nodes b)
+
+(* Node references that act as per-atom bindings (plain attribute
+   references).  COUNT and the aggregates consume a whole component and
+   must not trigger implicit existential quantification. *)
+let rec expr_binding_nodes = function
+  | Const _ | Count _ | Agg _ -> Sset.empty
+  | Attr { node; _ } -> Sset.singleton node
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+    Sset.union (expr_binding_nodes a) (expr_binding_nodes b)
+
+(** All node names referenced anywhere in the formula. *)
+let rec nodes = function
+  | True | False -> Sset.empty
+  | Cmp (_, a, b) -> Sset.union (expr_nodes a) (expr_nodes b)
+  | And (a, b) | Or (a, b) -> Sset.union (nodes a) (nodes b)
+  | Not a -> nodes a
+  | Exists (n, p) | Forall (n, p) -> Sset.add n (nodes p)
+
+(** Type-check the formula against a database: every referenced node
+    must be a known atom type and every attribute must exist on it.
+    [allowed] restricts the usable node set (e.g. to a structure's
+    nodes). *)
+let typecheck ?allowed db p =
+  let check_node n =
+    (match allowed with
+     | Some ns when not (List.mem n ns) ->
+       Err.failf "qualification references node %s outside the structure" n
+     | Some _ | None -> ());
+    ignore (Database.atom_type db n)
+  in
+  let rec ck_expr = function
+    | Const _ -> ()
+    | Attr { node; attr } ->
+      check_node node;
+      let at = Database.atom_type db node in
+      if not (Schema.Atom_type.has_attr at attr) then
+        Err.failf "atom type %s has no attribute %s" node attr
+    | Count n -> check_node n
+    | Agg (_, node, attr) ->
+      check_node node;
+      let at = Database.atom_type db node in
+      if not (Schema.Atom_type.has_attr at attr) then
+        Err.failf "atom type %s has no attribute %s" node attr
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> ck_expr a; ck_expr b
+  in
+  let rec ck = function
+    | True | False -> ()
+    | Cmp (_, a, b) -> ck_expr a; ck_expr b
+    | And (a, b) | Or (a, b) -> ck a; ck b
+    | Not a -> ck a
+    | Exists (n, p) | Forall (n, p) -> check_node n; ck p
+  in
+  ck p
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                           *)
+
+let cmp_holds c a b =
+  let n = Value.compare_sem a b in
+  match c with
+  | Eq -> n = 0
+  | Ne -> n <> 0
+  | Lt -> n < 0
+  | Le -> n <= 0
+  | Gt -> n > 0
+  | Ge -> n >= 0
+
+let arith op a b =
+  match a, b with
+  | Value.Int x, Value.Int y -> begin
+    match op with
+    | `Add -> Value.Int (x + y)
+    | `Sub -> Value.Int (x - y)
+    | `Mul -> Value.Int (x * y)
+    | `Div -> if y = 0 then Err.failf "division by zero" else Value.Int (x / y)
+  end
+  | _ -> begin
+    match Value.as_float a, Value.as_float b with
+    | Some x, Some y -> begin
+      match op with
+      | `Add -> Value.Float (x +. y)
+      | `Sub -> Value.Float (x -. y)
+      | `Mul -> Value.Float (x *. y)
+      | `Div ->
+        if y = 0. then Err.failf "division by zero" else Value.Float (x /. y)
+    end
+    | _ ->
+      Err.failf "arithmetic on non-numeric values %s and %s"
+        (Value.to_string a) (Value.to_string b)
+  end
+
+let aggregate agg values =
+  match values, agg with
+  | [], Sum -> Some (Value.Int 0)
+  | [], (Min | Max | Avg) -> None
+  | _ ->
+    let all_int =
+      List.for_all (function Value.Int _ -> true | _ -> false) values
+    in
+    let nums =
+      List.map
+        (fun v ->
+          match Value.as_float v with
+          | Some f -> f
+          | None ->
+            Err.failf "aggregate over non-numeric value %s" (Value.to_string v))
+        values
+    in
+    let r =
+      match agg with
+      | Sum -> List.fold_left ( +. ) 0. nums
+      | Min -> List.fold_left Float.min Float.infinity nums
+      | Max -> List.fold_left Float.max Float.neg_infinity nums
+      | Avg -> List.fold_left ( +. ) 0. nums /. float_of_int (List.length nums)
+    in
+    if all_int && agg <> Avg then Some (Value.Int (int_of_float r))
+    else Some (Value.Float r)
+
+(** Evaluation against a single atom (atom-type restriction, Def. 4).
+    The only legal node reference is the operand atom type itself. *)
+let eval_atom (at : Schema.Atom_type.t) (a : Atom.t) p =
+  let rec ev_expr = function
+    | Const v -> v
+    | Attr { node; attr } ->
+      if not (String.equal node at.name) then
+        Err.failf
+          "atom-type restriction over %s cannot reference node %s" at.name node;
+      Atom.value a at attr
+    | Count n ->
+      if String.equal n at.name then Value.Int 1
+      else Err.failf "atom-type restriction over %s cannot count node %s" at.name n
+    | Agg (agg, node, attr) ->
+      if not (String.equal node at.name) then
+        Err.failf "atom-type restriction over %s cannot aggregate node %s"
+          at.name node;
+      (match aggregate agg [ Atom.value a at attr ] with
+       | Some v -> v
+       | None -> assert false)
+    | Add (x, y) -> arith `Add (ev_expr x) (ev_expr y)
+    | Sub (x, y) -> arith `Sub (ev_expr x) (ev_expr y)
+    | Mul (x, y) -> arith `Mul (ev_expr x) (ev_expr y)
+    | Div (x, y) -> arith `Div (ev_expr x) (ev_expr y)
+  in
+  let rec ev = function
+    | True -> true
+    | False -> false
+    | Cmp (c, x, y) -> cmp_holds c (ev_expr x) (ev_expr y)
+    | And (x, y) -> ev x && ev y
+    | Or (x, y) -> ev x || ev y
+    | Not x -> not (ev x)
+    | Exists (n, q) | Forall (n, q) ->
+      if String.equal n at.name then ev q
+      else Err.failf "atom-type restriction over %s cannot quantify %s" at.name n
+  in
+  ev p
+
+(** Molecule evaluation (Def. 10's [qual(m, restr(md))]).
+
+    [component] yields the atoms of a node within the molecule;
+    [fetch] resolves an atom id of a node to the atom value.  Bindings
+    map node names to a concrete atom; the root node is pre-bound.
+    A comparison with unbound node references is closed existentially
+    over those nodes. *)
+let eval_molecule ~component ~fetch ~root_node ~root_atom p =
+  let module Smap = Map.Make (String) in
+  let rec ev_expr env = function
+    | Const v -> Some v
+    | Attr { node; attr } -> begin
+      match Smap.find_opt node env with
+      | Some atom -> Some (fetch node atom attr)
+      | None -> None
+    end
+    | Count n -> Some (Value.Int (List.length (component n)))
+    | Agg (agg, node, attr) ->
+      aggregate agg (List.map (fun a -> fetch node a attr) (component node))
+    | Add (x, y) -> binop env `Add x y
+    | Sub (x, y) -> binop env `Sub x y
+    | Mul (x, y) -> binop env `Mul x y
+    | Div (x, y) -> binop env `Div x y
+  and binop env op x y =
+    match ev_expr env x, ev_expr env y with
+    | Some a, Some b -> Some (arith op a b)
+    | _ -> None
+  in
+  let rec ev env = function
+    | True -> true
+    | False -> false
+    | Cmp (c, x, y) as cmp -> begin
+      (* close unbound per-atom references existentially, one at a time *)
+      ignore cmp;
+      let free =
+        Sset.diff
+          (Sset.union (expr_binding_nodes x) (expr_binding_nodes y))
+          (Smap.fold (fun k _ s -> Sset.add k s) env Sset.empty)
+      in
+      match Sset.choose_opt free with
+      | Some n ->
+        List.exists (fun a -> ev (Smap.add n a env) cmp) (component n)
+      | None -> begin
+        match ev_expr env x, ev_expr env y with
+        | Some a, Some b -> cmp_holds c a b
+        | _ -> false
+      end
+    end
+    | And (x, y) -> ev env x && ev env y
+    | Or (x, y) -> ev env x || ev env y
+    | Not x -> not (ev env x)
+    | Exists (n, q) -> List.exists (fun a -> ev (Smap.add n a env) q) (component n)
+    | Forall (n, q) -> List.for_all (fun a -> ev (Smap.add n a env) q) (component n)
+  in
+  let env0 = Smap.singleton root_node root_atom in
+  ev env0 p

@@ -1,0 +1,92 @@
+(** Qualification formulas — [qual-formulas(ad)] of Def. 4 and
+    [restr(md)] of Def. 10.
+
+    Molecule semantics: the root node binds its single root atom; a
+    comparison whose plain attribute references are not bound by an
+    enclosing quantifier is closed with implicit existential
+    quantification over the referenced nodes' component atoms.  COUNT
+    and the aggregates consume a whole component and never trigger
+    implicit binding. *)
+
+open Mad_store
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type agg = Sum | Min | Max | Avg
+
+type expr =
+  | Const of Value.t
+  | Attr of { node : string; attr : string }
+  | Count of string  (** number of component atoms at a node *)
+  | Agg of agg * string * string
+      (** aggregate over a node's component atoms; MIN/MAX/AVG of an
+          empty component are undefined (the enclosing comparison is
+          false), SUM of it is 0 *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Exists of string * t
+  | Forall of string * t
+
+(** {1 Constructors (embedded DSL)} *)
+
+val attr : string -> string -> expr
+val int : int -> expr
+val str : string -> expr
+val flt : float -> expr
+val ( =% ) : expr -> expr -> t
+val ( <>% ) : expr -> expr -> t
+val ( <% ) : expr -> expr -> t
+val ( <=% ) : expr -> expr -> t
+val ( >% ) : expr -> expr -> t
+val ( >=% ) : expr -> expr -> t
+val ( &&% ) : t -> t -> t
+val ( ||% ) : t -> t -> t
+
+(** {1 Printing} *)
+
+val pp_cmp : Format.formatter -> cmp -> unit
+val pp_agg : Format.formatter -> agg -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Static analysis} *)
+
+module Sset :
+  Set.S with type elt = string and type t = Set.Make(String).t
+
+val expr_nodes : expr -> Sset.t
+val nodes : t -> Sset.t
+(** All node names referenced anywhere in the formula. *)
+
+val typecheck : ?allowed:string list -> Database.t -> t -> unit
+(** Every referenced node must be a known atom type (within [allowed]
+    when given) and every attribute must exist on it. *)
+
+(** {1 Evaluation} *)
+
+val cmp_holds : cmp -> Value.t -> Value.t -> bool
+val aggregate : agg -> Value.t list -> Value.t option
+
+val eval_atom : Schema.Atom_type.t -> Atom.t -> t -> bool
+(** Single-atom context (atom-type restriction); the only legal node
+    reference is the operand atom type itself. *)
+
+val eval_molecule :
+  component:(string -> 'atom list) ->
+  fetch:(string -> 'atom -> string -> Value.t) ->
+  root_node:string ->
+  root_atom:'atom ->
+  t ->
+  bool
+(** Molecule context ([qual(m, restr(md))] of Def. 10): [component]
+    yields a node's atoms, [fetch] an atom's attribute value. *)

@@ -1,0 +1,104 @@
+(** Rendering of molecules and molecule sets in the hierarchical style
+    of Fig. 2's lower part: each molecule as an indented tree from its
+    root atom, components labelled with node names and a key attribute,
+    shared atoms flagged. *)
+
+open Mad_store
+module Smap = Map.Make (String)
+
+(** The label of an atom: its first visible string-valued attribute if
+    any, else its id. *)
+let atom_label db (mt : Molecule_type.t) node id =
+  let at = Database.atom_type db node in
+  let a = Database.get_atom db ~atype:node id in
+  let visible = Molecule_type.visible_attrs db mt node in
+  let labelled =
+    List.find_map
+      (fun attr ->
+        match Atom.value a at attr with
+        | Value.String s -> Some s
+        | Value.Int _ | Value.Float _ | Value.Bool _ | Value.Id _
+        | Value.List _ ->
+          None)
+      visible
+  in
+  match labelled with
+  | Some s -> Printf.sprintf "%s[%s]" (Aid.to_string id) s
+  | None -> Aid.to_string id
+
+let pp_molecule db (mt : Molecule_type.t) ppf (m : Molecule.t) =
+  let desc = mt.desc in
+  let rec walk indent node id =
+    Fmt.pf ppf "%s%s %s@." indent node (atom_label db mt node id);
+    List.iter
+      (fun (e : Mdesc.edge) ->
+        let children =
+          Link.Set.fold
+            (fun (l : Link.t) acc ->
+              if not (String.equal l.lt e.link) then acc
+              else
+                let p, c =
+                  match e.dir with
+                  | `Fwd -> (l.left, l.right)
+                  | `Bwd -> (l.right, l.left)
+                in
+                if Aid.equal p id && Aid.Set.mem c (Molecule.component m e.to_at)
+                then Aid.Set.add c acc
+                else acc)
+            m.links Aid.Set.empty
+        in
+        Aid.Set.iter (fun c -> walk (indent ^ "  ") e.to_at c) children)
+      (Mdesc.out_edges desc node)
+  in
+  walk "" (Mdesc.root desc) m.root
+
+let pp_molecule_type db ppf (mt : Molecule_type.t) =
+  Fmt.pf ppf "molecule type %s (%d molecules)@." mt.name (List.length mt.occ);
+  List.iter (fun m -> pp_molecule db mt ppf m; Fmt.pf ppf "@.") mt.occ
+
+(** Report the shared subobjects across a molecule set: every atom that
+    belongs to more than one molecule, with the roots sharing it. *)
+let shared_subobjects (mt : Molecule_type.t) =
+  let owners = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Molecule.t) ->
+      Aid.Set.iter
+        (fun id ->
+          Hashtbl.replace owners id
+            (m.root :: Option.value ~default:[] (Hashtbl.find_opt owners id)))
+        (Molecule.atoms m))
+    mt.occ;
+  Hashtbl.fold
+    (fun id roots acc ->
+      if List.length roots > 1 then (id, List.sort Aid.compare roots) :: acc
+      else acc)
+    owners []
+  |> List.sort compare
+
+let pp_shared db ppf (mt : Molecule_type.t) =
+  match shared_subobjects mt with
+  | [] -> Fmt.pf ppf "no shared subobjects@."
+  | shared ->
+    Fmt.pf ppf "shared subobjects (%d atoms):@." (List.length shared);
+    List.iter
+      (fun (id, roots) ->
+        let a = Database.atom db id in
+        Fmt.pf ppf "  %s atom %s shared by molecules rooted {%s}@." a.atype
+          (Aid.to_string id)
+          (String.concat "," (List.map Aid.to_string roots)))
+      shared
+
+(** Duplication factor if the molecule set were represented without
+    shared subobjects (the NF² comparison of EXPeriment FIG2): total
+    atom slots across molecules / distinct atoms. *)
+let duplication_factor (mt : Molecule_type.t) =
+  let slots =
+    List.fold_left (fun n m -> n + Molecule.atom_count m) 0 mt.occ
+  in
+  let distinct =
+    List.fold_left
+      (fun s (m : Molecule.t) -> Aid.Set.union s (Molecule.atoms m))
+      Aid.Set.empty mt.occ
+    |> Aid.Set.cardinal
+  in
+  if distinct = 0 then 1.0 else float_of_int slots /. float_of_int distinct

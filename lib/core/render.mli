@@ -1,0 +1,20 @@
+(** Rendering of molecules in the hierarchical style of Fig. 2's lower
+    part, plus shared-subobject reporting. *)
+
+open Mad_store
+
+val atom_label : Database.t -> Molecule_type.t -> string -> Aid.t -> string
+
+val pp_molecule :
+  Database.t -> Molecule_type.t -> Format.formatter -> Molecule.t -> unit
+
+val pp_molecule_type : Database.t -> Format.formatter -> Molecule_type.t -> unit
+
+val shared_subobjects : Molecule_type.t -> (Aid.t * Aid.t list) list
+(** Atoms belonging to more than one molecule, with the sharing roots. *)
+
+val pp_shared : Database.t -> Format.formatter -> Molecule_type.t -> unit
+
+val duplication_factor : Molecule_type.t -> float
+(** Atom slots across molecules / distinct atoms: the cost of a
+    representation without shared subobjects. *)

@@ -1,0 +1,219 @@
+(** The (binary) entity-relationship model of Fig. 1's upper part, and
+    its two mappings:
+
+    - ER → MAD (ch. 2: "there is a one-to-one mapping from the ER model
+      to the MAD model associating each entity type with an atom type
+      and each relationship type with a link type" — no auxiliary
+      structures);
+    - ER → relational (the classical mapping: entities become
+      relations; every n:m relationship type needs an auxiliary
+      relation; 1:n and 1:1 can be inlined as foreign keys).
+
+    The FIG1 experiment counts the auxiliary structures each mapping
+    needs. *)
+
+open Mad_store
+
+type side = One | Many
+
+type entity = { e_name : string; e_attrs : Schema.Attr.t list }
+
+type relationship = {
+  r_name : string;
+  r_from : string;
+  r_to : string;
+  r_card : side * side;  (** cardinality (from-side, to-side) *)
+}
+
+type t = { entities : entity list; relationships : relationship list }
+
+let v ~entities ~relationships =
+  let enames = List.map (fun e -> e.e_name) entities in
+  if List.length (List.sort_uniq String.compare enames) <> List.length enames
+  then Err.failf "ER schema: duplicate entity type";
+  List.iter
+    (fun r ->
+      if not (List.mem r.r_from enames && List.mem r.r_to enames) then
+        Err.failf "ER relationship %s references unknown entity type" r.r_name)
+    relationships;
+  { entities; relationships }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>ER schema:@,";
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  entity %s(%a)@," e.e_name
+        Fmt.(list ~sep:(any ", ") Schema.Attr.pp)
+        e.e_attrs)
+    t.entities;
+  List.iter
+    (fun r ->
+      let s = function One -> "1" | Many -> "n" in
+      Fmt.pf ppf "  relationship %s: %s %s:%s %s@," r.r_name r.r_from
+        (s (fst r.r_card))
+        (s (snd r.r_card))
+        r.r_to)
+    t.relationships;
+  Fmt.pf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* ER -> MAD: one-to-one                                                *)
+
+let card_to_link = function
+  | One, One -> (Some 1, Some 1)
+  | One, Many -> (Some 1, None)
+  | Many, One -> (None, Some 1)
+  | Many, Many -> (None, None)
+
+(** Build an (empty) MAD database whose schema is the one-to-one image
+    of the ER schema.  Entity type → atom type, relationship type →
+    link type; nothing else. *)
+let to_mad t =
+  let db = Database.create () in
+  List.iter
+    (fun e -> ignore (Database.declare_atom_type db e.e_name e.e_attrs))
+    t.entities;
+  List.iter
+    (fun r ->
+      ignore
+        (Database.declare_link_type db
+           ~card:(card_to_link r.r_card)
+           r.r_name (r.r_from, r.r_to)))
+    t.relationships;
+  db
+
+(** Count of auxiliary structures the MAD mapping needs: always 0 —
+    link types map relationships directly. *)
+let mad_auxiliary_count (_ : t) = 0
+
+(* ------------------------------------------------------------------ *)
+(* ER -> relational: auxiliary relations for n:m                        *)
+
+type rel_mapping = {
+  schema : (string * Schema.Attr.t list) list;  (** relation name, attrs *)
+  auxiliary : string list;  (** auxiliary relations created *)
+  foreign_keys : (string * string) list;  (** (relation, fk attribute) *)
+}
+
+let to_relational t =
+  let id = Schema.Attr.v "id" Domain.Int in
+  let fk_targets =
+    (* relationships inlined as FK: the Many side holds a key of the One
+       side; n:m gets an auxiliary relation *)
+    List.filter_map
+      (fun r ->
+        match r.r_card with
+        | One, Many -> Some (r.r_to, r.r_from ^ "_fk", r.r_name)
+        | Many, One -> Some (r.r_from, r.r_to ^ "_fk", r.r_name)
+        | One, One -> Some (r.r_to, r.r_from ^ "_fk", r.r_name)
+        | Many, Many -> None)
+      t.relationships
+  in
+  let schema =
+    List.map
+      (fun e ->
+        let fks =
+          List.filter_map
+            (fun (holder, fk, _) ->
+              if String.equal holder e.e_name then
+                Some (Schema.Attr.v fk Domain.Int)
+              else None)
+            fk_targets
+        in
+        (e.e_name, (id :: e.e_attrs) @ fks))
+      t.entities
+  in
+  let auxiliary =
+    List.filter_map
+      (fun r ->
+        match r.r_card with Many, Many -> Some r.r_name | _ -> None)
+      t.relationships
+  in
+  let aux_schema =
+    List.map
+      (fun r ->
+        ( r,
+          [
+            Schema.Attr.v "from_id" Domain.Int;
+            Schema.Attr.v "to_id" Domain.Int;
+          ] ))
+      auxiliary
+  in
+  {
+    schema = schema @ aux_schema;
+    auxiliary;
+    foreign_keys =
+      List.map (fun (holder, fk, _) -> (holder, fk)) fk_targets;
+  }
+
+let relational_auxiliary_count t = List.length (to_relational t).auxiliary
+
+(* ------------------------------------------------------------------ *)
+(* DOT rendering of the ER diagram (Fig. 1 upper part)                  *)
+
+let esc s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(** The classic ER diagram: entity types as boxes, relationship types
+    as diamonds connected to both entity types, cardinalities as edge
+    labels. *)
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph er_diagram {\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [shape=box];\n" (esc e.e_name)))
+    t.entities;
+  List.iter
+    (fun r ->
+      let s = function One -> "1" | Many -> "n" in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [shape=diamond];\n" (esc r.r_name));
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -- \"%s\" [label=\"%s\"];\n" (esc r.r_from)
+           (esc r.r_name)
+           (s (fst r.r_card)));
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -- \"%s\" [label=\"%s\"];\n" (esc r.r_name)
+           (esc r.r_to)
+           (s (snd r.r_card))))
+    t.relationships;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The geographic ER schema of Fig. 1                                   *)
+
+let geographic () =
+  let attr = Schema.Attr.v in
+  v
+    ~entities:
+      [
+        { e_name = "state";
+          e_attrs = [ attr "name" Domain.String; attr "hectare" Domain.Int ] };
+        { e_name = "city";
+          e_attrs = [ attr "name" Domain.String; attr "population" Domain.Int ] };
+        { e_name = "river";
+          e_attrs = [ attr "name" Domain.String; attr "length" Domain.Int ] };
+        { e_name = "area";
+          e_attrs = [ attr "name" Domain.String; attr "size" Domain.Int ] };
+        { e_name = "net"; e_attrs = [ attr "name" Domain.String ] };
+        { e_name = "edge";
+          e_attrs = [ attr "name" Domain.String; attr "length" Domain.Int ] };
+        { e_name = "point";
+          e_attrs =
+            [ attr "name" Domain.String; attr "x" Domain.Int; attr "y" Domain.Int ] };
+      ]
+    ~relationships:
+      [
+        { r_name = "state-area"; r_from = "state"; r_to = "area"; r_card = (One, One) };
+        { r_name = "river-net"; r_from = "river"; r_to = "net"; r_card = (One, One) };
+        { r_name = "city-point"; r_from = "city"; r_to = "point"; r_card = (Many, One) };
+        { r_name = "area-edge"; r_from = "area"; r_to = "edge"; r_card = (Many, Many) };
+        { r_name = "net-edge"; r_from = "net"; r_to = "edge"; r_card = (Many, Many) };
+        { r_name = "edge-point"; r_from = "edge"; r_to = "point"; r_card = (Many, Many) };
+      ]

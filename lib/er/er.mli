@@ -1,0 +1,46 @@
+(** The binary ER model of Fig. 1 and its two mappings: one-to-one onto
+    MAD (entity type -> atom type, relationship type -> link type, no
+    auxiliary structures) and classical onto the relational model
+    (auxiliary relations for n:m, foreign keys for 1:n/1:1). *)
+
+open Mad_store
+
+type side = One | Many
+
+type entity = { e_name : string; e_attrs : Schema.Attr.t list }
+
+type relationship = {
+  r_name : string;
+  r_from : string;
+  r_to : string;
+  r_card : side * side;
+}
+
+type t = { entities : entity list; relationships : relationship list }
+
+val v : entities:entity list -> relationships:relationship list -> t
+val pp : Format.formatter -> t -> unit
+
+val card_to_link : side * side -> Schema.Link_type.cardinality
+
+val to_mad : t -> Database.t
+(** The (empty) MAD database whose schema is the one-to-one image. *)
+
+val mad_auxiliary_count : t -> int
+(** Always 0 — the claim of ch. 2, stated as code. *)
+
+type rel_mapping = {
+  schema : (string * Schema.Attr.t list) list;
+  auxiliary : string list;
+  foreign_keys : (string * string) list;
+}
+
+val to_relational : t -> rel_mapping
+val relational_auxiliary_count : t -> int
+
+val to_dot : t -> string
+(** Graphviz rendering of the ER diagram (Fig. 1 upper part): entities
+    as boxes, relationships as diamonds, cardinalities as labels. *)
+
+val geographic : unit -> t
+(** The cartographic ER schema of Fig. 1. *)

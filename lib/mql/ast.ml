@@ -1,0 +1,196 @@
+(** Abstract syntax of MOL (the molecule query language, ch. 4).
+
+    The FROM clause carries the dynamic molecule-type definition: a
+    linear rendering of the structure graph in the paper's notation
+    ([state-area-edge-point], [point-edge-(area-state,net-river)]),
+    where ['-'] resolves the unique link type between the adjacent atom
+    types and [-[lname]-] names it explicitly (needed when several link
+    types connect the same pair).  A node may occur in several branches;
+    all its occurrences denote the same structure node — Def. 5 makes C
+    a set — which makes diamonds expressible.
+
+    Grammar (informal):
+    {v
+    stmt      ::= DEFINE MOLECULE name AS structure ';'
+                | qexpr ';'
+    qexpr     ::= query (UNION|DIFF|INTERSECT query)*
+    query     ::= SELECT sel FROM from (WHERE pred)?
+    sel       ::= ALL | node[(attr,...)] (',' node[(attr,...)])*
+    from      ::= name '(' structure ')'      named definition
+                | structure                   anonymous definition
+                | name                        previously defined type
+                | node RECURSIVE BY link (SUPER|SUB)? (DEPTH int)?
+    structure ::= path
+    path      ::= node step*
+    step      ::= '-' seg | '-[' linkname ']-' seg
+    seg       ::= node | '(' path (',' path)* ')'
+    v} *)
+
+type link_ref = Auto | Via of string
+
+(** Structure edges in appearance order; [structure] keeps the node
+    list (first occurrence order, head = root). *)
+type structure = {
+  s_nodes : string list;
+  s_edges : (link_ref * string * string) list;
+}
+
+type select_list = All | Items of (string * string list option) list
+
+type from_item =
+  | From_named_def of string * structure  (** [mt_state(state-area-...)] *)
+  | From_anon of structure
+  | From_ref of string  (** previously defined molecule type *)
+  | From_recursive of {
+      root : string;
+      link : string;
+      view : Mad_recursive.Recursive.view;
+      depth : int option;
+      with_structure : structure option;
+          (** component structure each reached atom expands *)
+    }
+  | From_product of from_item * from_item
+      (** [FROM a, b]: the molecule-type cartesian product X *)
+  | From_cycle of {
+      root : string;
+      steps : (string * bool) list;
+          (** (link, backward?) — [cell RECURSIVE BY (cell-pin,
+              ~net-pin, net-pin, ~cell-pin)] *)
+      depth : int option;
+    }
+
+type query = {
+  select : select_list;
+  from : from_item;
+  where : Mad.Qual.t option;
+}
+
+type qexpr =
+  | Q of query
+  | Union of qexpr * qexpr
+  | Diff of qexpr * qexpr
+  | Intersect of qexpr * qexpr
+
+type stmt =
+  | Define of string * structure
+  | Query of qexpr
+  | Insert of {
+      atype : string;
+      values : Mad_store.Value.t list;
+      links : (string * Mad_store.Aid.t) list;
+    }
+  | Link of { lt : string; left : Mad_store.Aid.t; right : Mad_store.Aid.t }
+  | Unlink of { lt : string; left : Mad_store.Aid.t; right : Mad_store.Aid.t }
+  | Delete of { from : from_item; where : Mad.Qual.t option; detach : bool }
+  | Modify of {
+      node : string;
+      attr : string;
+      value : Mad_store.Value.t;
+      from : from_item;
+      where : Mad.Qual.t option;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing (MOL concrete syntax; parse ∘ print = id)            *)
+
+let pp_link_ref ppf = function
+  | Auto -> Fmt.string ppf "-"
+  | Via l -> Fmt.pf ppf "-[%s]-" l
+
+(** Print a structure back to the linear notation.  We re-linearize
+    from the edge list: depth-first from the root, sharing rendered by
+    repeating the node name. *)
+let pp_structure ppf (s : structure) =
+  match s.s_nodes with
+  | [] -> ()
+  | root :: _ ->
+    let rec out ppf node =
+      let outs =
+        List.filter (fun (_, f, _) -> String.equal f node) s.s_edges
+      in
+      Fmt.string ppf node;
+      match outs with
+      | [] -> ()
+      | [ (l, _, t) ] -> Fmt.pf ppf "%a%a" pp_link_ref l out t
+      | many ->
+        Fmt.pf ppf "-(%a)"
+          Fmt.(
+            list ~sep:(any ",") (fun ppf (l, _, t) ->
+                match l with
+                | Auto -> out ppf t
+                | Via ln -> Fmt.pf ppf "[%s]-%a" ln out t))
+          many
+    in
+    out ppf root
+
+let pp_select ppf = function
+  | All -> Fmt.string ppf "ALL"
+  | Items items ->
+    Fmt.(list ~sep:(any ", "))
+      (fun ppf (n, attrs) ->
+        match attrs with
+        | None -> Fmt.string ppf n
+        | Some attrs ->
+          Fmt.pf ppf "%s(%a)" n Fmt.(list ~sep:(any ",") string) attrs)
+      ppf items
+
+let rec pp_from ppf = function
+  | From_product (a, b) -> Fmt.pf ppf "%a, %a" pp_from a pp_from b
+  | From_named_def (n, s) -> Fmt.pf ppf "%s(%a)" n pp_structure s
+  | From_anon s -> pp_structure ppf s
+  | From_ref n -> Fmt.string ppf n
+  | From_recursive { root; link; view; depth; with_structure } ->
+    Fmt.pf ppf "%s RECURSIVE BY %s%s%a%a" root link
+      (match view with
+       | Mad_recursive.Recursive.Sub -> ""
+       | Mad_recursive.Recursive.Super -> " SUPER")
+      Fmt.(option (fmt " DEPTH %d"))
+      depth
+      Fmt.(option (fun ppf s -> Fmt.pf ppf " WITH %a" pp_structure s))
+      with_structure
+  | From_cycle { root; steps; depth } ->
+    Fmt.pf ppf "%s RECURSIVE BY (%a)%a" root
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (l, bwd) ->
+            Fmt.pf ppf "%s%s" (if bwd then "~" else "") l))
+      steps
+      Fmt.(option (fmt " DEPTH %d"))
+      depth
+
+let pp_query ppf q =
+  Fmt.pf ppf "SELECT %a@ FROM %a" pp_select q.select pp_from q.from;
+  match q.where with
+  | None -> ()
+  | Some p -> Fmt.pf ppf "@ WHERE %a" Mad.Qual.pp p
+
+let rec pp_qexpr ppf = function
+  | Q q -> pp_query ppf q
+  | Union (a, b) -> Fmt.pf ppf "%a@ UNION %a" pp_qexpr a pp_qexpr b
+  | Diff (a, b) -> Fmt.pf ppf "%a@ DIFF %a" pp_qexpr a pp_qexpr b
+  | Intersect (a, b) -> Fmt.pf ppf "%a@ INTERSECT %a" pp_qexpr a pp_qexpr b
+
+let pp_stmt ppf = function
+  | Define (n, s) -> Fmt.pf ppf "@[<hv>DEFINE MOLECULE %s AS %a;@]" n pp_structure s
+  | Query q -> Fmt.pf ppf "@[<hv>%a;@]" pp_qexpr q
+  | Insert { atype; values; links } ->
+    Fmt.pf ppf "@[<hv>INSERT INTO %s VALUES (%a)%a;@]" atype
+      Fmt.(list ~sep:(any ", ") Mad_store.Value.pp)
+      values
+      Fmt.(
+        list ~sep:nop (fun ppf (lt, id) ->
+            Fmt.pf ppf " LINK %s @%d" lt id))
+      links
+  | Link { lt; left; right } -> Fmt.pf ppf "LINK %s @%d @%d;" lt left right
+  | Unlink { lt; left; right } -> Fmt.pf ppf "UNLINK %s @%d @%d;" lt left right
+  | Delete { from; where; detach } ->
+    Fmt.pf ppf "@[<hv>DELETE FROM %a%a%s;@]" pp_from from
+      Fmt.(option (fun ppf q -> Fmt.pf ppf "@ WHERE %a" Mad.Qual.pp q))
+      where
+      (if detach then " DETACH" else "")
+  | Modify { node; attr; value; from; where } ->
+    Fmt.pf ppf "@[<hv>MODIFY %s.%s = %a FROM %a%a;@]" node attr
+      Mad_store.Value.pp value pp_from from
+      Fmt.(option (fun ppf q -> Fmt.pf ppf "@ WHERE %a" Mad.Qual.pp q))
+      where
+
+let to_string stmt = Format.asprintf "%a" pp_stmt stmt

@@ -1,0 +1,186 @@
+(** Hand-written lexer for MOL.
+
+    Identifiers are [A-Za-z_][A-Za-z0-9_]*; keywords are matched
+    case-insensitively.  ['-'] is the structure separator (link names
+    containing dashes are written inside brackets: [-[area-edge]-]).
+    Strings are single-quoted with [''] as the escape for a quote. *)
+
+open Mad_store
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | ATID of int  (** atom identity literal [@123] *)
+  | KW of string  (** uppercased keyword *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET_LINK of string  (** the whole [-[name]-] unit *)
+  | DASH
+  | TILDE
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "ALL"; "AND"; "OR"; "NOT"; "EXISTS"; "FORALL";
+    "COUNT"; "UNION"; "DIFF"; "INTERSECT"; "DEFINE"; "MOLECULE"; "AS";
+    "RECURSIVE"; "BY"; "DEPTH"; "SUB"; "SUPER"; "TRUE"; "FALSE"; "INSERT";
+    "INTO"; "VALUES"; "LINK"; "UNLINK"; "DELETE"; "DETACH"; "MODIFY";
+    "SUM"; "MIN"; "MAX"; "AVG"; "WITH";
+  ]
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | ATID i -> Fmt.pf ppf "@%d" i
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT f -> Fmt.pf ppf "float %f" f
+  | STRING s -> Fmt.pf ppf "string '%s'" s
+  | KW k -> Fmt.string ppf k
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACKET_LINK l -> Fmt.pf ppf "-[%s]-" l
+  | DASH -> Fmt.string ppf "-"
+  | TILDE -> Fmt.string ppf "~"
+  | COMMA -> Fmt.string ppf ","
+  | DOT -> Fmt.string ppf "."
+  | SEMI -> Fmt.string ppf ";"
+  | STAR -> Fmt.string ppf "*"
+  | PLUS -> Fmt.string ppf "+"
+  | SLASH -> Fmt.string ppf "/"
+  | EQ -> Fmt.string ppf "="
+  | NE -> Fmt.string ppf "<>"
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | EOF -> Fmt.string ppf "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize the whole input. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '.' -> emit DOT; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '~' -> emit TILDE; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '=' -> emit EQ; go (i + 1)
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '>' then (emit NE; go (i + 2))
+        else if i + 1 < n && src.[i + 1] = '=' then (emit LE; go (i + 2))
+        else (emit LT; go (i + 1))
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then (emit GE; go (i + 2))
+        else (emit GT; go (i + 1))
+      | '-' ->
+        if i + 1 < n && src.[i + 1] = '-' then begin
+          (* SQL-style line comment *)
+          let eol =
+            match String.index_from_opt src i '\n' with
+            | Some j -> j
+            | None -> n
+          in
+          go (eol + 1)
+        end
+        else if i + 1 < n && src.[i + 1] = '[' then begin
+          (* -[linkname]- *)
+          let close =
+            match String.index_from_opt src (i + 2) ']' with
+            | Some j -> j
+            | None -> Err.failf "MOL lexer: unterminated -[ at offset %d" i
+          in
+          let name = String.sub src (i + 2) (close - i - 2) in
+          if close + 1 >= n || src.[close + 1] <> '-' then
+            Err.failf "MOL lexer: expected '-' after -[%s]" name;
+          emit (LBRACKET_LINK (String.trim name));
+          go (close + 2)
+        end
+        else (emit DASH; go (i + 1))
+      | '@' ->
+        let j = ref (i + 1) in
+        while !j < n && is_digit src.[!j] do incr j done;
+        if !j = i + 1 then
+          Err.failf "MOL lexer: expected digits after @ at offset %d" i;
+        emit (ATID (int_of_string (String.sub src (i + 1) (!j - i - 1))));
+        go !j
+      | '[' ->
+        (* branch-leading link spec: [linkname]- *)
+        let close =
+          match String.index_from_opt src (i + 1) ']' with
+          | Some j -> j
+          | None -> Err.failf "MOL lexer: unterminated [ at offset %d" i
+        in
+        let name = String.sub src (i + 1) (close - i - 1) in
+        if close + 1 >= n || src.[close + 1] <> '-' then
+          Err.failf "MOL lexer: expected '-' after [%s]" name;
+        emit (LBRACKET_LINK (String.trim name));
+        go (close + 2)
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then Err.failf "MOL lexer: unterminated string"
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let next = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go next
+      | c when is_digit c ->
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        if !j < n && src.[!j] = '.' then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do incr j done;
+          emit (FLOAT (float_of_string (String.sub src i (!j - i))));
+          go !j
+        end
+        else begin
+          emit (INT (int_of_string (String.sub src i (!j - i))));
+          go !j
+        end
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let word = String.sub src i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords then emit (KW upper) else emit (IDENT word);
+        go !j
+      | c -> Err.failf "MOL lexer: unexpected character %c at offset %d" c i
+  in
+  go 0;
+  List.rev (EOF :: !toks)

@@ -1,0 +1,37 @@
+(** Hand-written lexer for MOL.  Keywords are case-insensitive; ['-']
+    separates structure steps (link names containing dashes are written
+    [-[name]-]); strings are single-quoted with [''] escaping; [@123]
+    is an atom identity. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | ATID of int
+  | KW of string  (** uppercased keyword *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET_LINK of string  (** a [-[name]-] or [[name]-] unit *)
+  | DASH
+  | TILDE
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+val keywords : string list
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> token list
+(** Ends with {!EOF}; fails with {!Mad_store.Err.Mad_error} on lexical
+    errors. *)

@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MOL (grammar in {!Ast}). *)
+
+val parse : ?env_has:(string -> bool) -> string -> Ast.stmt
+(** Parse one MOL statement.  [env_has] tells which molecule-type names
+    are already defined, so a bare FROM identifier reads as a reference
+    rather than a one-node structure.  Fails with a positioned
+    {!Mad_store.Err.Mad_error} on syntax errors. *)

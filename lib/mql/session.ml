@@ -1,0 +1,183 @@
+(** MOL sessions: a database plus a catalog of molecule types defined
+    by [DEFINE MOLECULE] (dynamic object definition — "our complex
+    object definition is defined on demand in the queries and not fixed
+    in the schema"). *)
+
+open Mad_store
+
+type outcome =
+  | Defined of Mad.Molecule_type.t
+  | Result of Translate.result
+  | Inserted of Atom.t
+  | Dml of string  (** summary of a manipulation statement's effect *)
+
+type t = {
+  db : Database.t;
+  env : (string, Mad.Molecule_type.t) Hashtbl.t;
+  stats : Mad.Derive.stats;
+}
+
+let create db = { db; env = Hashtbl.create 16; stats = Mad.Derive.stats () }
+
+let lookup t name = Hashtbl.find_opt t.env name
+
+let define t name (mt : Mad.Molecule_type.t) =
+  if Hashtbl.mem t.env name then
+    Err.failf "molecule type %s already defined in this session" name;
+  Hashtbl.replace t.env name mt
+
+let parse t src = Parser.parse ~env_has:(Hashtbl.mem t.env) src
+
+(* A named FROM definition ([mt_state(state-area-edge-point)]) enters
+   the session catalog, as in ch. 4's mt_state example, and the query
+   proceeds against the catalogued type. *)
+let rec hoist_from t (from : Ast.from_item) : Ast.from_item =
+  match from with
+  | Ast.From_named_def (name, s) ->
+    (match lookup t name with
+     | Some _ -> ()
+     | None ->
+       let desc = Translate.resolve_structure t.db s in
+       define t name (Mad.Molecule_algebra.define ~stats:t.stats t.db ~name desc));
+    Ast.From_ref name
+  | Ast.From_product (a, b) -> Ast.From_product (hoist_from t a, hoist_from t b)
+  | (Ast.From_anon _ | Ast.From_ref _ | Ast.From_recursive _ | Ast.From_cycle _)
+    as f ->
+    f
+
+let rec hoist_definitions t (q : Ast.qexpr) : Ast.qexpr =
+  match q with
+  | Ast.Q core -> Ast.Q { core with Ast.from = hoist_from t core.Ast.from }
+  | Ast.Union (a, b) -> Ast.Union (hoist_definitions t a, hoist_definitions t b)
+  | Ast.Diff (a, b) -> Ast.Diff (hoist_definitions t a, hoist_definitions t b)
+  | Ast.Intersect (a, b) ->
+    Ast.Intersect (hoist_definitions t a, hoist_definitions t b)
+
+(* Manipulation statements change the occurrence, so cached molecule
+   types in the catalog are re-derived afterwards (dynamic object
+   definition makes this cheap and always consistent). *)
+let refresh t =
+  Hashtbl.iter
+    (fun name (mt : Mad.Molecule_type.t) ->
+      Hashtbl.replace t.env name
+        (Mad.Molecule_algebra.define ~stats:t.stats t.db ~name
+           mt.Mad.Molecule_type.desc))
+    (Hashtbl.copy t.env)
+
+(* Resolve a DML target: the base molecule type plus the victims
+   selected by the optional qualification. *)
+let dml_target t from where =
+  let mt =
+    match from with
+    | Ast.From_named_def (name, s) -> begin
+      match lookup t name with
+      | Some mt -> mt
+      | None ->
+        let desc = Translate.resolve_structure t.db s in
+        let mt = Mad.Molecule_algebra.define ~stats:t.stats t.db ~name desc in
+        define t name mt;
+        mt
+    end
+    | Ast.From_ref name -> begin
+      match lookup t name with
+      | Some mt -> mt
+      | None -> Err.failf "unknown molecule type %s" name
+    end
+    | Ast.From_anon s ->
+      let desc = Translate.resolve_structure t.db s in
+      Mad.Molecule_algebra.define ~stats:t.stats t.db
+        ~name:(Mad.Molecule_algebra.gen_name "dml")
+        desc
+    | Ast.From_recursive _ | Ast.From_cycle _ ->
+      Err.failf "manipulation statements do not accept recursive targets"
+    | Ast.From_product _ ->
+      Err.failf "manipulation statements do not accept product targets"
+  in
+  let victims =
+    match where with
+    | None -> Mad.Molecule_type.occ mt
+    | Some pred ->
+      Mad.Molecule_algebra.typecheck_qual t.db mt pred;
+      List.filter
+        (fun m -> Mad.Molecule_algebra.molecule_satisfies t.db mt m pred)
+        (Mad.Molecule_type.occ mt)
+  in
+  (mt, victims)
+
+let eval_stmt t (stmt : Ast.stmt) : outcome =
+  match stmt with
+  | Ast.Define (name, s) ->
+    let desc = Translate.resolve_structure t.db s in
+    let mt = Mad.Molecule_algebra.define ~stats:t.stats t.db ~name desc in
+    define t name mt;
+    Defined mt
+  | Ast.Query q ->
+    let q = hoist_definitions t q in
+    let plan = Translate.compile t.db (lookup t) q in
+    Result (Translate.run ~stats:t.stats t.db (lookup t) plan)
+  | Ast.Insert { atype; values; links } ->
+    let atom = Mad.Manipulate.insert_atom_linked t.db ~atype values ~links in
+    refresh t;
+    Inserted atom
+  | Ast.Link { lt; left; right } ->
+    let ltype = Database.link_type t.db lt in
+    let e1, _ = ltype.Schema.Link_type.ends in
+    let a_left = Database.atom t.db left in
+    (* accept either role order for non-reflexive link types *)
+    if String.equal a_left.Atom.atype e1 then
+      Database.add_link t.db lt ~left ~right
+    else Database.add_link t.db lt ~left:right ~right:left;
+    refresh t;
+    Dml (Printf.sprintf "linked @%d and @%d via %s" left right lt)
+  | Ast.Unlink { lt; left; right } ->
+    Database.remove_link t.db lt ~left ~right;
+    Database.remove_link t.db lt ~left:right ~right:left;
+    refresh t;
+    Dml (Printf.sprintf "unlinked @%d and @%d via %s" left right lt)
+  | Ast.Delete { from; where; detach } ->
+    let mt, victims = dml_target t from where in
+    let mode = if detach then `Unlink_only else `Shared_safe in
+    let report = Mad.Manipulate.delete_molecules ~mode t.db mt victims in
+    refresh t;
+    Dml
+      (Printf.sprintf
+         "deleted %d molecule(s): %d atom(s) removed, %d shared atom(s) kept"
+         report.Mad.Manipulate.molecules_deleted
+         report.Mad.Manipulate.atoms_deleted
+         report.Mad.Manipulate.atoms_kept_shared)
+  | Ast.Modify { node; attr; value; from; where } ->
+    let _, victims = dml_target t from where in
+    let n = Mad.Manipulate.modify_attribute t.db ~node ~attr value victims in
+    refresh t;
+    Dml (Printf.sprintf "modified %s.%s on %d atom(s)" node attr n)
+
+(** Parse and evaluate one statement of MOL text. *)
+let run t src = eval_stmt t (parse t src)
+
+(** Evaluate and render the outcome as the CLI/examples print it. *)
+let run_to_string t src =
+  match run t src with
+  | Defined mt ->
+    Format.asprintf "defined %a" Mad.Molecule_type.pp_summary mt
+  | Result (Translate.Molecules mt) ->
+    Format.asprintf "%a" (fun ppf () -> Mad.Render.pp_molecule_type t.db ppf mt) ()
+  | Result (Translate.Recursive r) ->
+    Format.asprintf "%a" Mad_recursive.Recursive.pp (t.db, r)
+  | Result (Translate.Cycles c) ->
+    Format.asprintf "%a" Mad_recursive.Recursive.pp_cycle (t.db, c)
+  | Inserted atom ->
+    Format.asprintf "inserted %a as @%d" Fmt.string atom.Atom.atype
+      atom.Atom.id
+  | Dml msg -> msg
+
+(** EXPLAIN: the algebra plan a statement compiles to. *)
+let explain t src =
+  match parse t src with
+  | Ast.Define (name, s) ->
+    Format.asprintf "α[%s](%a)" name Mad.Mdesc.pp
+      (Translate.resolve_structure t.db s)
+  | Ast.Query q ->
+    Format.asprintf "%a" Translate.pp_plan (Translate.compile t.db (lookup t) q)
+  | (Ast.Insert _ | Ast.Link _ | Ast.Unlink _ | Ast.Delete _ | Ast.Modify _) as
+    stmt ->
+    Format.asprintf "manipulation: %a" Ast.pp_stmt stmt

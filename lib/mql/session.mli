@@ -1,0 +1,37 @@
+(** MOL sessions: a database plus the catalog of molecule types defined
+    by [DEFINE MOLECULE] or named FROM definitions (dynamic object
+    definition).  Manipulation statements refresh the catalog. *)
+
+open Mad_store
+
+type outcome =
+  | Defined of Mad.Molecule_type.t
+  | Result of Translate.result
+  | Inserted of Atom.t
+  | Dml of string  (** summary of a manipulation statement's effect *)
+
+type t = {
+  db : Database.t;
+  env : (string, Mad.Molecule_type.t) Hashtbl.t;
+  stats : Mad.Derive.stats;
+}
+
+val create : Database.t -> t
+val lookup : t -> string -> Mad.Molecule_type.t option
+val define : t -> string -> Mad.Molecule_type.t -> unit
+
+val parse : t -> string -> Ast.stmt
+(** Parse with the session's catalog (bare FROM identifiers resolve to
+    defined molecule types). *)
+
+val eval_stmt : t -> Ast.stmt -> outcome
+
+val run : t -> string -> outcome
+(** Parse and evaluate one MOL statement. *)
+
+val run_to_string : t -> string -> string
+(** Evaluate and render (molecule trees, explosion trees, DML
+    summaries). *)
+
+val explain : t -> string -> string
+(** The algebra plan the statement compiles to. *)

@@ -1,0 +1,97 @@
+(** Embedding molecule types into NF² relations.
+
+    A *tree-structured* molecule type embeds directly: each node
+    becomes a (possibly nested) relation level.  Shared subobjects
+    cannot be represented — every molecule copies the atoms it shares
+    with others, and a diamond (a node with two parents) has no NF²
+    shape at all.  [of_molecule_type] therefore (a) rejects diamonds
+    and (b) *duplicates* shared atoms, reporting how much; that
+    duplication factor is the quantitative content of the paper's
+    "models ... limited to hierarchical complex objects" comparison
+    (experiments FIG2 and SHARE). *)
+
+open Mad_store
+module Smap = Map.Make (String)
+
+let rec schema_of db desc node : Nested.nschema =
+  let at = Database.atom_type db node in
+  let scalar =
+    List.map
+      (fun (a : Schema.Attr.t) -> (a.name, Nested.Scalar a.domain))
+      at.attrs
+  in
+  let children =
+    List.map
+      (fun (e : Mad.Mdesc.edge) ->
+        (e.to_at ^ "s", Nested.Nested (schema_of db desc e.to_at)))
+      (Mad.Mdesc.out_edges desc node)
+  in
+  scalar @ children
+
+(** Check the structure is a tree (each non-root node exactly one
+    incoming edge). *)
+let assert_tree desc =
+  List.iter
+    (fun node ->
+      let k = List.length (Mad.Mdesc.in_edges desc node) in
+      if (String.equal node (Mad.Mdesc.root desc) && k <> 0) || k > 1 then
+        Err.failf
+          "NF2 cannot represent node %s: network structure (shared \
+           subobjects / diamonds) exceeds hierarchical models"
+          node)
+    (Mad.Mdesc.nodes desc)
+
+type embedding = {
+  nrel : Nested.nrel;
+  atoms_embedded : int;  (** atom instances written, with duplication *)
+  atoms_distinct : int;  (** distinct atoms in the molecule set *)
+}
+
+let duplication e =
+  if e.atoms_distinct = 0 then 1.0
+  else float_of_int e.atoms_embedded /. float_of_int e.atoms_distinct
+
+let of_molecule_type db (mt : Mad.Molecule_type.t) =
+  let desc = Mad.Molecule_type.desc mt in
+  assert_tree desc;
+  let embedded = ref 0 in
+  let rec row_of (m : Mad.Molecule.t) node id : Nested.nvalue list =
+    incr embedded;
+    let a = Database.get_atom db ~atype:node id in
+    let scalars =
+      List.map (fun v -> Nested.Atom v) (Array.to_list a.Atom.values)
+    in
+    let children =
+      List.map
+        (fun (e : Mad.Mdesc.edge) ->
+          let sub = Nested.create (schema_of db desc e.to_at) in
+          Link.Set.iter
+            (fun (l : Link.t) ->
+              if String.equal l.lt e.link then begin
+                let p, c =
+                  match e.dir with
+                  | `Fwd -> (l.left, l.right)
+                  | `Bwd -> (l.right, l.left)
+                in
+                if Aid.equal p id && Aid.Set.mem c (Mad.Molecule.component m e.to_at)
+                then Nested.insert sub (row_of m e.to_at c)
+              end)
+            m.Mad.Molecule.links;
+          Nested.Rel sub)
+        (Mad.Mdesc.out_edges desc node)
+    in
+    scalars @ children
+  in
+  let root = Mad.Mdesc.root desc in
+  let nrel = Nested.create (schema_of db desc root) in
+  List.iter
+    (fun (m : Mad.Molecule.t) ->
+      Nested.insert nrel (row_of m root m.Mad.Molecule.root))
+    (Mad.Molecule_type.occ mt);
+  let distinct =
+    List.fold_left
+      (fun s m -> Aid.Set.union s (Mad.Molecule.atoms m))
+      Aid.Set.empty (Mad.Molecule_type.occ mt)
+    |> Aid.Set.cardinal
+  in
+  { nrel; atoms_embedded = !embedded; atoms_distinct = distinct }

@@ -1,0 +1,19 @@
+(** Embedding molecule types into NF² relations: tree structures embed
+    level by level; shared subobjects are duplicated (counted);
+    diamonds have no NF² shape and are rejected — the quantitative
+    content of the paper's "limited to hierarchical complex objects"
+    comparison. *)
+
+open Mad_store
+
+val schema_of : Database.t -> Mad.Mdesc.t -> string -> Nested.nschema
+val assert_tree : Mad.Mdesc.t -> unit
+
+type embedding = {
+  nrel : Nested.nrel;
+  atoms_embedded : int;  (** atom instances written, with duplication *)
+  atoms_distinct : int;
+}
+
+val duplication : embedding -> float
+val of_molecule_type : Database.t -> Mad.Molecule_type.t -> embedding

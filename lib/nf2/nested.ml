@@ -1,0 +1,232 @@
+(** Non-first-normal-form (NF²) relations [SS86]: relations whose
+    attributes may themselves be relation-valued.  This is the baseline
+    the molecule algebra explicitly extends ("an extension ... to the
+    non-first-normal-form algebra that supports only hierarchical
+    complex objects without shared subobjects"). *)
+
+open Mad_store
+
+type nschema = (string * ndomain) list
+and ndomain = Scalar of Domain.t | Nested of nschema
+
+type nvalue = Atom of Value.t | Rel of nrel
+and nrel = { schema : nschema; mutable rows : nvalue list list }
+
+let rec pp_ndomain ppf = function
+  | Scalar d -> Domain.pp ppf d
+  | Nested s -> pp_nschema ppf s
+
+and pp_nschema ppf s =
+  Fmt.pf ppf "(%a)"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (n, d) -> Fmt.pf ppf "%s:%a" n pp_ndomain d))
+    s
+
+let rec pp_nvalue ppf = function
+  | Atom v -> Value.pp ppf v
+  | Rel r -> pp_nrel ppf r
+
+and pp_nrel ppf r =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any "; ") (fun ppf row -> pp_row ppf row))
+    r.rows
+
+and pp_row ppf row = Fmt.pf ppf "<%a>" Fmt.(list ~sep:(any ",") pp_nvalue) row
+
+(* Structural comparison; nested relations compare as *sets* of rows. *)
+let rec compare_nvalue a b =
+  match a, b with
+  | Atom x, Atom y -> Value.compare x y
+  | Rel x, Rel y -> compare_rows x.rows y.rows
+  | Atom _, Rel _ -> -1
+  | Rel _, Atom _ -> 1
+
+and compare_row a b = List.compare compare_nvalue a b
+
+and compare_rows a b =
+  let norm rows = List.sort_uniq compare_row rows in
+  List.compare compare_row (norm a) (norm b)
+
+let equal_row a b = compare_row a b = 0
+
+let create schema = { schema; rows = [] }
+
+let insert r row =
+  if List.length row <> List.length r.schema then
+    Err.failf "NF2 insert: row arity %d, schema arity %d" (List.length row)
+      (List.length r.schema);
+  if not (List.exists (equal_row row) r.rows) then r.rows <- r.rows @ [ row ]
+
+let cardinality r = List.length r.rows
+
+let attr_index r name =
+  let rec go i = function
+    | [] -> Err.failf "NF2 relation has no attribute %s" name
+    | (n, _) :: rest -> if String.equal n name then i else go (i + 1) rest
+  in
+  go 0 r.schema
+
+(** Total number of atomic value slots in the whole nested structure —
+    the storage-size measure used to quantify duplication of shared
+    subobjects. *)
+let rec weight_value = function
+  | Atom _ -> 1
+  | Rel r -> weight r
+
+and weight r =
+  List.fold_left
+    (fun acc row -> List.fold_left (fun a v -> a + weight_value v) acc row)
+    0 r.rows
+
+(* ------------------------------------------------------------------ *)
+(* Algebra: σ π × ∪ − plus nest/unnest                                   *)
+
+let select pred r =
+  let out = create r.schema in
+  List.iter (fun row -> if pred row then insert out row) r.rows;
+  out
+
+let project names r =
+  let idxs = List.map (attr_index r) names in
+  let out = create (List.map (fun i -> List.nth r.schema i) idxs) in
+  List.iter
+    (fun row -> insert out (List.map (fun i -> List.nth row i) idxs))
+    r.rows;
+  out
+
+let union r1 r2 =
+  if r1.schema <> r2.schema then Err.failf "NF2 union: schema mismatch";
+  let out = create r1.schema in
+  List.iter (insert out) r1.rows;
+  List.iter (insert out) r2.rows;
+  out
+
+let diff r1 r2 =
+  if r1.schema <> r2.schema then Err.failf "NF2 difference: schema mismatch";
+  let out = create r1.schema in
+  List.iter
+    (fun row -> if not (List.exists (equal_row row) r2.rows) then insert out row)
+    r1.rows;
+  out
+
+let product r1 r2 =
+  let out = create (r1.schema @ r2.schema) in
+  List.iter
+    (fun a -> List.iter (fun b -> insert out (a @ b)) r2.rows)
+    r1.rows;
+  out
+
+(** ν — nest: group by the attributes *not* listed; the listed
+    attributes fold into a relation-valued attribute [as_name]. *)
+let nest r ~attrs ~as_name =
+  let idxs = List.map (attr_index r) attrs in
+  let keep_idxs =
+    List.filteri (fun i _ -> not (List.mem i idxs)) (List.mapi (fun i _ -> i) r.schema)
+  in
+  let nested_schema = List.map (fun i -> List.nth r.schema i) idxs in
+  let out_schema =
+    List.map (fun i -> List.nth r.schema i) keep_idxs
+    @ [ (as_name, Nested nested_schema) ]
+  in
+  let groups = ref [] in
+  List.iter
+    (fun row ->
+      let key = List.map (fun i -> List.nth row i) keep_idxs in
+      let payload = List.map (fun i -> List.nth row i) idxs in
+      match List.find_opt (fun (k, _) -> equal_row k key) !groups with
+      | Some (_, acc) -> acc := payload :: !acc
+      | None -> groups := (key, ref [ payload ]) :: !groups)
+    r.rows;
+  let out = create out_schema in
+  List.iter
+    (fun (key, acc) ->
+      let sub = create nested_schema in
+      List.iter (insert sub) (List.rev !acc);
+      insert out (key @ [ Rel sub ]))
+    (List.rev !groups);
+  out
+
+(** Nested projection ([SS86]'s structured π): project a
+    relation-valued attribute's sub-relation onto [inner] attribute
+    names, in place of the original sub-relation. *)
+let project_nested r ~attr ~inner =
+  let i = attr_index r attr in
+  match List.nth r.schema i with
+  | _, Scalar _ ->
+    Err.failf "nested projection: %s is not relation-valued" attr
+  | name, Nested sub_schema ->
+    let keep =
+      List.map
+        (fun n ->
+          match List.assoc_opt n sub_schema with
+          | Some d -> (n, d)
+          | None -> Err.failf "nested projection: no attribute %s" n)
+        inner
+    in
+    let schema =
+      List.mapi
+        (fun j (n, d) -> if j = i then (name, Nested keep) else (n, d))
+        r.schema
+    in
+    let out = create schema in
+    List.iter
+      (fun row ->
+        let row' =
+          List.mapi
+            (fun j v ->
+              if j <> i then v
+              else
+                match v with
+                | Rel sub ->
+                  Rel (project inner sub)
+                | Atom _ -> Err.failf "nested projection: scalar at %s" attr)
+            row
+        in
+        insert out row')
+      r.rows;
+    out
+
+(** Nested selection ([SS86]'s structured σ): filter the rows of a
+    relation-valued attribute's sub-relation, keeping the outer rows
+    (possibly with emptied sub-relations). *)
+let select_nested r ~attr pred =
+  let i = attr_index r attr in
+  let out = create r.schema in
+  List.iter
+    (fun row ->
+      let row' =
+        List.mapi
+          (fun j v ->
+            if j <> i then v
+            else
+              match v with
+              | Rel sub -> Rel (select pred sub)
+              | Atom _ -> Err.failf "nested selection: scalar at %s" attr)
+          row
+      in
+      insert out row')
+    r.rows;
+  out
+
+(** μ — unnest: expand a relation-valued attribute back into rows.
+    μ(ν(r)) = r on the nested attribute (the classic partial-inverse
+    law, tested as a property). *)
+let unnest r ~attr =
+  let i = attr_index r attr in
+  let nested_schema =
+    match List.nth r.schema i with
+    | _, Nested s -> s
+    | _, Scalar _ -> Err.failf "unnest: attribute %s is not relation-valued" attr
+  in
+  let out_schema =
+    List.filteri (fun j _ -> j <> i) r.schema @ nested_schema
+  in
+  let out = create out_schema in
+  List.iter
+    (fun row ->
+      let outer = List.filteri (fun j _ -> j <> i) row in
+      match List.nth row i with
+      | Rel sub -> List.iter (fun inner -> insert out (outer @ inner)) sub.rows
+      | Atom _ -> Err.failf "unnest: non-relational value in %s" attr)
+    r.rows;
+  out

@@ -1,0 +1,53 @@
+(** NF² (non-first-normal-form) relations [SS86]: relation-valued
+    attributes with the algebra σ π × ∪ − plus nest ν and unnest μ —
+    the hierarchical baseline the molecule algebra extends. *)
+
+open Mad_store
+
+type nschema = (string * ndomain) list
+and ndomain = Scalar of Domain.t | Nested of nschema
+
+type nvalue = Atom of Value.t | Rel of nrel
+and nrel = { schema : nschema; mutable rows : nvalue list list }
+
+val pp_ndomain : Format.formatter -> ndomain -> unit
+val pp_nschema : Format.formatter -> nschema -> unit
+val pp_nvalue : Format.formatter -> nvalue -> unit
+val pp_nrel : Format.formatter -> nrel -> unit
+val pp_row : Format.formatter -> nvalue list -> unit
+
+val compare_nvalue : nvalue -> nvalue -> int
+(** Structural; nested relations compare as sets of rows. *)
+
+val compare_row : nvalue list -> nvalue list -> int
+val compare_rows : nvalue list list -> nvalue list list -> int
+val equal_row : nvalue list -> nvalue list -> bool
+
+val create : nschema -> nrel
+val insert : nrel -> nvalue list -> unit
+val cardinality : nrel -> int
+val attr_index : nrel -> string -> int
+
+val weight : nrel -> int
+(** Total atomic value slots in the nested structure — the storage
+    measure quantifying duplication of shared subobjects. *)
+
+val select : (nvalue list -> bool) -> nrel -> nrel
+val project : string list -> nrel -> nrel
+val union : nrel -> nrel -> nrel
+val diff : nrel -> nrel -> nrel
+val product : nrel -> nrel -> nrel
+
+val project_nested : nrel -> attr:string -> inner:string list -> nrel
+(** Structured π: project inside a relation-valued attribute. *)
+
+val select_nested : nrel -> attr:string -> (nvalue list -> bool) -> nrel
+(** Structured σ: filter inside a relation-valued attribute, keeping
+    the outer rows. *)
+
+val nest : nrel -> attrs:string list -> as_name:string -> nrel
+(** ν — group by the unlisted attributes; the listed ones fold into a
+    relation-valued attribute. *)
+
+val unnest : nrel -> attr:string -> nrel
+(** μ — expand a relation-valued attribute; μ(ν(r)) = r. *)

@@ -1,0 +1,89 @@
+(** Queries over nested relations: navigation along relation-valued
+    attribute paths with existential/universal predicates — the NF²
+    counterpart of molecule restriction, used to run the paper's
+    queries through the hierarchical baseline. *)
+
+open Mad_store
+
+(** [exists_path row schema path attr pred]: does some descendant row
+    reached by following the relation-valued attributes in [path]
+    carry an [attr] value satisfying [pred]? *)
+let rec exists_path (schema : Nested.nschema) (row : Nested.nvalue list) path
+    attr pred =
+  match path with
+  | [] -> begin
+    (* test the attribute on this row *)
+    let rec idx i = function
+      | [] -> Err.failf "NF2 query: no attribute %s" attr
+      | (n, _) :: rest -> if String.equal n attr then i else idx (i + 1) rest
+    in
+    match List.nth row (idx 0 schema) with
+    | Nested.Atom v -> pred v
+    | Nested.Rel _ -> Err.failf "NF2 query: %s is relation-valued" attr
+  end
+  | next :: rest -> begin
+    let rec find i = function
+      | [] -> Err.failf "NF2 query: no nested attribute %s" next
+      | (n, Nested.Nested sub) :: _ when String.equal n next -> (i, sub)
+      | _ :: tail -> find (i + 1) tail
+    in
+    let i, sub_schema = find 0 schema in
+    match List.nth row i with
+    | Nested.Rel sub ->
+      List.exists
+        (fun inner -> exists_path sub_schema inner rest attr pred)
+        sub.Nested.rows
+    | Nested.Atom _ -> Err.failf "NF2 query: %s is not relation-valued" next
+  end
+
+(** σ with an existential nested-path predicate: rows of [r] having
+    some descendant at [path] whose [attr] satisfies [pred]. *)
+let select_exists r ~path ~attr pred =
+  Nested.select
+    (fun row -> exists_path r.Nested.schema row path attr pred)
+    r
+
+(** The universal variant: every descendant at [path] satisfies
+    [pred] (vacuously true when the path reaches no rows). *)
+let rec forall_path (schema : Nested.nschema) row path attr pred =
+  match path with
+  | [] -> exists_path schema row [] attr pred
+  | next :: rest -> begin
+    let rec find i = function
+      | [] -> Err.failf "NF2 query: no nested attribute %s" next
+      | (n, Nested.Nested sub) :: _ when String.equal n next -> (i, sub)
+      | _ :: tail -> find (i + 1) tail
+    in
+    let i, sub_schema = find 0 schema in
+    match List.nth row i with
+    | Nested.Rel sub ->
+      List.for_all
+        (fun inner -> forall_path sub_schema inner rest attr pred)
+        sub.Nested.rows
+    | Nested.Atom _ -> Err.failf "NF2 query: %s is not relation-valued" next
+  end
+
+let select_forall r ~path ~attr pred =
+  Nested.select (fun row -> forall_path r.Nested.schema row path attr pred) r
+
+(** Count the rows reached at the end of [path], summed over [r]'s
+    rows (e.g. total paragraphs under all documents). *)
+let count_path r ~path =
+  let rec go (schema : Nested.nschema) row = function
+    | [] -> 1
+    | next :: rest -> begin
+      let rec find i = function
+        | [] -> Err.failf "NF2 query: no nested attribute %s" next
+        | (n, Nested.Nested sub) :: _ when String.equal n next -> (i, sub)
+        | _ :: tail -> find (i + 1) tail
+      in
+      let i, sub_schema = find 0 schema in
+      match List.nth row i with
+      | Nested.Rel sub ->
+        List.fold_left
+          (fun acc inner -> acc + go sub_schema inner rest)
+          0 sub.Nested.rows
+      | Nested.Atom _ -> Err.failf "NF2 query: %s is not relation-valued" next
+    end
+  in
+  List.fold_left (fun acc row -> acc + go r.Nested.schema row path) 0 r.Nested.rows

@@ -1,0 +1,20 @@
+(** Queries over nested relations: navigation along relation-valued
+    attribute paths — the NF² counterpart of molecule restriction. *)
+
+open Mad_store
+
+val exists_path :
+  Nested.nschema ->
+  Nested.nvalue list ->
+  string list ->
+  string ->
+  (Value.t -> bool) ->
+  bool
+
+val select_exists :
+  Nested.nrel -> path:string list -> attr:string -> (Value.t -> bool) -> Nested.nrel
+
+val select_forall :
+  Nested.nrel -> path:string list -> attr:string -> (Value.t -> bool) -> Nested.nrel
+
+val count_path : Nested.nrel -> path:string list -> int

@@ -1,0 +1,26 @@
+(** PRIMA's lower layer: the atom-oriented interface [HMMS87] with
+    access counters — the logical cost model of the benchmark
+    experiments. *)
+
+open Mad_store
+
+type counters = {
+  mutable scans : int;
+  mutable atoms_read : int;
+  mutable fetches : int;
+  mutable links_followed : int;
+}
+
+val counters : unit -> counters
+val reset : counters -> unit
+val pp_counters : Format.formatter -> counters -> unit
+
+type t = { db : Database.t; c : counters }
+
+val v : ?c:counters -> Database.t -> t
+
+val scan : ?pred:Mad.Qual.t -> t -> string -> Atom.t list
+(** Atom-type scan with an optional pushed-down qualification. *)
+
+val fetch : t -> atype:string -> Aid.t -> Atom.t
+val neighbors : t -> string -> dir:[ `Fwd | `Bwd | `Both ] -> Aid.t -> Aid.Set.t

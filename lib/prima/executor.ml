@@ -1,0 +1,93 @@
+(** The molecule-processing component's executor: runs a {!Planner}
+    plan against the atom-oriented interface and returns a molecule
+    type.  The counters in {!Atom_interface} record the logical work;
+    the Q2 ablation compares naive vs. optimized plans on them. *)
+
+open Mad_store
+
+type outcome = {
+  mt : Mad.Molecule_type.t;
+  counters : Atom_interface.counters;
+  plan : Planner.plan;
+}
+
+(* molecule restriction against a throw-away molecule type wrapper *)
+let satisfies db desc m pred =
+  let mt = Mad.Molecule_type.v ~name:"tmp" ~desc [] in
+  Mad.Molecule_algebra.molecule_satisfies db mt m pred
+
+let run ?(optimize = true) ?(materialize = false) db (q : Planner.query) =
+  let plan = Planner.plan ~optimize q in
+  let iface = Atom_interface.v db in
+  let roots = Atom_interface.scan ?pred:plan.Planner.root_pred iface (Mad.Mdesc.root q.Planner.desc) in
+  let stats = Mad.Derive.stats () in
+  let derived =
+    List.map
+      (fun (a : Atom.t) -> Mad.Derive.derive_one ~stats db plan.Planner.derive_desc a.id)
+      roots
+  in
+  iface.Atom_interface.c.Atom_interface.links_followed <-
+    iface.Atom_interface.c.Atom_interface.links_followed
+    + stats.Mad.Derive.links_traversed;
+  iface.Atom_interface.c.Atom_interface.fetches <-
+    iface.Atom_interface.c.Atom_interface.fetches
+    + stats.Mad.Derive.atoms_visited;
+  let filtered =
+    match plan.Planner.residual with
+    | None -> derived
+    | Some pred ->
+      List.filter (fun m -> satisfies db plan.Planner.derive_desc m pred) derived
+  in
+  let mt =
+    Mad.Molecule_type.v ~name:q.Planner.name ~desc:plan.Planner.derive_desc
+      filtered
+  in
+  let mt =
+    match q.Planner.select with
+    | None -> mt
+    | Some items ->
+      (* keep only selected nodes that survive in the derive structure *)
+      let keep =
+        List.filter
+          (fun (n, _) -> List.mem n (Mad.Mdesc.nodes plan.Planner.derive_desc))
+          items
+      in
+      if materialize then Mad.Molecule_algebra.project db keep mt
+      else begin
+        (* pipelined projection without propagation: restrict the
+           molecules' visible structure *)
+        let desc' = Mad.Mdesc.induced plan.Planner.derive_desc (List.map fst keep) in
+        let kept_edges = Mad.Mdesc.edges desc' in
+        let occ =
+          List.map
+            (fun (m : Mad.Molecule.t) ->
+              let by_node =
+                Mad.Molecule.Smap.filter
+                  (fun node _ -> List.exists (fun (n, _) -> String.equal n node) keep)
+                  m.Mad.Molecule.by_node
+              in
+              let links =
+                Link.Set.filter
+                  (fun (l : Link.t) ->
+                    List.exists
+                      (fun (e : Mad.Mdesc.edge) -> String.equal e.link l.lt)
+                      kept_edges)
+                  m.Mad.Molecule.links
+              in
+              Mad.Molecule.v ~root:m.Mad.Molecule.root ~by_node ~links)
+            filtered
+        in
+        Mad.Molecule_type.v ~name:q.Planner.name ~desc:desc' occ
+      end
+  in
+  { mt; counters = iface.Atom_interface.c; plan }
+
+(** Convenience wrapper: evaluate a molecule query naive vs. optimized
+    and report both outcomes (the ablation harness). *)
+let compare_plans db q =
+  let naive = run ~optimize:false db q in
+  let optimized = run ~optimize:true db q in
+  (naive, optimized)
+
+let explain ?(optimize = true) q =
+  Format.asprintf "%a" Planner.pp (Planner.plan ~optimize q)

@@ -1,0 +1,20 @@
+(** PRIMA's executor: run a {!Planner} plan against the atom-oriented
+    interface, with pipelined (non-materializing) projection. *)
+
+open Mad_store
+
+type outcome = {
+  mt : Mad.Molecule_type.t;
+  counters : Atom_interface.counters;
+  plan : Planner.plan;
+}
+
+val run :
+  ?optimize:bool -> ?materialize:bool -> Database.t -> Planner.query -> outcome
+(** [materialize] routes the projection through the algebra's Π
+    (propagation) instead of the pipelined restriction. *)
+
+val compare_plans : Database.t -> Planner.query -> outcome * outcome
+(** (naive, optimized) — the ablation harness. *)
+
+val explain : ?optimize:bool -> Planner.query -> string

@@ -1,0 +1,237 @@
+(** A paged storage simulation beneath the atom-oriented interface.
+
+    The paper's PRIMA prototype [HMMS87] was a real DBMS on real pages;
+    its follow-up work made much of *molecule clustering* — placing the
+    atoms of a molecule on the same pages so that derivation touches
+    few of them.  This module reproduces the mechanism: atoms live in
+    fixed-capacity pages behind an LRU buffer pool that counts logical
+    and physical reads, and two placement strategies are offered:
+
+    - [`By_type]: atoms of each atom type packed sequentially (the
+      relational-style segment-per-relation layout);
+    - [`By_molecule desc]: atoms assigned in molecule-derivation order
+      for the given structure, so each molecule's atoms are
+      co-located (shared atoms stay on the page of their first
+      molecule).
+
+    Link (adjacency) information is stored with the atom that owns it,
+    as PRIMA stored links physically with their atoms: traversing an
+    atom's links touches that atom's page only. *)
+
+open Mad_store
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                          *)
+
+module Pool = struct
+  type t = {
+    capacity : int;  (** frames *)
+    frames : (int, unit) Hashtbl.t;
+    mutable lru : int list;  (** most recent first *)
+    mutable logical_reads : int;
+    mutable physical_reads : int;
+    mutable evictions : int;
+  }
+
+  let create capacity =
+    if capacity < 1 then Err.failf "buffer pool needs at least one frame";
+    {
+      capacity;
+      frames = Hashtbl.create capacity;
+      lru = [];
+      logical_reads = 0;
+      physical_reads = 0;
+      evictions = 0;
+    }
+
+  let touch t page =
+    t.lru <- page :: List.filter (fun p -> p <> page) t.lru
+
+  (** Fix a page: a logical read, plus a physical read on a miss (with
+      LRU eviction when the pool is full). *)
+  let fix t page =
+    t.logical_reads <- t.logical_reads + 1;
+    if Hashtbl.mem t.frames page then touch t page
+    else begin
+      t.physical_reads <- t.physical_reads + 1;
+      if Hashtbl.length t.frames >= t.capacity then begin
+        match List.rev t.lru with
+        | victim :: _ ->
+          Hashtbl.remove t.frames victim;
+          t.lru <- List.filter (fun p -> p <> victim) t.lru;
+          t.evictions <- t.evictions + 1
+        | [] -> ()
+      end;
+      Hashtbl.replace t.frames page ();
+      touch t page
+    end
+
+  let hit_ratio t =
+    if t.logical_reads = 0 then 1.0
+    else
+      1.0
+      -. (float_of_int t.physical_reads /. float_of_int t.logical_reads)
+
+  let reset t =
+    Hashtbl.reset t.frames;
+    t.lru <- [];
+    t.logical_reads <- 0;
+    t.physical_reads <- 0;
+    t.evictions <- 0
+
+  let pp ppf t =
+    Fmt.pf ppf "logical=%d physical=%d evictions=%d hit=%.2f"
+      t.logical_reads t.physical_reads t.evictions (hit_ratio t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Placement and the paged store                                        *)
+
+type placement = [ `By_type | `By_molecule of Mad.Mdesc.t ]
+
+type t = {
+  db : Database.t;
+  page_size : int;  (** atoms per page *)
+  page_of : (Aid.t, int) Hashtbl.t;
+  pages : int;  (** total pages allocated *)
+  pool : Pool.t;
+}
+
+(* assign ids to pages in the given order, page_size atoms per page *)
+let assign order page_size =
+  let page_of = Hashtbl.create 256 in
+  let page = ref 0 and filled = ref 0 in
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem page_of id) then begin
+        if !filled >= page_size then begin
+          incr page;
+          filled := 0
+        end;
+        Hashtbl.replace page_of id !page;
+        incr filled
+      end)
+    order;
+  (page_of, !page + 1)
+
+let by_type_order db =
+  List.concat_map
+    (fun at -> List.map (fun (a : Atom.t) -> a.id) (Database.atoms db at))
+    (Database.atom_type_names db)
+
+let by_molecule_order db desc =
+  let visited = Hashtbl.create 256 in
+  let order = ref [] in
+  let visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.replace visited id ();
+      order := id :: !order
+    end
+  in
+  List.iter
+    (fun (m : Mad.Molecule.t) ->
+      visit m.Mad.Molecule.root;
+      List.iter
+        (fun node ->
+          Aid.Set.iter visit (Mad.Molecule.component m node))
+        (Mad.Mdesc.topo_order desc))
+    (Mad.Derive.m_dom db desc);
+  (* atoms not covered by any molecule of this structure *)
+  List.iter (fun id -> visit id) (by_type_order db);
+  List.rev !order
+
+let load ?(placement = `By_type) ?(page_size = 8) ?(buffer_pages = 16) db =
+  let order =
+    match placement with
+    | `By_type -> by_type_order db
+    | `By_molecule desc -> by_molecule_order db desc
+  in
+  let page_of, pages = assign order page_size in
+  { db; page_size; page_of; pages; pool = Pool.create buffer_pages }
+
+let page_of t id =
+  match Hashtbl.find_opt t.page_of id with
+  | Some p -> p
+  | None -> Err.failf "atom %s is not stored" (Aid.to_string id)
+
+let fetch t ~atype id =
+  Pool.fix t.pool (page_of t id);
+  Database.get_atom t.db ~atype id
+
+(** Adjacency is stored with the owning atom: traversal fixes the
+    owner's page. *)
+let neighbors t link ~dir id =
+  Pool.fix t.pool (page_of t id);
+  Database.neighbors t.db link ~dir id
+
+let scan t atype =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (a : Atom.t) ->
+      let p = page_of t a.id in
+      if not (Hashtbl.mem seen p) then begin
+        Hashtbl.replace seen p ();
+        Pool.fix t.pool p
+      end;
+      a)
+    (Database.atoms t.db atype)
+
+(* ------------------------------------------------------------------ *)
+(* Molecule derivation against the paged store                          *)
+
+(** Derive one molecule fetching everything through the buffer pool;
+    same result as {!Mad.Derive.derive_one}, different cost model. *)
+let derive_one t desc root =
+  let module Smap = Map.Make (String) in
+  let by_node = ref (Smap.singleton (Mad.Mdesc.root desc) (Aid.Set.singleton root)) in
+  let links = ref Link.Set.empty in
+  Pool.fix t.pool (page_of t root);
+  List.iter
+    (fun node ->
+      if not (String.equal node (Mad.Mdesc.root desc)) then begin
+        let ins = Mad.Mdesc.in_edges desc node in
+        let reach (e : Mad.Mdesc.edge) =
+          let parents =
+            Option.value ~default:Aid.Set.empty (Smap.find_opt e.from_at !by_node)
+          in
+          Aid.Set.fold
+            (fun p acc ->
+              let dir = match e.dir with `Fwd -> `Fwd | `Bwd -> `Bwd in
+              Aid.Set.union (neighbors t e.link ~dir p) acc)
+            parents Aid.Set.empty
+        in
+        let included =
+          match ins with
+          | [] -> Aid.Set.empty
+          | e :: rest ->
+            List.fold_left (fun acc e -> Aid.Set.inter acc (reach e)) (reach e) rest
+        in
+        (* fetch the member atoms (their pages) *)
+        Aid.Set.iter (fun id -> Pool.fix t.pool (page_of t id)) included;
+        by_node := Smap.add node included !by_node;
+        List.iter
+          (fun (e : Mad.Mdesc.edge) ->
+            let parents =
+              Option.value ~default:Aid.Set.empty (Smap.find_opt e.from_at !by_node)
+            in
+            Aid.Set.iter
+              (fun p ->
+                let dir = match e.dir with `Fwd -> `Fwd | `Bwd -> `Bwd in
+                Aid.Set.iter
+                  (fun c ->
+                    if Aid.Set.mem c included then
+                      let left, right =
+                        match e.dir with `Fwd -> (p, c) | `Bwd -> (c, p)
+                      in
+                      links := Link.Set.add (Link.v e.link left right) !links)
+                  (Database.neighbors t.db e.link ~dir p))
+              parents)
+          ins
+      end)
+    (Mad.Mdesc.topo_order desc);
+  Mad.Molecule.v ~root ~by_node:!by_node ~links:!links
+
+let m_dom t desc =
+  List.map
+    (fun (a : Atom.t) -> derive_one t desc a.id)
+    (Database.atoms t.db (Mad.Mdesc.root desc))

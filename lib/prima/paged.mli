@@ -1,0 +1,46 @@
+(** Paged storage simulation: fixed-capacity pages behind an LRU buffer
+    pool, with the two physical placement strategies whose contrast the
+    PRIMA line of work studied (segment-per-type vs molecule
+    clustering).  Adjacency is stored with the owning atom. *)
+
+open Mad_store
+
+module Pool : sig
+  type t = {
+    capacity : int;
+    frames : (int, unit) Hashtbl.t;
+    mutable lru : int list;
+    mutable logical_reads : int;
+    mutable physical_reads : int;
+    mutable evictions : int;
+  }
+
+  val create : int -> t
+  val fix : t -> int -> unit
+  val hit_ratio : t -> float
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+type placement = [ `By_type | `By_molecule of Mad.Mdesc.t ]
+
+type t = {
+  db : Database.t;
+  page_size : int;  (** atoms per page *)
+  page_of : (Aid.t, int) Hashtbl.t;
+  pages : int;
+  pool : Pool.t;
+}
+
+val load : ?placement:placement -> ?page_size:int -> ?buffer_pages:int -> Database.t -> t
+
+val page_of : t -> Aid.t -> int
+val fetch : t -> atype:string -> Aid.t -> Atom.t
+val neighbors : t -> string -> dir:[ `Fwd | `Bwd | `Both ] -> Aid.t -> Aid.Set.t
+val scan : t -> string -> Atom.t list
+
+val derive_one : t -> Mad.Mdesc.t -> Aid.t -> Mad.Molecule.t
+(** Same result as {!Mad.Derive.derive_one}; cost counted in page
+    reads. *)
+
+val m_dom : t -> Mad.Mdesc.t -> Mad.Molecule.t list

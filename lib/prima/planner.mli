@@ -1,0 +1,24 @@
+(** PRIMA's molecule-processing planner: algebraic rewrites whose
+    soundness the molecule algebra guarantees — root-restriction
+    pushdown into the root scan, and structure pruning to the
+    ancestor-closure of the nodes the residual qualification and the
+    projection need. *)
+
+type query = {
+  name : string;
+  desc : Mad.Mdesc.t;
+  where : Mad.Qual.t option;
+  select : (string * string list option) list option;
+}
+
+type plan = {
+  query : query;
+  root_pred : Mad.Qual.t option;  (** pushed into the root scan *)
+  residual : Mad.Qual.t option;  (** evaluated per derived molecule *)
+  derive_desc : Mad.Mdesc.t;  (** possibly pruned *)
+  notes : string list;
+}
+
+val conjuncts : Mad.Qual.t -> Mad.Qual.t list
+val plan : ?optimize:bool -> query -> plan
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,176 @@
+(** Catalog statistics and cost estimation for the molecule-processing
+    planner — the query-optimization groundwork ch. 5 announces ("we
+    can conveniently exploit the algebra to considerably simplify and
+    enhance query transformation and query optimization").
+
+    Statistics: per atom type its cardinality and per-attribute
+    distinct-value counts; per link type its average fanout in both
+    directions (the symmetric link index makes both cheap to know).
+    Estimation: textbook selectivity rules over the qualification and
+    fanout products over the structure DAG. *)
+
+open Mad_store
+module Smap = Map.Make (String)
+
+type link_stat = {
+  pairs : int;
+  fanout_fwd : float;  (** avg partners of a left-role atom *)
+  fanout_bwd : float;
+}
+
+type t = {
+  atom_counts : int Smap.t;
+  distinct : int Smap.t;  (** "type.attr" -> distinct values *)
+  link_stats : link_stat Smap.t;
+}
+
+let key atype attr = atype ^ "." ^ attr
+
+let collect db =
+  let atom_counts =
+    List.fold_left
+      (fun m at -> Smap.add at (Database.count_atoms db at) m)
+      Smap.empty (Database.atom_type_names db)
+  in
+  let distinct =
+    List.fold_left
+      (fun m atname ->
+        let at = Database.atom_type db atname in
+        List.fold_left
+          (fun m (a : Schema.Attr.t) ->
+            let i = Schema.Atom_type.attr_index at a.name in
+            let seen = Hashtbl.create 64 in
+            List.iter
+              (fun (atom : Atom.t) ->
+                Hashtbl.replace seen (Value.to_string atom.values.(i)) ())
+              (Database.atoms db atname);
+            Smap.add (key atname a.name) (Hashtbl.length seen) m)
+          m at.attrs)
+      Smap.empty (Database.atom_type_names db)
+  in
+  let link_stats =
+    List.fold_left
+      (fun m ltname ->
+        let lt = Database.link_type db ltname in
+        let pairs = Database.count_links db ltname in
+        let e1, e2 = lt.ends in
+        let n1 = max 1 (Database.count_atoms db e1) in
+        let n2 = max 1 (Database.count_atoms db e2) in
+        Smap.add ltname
+          {
+            pairs;
+            fanout_fwd = float_of_int pairs /. float_of_int n1;
+            fanout_bwd = float_of_int pairs /. float_of_int n2;
+          }
+          m)
+      Smap.empty (Database.link_type_names db)
+  in
+  { atom_counts; distinct; link_stats }
+
+(* ------------------------------------------------------------------ *)
+(* Selectivity of qualifications (textbook heuristics)                  *)
+
+let rec selectivity t pred =
+  match pred with
+  | Mad.Qual.True -> 1.0
+  | Mad.Qual.False -> 0.0
+  | Mad.Qual.Cmp (op, a, b) -> begin
+    let eq_sel =
+      (* equality against an attribute: 1/ndv *)
+      let of_attr = function
+        | Mad.Qual.Attr { node; attr } ->
+          Some
+            (1.0
+            /. float_of_int (max 1 (Option.value ~default:10 (Smap.find_opt (key node attr) t.distinct))))
+        | _ -> None
+      in
+      match (of_attr a, of_attr b) with
+      | Some s, _ | _, Some s -> s
+      | None, None -> 0.5
+    in
+    match op with
+    | Mad.Qual.Eq -> eq_sel
+    | Mad.Qual.Ne -> 1.0 -. eq_sel
+    | Mad.Qual.Lt | Mad.Qual.Le | Mad.Qual.Gt | Mad.Qual.Ge -> 1.0 /. 3.0
+  end
+  | Mad.Qual.And (a, b) -> selectivity t a *. selectivity t b
+  | Mad.Qual.Or (a, b) ->
+    let sa = selectivity t a and sb = selectivity t b in
+    sa +. sb -. (sa *. sb)
+  | Mad.Qual.Not a -> 1.0 -. selectivity t a
+  | Mad.Qual.Exists (_, _) | Mad.Qual.Forall (_, _) -> 0.5
+
+(* ------------------------------------------------------------------ *)
+(* Derivation cost estimation                                           *)
+
+type estimate = {
+  est_roots : float;  (** molecules to derive *)
+  est_atoms : float;  (** atoms fetched during derivation *)
+  est_links : float;  (** link traversals *)
+}
+
+let pp_estimate ppf e =
+  Fmt.pf ppf "est: %.1f molecules, %.1f atoms, %.1f link traversals"
+    e.est_roots e.est_atoms e.est_links
+
+(** Estimate the work of executing a plan: qualifying roots, then per
+    structure edge in topological order the expected component sizes
+    (fanout products; diamonds take the min over incoming edges). *)
+let estimate t (p : Planner.plan) =
+  let desc = p.Planner.derive_desc in
+  let root = Mad.Mdesc.root desc in
+  let root_count =
+    float_of_int (Option.value ~default:0 (Smap.find_opt root t.atom_counts))
+  in
+  let roots =
+    match p.Planner.root_pred with
+    | None -> root_count
+    | Some q -> root_count *. selectivity t q
+  in
+  (* sizes: expected atoms per molecule at each node; the root
+     contributes exactly one *)
+  let sizes = ref (Smap.singleton root 1.0) in
+  let links = ref 0.0 in
+  let atoms = ref 1.0 in
+  List.iter
+    (fun node ->
+      if not (String.equal node root) then begin
+        let per_edge =
+          List.map
+            (fun (e : Mad.Mdesc.edge) ->
+              let parent = Option.value ~default:0.0 (Smap.find_opt e.from_at !sizes) in
+              let st = Smap.find_opt e.link t.link_stats in
+              let fanout =
+                match (st, e.dir) with
+                | Some s, `Fwd -> s.fanout_fwd
+                | Some s, `Bwd -> s.fanout_bwd
+                | None, (`Fwd | `Bwd) -> 1.0
+              in
+              let reached = parent *. fanout in
+              links := !links +. reached;
+              reached)
+            (Mad.Mdesc.in_edges desc node)
+        in
+        let size =
+          match per_edge with
+          | [] -> 0.0
+          | xs -> List.fold_left Float.min Float.infinity xs
+        in
+        atoms := !atoms +. size;
+        sizes := Smap.add node size !sizes
+      end)
+    (Mad.Mdesc.topo_order desc);
+  {
+    est_roots = roots;
+    est_atoms = roots *. !atoms;
+    est_links = roots *. !links;
+  }
+
+(** EXPLAIN with cost estimates: the naive and optimized plans side by
+    side. *)
+let explain_with_estimates db (q : Planner.query) =
+  let t = collect db in
+  let naive = Planner.plan ~optimize:false q in
+  let optimized = Planner.plan ~optimize:true q in
+  Format.asprintf "%a  naive     %a@.  optimized %a@." Planner.pp optimized
+    pp_estimate (estimate t naive) pp_estimate (estimate t optimized)

@@ -1,0 +1,25 @@
+(** Catalog statistics and cost estimation for the planner (the
+    query-optimization groundwork of ch. 5): per-type cardinalities,
+    per-attribute distinct counts, per-link-type fanouts; textbook
+    selectivity rules; fanout-product derivation estimates. *)
+
+open Mad_store
+module Smap : Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type link_stat = { pairs : int; fanout_fwd : float; fanout_bwd : float }
+
+type t = {
+  atom_counts : int Smap.t;
+  distinct : int Smap.t;  (** "type.attr" -> distinct values *)
+  link_stats : link_stat Smap.t;
+}
+
+val collect : Database.t -> t
+val selectivity : t -> Mad.Qual.t -> float
+
+type estimate = { est_roots : float; est_atoms : float; est_links : float }
+
+val pp_estimate : Format.formatter -> estimate -> unit
+val estimate : t -> Planner.plan -> estimate
+
+val explain_with_estimates : Database.t -> Planner.query -> string

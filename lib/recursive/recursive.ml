@@ -1,0 +1,470 @@
+(** Recursive molecule types — the ch. 5 outlook of the paper,
+    following Schöning's extension ([Schö89]): reflexive link types
+    (and other schema cycles) are queried recursively, e.g. the parts
+    explosion (sub-component view) or where-used (super-component view)
+    of a bill-of-material.
+
+    A recursive molecule-type description names a root atom type and a
+    reflexive link type on it, a view (which role to expand: [Sub]
+    follows the left-to-right role, [Super] the converse — the paper's
+    "super-component view or only the sub-component view" exploiting
+    link symmetry), and an optional depth bound.  Derivation computes,
+    per root atom, the least fixpoint of one-step expansion; cycles in
+    the *data* terminate because expansion is monotone over a finite
+    atom set. *)
+
+open Mad_store
+
+type view = Sub | Super
+
+type desc = {
+  root_type : string;
+  link : string;
+  view : view;
+  max_depth : int option;  (** [None]: unbounded (full closure) *)
+  component : Mad.Mdesc.t option;
+      (** Schöning's full recursive molecule types: a plain molecule
+          structure rooted at [root_type] that every reached atom
+          expands (e.g. each part of an explosion with its supplier
+          sub-structure, each cell of a flattened design with its
+          pins) *)
+}
+
+type molecule = {
+  root : Aid.t;
+  members : Aid.Set.t;  (** includes the root *)
+  links : Link.Set.t;  (** the composition links traversed *)
+  depth_of : int Aid.Map.t;  (** shortest expansion depth per member *)
+  components : Mad.Molecule.t Aid.Map.t;
+      (** per member, the component sub-molecule (empty without a
+          component structure) *)
+}
+
+type t = { name : string; desc : desc; occ : molecule list }
+
+let pp_view ppf = function
+  | Sub -> Fmt.string ppf "SUB"
+  | Super -> Fmt.string ppf "SUPER"
+
+let pp_desc ppf d =
+  Fmt.pf ppf "%s RECURSIVE BY %s %a%a%a" d.root_type d.link pp_view d.view
+    Fmt.(option (fmt " DEPTH %d"))
+    d.max_depth
+    Fmt.(option (fun ppf c -> Fmt.pf ppf " WITH %a" Mad.Mdesc.pp c))
+    d.component
+
+(** Validate the description: the link type must be reflexive on the
+    root atom type; a component structure must be rooted there and must
+    not use the recursion link. *)
+let v db ~root_type ~link ?(view = Sub) ?max_depth ?component () =
+  let lt = Database.link_type db link in
+  if not (Schema.Link_type.reflexive lt) then
+    Err.failf "recursive molecules need a reflexive link type; %s is not"
+      link;
+  if not (String.equal (fst lt.ends) root_type) then
+    Err.failf "link type %s is not defined on atom type %s" link root_type;
+  (match max_depth with
+   | Some d when d < 0 -> Err.failf "negative recursion depth %d" d
+   | Some _ | None -> ());
+  (match component with
+   | None -> ()
+   | Some c ->
+     if not (String.equal (Mad.Mdesc.root c) root_type) then
+       Err.failf "component structure must be rooted at %s, not %s" root_type
+         (Mad.Mdesc.root c);
+     if
+       List.exists
+         (fun (e : Mad.Mdesc.edge) -> String.equal e.link link)
+         (Mad.Mdesc.edges c)
+     then
+       Err.failf "component structure may not reuse the recursion link %s"
+         link);
+  { root_type; link; view; max_depth; component }
+
+let dir_of_view = function Sub -> `Fwd | Super -> `Bwd
+
+(** Derive the recursive molecule rooted at [root]. *)
+let derive_one ?(stats = Mad.Derive.stats ()) db (d : desc) root =
+  let dir = dir_of_view d.view in
+  let within depth =
+    match d.max_depth with None -> true | Some k -> depth <= k
+  in
+  let rec go members links depth_of frontier depth =
+    if Aid.Set.is_empty frontier || not (within depth) then
+      (members, links, depth_of)
+    else
+      let next, links =
+        Aid.Set.fold
+          (fun p (next, links) ->
+            let partners = Database.neighbors db d.link ~dir p in
+            stats.Mad.Derive.links_traversed <-
+              stats.Mad.Derive.links_traversed + Aid.Set.cardinal partners;
+            let links =
+              Aid.Set.fold
+                (fun c links ->
+                  let left, right =
+                    match d.view with Sub -> (p, c) | Super -> (c, p)
+                  in
+                  Link.Set.add (Link.v d.link left right) links)
+                partners links
+            in
+            (Aid.Set.union next partners, links))
+          frontier (Aid.Set.empty, links)
+      in
+      let fresh = Aid.Set.diff next members in
+      stats.Mad.Derive.atoms_visited <-
+        stats.Mad.Derive.atoms_visited + Aid.Set.cardinal fresh;
+      let depth_of =
+        Aid.Set.fold (fun id m -> Aid.Map.add id depth m) fresh depth_of
+      in
+      go (Aid.Set.union members fresh) links depth_of fresh (depth + 1)
+  in
+  stats.Mad.Derive.atoms_visited <- stats.Mad.Derive.atoms_visited + 1;
+  let members, links, depth_of =
+    go (Aid.Set.singleton root) Link.Set.empty
+      (Aid.Map.singleton root 0)
+      (Aid.Set.singleton root) 1
+  in
+  let components =
+    match d.component with
+    | None -> Aid.Map.empty
+    | Some cdesc ->
+      Aid.Set.fold
+        (fun member acc ->
+          Aid.Map.add member (Mad.Derive.derive_one ~stats db cdesc member) acc)
+        members Aid.Map.empty
+  in
+  { root; members; links; depth_of; components }
+
+(** One recursive molecule per atom of the root type. *)
+let m_dom ?stats db (d : desc) =
+  Database.atoms db d.root_type
+  |> List.map (fun (a : Atom.t) -> derive_one ?stats db d a.id)
+
+let define ?stats db ~name (d : desc) = { name; desc = d; occ = m_dom ?stats db d }
+
+(* ------------------------------------------------------------------ *)
+(* Restriction over recursive molecules                                 *)
+
+(** A pseudo-node ["DEPTH"] is available in qualifications: the
+    expansion depth of a member atom.  With a component structure, its
+    non-root nodes are also addressable (the union of every member's
+    component atoms). *)
+let molecule_satisfies db (t : t) (m : molecule) pred =
+  let component node =
+    if String.equal node t.desc.root_type then Aid.Set.elements m.members
+    else
+      match t.desc.component with
+      | Some cdesc when List.mem node (Mad.Mdesc.nodes cdesc) ->
+        Aid.Map.fold
+          (fun _ sub acc ->
+            Aid.Set.elements (Mad.Molecule.component sub node) @ acc)
+          m.components []
+        |> List.sort_uniq Aid.compare
+      | Some _ | None -> []
+  in
+  let fetch node id attr =
+    if String.equal attr "DEPTH" then
+      Value.Int (Option.value ~default:0 (Aid.Map.find_opt id m.depth_of))
+    else
+      let at = Database.atom_type db node in
+      Atom.value (Database.get_atom db ~atype:node id) at attr
+  in
+  Mad.Qual.eval_molecule ~component ~fetch ~root_node:t.desc.root_type
+    ~root_atom:m.root pred
+
+let restrict db pred (t : t) ~name =
+  { name; desc = t.desc; occ = List.filter (fun m -> molecule_satisfies db t m pred) t.occ }
+
+(* ------------------------------------------------------------------ *)
+(* Set operations: recursive molecule types are first-class data model
+   objects ([Schö89]), so the set operators extend to them.            *)
+
+let compare_molecule (a : molecule) (b : molecule) =
+  let c = Aid.compare a.root b.root in
+  if c <> 0 then c
+  else
+    let c = Aid.Set.compare a.members b.members in
+    if c <> 0 then c else Link.Set.compare a.links b.links
+
+let equal_molecule a b = compare_molecule a b = 0
+
+let same_desc (a : desc) (b : desc) =
+  String.equal a.root_type b.root_type
+  && String.equal a.link b.link
+  && a.view = b.view
+  && a.max_depth = b.max_depth
+  && (match (a.component, b.component) with
+     | None, None -> true
+     | Some x, Some y -> Mad.Mdesc.equal x y
+     | Some _, None | None, Some _ -> false)
+
+let check_compatible op (a : t) (b : t) =
+  if not (same_desc a.desc b.desc) then
+    Err.failf "%s requires identically described recursive molecule types" op
+
+let dedup occ =
+  List.sort_uniq compare_molecule occ
+
+let union ~name (a : t) (b : t) =
+  check_compatible "union" a b;
+  { name; desc = a.desc; occ = dedup (a.occ @ b.occ) }
+
+let diff ~name (a : t) (b : t) =
+  check_compatible "difference" a b;
+  {
+    name;
+    desc = a.desc;
+    occ = List.filter (fun m -> not (List.exists (equal_molecule m) b.occ)) a.occ;
+  }
+
+let intersect ~name (a : t) (b : t) =
+  check_compatible "intersection" a b;
+  { name; desc = a.desc; occ = List.filter (fun m -> List.exists (equal_molecule m) b.occ) a.occ }
+
+(* ------------------------------------------------------------------ *)
+(* Cycle recursion: "the MAD model allows for reflexive link types and
+   for other cycles in the database schema ... These cycles are
+   normally queried in a recursive manner" (ch. 5).  A cycle is a
+   composition of link-type steps leading from the root atom type back
+   to itself (e.g. VLSI connectivity: cell -cell-pin-> pin <-net-pin-
+   net -net-pin-> pin <-cell-pin- cell); derivation iterates the whole
+   cycle as one macro-step to a fixpoint.                              *)
+
+module Smap = Map.Make (String)
+
+type step = { s_link : string; s_dir : [ `Fwd | `Bwd ] }
+
+type cycle_desc = {
+  c_root : string;
+  steps : step list;
+  c_max_depth : int option;  (** macro-steps; [None]: full closure *)
+}
+
+type cycle_molecule = {
+  c_root_atom : Aid.t;
+  c_members : Aid.Set.t;  (** root-type atoms reached (incl. the root) *)
+  c_intermediates : Aid.Set.t Smap.t;  (** per intermediate atom type *)
+  c_depth_of : int Aid.Map.t;
+}
+
+(** Validate a cycle: the steps' end types must compose from
+    [root_type] back to [root_type]. *)
+let cycle db ~root_type ~steps ?max_depth () =
+  ignore (Database.atom_type db root_type);
+  if steps = [] then Err.failf "a cycle needs at least one step";
+  let final =
+    List.fold_left
+      (fun current (link, dir) ->
+        let lt = Database.link_type db link in
+        let e1, e2 = lt.Schema.Link_type.ends in
+        match dir with
+        | `Fwd ->
+          if not (String.equal e1 current) then
+            Err.failf
+              "cycle step %s: expected to start at %s, link starts at %s"
+              link current e1
+          else e2
+        | `Bwd ->
+          if not (String.equal e2 current) then
+            Err.failf
+              "cycle step %s (backward): expected to start at %s, link ends \
+               at %s"
+              link current e2
+          else e1)
+      root_type steps
+  in
+  if not (String.equal final root_type) then
+    Err.failf "cycle does not return to %s (ends at %s)" root_type final;
+  (match max_depth with
+   | Some d when d < 0 -> Err.failf "negative recursion depth %d" d
+   | Some _ | None -> ());
+  {
+    c_root = root_type;
+    steps = List.map (fun (s_link, s_dir) -> { s_link; s_dir }) steps;
+    c_max_depth = max_depth;
+  }
+
+(* one macro-step: apply every step in sequence, collecting the
+   intermediate atoms per type *)
+let macro_step db (d : cycle_desc) frontier intermediates =
+  let current, intermediates =
+    List.fold_left
+      (fun (current, inter) step ->
+        let next =
+          let dir = (step.s_dir :> [ `Fwd | `Bwd | `Both ]) in
+          Aid.Set.fold
+            (fun id acc ->
+              Aid.Set.union acc (Database.neighbors db step.s_link ~dir id))
+            current Aid.Set.empty
+        in
+        let lt = Database.link_type db step.s_link in
+        let target =
+          match step.s_dir with
+          | `Fwd -> snd lt.Schema.Link_type.ends
+          | `Bwd -> fst lt.Schema.Link_type.ends
+        in
+        let inter =
+          if String.equal target d.c_root then inter
+          else
+            Smap.update target
+              (fun cur ->
+                Some (Aid.Set.union next (Option.value ~default:Aid.Set.empty cur)))
+              inter
+        in
+        (next, inter))
+      (frontier, intermediates) d.steps
+  in
+  (current, intermediates)
+
+(** Derive the cycle closure rooted at [root]. *)
+let derive_cycle db (d : cycle_desc) root =
+  let within depth =
+    match d.c_max_depth with None -> true | Some k -> depth <= k
+  in
+  let rec go members intermediates depth_of frontier depth =
+    if Aid.Set.is_empty frontier || not (within depth) then
+      (members, intermediates, depth_of)
+    else
+      let next, intermediates = macro_step db d frontier intermediates in
+      let fresh = Aid.Set.diff next members in
+      let depth_of =
+        Aid.Set.fold (fun id m -> Aid.Map.add id depth m) fresh depth_of
+      in
+      go (Aid.Set.union members fresh) intermediates depth_of fresh (depth + 1)
+  in
+  let members, intermediates, depth_of =
+    go (Aid.Set.singleton root) Smap.empty
+      (Aid.Map.singleton root 0)
+      (Aid.Set.singleton root) 1
+  in
+  {
+    c_root_atom = root;
+    c_members = members;
+    c_intermediates = intermediates;
+    c_depth_of = depth_of;
+  }
+
+let cycle_m_dom db (d : cycle_desc) =
+  Database.atoms db d.c_root
+  |> List.map (fun (a : Atom.t) -> derive_cycle db d a.id)
+
+type cycle_t = {
+  cname : string;
+  cdesc : cycle_desc;
+  cocc : cycle_molecule list;
+}
+
+let cycle_define db ~name (d : cycle_desc) =
+  { cname = name; cdesc = d; cocc = cycle_m_dom db d }
+
+let pp_cycle_desc ppf (d : cycle_desc) =
+  Fmt.pf ppf "%s RECURSIVE BY (%a)%a" d.c_root
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (s : step) ->
+          Fmt.pf ppf "%s%s" (match s.s_dir with `Bwd -> "~" | `Fwd -> "") s.s_link))
+    d.steps
+    Fmt.(option (fmt " DEPTH %d"))
+    d.c_max_depth
+
+(** Qualification over a cycle molecule: the root type's node ranges
+    over the members (with the [DEPTH] pseudo-attribute), intermediate
+    atom types over the atoms passed through. *)
+let cycle_satisfies db (t : cycle_t) (m : cycle_molecule) pred =
+  let component node =
+    if String.equal node t.cdesc.c_root then Aid.Set.elements m.c_members
+    else
+      Aid.Set.elements
+        (Option.value ~default:Aid.Set.empty (Smap.find_opt node m.c_intermediates))
+  in
+  let fetch node id attr =
+    if String.equal attr "DEPTH" then
+      Value.Int (Option.value ~default:0 (Aid.Map.find_opt id m.c_depth_of))
+    else
+      let at = Database.atom_type db node in
+      Atom.value (Database.get_atom db ~atype:node id) at attr
+  in
+  Mad.Qual.eval_molecule ~component ~fetch ~root_node:t.cdesc.c_root
+    ~root_atom:m.c_root_atom pred
+
+let cycle_restrict db pred (t : cycle_t) ~name =
+  { t with cname = name; cocc = List.filter (fun m -> cycle_satisfies db t m pred) t.cocc }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering: indented explosion with cycle/again marks                 *)
+
+let atom_label db root_type id =
+  let at = Database.atom_type db root_type in
+  let a = Database.get_atom db ~atype:root_type id in
+  match
+    List.find_map
+      (fun (attr : Schema.Attr.t) ->
+        match Atom.value a at attr.name with
+        | Value.String s -> Some s
+        | Value.Int _ | Value.Float _ | Value.Bool _ | Value.Id _
+        | Value.List _ ->
+          None)
+      at.attrs
+  with
+  | Some s -> Printf.sprintf "%s[%s]" (Aid.to_string id) s
+  | None -> Aid.to_string id
+
+(** Print a molecule as an explosion tree.  Atoms already printed on
+    the current path are marked [cycle]; atoms printed elsewhere are
+    expanded again only with [~expand_shared:true]. *)
+let pp_molecule ?(expand_shared = false) db (t : t) ppf (m : molecule) =
+  let dir = dir_of_view t.desc.view in
+  let printed = Hashtbl.create 16 in
+  let rec walk indent path id =
+    let label = atom_label db t.desc.root_type id in
+    if Aid.Set.mem id path then Fmt.pf ppf "%s%s (cycle)@." indent label
+    else if Hashtbl.mem printed id && not expand_shared then
+      Fmt.pf ppf "%s%s (shared, see above)@." indent label
+    else begin
+      Hashtbl.replace printed id ();
+      Fmt.pf ppf "%s%s@." indent label;
+      (* component sub-structure of this member, if any *)
+      (match Aid.Map.find_opt id m.components with
+       | None -> ()
+       | Some sub ->
+         (match t.desc.component with
+          | None -> ()
+          | Some cdesc ->
+            List.iter
+              (fun node ->
+                if not (String.equal node t.desc.root_type) then
+                  Aid.Set.iter
+                    (fun cid ->
+                      Fmt.pf ppf "%s| %s %s@." indent node
+                        (atom_label db node cid))
+                    (Mad.Molecule.component sub node))
+              (Mad.Mdesc.nodes cdesc)));
+      let children =
+        Aid.Set.inter
+          (Database.neighbors db t.desc.link ~dir id)
+          m.members
+      in
+      Aid.Set.iter
+        (fun c -> walk (indent ^ "  ") (Aid.Set.add id path) c)
+        children
+    end
+  in
+  walk "" Aid.Set.empty m.root
+
+let pp ppf (db, t) =
+  Fmt.pf ppf "recursive molecule type %s: %a (%d molecules)@." t.name pp_desc
+    t.desc (List.length t.occ);
+  List.iter (fun m -> pp_molecule db t ppf m; Fmt.pf ppf "@.") t.occ
+
+let pp_cycle ppf ((db, t) : Database.t * cycle_t) =
+  Fmt.pf ppf "cycle molecule type %s: %a (%d molecules)@." t.cname
+    pp_cycle_desc t.cdesc (List.length t.cocc);
+  List.iter
+    (fun (m : cycle_molecule) ->
+      Fmt.pf ppf "%s: {%s}@."
+        (atom_label db t.cdesc.c_root m.c_root_atom)
+        (String.concat ", "
+           (List.map
+              (atom_label db t.cdesc.c_root)
+              (Aid.Set.elements m.c_members))))
+    t.cocc

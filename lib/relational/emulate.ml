@@ -1,0 +1,224 @@
+(** Molecule derivation emulated on the transformed relational schema:
+    the join plans a relational system must run to assemble the same
+    complex objects MAD derives by link traversal.
+
+    [derive] computes, per structure edge in topological order, the
+    frontier relation (root id, member id) by joining the parent
+    frontier with the edge's auxiliary relation (or inlined FK); a node
+    with several incoming edges intersects its frontiers (the diamond
+    conjunction of Def. 6).  The result is directly comparable with
+    {!Mad.Derive.m_dom} and the [stats] expose the tuple work.
+
+    [flat_join] materializes the fully joined wide relation over a
+    *tree* structure — the redundant representation ch. 2 warns about;
+    its cardinality measures the duplication a flat relational answer
+    carries. *)
+
+open Mad_store
+module Smap = Map.Make (String)
+
+let frontier_attrs =
+  [ Schema.Attr.v "root" Domain.Int; Schema.Attr.v "member" Domain.Int ]
+
+let frontier name pairs =
+  let r = Relation.create name frontier_attrs in
+  List.iter
+    (fun (root, m) -> ignore (Relation.insert r [| Value.Int root; Value.Int m |]))
+    pairs;
+  r
+
+let pairs_of r =
+  Relation.fold
+    (fun acc t ->
+      match t.(0), t.(1) with
+      | Value.Int a, Value.Int b -> (a, b) :: acc
+      | _ -> acc)
+    [] r
+
+(* Join a frontier with one structure edge, yielding the child frontier
+   contributed by that edge. *)
+let step ?stats (map : Mapping.t) db (e : Mad.Mdesc.edge) parent =
+  match Hashtbl.find_opt map.Mapping.inlined e.link with
+  | Some fk ->
+    let child_rel = Mapping.relation map e.to_at in
+    let joined =
+      Rel_algebra.hash_join ?stats parent child_rel ~lkey:"member" ~rkey:fk
+    in
+    Rel_algebra.project ?stats [ "root"; "id" ] joined
+    |> Rel_algebra.rename [ ("id", "member") ]
+  | None ->
+    let aux = Mapping.relation map e.link in
+    let lt = Database.link_type db e.link in
+    let la = (Mapping.left_attr lt).Schema.Attr.name in
+    let ra = (Mapping.right_attr lt).Schema.Attr.name in
+    let pkey, ckey = match e.dir with `Fwd -> (la, ra) | `Bwd -> (ra, la) in
+    let joined =
+      Rel_algebra.hash_join ?stats parent aux ~lkey:"member" ~rkey:pkey
+    in
+    Rel_algebra.project ?stats [ "root"; ckey ] joined
+    |> Rel_algebra.rename [ (ckey, "member") ]
+
+(** Run the derivation plan; returns, per root id, the per-node member
+    sets. *)
+let derive ?(stats = Rel_algebra.stats ()) (map : Mapping.t) db desc =
+  let root_node = Mad.Mdesc.root desc in
+  let root_rel = Mapping.relation map root_node in
+  let roots =
+    Relation.fold
+      (fun acc t -> match t.(0) with Value.Int id -> id :: acc | _ -> acc)
+      [] root_rel
+    |> List.sort_uniq Int.compare
+  in
+  stats.Rel_algebra.tuples_scanned <-
+    stats.Rel_algebra.tuples_scanned + List.length roots;
+  let init =
+    Smap.singleton root_node
+      (frontier "f_root" (List.map (fun r -> (r, r)) roots))
+  in
+  let frontiers =
+    List.fold_left
+      (fun acc node ->
+        if String.equal node root_node then acc
+        else
+          let per_edge =
+            List.map
+              (fun (e : Mad.Mdesc.edge) ->
+                step ~stats map db e (Smap.find e.from_at acc))
+              (Mad.Mdesc.in_edges desc node)
+          in
+          let merged =
+            match per_edge with
+            | [] -> frontier ("f_" ^ node) []
+            | [ f ] -> f
+            | f :: rest ->
+              List.fold_left
+                (fun a b -> Rel_algebra.intersect ~stats a b)
+                f rest
+          in
+          Smap.add node merged acc)
+      init (Mad.Mdesc.topo_order desc)
+  in
+  let by_root = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace by_root r Smap.empty) roots;
+  Smap.iter
+    (fun node f ->
+      List.iter
+        (fun (root, m) ->
+          let cur =
+            Option.value ~default:Smap.empty (Hashtbl.find_opt by_root root)
+          in
+          let s =
+            Option.value ~default:Aid.Set.empty (Smap.find_opt node cur)
+          in
+          Hashtbl.replace by_root root (Smap.add node (Aid.Set.add m s) cur))
+        (pairs_of f))
+    frontiers;
+  List.map
+    (fun r ->
+      (r, Option.value ~default:Smap.empty (Hashtbl.find_opt by_root r)))
+    roots
+
+(** Derivation restricted to roots satisfying a predicate on the root
+    relation — the relational counterpart of a root-attribute
+    restriction, used by the pushdown ablation. *)
+let derive_filtered ?(stats = Rel_algebra.stats ()) (map : Mapping.t) db desc
+    ~root_pred =
+  let root_node = Mad.Mdesc.root desc in
+  let root_rel = Mapping.relation map root_node in
+  let filtered = Rel_algebra.select ~stats root_pred root_rel in
+  let roots =
+    Relation.fold
+      (fun acc t -> match t.(0) with Value.Int id -> id :: acc | _ -> acc)
+      [] filtered
+    |> List.sort_uniq Int.compare
+  in
+  let init =
+    Smap.singleton root_node
+      (frontier "f_root" (List.map (fun r -> (r, r)) roots))
+  in
+  let _frontiers =
+    List.fold_left
+      (fun acc node ->
+        if String.equal node root_node then acc
+        else
+          let per_edge =
+            List.map
+              (fun (e : Mad.Mdesc.edge) ->
+                step ~stats map db e (Smap.find e.from_at acc))
+              (Mad.Mdesc.in_edges desc node)
+          in
+          let merged =
+            match per_edge with
+            | [] -> frontier ("f_" ^ node) []
+            | [ f ] -> f
+            | f :: rest ->
+              List.fold_left
+                (fun a b -> Rel_algebra.intersect ~stats a b)
+                f rest
+          in
+          Smap.add node merged acc)
+      init (Mad.Mdesc.topo_order desc)
+  in
+  roots
+
+(** The fully joined wide relation over a tree structure: one column
+    [k_<node>] per node; cardinality = number of root-to-leaf
+    combinations (the flat answer's redundancy). *)
+let flat_join ?(stats = Rel_algebra.stats ()) (map : Mapping.t) db desc =
+  List.iter
+    (fun node ->
+      if List.length (Mad.Mdesc.in_edges desc node) > 1 then
+        Err.failf
+          "flat join requires a tree structure; node %s has several parents"
+          node)
+    (Mad.Mdesc.nodes desc);
+  let root_node = Mad.Mdesc.root desc in
+  let kcol n = "k_" ^ n in
+  let start =
+    Rel_algebra.project ~stats [ "id" ] (Mapping.relation map root_node)
+    |> Rel_algebra.rename [ ("id", kcol root_node) ]
+  in
+  List.fold_left
+    (fun wide node ->
+      if String.equal node root_node then wide
+      else
+        match Mad.Mdesc.in_edges desc node with
+        | [ e ] -> begin
+          match Hashtbl.find_opt map.Mapping.inlined e.link with
+          | Some fk ->
+            let child = Mapping.relation map node in
+            let joined =
+              Rel_algebra.hash_join ~stats wide child ~lkey:(kcol e.from_at)
+                ~rkey:fk
+            in
+            let keep =
+              List.filter
+                (fun a -> String.length a > 2 && String.sub a 0 2 = "k_")
+                (Relation.attr_names joined)
+              @ [ "id" ]
+            in
+            Rel_algebra.project ~stats keep joined
+            |> Rel_algebra.rename [ ("id", kcol node) ]
+          | None ->
+            let aux = Mapping.relation map e.link in
+            let lt = Database.link_type db e.link in
+            let la = (Mapping.left_attr lt).Schema.Attr.name in
+            let ra = (Mapping.right_attr lt).Schema.Attr.name in
+            let pkey, ckey =
+              match e.dir with `Fwd -> (la, ra) | `Bwd -> (ra, la)
+            in
+            let joined =
+              Rel_algebra.hash_join ~stats wide aux ~lkey:(kcol e.from_at)
+                ~rkey:pkey
+            in
+            let keep =
+              List.filter
+                (fun a -> String.length a > 2 && String.sub a 0 2 = "k_")
+                (Relation.attr_names joined)
+              @ [ ckey ]
+            in
+            Rel_algebra.project ~stats keep joined
+            |> Rel_algebra.rename [ (ckey, kcol node) ]
+        end
+        | _ -> assert false)
+    start (Mad.Mdesc.topo_order desc)

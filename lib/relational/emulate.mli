@@ -1,0 +1,38 @@
+(** Molecule derivation emulated on the transformed relational schema —
+    the join plans a relational system runs to assemble the same
+    complex objects MAD derives by link traversal. *)
+
+open Mad_store
+module Smap : Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+val frontier : string -> (Aid.t * Aid.t) list -> Relation.t
+(** A (root, member) frontier relation. *)
+
+val derive :
+  ?stats:Rel_algebra.stats ->
+  Mapping.t ->
+  Database.t ->
+  Mad.Mdesc.t ->
+  (Aid.t * Aid.Set.t Smap.t) list
+(** Per root id, the member sets per node — directly comparable with
+    {!Mad.Derive.m_dom}. *)
+
+val derive_filtered :
+  ?stats:Rel_algebra.stats ->
+  Mapping.t ->
+  Database.t ->
+  Mad.Mdesc.t ->
+  root_pred:(Value.t array -> bool) ->
+  Aid.t list
+(** Derivation restricted to qualifying roots (the relational
+    counterpart of the pushdown ablation). *)
+
+val flat_join :
+  ?stats:Rel_algebra.stats ->
+  Mapping.t ->
+  Database.t ->
+  Mad.Mdesc.t ->
+  Relation.t
+(** The fully joined wide relation over a tree structure; its
+    cardinality measures the flat answer's redundancy.  Fails on
+    diamonds. *)

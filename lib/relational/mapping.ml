@@ -1,0 +1,134 @@
+(** The MAD-to-relational schema transformation the paper's ch. 2 calls
+    "quite cumbersome": every atom type becomes a relation with a
+    surrogate key [id]; every link type becomes an *auxiliary relation*
+    over the two endpoint keys (the general mapping that n:m
+    relationship types force on the relational model — "all n:m
+    relationship types have to be modeled by some auxiliary
+    relations").  Optionally, 1:n link types are inlined as a foreign
+    key on the n side ([~inline_1n:true]), saving their auxiliary
+    relations; n:m link types can never be inlined. *)
+
+open Mad_store
+
+type t = {
+  rels : (string, Relation.t) Hashtbl.t;
+  inlined : (string, string) Hashtbl.t;
+      (** link type -> FK attribute on the n-side relation *)
+}
+
+let relation t name =
+  match Hashtbl.find_opt t.rels name with
+  | Some r -> r
+  | None -> Err.failf "no relation %s in the transformed schema" name
+
+let relation_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.rels [] |> List.sort String.compare
+
+(** Number of auxiliary relations (the paper's complaint measured). *)
+let auxiliary_count db t =
+  List.length
+    (List.filter (Hashtbl.mem t.rels) (Database.link_type_names db))
+
+let id_attr = Schema.Attr.v "id" Domain.Int
+
+let left_attr lt = Schema.Attr.v (fst lt.Schema.Link_type.ends ^ "_id") Domain.Int
+let right_attr lt =
+  let base = snd lt.Schema.Link_type.ends ^ "_id" in
+  if String.equal (fst lt.Schema.Link_type.ends) (snd lt.Schema.Link_type.ends)
+  then Schema.Attr.v (base ^ "2") Domain.Int
+  else Schema.Attr.v base Domain.Int
+
+(** Is this a 1:n link type whose n side is the second end? *)
+let inlinable lt =
+  match lt.Schema.Link_type.card with
+  | Some 1, None | Some 1, Some 1 -> `On_right
+  | None, Some 1 -> `On_left
+  | _ -> `No
+
+let of_database ?(inline_1n = false) db =
+  let t = { rels = Hashtbl.create 16; inlined = Hashtbl.create 4 } in
+  (* entity relations *)
+  List.iter
+    (fun atname ->
+      let at = Database.atom_type db atname in
+      let r = Relation.create atname (id_attr :: at.attrs) in
+      Hashtbl.replace t.rels atname r)
+    (Database.atom_type_names db);
+  (* decide inlining before populating *)
+  let fk_of = Hashtbl.create 4 in
+  if inline_1n then
+    List.iter
+      (fun ltname ->
+        let lt = Database.link_type db ltname in
+        match inlinable lt with
+        | `On_right when not (Schema.Link_type.reflexive lt) ->
+          Hashtbl.replace fk_of ltname `Right
+        | `On_left when not (Schema.Link_type.reflexive lt) ->
+          Hashtbl.replace fk_of ltname `Left
+        | `On_right | `On_left | `No -> ())
+      (Database.link_type_names db);
+  (* extend inlined relations with FK attributes *)
+  Hashtbl.iter
+    (fun ltname side ->
+      let lt = Database.link_type db ltname in
+      let holder, fk =
+        match side with
+        | `Right -> (snd lt.ends, fst lt.ends ^ "_fk")
+        | `Left -> (fst lt.ends, snd lt.ends ^ "_fk")
+      in
+      let r = relation t holder in
+      let r' =
+        Relation.create holder (r.Relation.attrs @ [ Schema.Attr.v fk Domain.Int ])
+      in
+      Hashtbl.replace t.rels holder r';
+      Hashtbl.replace t.inlined ltname fk)
+    fk_of;
+  (* populate entity relations *)
+  List.iter
+    (fun atname ->
+      let r = relation t atname in
+      let fk_links =
+        (* inlined link types whose FK lives on this relation *)
+        Hashtbl.fold
+          (fun ltname side acc ->
+            let lt = Database.link_type db ltname in
+            let holder =
+              match side with `Right -> snd lt.ends | `Left -> fst lt.ends
+            in
+            if String.equal holder atname then (ltname, side) :: acc else acc)
+          fk_of []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (a : Atom.t) ->
+          let fks =
+            List.map
+              (fun (ltname, side) ->
+                let dir = match side with `Right -> `Bwd | `Left -> `Fwd in
+                match
+                  Aid.Set.choose_opt (Database.neighbors db ltname ~dir a.id)
+                with
+                | Some partner -> Value.Int partner
+                | None -> Value.Int (-1) (* relational NULL stand-in *))
+              fk_links
+          in
+          ignore
+            (Relation.insert r
+               (Array.of_list
+                  ((Value.Int a.id :: Array.to_list a.values) @ fks))))
+        (Database.atoms db atname))
+    (Database.atom_type_names db);
+  (* auxiliary relations for the remaining link types *)
+  List.iter
+    (fun ltname ->
+      if not (Hashtbl.mem fk_of ltname) then begin
+        let lt = Database.link_type db ltname in
+        let r = Relation.create ltname [ left_attr lt; right_attr lt ] in
+        List.iter
+          (fun (l, rgt) ->
+            ignore (Relation.insert r [| Value.Int l; Value.Int rgt |]))
+          (Database.links db ltname);
+        Hashtbl.replace t.rels ltname r
+      end)
+    (Database.link_type_names db);
+  t

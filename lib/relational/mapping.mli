@@ -1,0 +1,26 @@
+(** The MAD-to-relational schema transformation (ch. 2's "quite
+    cumbersome" mapping): atom types become relations with a surrogate
+    [id]; link types become auxiliary relations over the endpoint keys,
+    except 1:n/1:1 link types inlined as foreign keys when
+    [~inline_1n:true]. *)
+
+open Mad_store
+
+type t = {
+  rels : (string, Relation.t) Hashtbl.t;
+  inlined : (string, string) Hashtbl.t;
+      (** link type -> FK attribute on the n-side relation *)
+}
+
+val relation : t -> string -> Relation.t
+val relation_names : t -> string list
+
+val auxiliary_count : Database.t -> t -> int
+(** Number of auxiliary (link) relations — the paper's complaint,
+    measured. *)
+
+val id_attr : Schema.Attr.t
+val left_attr : Schema.Link_type.t -> Schema.Attr.t
+val right_attr : Schema.Link_type.t -> Schema.Attr.t
+
+val of_database : ?inline_1n:bool -> Database.t -> t

@@ -1,0 +1,310 @@
+(** The relational algebra baseline: σ π ρ × ∪ − plus real join
+    algorithms (hash and nested-loop).  [stats] counters expose the
+    tuple work done, which is what the SHARE/FIG2 experiments compare
+    against the MAD engine's link traversals. *)
+
+open Mad_store
+
+type stats = {
+  mutable tuples_scanned : int;
+  mutable tuples_emitted : int;
+  mutable probes : int;
+}
+
+let stats () = { tuples_scanned = 0; tuples_emitted = 0; probes = 0 }
+
+let no_stats = stats ()
+
+let fresh_name =
+  let k = ref 0 in
+  fun base ->
+    incr k;
+    Printf.sprintf "%s_%d" base !k
+
+(** σ — selection by an arbitrary tuple predicate. *)
+let select ?(stats = no_stats) ?name pred r =
+  let out =
+    Relation.create
+      (Option.value name ~default:(fresh_name (r.Relation.name ^ "_s")))
+      r.Relation.attrs
+  in
+  Relation.iter
+    (fun t ->
+      stats.tuples_scanned <- stats.tuples_scanned + 1;
+      if pred t then begin
+        stats.tuples_emitted <- stats.tuples_emitted + 1;
+        ignore (Relation.insert out t)
+      end)
+    r;
+  out
+
+(** Selection on one attribute. *)
+let select_eq ?stats ?name r aname v =
+  let i = Relation.attr_index r aname in
+  select ?stats ?name (fun t -> Value.equal_sem t.(i) v) r
+
+(** π — projection onto named attributes (set semantics). *)
+let project ?(stats = no_stats) ?name attrs r =
+  let idxs = List.map (Relation.attr_index r) attrs in
+  let out_attrs = List.map (fun i -> List.nth r.Relation.attrs i) idxs in
+  let out =
+    Relation.create
+      (Option.value name ~default:(fresh_name (r.Relation.name ^ "_p")))
+      out_attrs
+  in
+  Relation.iter
+    (fun t ->
+      stats.tuples_scanned <- stats.tuples_scanned + 1;
+      if Relation.insert out (Array.of_list (List.map (fun i -> t.(i)) idxs))
+      then stats.tuples_emitted <- stats.tuples_emitted + 1)
+    r;
+  out
+
+(** ρ — rename attributes through an association list. *)
+let rename ?name mapping r =
+  let attrs =
+    List.map
+      (fun (a : Schema.Attr.t) ->
+        match List.assoc_opt a.name mapping with
+        | Some n' -> { a with Schema.Attr.name = n' }
+        | None -> a)
+      r.Relation.attrs
+  in
+  let out =
+    Relation.create
+      (Option.value name ~default:(fresh_name (r.Relation.name ^ "_r")))
+      attrs
+  in
+  Relation.iter (fun t -> ignore (Relation.insert out t)) r;
+  out
+
+(** × — cartesian product (second operand's colliding attributes are
+    qualified, mirroring the MAD atom algebra). *)
+let product ?(stats = no_stats) ?name r1 r2 =
+  let taken = ref (Relation.attr_names r1) in
+  let attrs2 =
+    List.map
+      (fun (a : Schema.Attr.t) ->
+        let rec fresh c =
+          if List.mem c !taken then fresh (r2.Relation.name ^ "_" ^ c) else c
+        in
+        let n = fresh a.name in
+        taken := n :: !taken;
+        { a with Schema.Attr.name = n })
+      r2.Relation.attrs
+  in
+  let out =
+    Relation.create
+      (Option.value name
+         ~default:(fresh_name (r1.Relation.name ^ "_x_" ^ r2.Relation.name)))
+      (r1.Relation.attrs @ attrs2)
+  in
+  Relation.iter
+    (fun t1 ->
+      Relation.iter
+        (fun t2 ->
+          stats.tuples_scanned <- stats.tuples_scanned + 1;
+          stats.tuples_emitted <- stats.tuples_emitted + 1;
+          ignore (Relation.insert out (Array.append t1 t2)))
+        r2)
+    r1;
+  out
+
+let check_union_compatible op r1 r2 =
+  if not (Relation.same_description r1 r2) then
+    Err.failf "%s: %s and %s are not union-compatible" op r1.Relation.name
+      r2.Relation.name
+
+(** ∪ *)
+let union ?(stats = no_stats) ?name r1 r2 =
+  check_union_compatible "union" r1 r2;
+  let out =
+    Relation.create
+      (Option.value name ~default:(fresh_name (r1.Relation.name ^ "_u")))
+      r1.Relation.attrs
+  in
+  List.iter
+    (fun r ->
+      Relation.iter
+        (fun t ->
+          stats.tuples_scanned <- stats.tuples_scanned + 1;
+          ignore (Relation.insert out t))
+        r)
+    [ r1; r2 ];
+  out
+
+(** − *)
+let diff ?(stats = no_stats) ?name r1 r2 =
+  check_union_compatible "difference" r1 r2;
+  let out =
+    Relation.create
+      (Option.value name ~default:(fresh_name (r1.Relation.name ^ "_d")))
+      r1.Relation.attrs
+  in
+  Relation.iter
+    (fun t ->
+      stats.tuples_scanned <- stats.tuples_scanned + 1;
+      if not (Relation.mem r2 t) then ignore (Relation.insert out t))
+    r1;
+  out
+
+let intersect ?stats ?name r1 r2 = diff ?stats ?name r1 (diff ?stats r1 r2)
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                                *)
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash v = Hashtbl.hash (Value.to_string v)
+end)
+
+(** Equi-join via hash join: build on the smaller side, probe the
+    larger.  [lkey]/[rkey] are attribute names. *)
+let hash_join ?(stats = no_stats) ?name r1 r2 ~lkey ~rkey =
+  let i1 = Relation.attr_index r1 lkey and i2 = Relation.attr_index r2 rkey in
+  let build_left = Relation.cardinality r1 <= Relation.cardinality r2 in
+  let build, probe, bi, pi =
+    if build_left then (r1, r2, i1, i2) else (r2, r1, i2, i1)
+  in
+  let tbl = Vtbl.create (max 16 (Relation.cardinality build)) in
+  Relation.iter
+    (fun t ->
+      stats.tuples_scanned <- stats.tuples_scanned + 1;
+      Vtbl.add tbl t.(bi) t)
+    build;
+  let taken = ref (Relation.attr_names r1) in
+  let attrs2 =
+    List.map
+      (fun (a : Schema.Attr.t) ->
+        let rec fresh c =
+          if List.mem c !taken then fresh (r2.Relation.name ^ "_" ^ c) else c
+        in
+        let n = fresh a.name in
+        taken := n :: !taken;
+        { a with Schema.Attr.name = n })
+      r2.Relation.attrs
+  in
+  let out =
+    Relation.create
+      (Option.value name
+         ~default:(fresh_name (r1.Relation.name ^ "_j_" ^ r2.Relation.name)))
+      (r1.Relation.attrs @ attrs2)
+  in
+  Relation.iter
+    (fun t ->
+      stats.tuples_scanned <- stats.tuples_scanned + 1;
+      stats.probes <- stats.probes + 1;
+      List.iter
+        (fun t' ->
+          stats.tuples_emitted <- stats.tuples_emitted + 1;
+          let t1, t2 = if build_left then (t', t) else (t, t') in
+          ignore (Relation.insert out (Array.append t1 t2)))
+        (Vtbl.find_all tbl t.(pi)))
+    probe;
+  out
+
+(** General theta join by nested loops (quadratic; kept as the honest
+    fallback and for the join-algorithm ablation). *)
+let nl_join ?(stats = no_stats) ?name pred r1 r2 =
+  let taken = ref (Relation.attr_names r1) in
+  let attrs2 =
+    List.map
+      (fun (a : Schema.Attr.t) ->
+        let rec fresh c =
+          if List.mem c !taken then fresh (r2.Relation.name ^ "_" ^ c) else c
+        in
+        let n = fresh a.name in
+        taken := n :: !taken;
+        { a with Schema.Attr.name = n })
+      r2.Relation.attrs
+  in
+  let out =
+    Relation.create
+      (Option.value name
+         ~default:(fresh_name (r1.Relation.name ^ "_nj_" ^ r2.Relation.name)))
+      (r1.Relation.attrs @ attrs2)
+  in
+  Relation.iter
+    (fun t1 ->
+      Relation.iter
+        (fun t2 ->
+          stats.tuples_scanned <- stats.tuples_scanned + 1;
+          if pred t1 t2 then begin
+            stats.tuples_emitted <- stats.tuples_emitted + 1;
+            ignore (Relation.insert out (Array.append t1 t2))
+          end)
+        r2)
+    r1;
+  out
+
+(** Equi-join via sort-merge: both inputs sorted on the key, then a
+    single merge pass with duplicate-group products. *)
+let merge_join ?(stats = no_stats) ?name r1 r2 ~lkey ~rkey =
+  let i1 = Relation.attr_index r1 lkey and i2 = Relation.attr_index r2 rkey in
+  let sort r i =
+    List.sort
+      (fun (a : Value.t array) b -> Value.compare_sem a.(i) b.(i))
+      r.Relation.tuples
+  in
+  let left = sort r1 i1 and right = sort r2 i2 in
+  stats.tuples_scanned <-
+    stats.tuples_scanned + List.length left + List.length right;
+  let taken = ref (Relation.attr_names r1) in
+  let attrs2 =
+    List.map
+      (fun (a : Schema.Attr.t) ->
+        let rec fresh c =
+          if List.mem c !taken then fresh (r2.Relation.name ^ "_" ^ c) else c
+        in
+        let n = fresh a.name in
+        taken := n :: !taken;
+        { a with Schema.Attr.name = n })
+      r2.Relation.attrs
+  in
+  let out =
+    Relation.create
+      (Option.value name
+         ~default:(fresh_name (r1.Relation.name ^ "_m_" ^ r2.Relation.name)))
+      (r1.Relation.attrs @ attrs2)
+  in
+  (* split off the run of tuples sharing the head's key *)
+  let run key i = List.partition (fun t -> Value.equal_sem t.(i) key) in
+  let rec merge left right =
+    match (left, right) with
+    | [], _ | _, [] -> ()
+    | l :: _, r :: _ ->
+      let c = Value.compare_sem l.(i1) r.(i2) in
+      if c < 0 then merge (List.tl left) right
+      else if c > 0 then merge left (List.tl right)
+      else begin
+        let lrun, lrest = run l.(i1) i1 left in
+        let rrun, rrest = run l.(i1) i2 right in
+        List.iter
+          (fun lt ->
+            List.iter
+              (fun rt ->
+                stats.tuples_emitted <- stats.tuples_emitted + 1;
+                ignore (Relation.insert out (Array.append lt rt)))
+              rrun)
+          lrun;
+        merge lrest rrest
+      end
+  in
+  merge left right;
+  out
+
+(** Semi-join: tuples of [r1] with a partner in [r2]. *)
+let semi_join ?(stats = no_stats) ?name r1 r2 ~lkey ~rkey =
+  let i1 = Relation.attr_index r1 lkey and i2 = Relation.attr_index r2 rkey in
+  let tbl = Vtbl.create (max 16 (Relation.cardinality r2)) in
+  Relation.iter
+    (fun t ->
+      stats.tuples_scanned <- stats.tuples_scanned + 1;
+      Vtbl.replace tbl t.(i2) ())
+    r2;
+  select ~stats
+    ?name
+    (fun t -> Vtbl.mem tbl t.(i1))
+    r1

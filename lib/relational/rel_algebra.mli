@@ -1,0 +1,75 @@
+(** The relational algebra baseline: σ π ρ × ∪ − with real join
+    algorithms (hash, nested-loop, semi); [stats] counters expose the
+    tuple work the experiments compare against MAD's link
+    traversals. *)
+
+open Mad_store
+
+type stats = {
+  mutable tuples_scanned : int;
+  mutable tuples_emitted : int;
+  mutable probes : int;
+}
+
+val stats : unit -> stats
+
+val select :
+  ?stats:stats -> ?name:string -> (Value.t array -> bool) -> Relation.t -> Relation.t
+
+val select_eq :
+  ?stats:stats -> ?name:string -> Relation.t -> string -> Value.t -> Relation.t
+
+val project :
+  ?stats:stats -> ?name:string -> string list -> Relation.t -> Relation.t
+
+val rename : ?name:string -> (string * string) list -> Relation.t -> Relation.t
+
+val product :
+  ?stats:stats -> ?name:string -> Relation.t -> Relation.t -> Relation.t
+
+val union :
+  ?stats:stats -> ?name:string -> Relation.t -> Relation.t -> Relation.t
+
+val diff :
+  ?stats:stats -> ?name:string -> Relation.t -> Relation.t -> Relation.t
+
+val intersect :
+  ?stats:stats -> ?name:string -> Relation.t -> Relation.t -> Relation.t
+
+val hash_join :
+  ?stats:stats ->
+  ?name:string ->
+  Relation.t ->
+  Relation.t ->
+  lkey:string ->
+  rkey:string ->
+  Relation.t
+(** Equi-join; builds on the smaller side. *)
+
+val nl_join :
+  ?stats:stats ->
+  ?name:string ->
+  (Value.t array -> Value.t array -> bool) ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+(** General theta join by nested loops. *)
+
+val merge_join :
+  ?stats:stats ->
+  ?name:string ->
+  Relation.t ->
+  Relation.t ->
+  lkey:string ->
+  rkey:string ->
+  Relation.t
+(** Equi-join via sort-merge. *)
+
+val semi_join :
+  ?stats:stats ->
+  ?name:string ->
+  Relation.t ->
+  Relation.t ->
+  lkey:string ->
+  rkey:string ->
+  Relation.t

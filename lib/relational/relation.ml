@@ -1,0 +1,82 @@
+(** Relations: the baseline data structure of the relational model the
+    paper extends.  Tuples are value arrays over an ordered attribute
+    list; occurrences follow set semantics (insertion de-duplicates).
+
+    This library is a *real* baseline, not a mock: the benchmark
+    experiments run the same logical queries through this engine and
+    through the MAD engine, so joins, set operations and the
+    MAD-to-relational schema transformation are implemented in full. *)
+
+open Mad_store
+
+module Vmap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+type t = {
+  name : string;
+  attrs : Schema.Attr.t list;
+  mutable tuples : Value.t array list;  (** newest first *)
+  mutable index : unit Vmap.t;  (** set-semantics membership *)
+}
+
+let create name attrs =
+  let names = List.map (fun (a : Schema.Attr.t) -> a.name) attrs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then Err.failf "relation %s: duplicate attribute" name;
+  { name; attrs; tuples = []; index = Vmap.empty }
+
+let arity r = List.length r.attrs
+let cardinality r = List.length r.tuples
+
+let attr_index r aname =
+  let rec go i = function
+    | [] -> Err.failf "relation %s has no attribute %s" r.name aname
+    | (a : Schema.Attr.t) :: rest ->
+      if String.equal a.name aname then i else go (i + 1) rest
+  in
+  go 0 r.attrs
+
+let attr_names r = List.map (fun (a : Schema.Attr.t) -> a.name) r.attrs
+
+(** Set-semantics insert: duplicates are ignored; returns whether the
+    tuple was new. *)
+let insert r tuple =
+  if Array.length tuple <> arity r then
+    Err.failf "relation %s: tuple arity %d, schema arity %d" r.name
+      (Array.length tuple) (arity r);
+  let key = Array.to_list tuple in
+  if Vmap.mem key r.index then false
+  else begin
+    r.index <- Vmap.add key () r.index;
+    r.tuples <- tuple :: r.tuples;
+    true
+  end
+
+let insert_list r values = ignore (insert r (Array.of_list values))
+
+let mem r tuple = Vmap.mem (Array.to_list tuple) r.index
+
+let iter f r = List.iter f r.tuples
+let fold f init r = List.fold_left f init r.tuples
+
+let same_description a b =
+  List.equal Schema.Attr.equal a.attrs b.attrs
+
+(** Tuples in a deterministic order (for tests and printing). *)
+let sorted_tuples r =
+  List.sort (fun a b -> List.compare Value.compare (Array.to_list a) (Array.to_list b)) r.tuples
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%s(%a): %d tuples@]" r.name
+    Fmt.(list ~sep:(any ", ") Schema.Attr.pp)
+    r.attrs (cardinality r)
+
+let pp_full ppf r =
+  pp ppf r;
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "@.  (%a)" Fmt.(array ~sep:(any ", ") Value.pp) t)
+    (sorted_tuples r)

@@ -1,0 +1,34 @@
+(** Relations: the baseline data structure of the relational model the
+    paper extends.  Set semantics (insertion de-duplicates). *)
+
+open Mad_store
+
+module Vmap : Map.S with type key = Value.t list
+
+type t = {
+  name : string;
+  attrs : Schema.Attr.t list;
+  mutable tuples : Value.t array list;  (** newest first *)
+  mutable index : unit Vmap.t;
+}
+
+val create : string -> Schema.Attr.t list -> t
+val arity : t -> int
+val cardinality : t -> int
+val attr_index : t -> string -> int
+val attr_names : t -> string list
+
+val insert : t -> Value.t array -> bool
+(** Set-semantics insert; returns whether the tuple was new. *)
+
+val insert_list : t -> Value.t list -> unit
+val mem : t -> Value.t array -> bool
+val iter : (Value.t array -> unit) -> t -> unit
+val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
+val same_description : t -> t -> bool
+
+val sorted_tuples : t -> Value.t array list
+(** Deterministic order for tests and printing. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_full : Format.formatter -> t -> unit

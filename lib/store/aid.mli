@@ -1,0 +1,18 @@
+(** Atom identities.
+
+    The MAD model requires every atom to be "uniquely identifiable"
+    (Def. 1); identity is model-level, not value-based.  Realised as an
+    integer unique within one database. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val pp_set : Format.formatter -> Set.t -> unit

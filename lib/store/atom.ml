@@ -1,0 +1,41 @@
+(** Atoms: the basic building blocks of the MAD model (Def. 1).
+
+    An atom is a uniquely identified element of an atom-type occurrence:
+    an identity plus one value per attribute of the owning atom-type
+    description. *)
+
+type t = {
+  id : Aid.t;
+  atype : string;  (** name of the owning atom type *)
+  values : Value.t array;
+}
+
+let v ~id ~atype values = { id; atype; values = Array.of_list values }
+
+let value_by_index a i =
+  if i < 0 || i >= Array.length a.values then
+    Err.failf "atom %s of type %s: attribute index %d out of range"
+      (Aid.to_string a.id) a.atype i
+  else a.values.(i)
+
+let value a (at : Schema.Atom_type.t) aname =
+  value_by_index a (Schema.Atom_type.attr_index at aname)
+
+(** Value-level equality; identity is *not* part of it.  Two distinct
+    atoms may be value-equal (identity is model-level). *)
+let same_values a b =
+  Array.length a.values = Array.length b.values
+  && Array.for_all2 Value.equal a.values b.values
+
+let pp ppf a =
+  Fmt.pf ppf "<%a|%a>" Aid.pp a.id
+    Fmt.(array ~sep:(any ",") Value.pp)
+    a.values
+
+let pp_named (at : Schema.Atom_type.t) ppf a =
+  let pp_binding ppf ((attr : Schema.Attr.t), v) =
+    Fmt.pf ppf "%s=%a" attr.name Value.pp v
+  in
+  Fmt.pf ppf "%a<%a>" Aid.pp a.id
+    (Fmt.list ~sep:(Fmt.any ", ") pp_binding)
+    (List.combine at.attrs (Array.to_list a.values))

@@ -1,0 +1,19 @@
+(** Atoms: uniquely identified elements of an atom-type occurrence
+    (Def. 1). *)
+
+type t = {
+  id : Aid.t;
+  atype : string;  (** name of the owning atom type *)
+  values : Value.t array;  (** one value per attribute, in order *)
+}
+
+val v : id:Aid.t -> atype:string -> Value.t list -> t
+
+val value_by_index : t -> int -> Value.t
+val value : t -> Schema.Atom_type.t -> string -> Value.t
+
+val same_values : t -> t -> bool
+(** Value-level equality; identity is not part of it. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_named : Schema.Atom_type.t -> Format.formatter -> t -> unit

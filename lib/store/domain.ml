@@ -1,0 +1,61 @@
+(** Attribute domains.
+
+    Each attribute of an atom-type description draws its values from a
+    domain (Def. 1: "the cartesian product of the attribute domains
+    used").  [Id_of at] is the domain of references to atoms of atom
+    type [at]; [Enum] is a finite string domain. *)
+
+type t =
+  | Int
+  | Float
+  | Bool
+  | String
+  | Id_of of string
+  | Enum of string list
+  | List_of of t
+
+let rec pp ppf = function
+  | Int -> Fmt.string ppf "INT"
+  | Float -> Fmt.string ppf "FLOAT"
+  | Bool -> Fmt.string ppf "BOOL"
+  | String -> Fmt.string ppf "STRING"
+  | Id_of at -> Fmt.pf ppf "ID(%s)" at
+  | Enum cs -> Fmt.pf ppf "ENUM(%a)" Fmt.(list ~sep:(any ",") string) cs
+  | List_of d -> Fmt.pf ppf "LIST(%a)" pp d
+
+let to_string d = Format.asprintf "%a" pp d
+
+let rec equal a b =
+  match a, b with
+  | Int, Int | Float, Float | Bool, Bool | String, String -> true
+  | Id_of x, Id_of y -> String.equal x y
+  | Enum x, Enum y -> List.equal String.equal x y
+  | List_of x, List_of y -> equal x y
+  | (Int | Float | Bool | String | Id_of _ | Enum _ | List_of _), _ -> false
+
+(** Domain membership: does value [v] belong to domain [d]?  [Id_of]
+    checks only the value shape; referential validity is the business of
+    {!Integrity}. *)
+let rec mem v d =
+  match v, d with
+  | Value.Int _, Int -> true
+  | Value.Float _, Float -> true
+  | Value.Bool _, Bool -> true
+  | Value.String _, String -> true
+  | Value.Id _, Id_of _ -> true
+  | Value.String s, Enum cs -> List.mem s cs
+  | Value.List vs, List_of d' -> List.for_all (fun v -> mem v d') vs
+  | ( Value.Int _ | Value.Float _ | Value.Bool _ | Value.String _
+    | Value.Id _ | Value.List _ ), _ -> false
+
+(** A representative default value, used by generators and by padding
+    when loading partial data. *)
+let rec default = function
+  | Int -> Value.Int 0
+  | Float -> Value.Float 0.
+  | Bool -> Value.Bool false
+  | String -> Value.String ""
+  | Id_of _ -> Value.Id 0
+  | Enum (c :: _) -> Value.String c
+  | Enum [] -> Value.String ""
+  | List_of d -> ignore (default d); Value.List []

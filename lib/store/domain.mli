@@ -1,0 +1,22 @@
+(** Attribute domains (Def. 1: the description's domain is the
+    cartesian product of the attribute domains used). *)
+
+type t =
+  | Int
+  | Float
+  | Bool
+  | String
+  | Id_of of string  (** references to atoms of the named atom type *)
+  | Enum of string list  (** finite string domain *)
+  | List_of of t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val mem : Value.t -> t -> bool
+(** Domain membership.  [Id_of] checks only the value shape;
+    referential validity is {!Integrity}'s business. *)
+
+val default : t -> Value.t
+(** A representative member, used by generators. *)

@@ -1,0 +1,53 @@
+(** Graphviz DOT export of schemas (MAD diagrams, Fig. 1 middle) and
+    atom networks (Fig. 1 bottom). *)
+
+let esc s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(** The MAD diagram: atom types as boxes, link types as undirected
+    edges (bidirectional link pairs). *)
+let schema ppf db =
+  Fmt.pf ppf "graph mad_schema {@.";
+  Fmt.pf ppf "  node [shape=box];@.";
+  List.iter
+    (fun at -> Fmt.pf ppf "  \"%s\";@." (esc at))
+    (Database.atom_type_names db);
+  List.iter
+    (fun ln ->
+      let lt = Database.link_type db ln in
+      Fmt.pf ppf "  \"%s\" -- \"%s\" [label=\"%s\"];@."
+        (esc (fst lt.ends)) (esc (snd lt.ends)) (esc ln))
+    (Database.link_type_names db);
+  Fmt.pf ppf "}@."
+
+(** The atom networks: atoms as nodes labelled with their first
+    attribute value (if any), links as undirected edges. *)
+let occurrence ppf db =
+  Fmt.pf ppf "graph atom_networks {@.";
+  Fmt.pf ppf "  node [shape=ellipse];@.";
+  List.iter
+    (fun atname ->
+      List.iter
+        (fun (a : Atom.t) ->
+          let label =
+            if Array.length a.values > 0 then
+              Printf.sprintf "%s %s" atname (Value.to_string a.values.(0))
+            else atname
+          in
+          Fmt.pf ppf "  a%d [label=\"%s\"];@." a.id (esc label))
+        (Database.atoms db atname))
+    (Database.atom_type_names db);
+  List.iter
+    (fun ln ->
+      List.iter
+        (fun (l, r) -> Fmt.pf ppf "  a%d -- a%d [label=\"%s\"];@." l r (esc ln))
+        (Database.links db ln))
+    (Database.link_type_names db);
+  Fmt.pf ppf "}@."
+
+let schema_to_string db = Format.asprintf "%a" schema db
+let occurrence_to_string db = Format.asprintf "%a" occurrence db

@@ -1,0 +1,7 @@
+(** Graphviz DOT export: the MAD diagram (schema) and the atom networks
+    (occurrence) of Fig. 1. *)
+
+val schema : Format.formatter -> Database.t -> unit
+val occurrence : Format.formatter -> Database.t -> unit
+val schema_to_string : Database.t -> string
+val occurrence_to_string : Database.t -> string

@@ -1,0 +1,16 @@
+(** Unified error reporting for the MAD system.
+
+    All MAD libraries raise [Mad_error] for user-level errors (schema
+    violations, unknown names, invalid molecule descriptions, ...).
+    Programming errors keep using [Invalid_argument]/[assert]. *)
+
+exception Mad_error of string
+
+let failf fmt = Format.kasprintf (fun s -> raise (Mad_error s)) fmt
+
+(** [check cond msg] raises [Mad_error msg] when [cond] is false. *)
+let check cond msg = if not cond then raise (Mad_error msg)
+
+let to_result f = match f () with
+  | v -> Ok v
+  | exception Mad_error msg -> Error msg

@@ -1,0 +1,14 @@
+(** Unified error reporting for the MAD system. *)
+
+exception Mad_error of string
+(** Raised for every user-level error: schema violations, unknown
+    names, invalid molecule descriptions, malformed MOL, ... *)
+
+val failf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [failf fmt ...] raises {!Mad_error} with the formatted message. *)
+
+val check : bool -> string -> unit
+(** [check cond msg] raises [Mad_error msg] when [cond] is false. *)
+
+val to_result : (unit -> 'a) -> ('a, string) result
+(** Run a computation, turning {!Mad_error} into [Error]. *)

@@ -1,0 +1,150 @@
+(** Database integrity checking.
+
+    The paper contrasts the relational model's referential-integrity
+    problem with MAD's structural guarantee ("referential integrity (!)",
+    Fig. 3; "There are no dangling references (i.e. links) and it is
+    even possible to control cardinality restrictions").  The store
+    enforces these invariants eagerly; this module *re-verifies* them
+    over a whole database, which is how tests catch any operation that
+    would break them, and how deliberately corrupted databases are
+    diagnosed (failure-injection tests). *)
+
+type violation =
+  | Dangling_link of { lt : string; left : Aid.t; right : Aid.t; missing : Aid.t }
+  | Wrong_end_type of { lt : string; atom : Aid.t; expected : string; actual : string }
+  | Cardinality of { lt : string; atom : Aid.t; limit : int; actual : int }
+  | Domain_violation of { atype : string; atom : Aid.t; attr : string; value : Value.t }
+  | Arity_mismatch of { atype : string; atom : Aid.t; expected : int; actual : int }
+  | Index_mismatch of { lt : string; detail : string }
+
+let pp_violation ppf = function
+  | Dangling_link { lt; left; right; missing } ->
+    Fmt.pf ppf "dangling link <%a,%a> of %s: atom %a does not exist"
+      Aid.pp left Aid.pp right lt Aid.pp missing
+  | Wrong_end_type { lt; atom; expected; actual } ->
+    Fmt.pf ppf "link type %s: atom %a has type %s, expected %s" lt Aid.pp
+      atom actual expected
+  | Cardinality { lt; atom; limit; actual } ->
+    Fmt.pf ppf "link type %s: atom %a carries %d links, limit %d" lt Aid.pp
+      atom actual limit
+  | Domain_violation { atype; atom; attr; value } ->
+    Fmt.pf ppf "atom %a of %s: attribute %s holds %a outside its domain"
+      Aid.pp atom atype attr Value.pp value
+  | Arity_mismatch { atype; atom; expected; actual } ->
+    Fmt.pf ppf "atom %a of %s: %d values, description has %d attributes"
+      Aid.pp atom atype actual expected
+  | Index_mismatch { lt; detail } ->
+    Fmt.pf ppf "link type %s: adjacency index inconsistent (%s)" lt detail
+
+let check_atoms db acc =
+  List.fold_left
+    (fun acc atname ->
+      let at = Database.atom_type db atname in
+      let arity = Schema.Atom_type.arity at in
+      List.fold_left
+        (fun acc (a : Atom.t) ->
+          if Array.length a.values <> arity then
+            Arity_mismatch
+              { atype = atname; atom = a.id; expected = arity;
+                actual = Array.length a.values }
+            :: acc
+          else
+            List.fold_left
+              (fun acc ((attr : Schema.Attr.t), v) ->
+                if Domain.mem v attr.domain then acc
+                else
+                  Domain_violation
+                    { atype = atname; atom = a.id; attr = attr.name; value = v }
+                  :: acc)
+              acc
+              (List.combine at.attrs (Array.to_list a.values)))
+        acc (Database.atoms db atname))
+    acc
+    (Database.atom_type_names db)
+
+let check_links db acc =
+  List.fold_left
+    (fun acc ltname ->
+      let lt = Database.link_type db ltname in
+      let e1, e2 = lt.ends in
+      let ids1 = Database.atom_ids db e1 and ids2 = Database.atom_ids db e2 in
+      let acc =
+        List.fold_left
+          (fun acc (left, right) ->
+            let acc =
+              if Aid.Set.mem left ids1 then acc
+              else
+                Dangling_link { lt = ltname; left; right; missing = left } :: acc
+            in
+            if Aid.Set.mem right ids2 then acc
+            else Dangling_link { lt = ltname; left; right; missing = right } :: acc)
+          acc (Database.links db ltname)
+      in
+      (* cardinality restrictions *)
+      let max_l, max_r = lt.card in
+      let count_by sel =
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun pair ->
+            let k = sel pair in
+            Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          (Database.links db ltname);
+        tbl
+      in
+      let acc =
+        match max_r with
+        | None -> acc
+        | Some k ->
+          Hashtbl.fold
+            (fun atom n acc ->
+              if n > k then
+                Cardinality { lt = ltname; atom; limit = k; actual = n } :: acc
+              else acc)
+            (count_by fst) acc
+      in
+      match max_l with
+      | None -> acc
+      | Some k ->
+        Hashtbl.fold
+          (fun atom n acc ->
+            if n > k then
+              Cardinality { lt = ltname; atom; limit = k; actual = n } :: acc
+            else acc)
+          (count_by snd) acc)
+    acc
+    (Database.link_type_names db)
+
+let check_index db acc =
+  List.fold_left
+    (fun acc ltname ->
+      let pairs = Database.links db ltname in
+      let via_index =
+        List.concat_map
+          (fun (l, _) ->
+            Aid.Set.elements (Database.neighbors db ltname ~dir:`Fwd l)
+            |> List.map (fun r -> (l, r)))
+          pairs
+        |> List.sort_uniq compare
+      in
+      let direct = List.sort_uniq compare pairs in
+      if List.equal (fun a b -> compare a b = 0) via_index direct then acc
+      else
+        Index_mismatch
+          { lt = ltname;
+            detail =
+              Printf.sprintf "index yields %d pairs, store has %d"
+                (List.length via_index) (List.length direct) }
+        :: acc)
+    acc
+    (Database.link_type_names db)
+
+(** Full check; returns all violations (empty list = healthy database,
+    i.e. a member of the database domain). *)
+let check db = [] |> check_atoms db |> check_links db |> check_index db |> List.rev
+
+let is_valid db = check db = []
+
+let assert_valid db =
+  match check db with
+  | [] -> ()
+  | v :: _ -> Err.failf "integrity violation: %a" pp_violation v

@@ -1,0 +1,22 @@
+(** Database-domain membership checking: referential integrity (the
+    "referential integrity (!)" of Fig. 3), endpoint types, cardinality
+    restrictions, attribute domains and index consistency. *)
+
+type violation =
+  | Dangling_link of { lt : string; left : Aid.t; right : Aid.t; missing : Aid.t }
+  | Wrong_end_type of { lt : string; atom : Aid.t; expected : string; actual : string }
+  | Cardinality of { lt : string; atom : Aid.t; limit : int; actual : int }
+  | Domain_violation of { atype : string; atom : Aid.t; attr : string; value : Value.t }
+  | Arity_mismatch of { atype : string; atom : Aid.t; expected : int; actual : int }
+  | Index_mismatch of { lt : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Database.t -> violation list
+(** All violations; empty = the database is a member of the database
+    domain. *)
+
+val is_valid : Database.t -> bool
+
+val assert_valid : Database.t -> unit
+(** Raise {!Err.Mad_error} on the first violation. *)

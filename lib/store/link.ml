@@ -1,0 +1,32 @@
+(** Links: occurrence-level connections between two atoms (Def. 2).
+
+    A link of link type [lt = <lname,{at1,at2},lv>] connects an atom of
+    [at1] with an atom of [at2].  [left] is the atom playing the
+    [at1] (first-end) role, [right] the [at2] role.  For non-reflexive
+    link types this normalisation makes the pair behave as the paper's
+    unsorted pair; for reflexive link types the roles carry the
+    super-/sub-component distinction (see {!Schema.Link_type}). *)
+
+type t = { lt : string; left : Aid.t; right : Aid.t }
+
+let v lt left right = { lt; left; right }
+
+let compare a b =
+  let c = String.compare a.lt b.lt in
+  if c <> 0 then c
+  else
+    let c = Aid.compare a.left b.left in
+    if c <> 0 then c else Aid.compare a.right b.right
+
+let equal a b = compare a b = 0
+
+let pp ppf l = Fmt.pf ppf "<%a,%a>:%s" Aid.pp l.left Aid.pp l.right l.lt
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let pp_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") pp) (Set.elements s)

@@ -1,0 +1,16 @@
+(** Occurrence-level links (Def. 2): [left] plays the link type's
+    first-end role, [right] the second's.  For non-reflexive link types
+    this normalisation realises the unsorted-pair semantics; for
+    reflexive ones the roles carry the super-/sub-component
+    distinction. *)
+
+type t = { lt : string; left : Aid.t; right : Aid.t }
+
+val v : string -> Aid.t -> Aid.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+
+val pp_set : Format.formatter -> Set.t -> unit

@@ -1,0 +1,52 @@
+(** Paper-notation rendering of the formal database specification.
+
+    Regenerates Fig. 4 ("Formal specification of the geographic
+    database") from a live catalog: atom types as
+    [<name,{attrs},{atoms}> ∈ AT*], link types as
+    [<name,{end1,end2},{links}> ∈ LT*], and the database as
+    [<{atom types},{link types}> ∈ DB*]. *)
+
+let pp_atom_type ?(max_atoms = 4) ppf db atname =
+  let at = Database.atom_type db atname in
+  let atoms = Database.atoms db atname in
+  let shown = List.filteri (fun i _ -> i < max_atoms) atoms in
+  let elided = List.length atoms - List.length shown in
+  let pp_atom ppf (a : Atom.t) =
+    Fmt.pf ppf "<%a>" Fmt.(array ~sep:(any ",") Value.pp) a.values
+  in
+  Fmt.pf ppf "%s = <%s,{%a},{%a%s}> ∈ AT*" atname atname
+    Fmt.(list ~sep:(any ",") Schema.Attr.pp)
+    at.attrs
+    Fmt.(list ~sep:(any ",") pp_atom)
+    shown
+    (if elided > 0 then Printf.sprintf ",... (%d more)" elided else "")
+
+let pp_link_type ?(max_links = 4) ppf db ltname =
+  let lt = Database.link_type db ltname in
+  let links = Database.links db ltname in
+  let shown = List.filteri (fun i _ -> i < max_links) links in
+  let elided = List.length links - List.length shown in
+  let pp_pair ppf (l, r) = Fmt.pf ppf "<%a,%a>" Aid.pp l Aid.pp r in
+  Fmt.pf ppf "%s = <%s,{%s,%s},{%a%s}> ∈ LT*" ltname ltname (fst lt.ends)
+    (snd lt.ends)
+    Fmt.(list ~sep:(any ",") pp_pair)
+    shown
+    (if elided > 0 then Printf.sprintf ",... (%d more)" elided else "")
+
+let pp_database ?(name = "DB") ppf db =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun at -> Fmt.pf ppf "%a@," (fun ppf -> pp_atom_type ppf db) at)
+    (Database.atom_type_names db);
+  Fmt.pf ppf "@,";
+  List.iter
+    (fun lt -> Fmt.pf ppf "%a@," (fun ppf -> pp_link_type ppf db) lt)
+    (Database.link_type_names db);
+  Fmt.pf ppf "@,%s = <{%a}, {%a}> ∈ DB*@]" name
+    Fmt.(list ~sep:(any ", ") string)
+    (Database.atom_type_names db)
+    Fmt.(list ~sep:(any ", ") string)
+    (Database.link_type_names db)
+
+let database_to_string ?name db =
+  Format.asprintf "%a" (fun ppf -> pp_database ?name ppf) db

@@ -1,0 +1,12 @@
+(** Paper-notation rendering: regenerates Fig. 4's formal specification
+    — atom types in AT*, link types in LT*, the database in DB* — from
+    a live catalog. *)
+
+val pp_atom_type :
+  ?max_atoms:int -> Format.formatter -> Database.t -> string -> unit
+
+val pp_link_type :
+  ?max_links:int -> Format.formatter -> Database.t -> string -> unit
+
+val pp_database : ?name:string -> Format.formatter -> Database.t -> unit
+val database_to_string : ?name:string -> Database.t -> string

@@ -1,0 +1,111 @@
+(** Schema-level descriptions: atom types and link types (Defs. 1-2).
+
+    An atom-type description [ad] is an ordered sequence of attribute
+    descriptions.  A link-type description [ld] names the two atom types
+    it connects.  Links are *nondirectional* (Def. 2: "l is an unsorted
+    pair"); nevertheless each link type distinguishes its two ends by
+    *role* so that reflexive link types (both ends on the same atom
+    type, e.g. the bill-of-material [composition]) can tell the
+    super-component end from the sub-component end — exactly the
+    "super-component view vs. sub-component view" of the paper.  For
+    non-reflexive link types the role is forced by the endpoint atom
+    types, so the pair remains semantically unsorted.
+
+    The paper's "extended link-type definition" mentions cardinality
+    restrictions; [card] realises them: [max_left] bounds how many links
+    any single atom of the *right* end may carry towards the left end,
+    and vice versa.  [n:m] is [(None, None)], [1:n] is
+    [(Some 1, None)], [1:1] is [(Some 1, Some 1)]. *)
+
+module Attr = struct
+  type t = { name : string; domain : Domain.t }
+
+  let v name domain = { name; domain }
+  let pp ppf a = Fmt.pf ppf "%s:%a" a.name Domain.pp a.domain
+  let equal a b = String.equal a.name b.name && Domain.equal a.domain b.domain
+end
+
+module Atom_type = struct
+  type t = { name : string; attrs : Attr.t list }
+
+  let v name attrs =
+    let names = List.map (fun (a : Attr.t) -> a.name) attrs in
+    let dup =
+      List.exists
+        (fun n -> List.length (List.filter (String.equal n) names) > 1)
+        names
+    in
+    if dup then Err.failf "atom type %s: duplicate attribute name" name;
+    { name; attrs }
+
+  let arity at = List.length at.attrs
+
+  let attr_index at aname =
+    let rec go i = function
+      | [] -> Err.failf "atom type %s has no attribute %s" at.name aname
+      | (a : Attr.t) :: rest ->
+        if String.equal a.name aname then i else go (i + 1) rest
+    in
+    go 0 at.attrs
+
+  let has_attr at aname =
+    List.exists (fun (a : Attr.t) -> String.equal a.name aname) at.attrs
+
+  let attr_domain at aname =
+    (List.nth at.attrs (attr_index at aname)).domain
+
+  (** Description equality in the sense of Def. 4's [ad1 = ad2]
+      (union/difference require identically described operands):
+      same attributes with same domains, in the same order, regardless
+      of the type name. *)
+  let same_description a b = List.equal Attr.equal a.attrs b.attrs
+
+  let pp ppf at =
+    Fmt.pf ppf "%s(%a)" at.name Fmt.(list ~sep:(any ", ") Attr.pp) at.attrs
+end
+
+module Link_type = struct
+  type cardinality = int option * int option
+
+  type t = {
+    name : string;
+    ends : string * string;  (** the two atom-type names; may coincide *)
+    card : cardinality;
+  }
+
+  let v ?(card = (None, None)) name ends = { name; ends; card }
+
+  let reflexive lt = String.equal (fst lt.ends) (snd lt.ends)
+
+  (** [role_of lt at] tells which end(s) atom type [at] plays in [lt]. *)
+  let role_of lt at =
+    match String.equal at (fst lt.ends), String.equal at (snd lt.ends) with
+    | true, true -> `Both
+    | true, false -> `Left
+    | false, true -> `Right
+    | false, false -> `None
+
+  let touches lt at = role_of lt at <> `None
+
+  (** The atom type at the other end when traversing from [at]; for a
+      reflexive link type this is [at] itself. *)
+  let other_end lt at =
+    match role_of lt at with
+    | `Left -> snd lt.ends
+    | `Right -> fst lt.ends
+    | `Both -> at
+    | `None -> Err.failf "link type %s does not touch atom type %s" lt.name at
+
+  let pp_card ppf = function
+    | None, None -> Fmt.string ppf "n:m"
+    | Some 1, None -> Fmt.string ppf "1:n"
+    | None, Some 1 -> Fmt.string ppf "n:1"
+    | Some 1, Some 1 -> Fmt.string ppf "1:1"
+    | l, r ->
+      let side ppf = function None -> Fmt.string ppf "n" | Some k -> Fmt.int ppf k in
+      Fmt.pf ppf "%a:%a" side l side r
+
+  let pp ppf lt =
+    Fmt.pf ppf "%s{%s,%s}[%a]" lt.name (fst lt.ends) (snd lt.ends)
+      pp_card lt.card
+end

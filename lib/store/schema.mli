@@ -1,0 +1,65 @@
+(** Schema-level descriptions: atom types and link types (Defs. 1-2).
+
+    Links are nondirectional (Def. 2's unsorted pair), but each link
+    type distinguishes its two ends by {e role} so that reflexive link
+    types can tell the super-component end from the sub-component end
+    (the bill-of-material example of ch. 3.1).  The [card] field
+    realises the "extended link-type definition" cardinality
+    restrictions: [(Some 1, None)] is 1:n, [(None, None)] is n:m. *)
+
+module Attr : sig
+  type t = { name : string; domain : Domain.t }
+
+  val v : string -> Domain.t -> t
+  val pp : Format.formatter -> t -> unit
+  val equal : t -> t -> bool
+end
+
+module Atom_type : sig
+  type t = { name : string; attrs : Attr.t list }
+
+  val v : string -> Attr.t list -> t
+  (** Build a description; fails on duplicate attribute names. *)
+
+  val arity : t -> int
+
+  val attr_index : t -> string -> int
+  (** Position of the named attribute; fails if absent. *)
+
+  val has_attr : t -> string -> bool
+  val attr_domain : t -> string -> Domain.t
+
+  val same_description : t -> t -> bool
+  (** Def. 4's [ad1 = ad2]: same attributes with same domains in the
+      same order, regardless of the type name. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Link_type : sig
+  type cardinality = int option * int option
+  (** [(max_left, max_right)]: [max_left] bounds how many links an atom
+      of the {e right} end may carry, [max_right] bounds the left end's
+      atoms.  [None] = unbounded. *)
+
+  type t = {
+    name : string;
+    ends : string * string;  (** the two atom-type names; may coincide *)
+    card : cardinality;
+  }
+
+  val v : ?card:cardinality -> string -> string * string -> t
+  val reflexive : t -> bool
+
+  val role_of : t -> string -> [ `Left | `Right | `Both | `None ]
+  (** Which end(s) the given atom type plays. *)
+
+  val touches : t -> string -> bool
+
+  val other_end : t -> string -> string
+  (** The atom type at the other end when traversing from the given
+      type; fails if the type is not an end. *)
+
+  val pp_card : Format.formatter -> cardinality -> unit
+  val pp : Format.formatter -> t -> unit
+end

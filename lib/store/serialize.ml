@@ -1,0 +1,304 @@
+(** Plain-text persistence of databases (.mad files).
+
+    Line-oriented, human-readable and diff-friendly:
+    {v
+    # comment
+    atomtype state name:STRING hectare:INT
+    linktype state-area state area 1:1
+    atom state @1 'GO' 800
+    link state-area @1 @11
+    v}
+    Atom identities are preserved across dump/load (links reference
+    them).  Strings are single-quoted with [''] escaping; lists are
+    [[v;v;...]]; identities are [@n]. *)
+
+(* --- writing -------------------------------------------------------- *)
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let rec value_to_string = function
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> string_of_float f
+  | Value.Bool b -> string_of_bool b
+  | Value.String s -> quote s
+  | Value.Id id -> "@" ^ string_of_int id
+  | Value.List vs ->
+    "[" ^ String.concat ";" (List.map value_to_string vs) ^ "]"
+
+let rec domain_to_string = function
+  | Domain.Int -> "INT"
+  | Domain.Float -> "FLOAT"
+  | Domain.Bool -> "BOOL"
+  | Domain.String -> "STRING"
+  | Domain.Id_of t -> Printf.sprintf "ID(%s)" t
+  | Domain.Enum cs -> Printf.sprintf "ENUM(%s)" (String.concat "," cs)
+  | Domain.List_of d -> Printf.sprintf "LIST(%s)" (domain_to_string d)
+
+let card_to_string (l, r) =
+  let side = function None -> "n" | Some k -> string_of_int k in
+  Printf.sprintf "%s:%s" (side l) (side r)
+
+let dump_to_buffer db buf =
+  Buffer.add_string buf "# MAD database dump\n";
+  List.iter
+    (fun atname ->
+      let at = Database.atom_type db atname in
+      Buffer.add_string buf "atomtype ";
+      Buffer.add_string buf atname;
+      List.iter
+        (fun (a : Schema.Attr.t) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf a.name;
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (domain_to_string a.domain))
+        at.attrs;
+      Buffer.add_char buf '\n')
+    (Database.atom_type_names db);
+  List.iter
+    (fun ltname ->
+      let lt = Database.link_type db ltname in
+      Buffer.add_string buf
+        (Printf.sprintf "linktype %s %s %s %s\n" ltname (fst lt.ends)
+           (snd lt.ends) (card_to_string lt.card)))
+    (Database.link_type_names db);
+  List.iter
+    (fun atname ->
+      List.iter
+        (fun (a : Atom.t) ->
+          Buffer.add_string buf (Printf.sprintf "atom %s @%d" atname a.id);
+          Array.iter
+            (fun v ->
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf (value_to_string v))
+            a.values;
+          Buffer.add_char buf '\n')
+        (Database.atoms db atname))
+    (Database.atom_type_names db);
+  List.iter
+    (fun ltname ->
+      List.iter
+        (fun (l, r) ->
+          Buffer.add_string buf (Printf.sprintf "link %s @%d @%d\n" ltname l r))
+        (Database.links db ltname))
+    (Database.link_type_names db)
+
+let dump db =
+  let buf = Buffer.create 4096 in
+  dump_to_buffer db buf;
+  Buffer.contents buf
+
+let dump_file db path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump db))
+
+(* --- reading -------------------------------------------------------- *)
+
+(* split a line into words, respecting single-quoted strings and
+   bracketed lists *)
+let split_line line lineno =
+  let n = String.length line in
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf
+    end
+  in
+  let rec go i state =
+    if i >= n then begin
+      (match state with
+       | `Plain -> ()
+       | `Quoted -> Err.failf "line %d: unterminated string" lineno
+       | `Bracket _ -> Err.failf "line %d: unterminated list" lineno);
+      flush ()
+    end
+    else
+      let c = line.[i] in
+      match state with
+      | `Plain ->
+        if c = ' ' || c = '\t' then begin
+          flush ();
+          go (i + 1) `Plain
+        end
+        else if c = '\'' then begin
+          Buffer.add_char buf c;
+          go (i + 1) `Quoted
+        end
+        else if c = '[' then begin
+          Buffer.add_char buf c;
+          go (i + 1) (`Bracket 1)
+        end
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) `Plain
+        end
+      | `Quoted ->
+        Buffer.add_char buf c;
+        if c = '\'' then
+          if i + 1 < n && line.[i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            go (i + 2) `Quoted
+          end
+          else go (i + 1) `Plain
+        else go (i + 1) `Quoted
+      | `Bracket depth ->
+        Buffer.add_char buf c;
+        if c = '[' then go (i + 1) (`Bracket (depth + 1))
+        else if c = ']' then
+          if depth = 1 then go (i + 1) `Plain else go (i + 1) (`Bracket (depth - 1))
+        else go (i + 1) (`Bracket depth)
+  in
+  go 0 `Plain;
+  List.rev !words
+
+let parse_domain lineno s =
+  let rec go s =
+    match s with
+    | "INT" -> Domain.Int
+    | "FLOAT" -> Domain.Float
+    | "BOOL" -> Domain.Bool
+    | "STRING" -> Domain.String
+    | _ ->
+      let with_args prefix =
+        let pl = String.length prefix in
+        if
+          String.length s > pl + 1
+          && String.sub s 0 pl = prefix
+          && s.[pl] = '('
+          && s.[String.length s - 1] = ')'
+        then Some (String.sub s (pl + 1) (String.length s - pl - 2))
+        else None
+      in
+      (match with_args "ID" with
+       | Some t -> Domain.Id_of t
+       | None -> begin
+         match with_args "ENUM" with
+         | Some cs -> Domain.Enum (String.split_on_char ',' cs)
+         | None -> begin
+           match with_args "LIST" with
+           | Some d -> Domain.List_of (go d)
+           | None -> Err.failf "line %d: unknown domain %s" lineno s
+         end
+       end)
+  in
+  go s
+
+let parse_card lineno s =
+  match String.split_on_char ':' s with
+  | [ l; r ] ->
+    let side = function
+      | "n" | "m" -> None
+      | k -> (
+        match int_of_string_opt k with
+        | Some k -> Some k
+        | None -> Err.failf "line %d: bad cardinality %s" lineno s)
+    in
+    (side l, side r)
+  | _ -> Err.failf "line %d: bad cardinality %s" lineno s
+
+let rec parse_value lineno s =
+  if s = "" then Err.failf "line %d: empty value" lineno
+  else if s.[0] = '\'' then begin
+    if String.length s < 2 || s.[String.length s - 1] <> '\'' then
+      Err.failf "line %d: bad string %s" lineno s;
+    let inner = String.sub s 1 (String.length s - 2) in
+    (* unescape '' *)
+    let buf = Buffer.create (String.length inner) in
+    let rec go i =
+      if i < String.length inner then
+        if inner.[i] = '\'' && i + 1 < String.length inner && inner.[i + 1] = '\''
+        then begin
+          Buffer.add_char buf '\'';
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char buf inner.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Value.String (Buffer.contents buf)
+  end
+  else if s.[0] = '@' then
+    Value.Id (int_of_string (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '[' then begin
+    let inner = String.sub s 1 (String.length s - 2) in
+    if String.trim inner = "" then Value.List []
+    else
+      Value.List
+        (List.map (parse_value lineno) (String.split_on_char ';' inner))
+  end
+  else if s = "true" then Value.Bool true
+  else if s = "false" then Value.Bool false
+  else
+    match int_of_string_opt s with
+    | Some i -> Value.Int i
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Value.Float f
+      | None -> Err.failf "line %d: unreadable value %s" lineno s)
+
+let parse_id lineno s =
+  if String.length s > 1 && s.[0] = '@' then
+    int_of_string (String.sub s 1 (String.length s - 1))
+  else Err.failf "line %d: expected @id, got %s" lineno s
+
+(** Load a database from dump text. *)
+let load text =
+  let db = Database.create () in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match split_line line lineno with
+        | "atomtype" :: name :: attrs ->
+          let attrs =
+            List.map
+              (fun spec ->
+                match String.index_opt spec ':' with
+                | Some i ->
+                  Schema.Attr.v
+                    (String.sub spec 0 i)
+                    (parse_domain lineno
+                       (String.sub spec (i + 1) (String.length spec - i - 1)))
+                | None ->
+                  Err.failf "line %d: bad attribute spec %s" lineno spec)
+              attrs
+          in
+          ignore (Database.declare_atom_type db name attrs)
+        | [ "linktype"; name; e1; e2; card ] ->
+          ignore
+            (Database.declare_link_type db
+               ~card:(parse_card lineno card)
+               name (e1, e2))
+        | "atom" :: atype :: id :: values ->
+          ignore
+            (Database.insert_atom_exact db ~atype ~id:(parse_id lineno id)
+               (List.map (parse_value lineno) values))
+        | [ "link"; lt; l; r ] ->
+          Database.add_link db lt ~left:(parse_id lineno l)
+            ~right:(parse_id lineno r)
+        | word :: _ -> Err.failf "line %d: unknown directive %s" lineno word
+        | [] -> ())
+    lines;
+  db
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> load (In_channel.input_all ic))

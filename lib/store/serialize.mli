@@ -1,0 +1,13 @@
+(** Plain-text persistence of databases (.mad files): line-oriented,
+    human-readable, identity-preserving (links reference atom
+    identities). *)
+
+val dump : Database.t -> string
+val dump_file : Database.t -> string -> unit
+
+val load : string -> Database.t
+(** Parse dump text; fails with a line-numbered {!Err.Mad_error} on
+    malformed input, unknown names, domain violations or duplicate
+    identities. *)
+
+val load_file : string -> Database.t

@@ -1,0 +1,33 @@
+(** Plain-text table rendering, used by the benchmark harness and the
+    examples to print the rows/series each experiment reproduces. *)
+
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    Err.failf "table row has %d cells, header has %d" (List.length row)
+      (List.length t.headers);
+  t.rows <- row :: t.rows
+
+let addf t fmts = add_row t fmts
+
+let widths t =
+  let all = t.headers :: List.rev t.rows in
+  List.fold_left
+    (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+    (List.map (fun _ -> 0) t.headers)
+    all
+
+let pad w s = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let pp ppf t =
+  let ws = widths t in
+  let line row = String.concat "  " (List.map2 pad ws row) in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') ws) in
+  Fmt.pf ppf "%s@." (line t.headers);
+  Fmt.pf ppf "%s@." rule;
+  List.iter (fun r -> Fmt.pf ppf "%s@." (line r)) (List.rev t.rows)
+
+let print t = Format.printf "%a" pp t

@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] *)
+
+val add_row : t -> string list -> unit
+(** Fails if the row width differs from the header's. *)
+
+val addf : t -> string list -> unit
+val pp : Format.formatter -> t -> unit
+val print : t -> unit

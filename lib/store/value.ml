@@ -1,0 +1,65 @@
+(** Attribute values.
+
+    A closed sum of the attribute data types used throughout the paper's
+    examples (names, measures, coordinates, ...) plus typed atom
+    references ([Id]) and homogeneous lists, which the MAD model admits
+    as "attributes of various data types" (Def. 1). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+  | Id of Aid.t
+  | List of t list
+
+let rec compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | String x, String y -> String.compare x y
+  | Id x, Id y -> Aid.compare x y
+  | List x, List y -> List.compare compare x y
+  | Int _, _ -> -1 | _, Int _ -> 1
+  | Float _, _ -> -1 | _, Float _ -> 1
+  | Bool _, _ -> -1 | _, Bool _ -> 1
+  | String _, _ -> -1 | _, String _ -> 1
+  | Id _, _ -> -1 | _, Id _ -> 1
+
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.string ppf (string_of_float f)
+  | Bool b -> Fmt.bool ppf b
+  | String s -> Fmt.pf ppf "'%s'" s
+  | Id id -> Aid.pp ppf id
+  | List vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp) vs
+
+let to_string v = Format.asprintf "%a" pp v
+
+(** Numeric view used by comparison predicates: ints and floats compare
+    across the two representations ([Int 1] = [Float 1.0]). *)
+let as_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Bool _ | String _ | Id _ | List _ -> None
+
+(** Total order used by qualification formulas: numerics compare
+    numerically across [Int]/[Float]; everything else falls back to the
+    structural order. *)
+let compare_sem a b =
+  match as_float a, as_float b with
+  | Some x, Some y -> Float.compare x y
+  | _ -> compare a b
+
+let equal_sem a b = compare_sem a b = 0
+
+let type_name = function
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Bool _ -> "bool"
+  | String _ -> "string"
+  | Id _ -> "id"
+  | List _ -> "list"

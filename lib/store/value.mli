@@ -1,0 +1,31 @@
+(** Attribute values: the closed sum of attribute data types (Def. 1
+    admits "attributes of various data types"), including typed atom
+    references and homogeneous lists. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+  | Id of Aid.t
+  | List of t list
+
+val compare : t -> t -> int
+(** Total structural order (constructor-ranked). *)
+
+val equal : t -> t -> bool
+
+val compare_sem : t -> t -> int
+(** Semantic order used by qualification formulas: numerics compare
+    across [Int]/[Float]; everything else structurally. *)
+
+val equal_sem : t -> t -> bool
+
+val as_float : t -> float option
+(** Numeric view of [Int]/[Float]; [None] otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val type_name : t -> string
+(** The constructor's name, for diagnostics. *)

@@ -1,0 +1,106 @@
+(** Bill-of-material workload: the paper's motivating example for
+    reflexive link types and recursive molecule types (ch. 3.1's
+    [composition] link type on [part], ch. 5's parts-explosion
+    outlook).
+
+    Parts form a layered DAG: [depth] levels, [width] parts per level;
+    each part links to [fanout] parts of the next level.  [share]
+    controls subobject sharing: 0.0 gives a forest (each child has one
+    parent, strictly hierarchical), larger values make children reused
+    by several super-components (the non-disjoint, network case). *)
+
+open Mad_store
+
+type params = {
+  depth : int;
+  width : int;
+  fanout : int;
+  share : float;
+  seed : int;
+}
+
+type t = {
+  db : Database.t;
+  levels : Aid.t array array;  (** levels.(d) = part atoms of level d *)
+}
+
+let default = { depth = 4; width = 8; fanout = 2; share = 0.5; seed = 7 }
+
+let define_schema db =
+  ignore
+    (Database.declare_atom_type db "part"
+       [
+         Schema.Attr.v "pname" Domain.String;
+         Schema.Attr.v "level" Domain.Int;
+         Schema.Attr.v "cost" Domain.Int;
+       ]);
+  (* the reflexive link type: left role = super-component,
+     right role = sub-component *)
+  ignore (Database.declare_link_type db "composition" ("part", "part"))
+
+let build p =
+  let rng = Rng.create p.seed in
+  let db = Database.create () in
+  define_schema db;
+  let levels =
+    Array.init p.depth (fun d ->
+        Array.init p.width (fun i ->
+            (Database.insert_atom db ~atype:"part"
+               [
+                 Value.String (Printf.sprintf "P%d_%d" d i);
+                 Value.Int d;
+                 Value.Int (1 + Rng.int rng 100);
+               ])
+              .id))
+  in
+  for d = 0 to p.depth - 2 do
+    for i = 0 to p.width - 1 do
+      let super = levels.(d).(i) in
+      for k = 0 to p.fanout - 1 do
+        (* deterministic "own" child vs shared random child *)
+        let child =
+          if Rng.bool rng p.share then
+            levels.(d + 1).(Rng.int rng p.width)
+          else levels.(d + 1).((i + k) mod p.width)
+        in
+        Database.add_link db "composition" ~left:super ~right:child
+      done
+    done
+  done;
+  { db; levels }
+
+(** Reference transitive closure (sub-component view) computed directly
+    on the link store — the oracle against which recursive molecule
+    derivation is tested. *)
+let explosion_reference t root =
+  let rec go seen frontier =
+    if Aid.Set.is_empty frontier then seen
+    else
+      let next =
+        Aid.Set.fold
+          (fun p acc ->
+            Aid.Set.union acc
+              (Database.neighbors t.db "composition" ~dir:`Fwd p))
+          frontier Aid.Set.empty
+      in
+      let fresh = Aid.Set.diff next seen in
+      go (Aid.Set.union seen fresh) fresh
+  in
+  go (Aid.Set.singleton root) (Aid.Set.singleton root)
+
+(** The where-used (super-component) view. *)
+let where_used_reference t root =
+  let rec go seen frontier =
+    if Aid.Set.is_empty frontier then seen
+    else
+      let next =
+        Aid.Set.fold
+          (fun p acc ->
+            Aid.Set.union acc
+              (Database.neighbors t.db "composition" ~dir:`Bwd p))
+          frontier Aid.Set.empty
+      in
+      let fresh = Aid.Set.diff next seen in
+      go (Aid.Set.union seen fresh) fresh
+  in
+  go (Aid.Set.singleton root) (Aid.Set.singleton root)

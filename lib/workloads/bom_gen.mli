@@ -1,0 +1,25 @@
+(** Bill-of-material workload: a layered part DAG over the reflexive
+    [composition] link type (ch. 3.1, ch. 5's recursion outlook), with
+    a sharing knob, plus reference closures used as test oracles. *)
+
+open Mad_store
+
+type params = {
+  depth : int;
+  width : int;
+  fanout : int;
+  share : float;  (** 0.0: forest; higher: more shared sub-components *)
+  seed : int;
+}
+
+type t = { db : Database.t; levels : Aid.t array array }
+
+val default : params
+val define_schema : Database.t -> unit
+val build : params -> t
+
+val explosion_reference : t -> Aid.t -> Aid.Set.t
+(** Transitive closure, sub-component view (oracle). *)
+
+val where_used_reference : t -> Aid.t -> Aid.Set.t
+(** Reverse closure, super-component view (oracle). *)

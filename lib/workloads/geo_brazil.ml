@@ -1,0 +1,88 @@
+(** The exact geographic application of Figs. 1, 2 and 4: Brazil, its
+    states, rivers and cities over the shared geographical model.
+
+    The figures only show part of the occurrence ("Only the relevant
+    data are shown"); the atoms they do show — the ten states BA, GO,
+    MS, MG, ES, RJ, SP, PR, SC, RS, the rivers Paraná, Amazonas and
+    Uruguai, the point [pn] whose neighbourhood Fig. 2 derives — are
+    reproduced with the figure's structure: the states tile a 5x2 grid,
+    GO/MG/MS/SP meet at the point [pn], and the Paraná's net shares
+    border edges with MG, SP and PR (the sharing situation described in
+    ch. 2). *)
+
+open Mad_store
+
+type t = {
+  grid : Geo_grid.t;
+  pn : Aid.t;  (** the point of Fig. 2's "point neighborhood" query *)
+  parana : Aid.t;
+  amazonas : Aid.t;
+  uruguai : Aid.t;
+}
+
+let db t = t.grid.Geo_grid.db
+
+(* Row-major 5x2 layout; GO MG / MS SP / RJ PR / SC ES / RS BA puts
+   GO, MG, MS, SP around grid point (1,1) and makes MG-SP and SP-PR
+   borders vertically adjacent in column 1. *)
+let state_layout =
+  [ "GO"; "MG"; "MS"; "SP"; "RJ"; "PR"; "SC"; "ES"; "RS"; "BA" ]
+
+let hectare_of = function
+  | "BA" -> 1000
+  | "MG" -> 900
+  | "SP" -> 2000
+  | "RS" -> 1500
+  | "GO" -> 800
+  | "MS" -> 700
+  | "RJ" -> 300
+  | "PR" -> 600
+  | "SC" -> 400
+  | "ES" -> 200
+  | s -> Err.failf "unknown state %s" s
+
+let build () =
+  let grid =
+    Geo_grid.build ~rows:5 ~cols:2
+      ~hectares:(fun i -> hectare_of (List.nth state_layout i))
+      state_layout
+  in
+  (* Fig. 2's pn: the intersection shared by GO, MG, MS, SP. *)
+  let pn = Geo_grid.point grid (1, 1) in
+  let () =
+    (* rename it to 'pn' (the grid names it positionally) *)
+    let a = Database.atom grid.Geo_grid.db pn in
+    a.Atom.values.(0) <- Value.String "pn"
+  in
+  (* Paraná: along the MG|SP border (h y=1 col 1) and the SP|PR border
+     (h y=2 col 1): shares edges (and pn) with MG, SP and PR. *)
+  let parana =
+    Geo_grid.add_river grid ~name:"Parana" ~length:4880
+      [ grid.Geo_grid.h_edges.(1).(1); grid.Geo_grid.h_edges.(2).(1) ]
+  in
+  (* Amazonas: along the northern borders of GO and MG. *)
+  let amazonas =
+    Geo_grid.add_river grid ~name:"Amazonas" ~length:6992
+      [ grid.Geo_grid.h_edges.(0).(0); grid.Geo_grid.h_edges.(0).(1) ]
+  in
+  (* Uruguai: along the southern borders of RS and BA. *)
+  let uruguai =
+    Geo_grid.add_river grid ~name:"Uruguai" ~length:1838
+      [ grid.Geo_grid.h_edges.(5).(0); grid.Geo_grid.h_edges.(5).(1) ]
+  in
+  List.iter
+    (fun (name, population, xy) ->
+      ignore (Geo_grid.add_city grid ~name ~population xy))
+    [
+      ("Brasilia", 2800000, (0, 0));
+      ("Sao Paulo", 12300000, (1, 2));
+      ("Rio de Janeiro", 6700000, (0, 3));
+      ("Curitiba", 1900000, (1, 3));
+      ("Porto Alegre", 1400000, (0, 5));
+      ("Salvador", 2900000, (2, 5));
+    ];
+  { grid; pn; parana; amazonas; uruguai }
+
+let mt_state_desc t = Geo_schema.mt_state_desc (db t)
+let point_neighborhood_desc t = Geo_schema.point_neighborhood_desc (db t)
+let state t name = Geo_grid.state t.grid name

@@ -1,0 +1,22 @@
+(** The exact geographic application of Figs. 1, 2 and 4: Brazil's ten
+    states on a 5x2 grid with GO/MG/MS/SP meeting at the point [pn],
+    the Paraná sharing border edges with MG, SP and PR, plus Amazonas,
+    Uruguai and six cities. *)
+
+open Mad_store
+
+type t = {
+  grid : Geo_grid.t;
+  pn : Aid.t;  (** the point of Fig. 2's point-neighborhood query *)
+  parana : Aid.t;
+  amazonas : Aid.t;
+  uruguai : Aid.t;
+}
+
+val db : t -> Database.t
+val state_layout : string list
+val hectare_of : string -> int
+val build : unit -> t
+val mt_state_desc : t -> Mad.Mdesc.t
+val point_neighborhood_desc : t -> Mad.Mdesc.t
+val state : t -> string -> Aid.t

@@ -1,0 +1,74 @@
+(** Scalable synthetic cartography with a controllable sharing factor —
+    the workload of the SHARE experiment (the paper's ch. 1-2 claim that
+    n:m sharing makes the relational transformation cumbersome and its
+    queries "perhaps less efficient").
+
+    [rows * cols] states on a grid (borders shared between neighbours),
+    [rivers] rivers of [river_len] edges each.  With [shared_rivers]
+    each river's net reuses random border edges (MAD-style shared
+    subobjects); without, each river carries private edges and points
+    (the redundant representation forced on models without sharing). *)
+
+type params = {
+  rows : int;
+  cols : int;
+  rivers : int;
+  river_len : int;
+  cities : int;
+  shared_rivers : bool;
+  seed : int;
+}
+
+let default =
+  {
+    rows = 4;
+    cols = 4;
+    rivers = 4;
+    river_len = 4;
+    cities = 8;
+    shared_rivers = true;
+    seed = 42;
+  }
+
+let state_names n = List.init n (fun i -> Printf.sprintf "S%03d" (i + 1))
+
+let all_border_edges (g : Geo_grid.t) =
+  let h =
+    List.concat
+      (List.init (g.rows + 1) (fun y ->
+           List.init g.cols (fun c -> g.h_edges.(y).(c))))
+  in
+  let v =
+    List.concat
+      (List.init (g.cols + 1) (fun x ->
+           List.init g.rows (fun r -> g.v_edges.(x).(r))))
+  in
+  h @ v
+
+let build p =
+  let rng = Rng.create p.seed in
+  let g =
+    Geo_grid.build ~rows:p.rows ~cols:p.cols
+      ~hectares:(fun i -> 100 + ((i * 37) mod 1900))
+      (state_names (p.rows * p.cols))
+  in
+  let borders = all_border_edges g in
+  for i = 1 to p.rivers do
+    let name = Printf.sprintf "R%03d" i in
+    if p.shared_rivers then
+      let course = Rng.sample rng (min p.river_len (List.length borders)) borders in
+      ignore (Geo_grid.add_river g ~name ~length:(100 * p.river_len) course)
+    else
+      ignore
+        (Geo_grid.add_private_river g ~name ~length:(100 * p.river_len)
+           p.river_len)
+  done;
+  for i = 1 to p.cities do
+    let x = Rng.int rng (p.cols + 1) and y = Rng.int rng (p.rows + 1) in
+    ignore
+      (Geo_grid.add_city g
+         ~name:(Printf.sprintf "C%03d" i)
+         ~population:(10_000 + Rng.int rng 1_000_000)
+         (x, y))
+  done;
+  g

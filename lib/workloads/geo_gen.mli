@@ -1,0 +1,18 @@
+(** Scalable synthetic cartography with a controllable sharing knob
+    (the SHARE experiment): grid states, rivers reusing border edges
+    ([shared_rivers]) or carrying private geometry. *)
+
+type params = {
+  rows : int;
+  cols : int;
+  rivers : int;
+  river_len : int;
+  cities : int;
+  shared_rivers : bool;
+  seed : int;
+}
+
+val default : params
+val state_names : int -> string list
+val all_border_edges : Geo_grid.t -> Mad_store.Aid.t list
+val build : params -> Geo_grid.t

@@ -1,0 +1,153 @@
+(** Grid-based cartography construction shared by {!Geo_brazil} and
+    {!Geo_gen}.
+
+    States are laid out as a [rows] x [cols] grid of unit cells.  Cell
+    borders are edges; grid intersections are points.  Vertically or
+    horizontally adjacent cells *share* their border edge, and edges
+    meeting at an intersection share the point — this reproduces the
+    paper's claim that "different complex objects are contained in one
+    schema sharing common subobjects ... thereby avoiding any data
+    redundancies".  Rivers are modelled as nets whose course reuses
+    existing border edges (shared subobjects between rivers and states,
+    the Paraná situation of ch. 2) or, optionally, private edges (the
+    no-sharing baseline used by the SHARE experiment). *)
+
+open Mad_store
+
+type t = {
+  db : Database.t;
+  rows : int;
+  cols : int;
+  states : (string * Aid.t) list;  (** state name -> state atom *)
+  areas : Aid.t array array;  (** areas.(r).(c) *)
+  h_edges : Aid.t array array;  (** h_edges.(y).(c): horizontal edge at height y, column c; y in 0..rows *)
+  v_edges : Aid.t array array;  (** v_edges.(x).(r): vertical edge at offset x, row r; x in 0..cols *)
+  points : Aid.t array array;  (** points.(x).(y), x in 0..cols, y in 0..rows *)
+}
+
+(** Build the grid geometry for the given state names (row-major,
+    [rows * cols] names).  Each state gets one area; every area links to
+    its four border edges; every edge links to its two endpoints. *)
+let build ?(hectares = fun _ -> 500) ~rows ~cols state_names =
+  if List.length state_names <> rows * cols then
+    Err.failf "geo grid: %d names for %d cells" (List.length state_names)
+      (rows * cols);
+  let db = Database.create () in
+  Geo_schema.define db;
+  let points =
+    Array.init (cols + 1) (fun x ->
+        Array.init (rows + 1) (fun y ->
+            let name =
+              Printf.sprintf "p%d_%d" x y
+            in
+            (Database.insert_atom db ~atype:"point"
+               [ Value.String name; Value.Int x; Value.Int y ])
+              .id))
+  in
+  let h_edges =
+    Array.init (rows + 1) (fun y ->
+        Array.init cols (fun c ->
+            let e =
+              Database.insert_atom db ~atype:"edge"
+                [ Value.String (Printf.sprintf "eh%d_%d" y c); Value.Int 1 ]
+            in
+            Database.add_link db "edge-point" ~left:e.id ~right:points.(c).(y);
+            Database.add_link db "edge-point" ~left:e.id
+              ~right:points.(c + 1).(y);
+            e.id))
+  in
+  let v_edges =
+    Array.init (cols + 1) (fun x ->
+        Array.init rows (fun r ->
+            let e =
+              Database.insert_atom db ~atype:"edge"
+                [ Value.String (Printf.sprintf "ev%d_%d" x r); Value.Int 1 ]
+            in
+            Database.add_link db "edge-point" ~left:e.id ~right:points.(x).(r);
+            Database.add_link db "edge-point" ~left:e.id
+              ~right:points.(x).(r + 1);
+            e.id))
+  in
+  let areas = Array.make_matrix rows cols 0 in
+  let states =
+    List.mapi
+      (fun i name ->
+        let r = i / cols and c = i mod cols in
+        let area =
+          Database.insert_atom db ~atype:"area"
+            [ Value.String (Printf.sprintf "a%d" (i + 1)); Value.Int 1 ]
+        in
+        areas.(r).(c) <- area.id;
+        (* four borders: top h(y=r), bottom h(y=r+1), left v(x=c), right v(x=c+1) *)
+        Database.add_link db "area-edge" ~left:area.id ~right:h_edges.(r).(c);
+        Database.add_link db "area-edge" ~left:area.id
+          ~right:h_edges.(r + 1).(c);
+        Database.add_link db "area-edge" ~left:area.id ~right:v_edges.(c).(r);
+        Database.add_link db "area-edge" ~left:area.id
+          ~right:v_edges.(c + 1).(r);
+        let state =
+          Database.insert_atom db ~atype:"state"
+            [ Value.String name; Value.Int (hectares i) ]
+        in
+        Database.add_link db "state-area" ~left:state.id ~right:area.id;
+        (name, state.id))
+      state_names
+  in
+  { db; rows; cols; states; areas; h_edges; v_edges; points }
+
+(** Add a river whose net's course is the given list of existing edge
+    atoms (shared-subobject style). *)
+let add_river g ~name ~length edge_ids =
+  let river =
+    Database.insert_atom g.db ~atype:"river"
+      [ Value.String name; Value.Int length ]
+  in
+  let net =
+    Database.insert_atom g.db ~atype:"net"
+      [ Value.String ("n_" ^ name) ]
+  in
+  Database.add_link g.db "river-net" ~left:river.id ~right:net.id;
+  List.iter
+    (fun e -> Database.add_link g.db "net-edge" ~left:net.id ~right:e)
+    edge_ids;
+  river.id
+
+(** Add a river with [n_edges] private (unshared) edges and points —
+    the redundant representation a model without subobject sharing is
+    forced into. *)
+let add_private_river g ~name ~length n_edges =
+  let mk_point i =
+    (Database.insert_atom g.db ~atype:"point"
+       [ Value.String (Printf.sprintf "rp_%s_%d" name i); Value.Int (-1);
+         Value.Int i ])
+      .id
+  in
+  let first = mk_point 0 in
+  let edges =
+    List.fold_left
+      (fun (prev, acc) i ->
+        let next = mk_point i in
+        let e =
+          Database.insert_atom g.db ~atype:"edge"
+            [ Value.String (Printf.sprintf "re_%s_%d" name i); Value.Int 1 ]
+        in
+        Database.add_link g.db "edge-point" ~left:e.id ~right:prev;
+        Database.add_link g.db "edge-point" ~left:e.id ~right:next;
+        (next, e.id :: acc))
+      (first, [])
+      (List.init n_edges (fun i -> i + 1))
+    |> snd |> List.rev
+  in
+  add_river g ~name ~length edges
+
+(** Add a city located at grid intersection [(x, y)]. *)
+let add_city g ~name ~population (x, y) =
+  let city =
+    Database.insert_atom g.db ~atype:"city"
+      [ Value.String name; Value.Int population ]
+  in
+  Database.add_link g.db "city-point" ~left:city.id ~right:g.points.(x).(y);
+  city.id
+
+let state g name = List.assoc name g.states
+let point g (x, y) = g.points.(x).(y)

@@ -1,0 +1,23 @@
+(** Grid-based cartography: states as cells sharing border edges and
+    corner points (the paper's shared geographical model); rivers as
+    nets reusing border edges or carrying private geometry. *)
+
+open Mad_store
+
+type t = {
+  db : Database.t;
+  rows : int;
+  cols : int;
+  states : (string * Aid.t) list;
+  areas : Aid.t array array;
+  h_edges : Aid.t array array;  (** h_edges.(y).(c), y in 0..rows *)
+  v_edges : Aid.t array array;  (** v_edges.(x).(r), x in 0..cols *)
+  points : Aid.t array array;  (** points.(x).(y) *)
+}
+
+val build : ?hectares:(int -> int) -> rows:int -> cols:int -> string list -> t
+val add_river : t -> name:string -> length:int -> Aid.t list -> Aid.t
+val add_private_river : t -> name:string -> length:int -> int -> Aid.t
+val add_city : t -> name:string -> population:int -> int * int -> Aid.t
+val state : t -> string -> Aid.t
+val point : t -> int * int -> Aid.t

@@ -1,0 +1,83 @@
+(** The cartographic schema of Fig. 1: the application atom types
+    (state, city, river) over the common geographical model (area, net,
+    edge, point), all relationships as bidirectional link types.
+
+    Shared by the exact Brazil instance ({!Geo_brazil}) and the
+    scalable generator ({!Geo_gen}). *)
+
+open Mad_store
+
+let define db =
+  let attr = Schema.Attr.v in
+  ignore
+    (Database.declare_atom_type db "state"
+       [ attr "name" Domain.String; attr "hectare" Domain.Int ]);
+  ignore
+    (Database.declare_atom_type db "city"
+       [ attr "name" Domain.String; attr "population" Domain.Int ]);
+  ignore
+    (Database.declare_atom_type db "river"
+       [ attr "name" Domain.String; attr "length" Domain.Int ]);
+  ignore
+    (Database.declare_atom_type db "area"
+       [ attr "name" Domain.String; attr "size" Domain.Int ]);
+  ignore (Database.declare_atom_type db "net" [ attr "name" Domain.String ]);
+  ignore
+    (Database.declare_atom_type db "edge"
+       [ attr "name" Domain.String; attr "length" Domain.Int ]);
+  ignore
+    (Database.declare_atom_type db "point"
+       [ attr "name" Domain.String; attr "x" Domain.Int; attr "y" Domain.Int ]);
+  (* application object -> its geometry: 1:1 *)
+  ignore
+    (Database.declare_link_type db ~card:(Some 1, Some 1) "state-area"
+       ("state", "area"));
+  ignore
+    (Database.declare_link_type db ~card:(Some 1, Some 1) "river-net"
+       ("river", "net"));
+  ignore
+    (Database.declare_link_type db ~card:(None, Some 1) "city-point"
+       ("city", "point"));
+  (* geometry sharing: n:m *)
+  ignore (Database.declare_link_type db "area-edge" ("area", "edge"));
+  ignore (Database.declare_link_type db "net-edge" ("net", "edge"));
+  ignore (Database.declare_link_type db "edge-point" ("edge", "point"))
+
+(** The molecule structure of Fig. 2's [mt state]:
+    state - area - edge - point. *)
+let mt_state_desc db =
+  Mad.Mdesc.v db
+    ~nodes:[ "state"; "area"; "edge"; "point" ]
+    ~edges:
+      [
+        ("state-area", "state", "area");
+        ("area-edge", "area", "edge");
+        ("edge-point", "edge", "point");
+      ]
+
+(** The river view: river - net - edge - point (a second application
+    object family over the same geometry). *)
+let mt_river_desc db =
+  Mad.Mdesc.v db
+    ~nodes:[ "river"; "net"; "edge"; "point" ]
+    ~edges:
+      [
+        ("river-net", "river", "net");
+        ("net-edge", "net", "edge");
+        ("edge-point", "edge", "point");
+      ]
+
+(** The molecule structure of Fig. 2's [point neighborhood]:
+    point - edge - (area - state, net - river) — the symmetric
+    (bottom-up) use of the very same link types. *)
+let point_neighborhood_desc db =
+  Mad.Mdesc.v db
+    ~nodes:[ "point"; "edge"; "area"; "state"; "net"; "river" ]
+    ~edges:
+      [
+        ("edge-point", "point", "edge");
+        ("area-edge", "edge", "area");
+        ("state-area", "area", "state");
+        ("net-edge", "edge", "net");
+        ("river-net", "net", "river");
+      ]

@@ -1,0 +1,17 @@
+(** The cartographic schema of Fig. 1: application atom types (state,
+    city, river) over the shared geographical model (area, net, edge,
+    point). *)
+
+open Mad_store
+
+val define : Database.t -> unit
+
+val mt_state_desc : Database.t -> Mad.Mdesc.t
+(** Fig. 2's [mt state]: state - area - edge - point. *)
+
+val mt_river_desc : Database.t -> Mad.Mdesc.t
+(** river - net - edge - point. *)
+
+val point_neighborhood_desc : Database.t -> Mad.Mdesc.t
+(** Fig. 2's [point neighborhood]:
+    point - edge - (area - state, net - river). *)

@@ -1,0 +1,75 @@
+(** Office/document workload: strictly hierarchical, *disjoint* complex
+    objects (document -> section -> paragraph, all 1:n).
+
+    This is the degenerate case the paper says NF² models handle —
+    "disjoint objects showing only hierarchical (graph) structures are
+    just special cases" of molecules — and it is the workload on which
+    MAD and the NF² baseline must coincide (example [design_office],
+    experiment FIG2's control group). *)
+
+open Mad_store
+
+type params = { docs : int; sections : int; paragraphs : int; seed : int }
+
+let default = { docs = 5; sections = 4; paragraphs = 3; seed = 11 }
+
+let define_schema db =
+  ignore
+    (Database.declare_atom_type db "document"
+       [
+         Schema.Attr.v "title" Domain.String;
+         Schema.Attr.v "year" Domain.Int;
+       ]);
+  ignore
+    (Database.declare_atom_type db "section"
+       [
+         Schema.Attr.v "heading" Domain.String;
+         Schema.Attr.v "number" Domain.Int;
+       ]);
+  ignore
+    (Database.declare_atom_type db "paragraph"
+       [
+         Schema.Attr.v "text" Domain.String;
+         Schema.Attr.v "words" Domain.Int;
+       ]);
+  ignore
+    (Database.declare_link_type db ~card:(Some 1, None) "doc-sec"
+       ("document", "section"));
+  ignore
+    (Database.declare_link_type db ~card:(Some 1, None) "sec-para"
+       ("section", "paragraph"))
+
+let build p =
+  let rng = Rng.create p.seed in
+  let db = Database.create () in
+  define_schema db;
+  for d = 1 to p.docs do
+    let doc =
+      Database.insert_atom db ~atype:"document"
+        [ Value.String (Printf.sprintf "Doc%d" d); Value.Int (1980 + d) ]
+    in
+    for s = 1 to p.sections do
+      let sec =
+        Database.insert_atom db ~atype:"section"
+          [ Value.String (Printf.sprintf "D%d.S%d" d s); Value.Int s ]
+      in
+      Database.add_link db "doc-sec" ~left:doc.id ~right:sec.id;
+      for q = 1 to p.paragraphs do
+        let para =
+          Database.insert_atom db ~atype:"paragraph"
+            [
+              Value.String (Printf.sprintf "D%d.S%d.P%d" d s q);
+              Value.Int (20 + Rng.int rng 200);
+            ]
+        in
+        Database.add_link db "sec-para" ~left:sec.id ~right:para.id
+      done
+    done
+  done;
+  db
+
+let document_desc db =
+  Mad.Mdesc.v db
+    ~nodes:[ "document"; "section"; "paragraph" ]
+    ~edges:
+      [ ("doc-sec", "document", "section"); ("sec-para", "section", "paragraph") ]

@@ -1,0 +1,12 @@
+(** Office/document workload: strictly hierarchical, disjoint complex
+    objects (document -> section -> paragraph, 1:n) — the degenerate
+    case NF² handles, used as the control group. *)
+
+open Mad_store
+
+type params = { docs : int; sections : int; paragraphs : int; seed : int }
+
+val default : params
+val define_schema : Database.t -> unit
+val build : params -> Database.t
+val document_desc : Database.t -> Mad.Mdesc.t

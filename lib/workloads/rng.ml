@@ -1,0 +1,53 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Workload generation must be reproducible across runs and platforms,
+    so we avoid [Stdlib.Random] and use an explicit-state SplitMix64:
+    the same seed always yields the same database. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+(** An independent generator split off the current one. *)
+let split t = { state = next_int64 t }
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+(** A random subset of size [k] (without replacement). *)
+let sample t k xs =
+  let n = List.length xs in
+  if k >= n then xs
+  else begin
+    let arr = Array.of_list xs in
+    for i = n - 1 downto 1 do
+      let j = int t (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list (Array.sub arr 0 k)
+  end

@@ -1,0 +1,20 @@
+(** Deterministic explicit-state pseudo-random numbers (SplitMix64);
+    the same seed always yields the same workload. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** True with the given probability. *)
+
+val split : t -> t
+val choose : t -> 'a list -> 'a
+val sample : t -> int -> 'a list -> 'a list
+(** A random subset of size [k] (without replacement). *)

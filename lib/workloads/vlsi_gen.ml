@@ -1,0 +1,134 @@
+(** VLSI design workload — the paper's motivating application area
+    (ch. 1: "CAD/CAM and VLSI design").
+
+    A cell library of leaf gates and a hierarchy of modules, each
+    instantiating cells of the level below through the *reflexive* n:m
+    link type [instantiates] — standard cells are shared by every
+    module that uses them (non-disjoint complex objects), and the
+    design hierarchy is queried recursively (cell explosion = flatten,
+    where-used = library cross-reference).  Each cell carries pins;
+    nets connect pins n:m. *)
+
+open Mad_store
+
+type params = {
+  leaf_cells : int;  (** size of the standard-cell library *)
+  levels : int;  (** hierarchy levels above the leaves *)
+  modules_per_level : int;
+  instances_per_module : int;
+  pins_per_cell : int;
+  seed : int;
+}
+
+let default =
+  {
+    leaf_cells = 6;
+    levels = 3;
+    modules_per_level = 4;
+    instances_per_module = 4;
+    pins_per_cell = 3;
+    seed = 17;
+  }
+
+type t = {
+  db : Database.t;
+  leaves : Aid.t array;
+  modules : Aid.t array array;  (** modules.(level) for level 1.. *)
+  top : Aid.t;
+}
+
+let define_schema db =
+  ignore
+    (Database.declare_atom_type db "cell"
+       [
+         Schema.Attr.v "cname" Domain.String;
+         Schema.Attr.v "kind" (Domain.Enum [ "leaf"; "module"; "top" ]);
+         Schema.Attr.v "area" Domain.Int;
+       ]);
+  ignore
+    (Database.declare_atom_type db "pin"
+       [
+         Schema.Attr.v "pname" Domain.String;
+         Schema.Attr.v "dir" (Domain.Enum [ "in"; "out" ]);
+       ]);
+  ignore (Database.declare_atom_type db "net" [ Schema.Attr.v "nname" Domain.String ]);
+  (* design hierarchy: reflexive, n:m — shared subcells *)
+  ignore (Database.declare_link_type db "instantiates" ("cell", "cell"));
+  ignore (Database.declare_link_type db ~card:(Some 1, None) "cell-pin" ("cell", "pin"));
+  ignore (Database.declare_link_type db "net-pin" ("net", "pin"))
+
+let leaf_names = [| "INV"; "NAND"; "NOR"; "XOR"; "DFF"; "BUF"; "MUX"; "AOI" |]
+
+let build p =
+  let rng = Rng.create p.seed in
+  let db = Database.create () in
+  define_schema db;
+  let add_cell name kind area =
+    let c =
+      Database.insert_atom db ~atype:"cell"
+        [ Value.String name; Value.String kind; Value.Int area ]
+    in
+    for k = 1 to p.pins_per_cell do
+      let pin =
+        Database.insert_atom db ~atype:"pin"
+          [
+            Value.String (Printf.sprintf "%s.p%d" name k);
+            Value.String (if k = p.pins_per_cell then "out" else "in");
+          ]
+      in
+      Database.add_link db "cell-pin" ~left:c.Atom.id ~right:pin.Atom.id
+    done;
+    c.Atom.id
+  in
+  let leaves =
+    Array.init p.leaf_cells (fun i ->
+        add_cell
+          (leaf_names.(i mod Array.length leaf_names)
+           ^ if i >= Array.length leaf_names then string_of_int i else "")
+          "leaf"
+          (1 + Rng.int rng 8))
+  in
+  let modules =
+    Array.init p.levels (fun lvl ->
+        Array.init p.modules_per_level (fun i ->
+            add_cell (Printf.sprintf "M%d_%d" (lvl + 1) i) "module" 0))
+  in
+  (* wire the hierarchy: each module instantiates cells one level down *)
+  Array.iteri
+    (fun lvl row ->
+      let below = if lvl = 0 then leaves else modules.(lvl - 1) in
+      Array.iter
+        (fun m ->
+          for _ = 1 to p.instances_per_module do
+            let child = below.(Rng.int rng (Array.length below)) in
+            Database.add_link db "instantiates" ~left:m ~right:child
+          done)
+        row)
+    modules;
+  let top = add_cell "TOP" "top" 0 in
+  Array.iter
+    (fun m -> Database.add_link db "instantiates" ~left:top ~right:m)
+    modules.(p.levels - 1);
+  (* nets inside each module: connect random pins of its children *)
+  let all_cells = top :: (Array.to_list leaves @ List.concat_map Array.to_list (Array.to_list modules)) in
+  List.iteri
+    (fun i c ->
+      let child_pins =
+        Aid.Set.fold
+          (fun child acc ->
+            Aid.Set.elements (Database.neighbors db "cell-pin" ~dir:`Fwd child)
+            @ acc)
+          (Database.neighbors db "instantiates" ~dir:`Fwd c)
+          []
+      in
+      if List.length child_pins >= 2 then begin
+        let net =
+          Database.insert_atom db ~atype:"net"
+            [ Value.String (Printf.sprintf "n%d" i) ]
+        in
+        List.iter
+          (fun pin -> Database.add_link db "net-pin" ~left:net.Atom.id ~right:pin)
+          (Rng.sample rng 3 child_pins)
+      end)
+    all_cells;
+  { db; leaves; modules; top }

@@ -1,0 +1,27 @@
+(** VLSI design workload (the paper's motivating domain): a standard-
+    cell library and a module hierarchy over the reflexive n:m
+    [instantiates] link type — cells shared by every module using them —
+    plus pins and nets. *)
+
+open Mad_store
+
+type params = {
+  leaf_cells : int;
+  levels : int;
+  modules_per_level : int;
+  instances_per_module : int;
+  pins_per_cell : int;
+  seed : int;
+}
+
+type t = {
+  db : Database.t;
+  leaves : Aid.t array;
+  modules : Aid.t array array;
+  top : Aid.t;
+}
+
+val default : params
+val leaf_names : string array
+val define_schema : Database.t -> unit
+val build : params -> t

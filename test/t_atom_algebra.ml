@@ -1,0 +1,158 @@
+(* The atom-type algebra (Def. 4, Theorem 1): π σ × ω δ with link-type
+   inheritance, compared point-for-point with the paper's relational
+   'equivalents'. *)
+
+open Mad_store
+open Workloads
+module AA = Mad.Atom_algebra
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let brazil_db () = Geo_brazil.db (Geo_brazil.build ())
+
+let test_projection () =
+  let db = brazil_db () in
+  let r = AA.project db ~name:"state_names" ~attrs:[ "name" ] "state" in
+  check_int "ten names" 10 (Database.count_atoms db "state_names");
+  check_int "one attribute" 1 (Schema.Atom_type.arity r.AA.at);
+  check "closure (Thm 1)" true (Mad.Closure.ok (Mad.Closure.check_atom_result db r))
+
+let test_projection_dedupes () =
+  let db = brazil_db () in
+  (* all edges have length 1: projecting onto length yields one atom *)
+  let r = AA.project db ~name:"edge_lengths" ~attrs:[ "length" ] "edge" in
+  check_int "single distinct value" 1 (Database.count_atoms db "edge_lengths");
+  (* provenance collects every source atom *)
+  let _, srcs = Aid.Map.min_binding r.AA.provenance in
+  check_int "all edges behind it" (Database.count_atoms db "edge")
+    (List.length srcs)
+
+let test_restriction_matches_relational_sigma () =
+  let db = brazil_db () in
+  let r =
+    AA.restrict db ~name:"big"
+      ~pred:Mad.Qual.(attr "state" "hectare" >% int 1000)
+      "state"
+  in
+  (* SP 2000, RS 1500 *)
+  check_int "two states" 2 (Database.count_atoms db "big");
+  check "closure" true (Mad.Closure.ok (Mad.Closure.check_atom_result db r))
+
+let test_product_inherits_links () =
+  (* the paper's example: x(area, edge) = border, inheriting all link
+     types of both operands; the result is reusable *)
+  let db = brazil_db () in
+  let r = AA.product db ~name:"border" "area" "edge" in
+  check_int "|area| * |edge|"
+    (Database.count_atoms db "area" * Database.count_atoms db "edge")
+    (Database.count_atoms db "border");
+  (* inherited link types: area's (state-area, area-edge) + edge's
+     (area-edge, net-edge, edge-point) *)
+  check_int "five inherited link types" 5 (List.length r.AA.inherited);
+  (* the inherited state-area link type connects border atoms to states *)
+  let st_lt =
+    List.find (fun (orig, _) -> String.equal orig "state-area") r.AA.inherited
+  in
+  let lt : Schema.Link_type.t = snd st_lt in
+  check "end replaced by result type" true
+    (String.equal (snd lt.ends) "border" || String.equal (fst lt.ends) "border");
+  check "closure" true (Mad.Closure.ok (Mad.Closure.check_atom_result db r))
+
+let test_restriction_after_product () =
+  (* σ[hectare>1000](border) chains on the inherited structures *)
+  let db = brazil_db () in
+  let _ = AA.product db ~name:"border2" "state" "area" in
+  let r =
+    AA.restrict db ~name:"big_border"
+      ~pred:Mad.Qual.(attr "border2" "hectare" >% int 1000)
+      "border2"
+  in
+  (* 2 big states x 10 areas *)
+  check_int "restricted product" 20 (Database.count_atoms db "big_border");
+  check "closure" true (Mad.Closure.ok (Mad.Closure.check_atom_result db r))
+
+let test_union_requires_same_description () =
+  let db = brazil_db () in
+  match AA.union db ~name:"bad" "state" "edge" with
+  | _ -> Alcotest.fail "union of different descriptions must fail"
+  | exception Err.Mad_error _ -> ()
+
+let test_union_and_difference () =
+  let db = brazil_db () in
+  ignore
+    (AA.restrict db ~name:"big3"
+       ~pred:Mad.Qual.(attr "state" "hectare" >% int 900)
+       "state");
+  ignore
+    (AA.restrict db ~name:"small3"
+       ~pred:Mad.Qual.(attr "state" "hectare" <=% int 900)
+       "state");
+  let u = AA.union db ~name:"all3" "big3" "small3" in
+  check_int "union is whole extension" 10 (Database.count_atoms db "all3");
+  let d = AA.diff db ~name:"not_big" "all3" "big3" in
+  check_int "difference" 7 (Database.count_atoms db "not_big");
+  check "closure u" true (Mad.Closure.ok (Mad.Closure.check_atom_result db u));
+  check "closure d" true (Mad.Closure.ok (Mad.Closure.check_atom_result db d))
+
+let test_union_dedupes_by_value () =
+  let db = Database.create () in
+  ignore (Database.declare_atom_type db "a" [ Schema.Attr.v "n" Domain.Int ]);
+  ignore (Database.declare_atom_type db "b" [ Schema.Attr.v "n" Domain.Int ]);
+  List.iter
+    (fun n -> ignore (Database.insert_atom db ~atype:"a" [ Value.Int n ]))
+    [ 1; 2 ];
+  List.iter
+    (fun n -> ignore (Database.insert_atom db ~atype:"b" [ Value.Int n ]))
+    [ 2; 3 ];
+  ignore (AA.union db ~name:"u" "a" "b");
+  check_int "set union" 3 (Database.count_atoms db "u")
+
+let test_derived_type_usable_in_molecule () =
+  (* Theorem 1's point: results feed molecule operations.  Restrict the
+     states, then derive mt_state over the restricted type via the
+     inherited link type. *)
+  let db = brazil_db () in
+  let r =
+    AA.restrict db ~name:"bigst"
+      ~pred:Mad.Qual.(attr "state" "hectare" >% int 900)
+      "state"
+  in
+  let inherited_sa =
+    List.assoc "state-area" r.AA.inherited
+  in
+  let desc =
+    Mad.Mdesc.v db
+      ~nodes:[ "bigst"; "area"; "edge"; "point" ]
+      ~edges:
+        [
+          (inherited_sa.Schema.Link_type.name, "bigst", "area");
+          ("area-edge", "area", "edge");
+          ("edge-point", "edge", "point");
+        ]
+  in
+  let mt = Mad.Molecule_algebra.define db ~name:"big_mt_state" desc in
+  check_int "three molecules" 3 (Mad.Molecule_type.cardinality mt);
+  List.iter
+    (fun m -> check "spec holds" true (Mad.Molecule.mv_graph db desc m))
+    (Mad.Molecule_type.occ mt)
+
+let suite =
+  [
+    Alcotest.test_case "projection" `Quick test_projection;
+    Alcotest.test_case "projection dedupes (set semantics)" `Quick
+      test_projection_dedupes;
+    Alcotest.test_case "restriction = relational sigma" `Quick
+      test_restriction_matches_relational_sigma;
+    Alcotest.test_case "product inherits links (border example)" `Quick
+      test_product_inherits_links;
+    Alcotest.test_case "restriction after product" `Quick
+      test_restriction_after_product;
+    Alcotest.test_case "union type mismatch rejected" `Quick
+      test_union_requires_same_description;
+    Alcotest.test_case "union and difference" `Quick test_union_and_difference;
+    Alcotest.test_case "union dedupes by value" `Quick
+      test_union_dedupes_by_value;
+    Alcotest.test_case "derived type usable in molecule (Thm 1)" `Quick
+      test_derived_type_usable_in_molecule;
+  ]

@@ -1,0 +1,224 @@
+(* Molecule derivation against the Brazil database: the Fig. 2
+   expectations (mt state, point neighborhood, shared subobjects) and
+   the verbatim specification predicates of Def. 6. *)
+
+open Mad_store
+open Workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let string_attr db atype id attr =
+  let at = Database.atom_type db atype in
+  match Atom.value (Database.get_atom db ~atype id) at attr with
+  | Value.String s -> s
+  | v -> Alcotest.failf "expected string, got %s" (Value.to_string v)
+
+let names db atype ids =
+  Aid.Set.elements ids
+  |> List.map (fun id -> string_attr db atype id "name")
+  |> List.sort String.compare
+
+let test_mt_state_shape () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.mt_state_desc brazil in
+  let occ = Mad.Derive.m_dom db desc in
+  check_int "one molecule per state" 10 (List.length occ);
+  (* the SP molecule: 1 state, 1 area, 4 edges, 4 points *)
+  let sp = Geo_brazil.state brazil "SP" in
+  let m =
+    List.find (fun (m : Mad.Molecule.t) -> Aid.equal m.root sp) occ
+  in
+  check_int "SP area" 1 (Aid.Set.cardinal (Mad.Molecule.component m "area"));
+  check_int "SP edges" 4 (Aid.Set.cardinal (Mad.Molecule.component m "edge"));
+  check_int "SP points" 4 (Aid.Set.cardinal (Mad.Molecule.component m "point"));
+  (* pn is one of SP's corner points *)
+  check "pn in SP molecule" true
+    (Aid.Set.mem brazil.Geo_brazil.pn (Mad.Molecule.component m "point"))
+
+let test_mt_state_shared_subobjects () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.mt_state_desc brazil in
+  let occ = Mad.Derive.m_dom db desc in
+  let find name =
+    List.find
+      (fun (m : Mad.Molecule.t) ->
+        Aid.equal m.root (Geo_brazil.state brazil name))
+      occ
+  in
+  let sp = find "SP" and mg = find "MG" in
+  let shared = Mad.Molecule.shared sp mg in
+  (* MG and SP are vertically adjacent: they share their border edge and
+     its two endpoints (Fig. 2's "shared subobjects") *)
+  check "border shared" true (Aid.Set.cardinal shared >= 3);
+  check "pn among shared" true (Aid.Set.mem brazil.Geo_brazil.pn shared);
+  (* non-adjacent states share nothing *)
+  let rs = find "RS" in
+  check "GO and RS disjoint" true
+    (Aid.Set.is_empty (Mad.Molecule.shared (find "GO") rs))
+
+let test_point_neighborhood () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.point_neighborhood_desc brazil in
+  let occ = Mad.Derive.m_dom db desc in
+  let m =
+    List.find
+      (fun (m : Mad.Molecule.t) -> Aid.equal m.root brazil.Geo_brazil.pn)
+      occ
+  in
+  (* Fig. 2 upper part: pn's neighborhood reaches areas of SP MS MG GO
+     and the river Parana *)
+  check_int "four incident edges" 4
+    (Aid.Set.cardinal (Mad.Molecule.component m "edge"));
+  Alcotest.(check (list string))
+    "states" [ "GO"; "MG"; "MS"; "SP" ]
+    (names db "state" (Mad.Molecule.component m "state"));
+  Alcotest.(check (list string))
+    "rivers" [ "Parana" ]
+    (names db "river" (Mad.Molecule.component m "river"))
+
+let test_derivation_satisfies_spec () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  List.iter
+    (fun desc ->
+      let occ = Mad.Derive.m_dom db desc in
+      List.iter
+        (fun m ->
+          check "mv_graph holds" true (Mad.Molecule.mv_graph db desc m))
+        occ)
+    [ Geo_brazil.mt_state_desc brazil; Geo_brazil.point_neighborhood_desc brazil ]
+
+let test_spec_rejects_non_maximal () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.mt_state_desc brazil in
+  let occ = Mad.Derive.m_dom db desc in
+  let m = List.hd occ in
+  (* drop one point: no longer total *)
+  let smaller =
+    let p = Aid.Set.min_elt (Mad.Molecule.component m "point") in
+    Mad.Molecule.v ~root:m.Mad.Molecule.root
+      ~by_node:
+        (Mad.Molecule.Smap.update "point"
+           (Option.map (fun s -> Aid.Set.remove p s))
+           m.Mad.Molecule.by_node)
+      ~links:
+        (Link.Set.filter
+           (fun (l : Link.t) ->
+             not (Aid.equal l.right p || Aid.equal l.left p))
+           m.Mad.Molecule.links)
+  in
+  check "smaller molecule is not total" false
+    (Mad.Molecule.total db desc smaller)
+
+let test_spec_rejects_foreign_atom () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.mt_state_desc brazil in
+  let occ = Mad.Derive.m_dom db desc in
+  let m = List.hd occ and m2 = List.nth occ 5 in
+  (* graft a foreign area atom without its links: contained fails *)
+  let foreign_area = Aid.Set.min_elt (Mad.Molecule.component m2 "area") in
+  let bigger =
+    Mad.Molecule.v ~root:m.Mad.Molecule.root
+      ~by_node:
+        (Mad.Molecule.Smap.update "area"
+           (Option.map (fun s -> Aid.Set.add foreign_area s))
+           m.Mad.Molecule.by_node)
+      ~links:m.Mad.Molecule.links
+  in
+  check "foreign atom breaks containment" false
+    (Mad.Molecule.total db desc bigger)
+
+let test_office_disjoint () =
+  let db = Office_gen.build Office_gen.default in
+  let desc = Office_gen.document_desc db in
+  let occ = Mad.Derive.m_dom db desc in
+  check_int "one molecule per document" 5 (List.length occ);
+  (* strictly hierarchical: no sharing at all *)
+  let rec pairwise = function
+    | [] | [ _ ] -> true
+    | m :: rest ->
+      List.for_all
+        (fun m' -> Aid.Set.is_empty (Mad.Molecule.shared m m'))
+        rest
+      && pairwise rest
+  in
+  check "documents are disjoint" true (pairwise occ)
+
+let test_empty_component_propagates () =
+  let db = Database.create () in
+  ignore (Database.declare_atom_type db "a" [ Schema.Attr.v "n" Domain.Int ]);
+  ignore (Database.declare_atom_type db "b" [ Schema.Attr.v "m" Domain.Int ]);
+  ignore (Database.declare_atom_type db "c" [ Schema.Attr.v "k" Domain.Int ]);
+  ignore (Database.declare_link_type db "ab" ("a", "b"));
+  ignore (Database.declare_link_type db "bc" ("b", "c"));
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.Int 1 ] in
+  ignore (Database.insert_atom db ~atype:"c" [ Value.Int 3 ]);
+  let desc =
+    Mad.Mdesc.v db ~nodes:[ "a"; "b"; "c" ]
+      ~edges:[ ("ab", "a", "b"); ("bc", "b", "c") ]
+  in
+  let occ = Mad.Derive.m_dom db desc in
+  check_int "one molecule" 1 (List.length occ);
+  let m = List.hd occ in
+  check "root only" true (Aid.Set.equal (Mad.Molecule.atoms m) (Aid.Set.singleton a1.id));
+  check "still satisfies spec" true (Mad.Molecule.mv_graph db desc m)
+
+let test_diamond_requires_all_parents () =
+  (* root -> x, root -> y, x -> z, y -> z : z atoms need both parents *)
+  let db = Database.create () in
+  List.iter
+    (fun n ->
+      ignore (Database.declare_atom_type db n [ Schema.Attr.v "v" Domain.Int ]))
+    [ "r"; "x"; "y"; "z" ];
+  ignore (Database.declare_link_type db "rx" ("r", "x"));
+  ignore (Database.declare_link_type db "ry" ("r", "y"));
+  ignore (Database.declare_link_type db "xz" ("x", "z"));
+  ignore (Database.declare_link_type db "yz" ("y", "z"));
+  let r = Database.insert_atom db ~atype:"r" [ Value.Int 0 ] in
+  let x = Database.insert_atom db ~atype:"x" [ Value.Int 1 ] in
+  let y = Database.insert_atom db ~atype:"y" [ Value.Int 2 ] in
+  let z_both = Database.insert_atom db ~atype:"z" [ Value.Int 3 ] in
+  let z_x_only = Database.insert_atom db ~atype:"z" [ Value.Int 4 ] in
+  Database.add_link db "rx" ~left:r.id ~right:x.id;
+  Database.add_link db "ry" ~left:r.id ~right:y.id;
+  Database.add_link db "xz" ~left:x.id ~right:z_both.id;
+  Database.add_link db "yz" ~left:y.id ~right:z_both.id;
+  Database.add_link db "xz" ~left:x.id ~right:z_x_only.id;
+  let desc =
+    Mad.Mdesc.v db ~nodes:[ "r"; "x"; "y"; "z" ]
+      ~edges:
+        [ ("rx", "r", "x"); ("ry", "r", "y"); ("xz", "x", "z"); ("yz", "y", "z") ]
+  in
+  let occ = Mad.Derive.m_dom db desc in
+  let m = List.hd occ in
+  check "z with both parents included" true
+    (Aid.Set.mem z_both.id (Mad.Molecule.component m "z"));
+  check "z with one parent excluded" false
+    (Aid.Set.mem z_x_only.id (Mad.Molecule.component m "z"));
+  check "spec agrees" true (Mad.Molecule.mv_graph db desc m)
+
+let suite =
+  [
+    Alcotest.test_case "mt state shape (Fig. 2)" `Quick test_mt_state_shape;
+    Alcotest.test_case "mt state shared subobjects (Fig. 2)" `Quick
+      test_mt_state_shared_subobjects;
+    Alcotest.test_case "point neighborhood (Fig. 2)" `Quick
+      test_point_neighborhood;
+    Alcotest.test_case "derivation satisfies mv_graph spec" `Quick
+      test_derivation_satisfies_spec;
+    Alcotest.test_case "spec rejects non-maximal molecule" `Quick
+      test_spec_rejects_non_maximal;
+    Alcotest.test_case "spec rejects grafted foreign atom" `Quick
+      test_spec_rejects_foreign_atom;
+    Alcotest.test_case "office documents disjoint" `Quick test_office_disjoint;
+    Alcotest.test_case "empty component propagates" `Quick
+      test_empty_component_propagates;
+    Alcotest.test_case "diamond needs all parents" `Quick
+      test_diamond_requires_all_parents;
+  ]

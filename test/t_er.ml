@@ -1,0 +1,86 @@
+(* The ER bridge: Fig. 1's one-to-one ER->MAD mapping versus the
+   auxiliary-relation-laden ER->relational mapping. *)
+
+open Mad_store
+module ER = Er_model.Er
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_geographic_schema_valid () =
+  let er = ER.geographic () in
+  check_int "7 entity types" 7 (List.length er.ER.entities);
+  check_int "6 relationship types" 6 (List.length er.ER.relationships)
+
+let test_validation () =
+  match
+    ER.v
+      ~entities:[ { ER.e_name = "a"; e_attrs = [] } ]
+      ~relationships:
+        [ { ER.r_name = "r"; r_from = "a"; r_to = "nonexistent"; r_card = (ER.One, ER.One) } ]
+  with
+  | _ -> Alcotest.fail "expected validation error"
+  | exception Err.Mad_error _ -> ()
+
+let test_to_mad_one_to_one () =
+  let er = ER.geographic () in
+  let db = ER.to_mad er in
+  check_int "atom types = entity types" (List.length er.ER.entities)
+    (List.length (Database.atom_type_names db));
+  check_int "link types = relationship types"
+    (List.length er.ER.relationships)
+    (List.length (Database.link_type_names db));
+  check_int "no auxiliary structures" 0 (ER.mad_auxiliary_count er);
+  (* cardinalities carried over *)
+  let sa = Database.link_type db "state-area" in
+  check "1:1 carried" true (sa.Schema.Link_type.card = (Some 1, Some 1))
+
+let test_to_relational_needs_auxiliaries () =
+  let er = ER.geographic () in
+  let m = ER.to_relational er in
+  (* the three n:m relationships need auxiliary relations *)
+  check_int "3 auxiliary relations" 3 (List.length m.ER.auxiliary);
+  check_int "3 foreign keys" 3 (List.length m.ER.foreign_keys);
+  (* total relations: 7 entities + 3 auxiliary *)
+  check_int "10 relations" 10 (List.length m.ER.schema);
+  check "MAD needs fewer structures" true
+    (ER.relational_auxiliary_count er > ER.mad_auxiliary_count er)
+
+let test_mad_image_matches_brazil_schema () =
+  (* the ER->MAD image of the geographic schema is exactly the schema
+     Geo_brazil uses *)
+  let er_db = ER.to_mad (ER.geographic ()) in
+  let brazil = Workloads.Geo_brazil.build () in
+  let db = Workloads.Geo_brazil.db brazil in
+  Alcotest.(check (list string))
+    "atom types" (Database.atom_type_names db)
+    (Database.atom_type_names er_db);
+  Alcotest.(check (list string))
+    "link types" (Database.link_type_names db)
+    (Database.link_type_names er_db)
+
+let test_er_dot () =
+  let s = ER.to_dot (ER.geographic ()) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "graph" true (contains s "graph er_diagram");
+  check "entity box" true (contains s "\"state\" [shape=box]");
+  check "relationship diamond" true (contains s "\"area-edge\" [shape=diamond]");
+  check "cardinality label" true (contains s "[label=\"n\"]")
+
+let suite =
+  [
+    Alcotest.test_case "ER DOT diagram" `Quick test_er_dot;
+    Alcotest.test_case "geographic ER schema" `Quick
+      test_geographic_schema_valid;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "ER->MAD one-to-one (Fig. 1)" `Quick
+      test_to_mad_one_to_one;
+    Alcotest.test_case "ER->relational auxiliaries" `Quick
+      test_to_relational_needs_auxiliaries;
+    Alcotest.test_case "ER image = Brazil schema" `Quick
+      test_mad_image_matches_brazil_schema;
+  ]

@@ -1,0 +1,131 @@
+(* Molecule-type descriptions and the md_graph predicate (Def. 5):
+   validation diagnostics, topological order, induced sub-structures. *)
+
+open Mad_store
+open Workloads
+
+let check = Alcotest.(check bool)
+
+let expect_invalid db ~nodes ~edges msg_part =
+  match Mad.Mdesc.v db ~nodes ~edges with
+  | _ -> Alcotest.failf "expected invalid structure (%s)" msg_part
+  | exception Err.Mad_error m ->
+    if
+      not
+        (let nh = String.length m and nn = String.length msg_part in
+         let rec go i = i + nn <= nh && (String.sub m i nn = msg_part || go (i + 1)) in
+         nn = 0 || go 0)
+    then Alcotest.failf "diagnostic %S does not mention %S" m msg_part
+
+let brazil_db () = Geo_brazil.db (Geo_brazil.build ())
+
+let test_valid_structures () =
+  let db = brazil_db () in
+  let d = Geo_schema.mt_state_desc db in
+  Alcotest.(check string) "root" "state" (Mad.Mdesc.root d);
+  Alcotest.(check (list string))
+    "topological order"
+    [ "state"; "area"; "edge"; "point" ]
+    (Mad.Mdesc.topo_order d);
+  let pn = Geo_schema.point_neighborhood_desc db in
+  Alcotest.(check string) "pn root" "point" (Mad.Mdesc.root pn)
+
+let test_rejects_cycle () =
+  let db = brazil_db () in
+  expect_invalid db
+    ~nodes:[ "area"; "edge" ]
+    ~edges:[ ("area-edge", "area", "edge"); ("area-edge", "edge", "area") ]
+    "cyclic"
+
+let test_rejects_incoherent () =
+  let db = brazil_db () in
+  expect_invalid db
+    ~nodes:[ "state"; "area"; "net"; "river" ]
+    ~edges:[ ("state-area", "state", "area"); ("river-net", "river", "net") ]
+    "coherent"
+
+let test_rejects_multiple_roots () =
+  (* two sources pointing at the same sink *)
+  let db = brazil_db () in
+  expect_invalid db
+    ~nodes:[ "area"; "net"; "edge" ]
+    ~edges:[ ("area-edge", "area", "edge"); ("net-edge", "net", "edge") ]
+    "multiple root"
+
+let test_rejects_unknown_link_or_type () =
+  let db = brazil_db () in
+  (match
+     Mad.Mdesc.v db ~nodes:[ "state"; "area" ]
+       ~edges:[ ("nolink", "state", "area") ]
+   with
+  | _ -> Alcotest.fail "unknown link accepted"
+  | exception Err.Mad_error _ -> ());
+  match
+    Mad.Mdesc.v db ~nodes:[ "nostate" ] ~edges:[]
+  with
+  | _ -> Alcotest.fail "unknown type accepted"
+  | exception Err.Mad_error _ -> ()
+
+let test_rejects_wrong_link_endpoints () =
+  let db = brazil_db () in
+  expect_invalid db
+    ~nodes:[ "state"; "edge" ]
+    ~edges:[ ("area-edge", "state", "edge") ]
+    "connects"
+
+let test_rejects_reflexive () =
+  let bom = Bom_gen.build Bom_gen.default in
+  expect_invalid bom.Bom_gen.db ~nodes:[ "part" ]
+    ~edges:[ ("composition", "part", "part") ]
+    "reflexive"
+
+let test_single_node_structure () =
+  let db = brazil_db () in
+  let d = Mad.Mdesc.v db ~nodes:[ "state" ] ~edges:[] in
+  Alcotest.(check string) "its own root" "state" (Mad.Mdesc.root d)
+
+let test_direction_inference () =
+  let db = brazil_db () in
+  (* same link type used top-down in mt_state and bottom-up in the
+     point neighborhood: orientations must differ *)
+  let top = Geo_schema.mt_state_desc db in
+  let bottom = Geo_schema.point_neighborhood_desc db in
+  let dir_of d link =
+    (List.find (fun (e : Mad.Mdesc.edge) -> String.equal e.link link)
+       (Mad.Mdesc.edges d))
+      .dir
+  in
+  check "area-edge fwd in mt_state" true (dir_of top "area-edge" = `Fwd);
+  check "area-edge bwd in pn" true (dir_of bottom "area-edge" = `Bwd)
+
+let test_induced () =
+  let db = brazil_db () in
+  let d = Geo_schema.mt_state_desc db in
+  let sub = Mad.Mdesc.induced d [ "state"; "area" ] in
+  Alcotest.(check (list string)) "nodes" [ "state"; "area" ] (Mad.Mdesc.nodes sub);
+  (* dropping the middle disconnects *)
+  (match Mad.Mdesc.induced d [ "state"; "edge"; "point" ] with
+  | _ -> Alcotest.fail "disconnected projection accepted"
+  | exception Err.Mad_error _ -> ());
+  (* dropping the root re-roots: rejected *)
+  match Mad.Mdesc.induced d [ "area"; "edge"; "point" ] with
+  | _ -> Alcotest.fail "root change accepted"
+  | exception Err.Mad_error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "valid structures" `Quick test_valid_structures;
+    Alcotest.test_case "rejects cycle" `Quick test_rejects_cycle;
+    Alcotest.test_case "rejects incoherent" `Quick test_rejects_incoherent;
+    Alcotest.test_case "rejects multiple roots" `Quick
+      test_rejects_multiple_roots;
+    Alcotest.test_case "rejects unknown names" `Quick
+      test_rejects_unknown_link_or_type;
+    Alcotest.test_case "rejects wrong endpoints" `Quick
+      test_rejects_wrong_link_endpoints;
+    Alcotest.test_case "rejects reflexive links" `Quick test_rejects_reflexive;
+    Alcotest.test_case "single-node structure" `Quick
+      test_single_node_structure;
+    Alcotest.test_case "direction inference" `Quick test_direction_inference;
+    Alcotest.test_case "induced sub-structure" `Quick test_induced;
+  ]

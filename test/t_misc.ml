@@ -1,0 +1,146 @@
+(* Odds and ends: value/domain edges, forced propagation strategies,
+   executor materialization, session rendering. *)
+
+open Mad_store
+open Workloads
+module MA = Mad.Molecule_algebra
+module MT = Mad.Molecule_type
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_value_edges () =
+  check "id values" true (Domain.mem (Value.Id 7) (Domain.Id_of "state"));
+  check "id not int" false (Domain.mem (Value.Id 7) Domain.Int);
+  check "nested lists" true
+    (Domain.mem
+       (Value.List [ Value.List [ Value.Int 1 ] ])
+       (Domain.List_of (Domain.List_of Domain.Int)));
+  check "default enum" true
+    (Value.equal (Domain.default (Domain.Enum [ "a"; "b" ])) (Value.String "a"));
+  check "default list" true
+    (Value.equal (Domain.default (Domain.List_of Domain.Int)) (Value.List []));
+  (* semantic vs structural comparison *)
+  check "sem eq across kinds" true
+    (Value.equal_sem (Value.Float 3.0) (Value.Int 3));
+  check "sem order mixes numerics" true
+    (Value.compare_sem (Value.Int 2) (Value.Float 2.5) < 0)
+
+let test_forced_prop_strategies () =
+  let b = Geo_brazil.build () in
+  let db = Geo_brazil.db b in
+  let desc = Geo_brazil.mt_state_desc b in
+  let occ = Mad.Derive.m_dom db desc in
+  let shared =
+    Mad.Propagate.prop ~strategy:`Shared db ~name:"fs" ~desc
+      ~attr_proj:MT.Smap.empty occ
+  in
+  let copied =
+    Mad.Propagate.prop ~strategy:`Copied db ~name:"fc" ~desc
+      ~attr_proj:MT.Smap.empty occ
+  in
+  check "shared exact" true
+    (Mad.Propagate.exact db shared.MT.mdesc shared.MT.mocc);
+  check "copied exact" true
+    (Mad.Propagate.exact db copied.MT.mdesc copied.MT.mocc);
+  (* copied materializes strictly more atoms than shared (shared borders) *)
+  let atoms_of (m : MT.materialization) =
+    MT.Smap.fold
+      (fun _ tname acc -> acc + Database.count_atoms db tname)
+      m.MT.node_map 0
+  in
+  check "copied > shared" true (atoms_of copied > atoms_of shared);
+  check "db still valid" true (Integrity.is_valid db)
+
+let test_executor_materialize_option () =
+  let b = Geo_brazil.build () in
+  let db = Geo_brazil.db b in
+  let q =
+    {
+      Prima.Planner.name = "q";
+      desc = Geo_brazil.mt_state_desc b;
+      where = Some Mad.Qual.(attr "state" "hectare" >% int 900);
+      select = Some [ ("state", None); ("area", None) ];
+    }
+  in
+  let pipelined = Prima.Executor.run ~materialize:false db q in
+  let materialized = Prima.Executor.run ~materialize:true db q in
+  check_int "same cardinality"
+    (MT.cardinality pipelined.Prima.Executor.mt)
+    (MT.cardinality materialized.Prima.Executor.mt);
+  (* materialized result carries a propagation, pipelined does not *)
+  check "materialized has prop" true
+    (materialized.Prima.Executor.mt.MT.materialized <> None);
+  check "pipelined has none" true
+    (pipelined.Prima.Executor.mt.MT.materialized = None)
+
+let test_session_rendering () =
+  let b = Geo_brazil.build () in
+  let s = Mad_mql.Session.create (Geo_brazil.db b) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "insert rendering" true
+    (contains
+       (Mad_mql.Session.run_to_string s "INSERT INTO city VALUES ('T', 1);")
+       "inserted city");
+  check "dml rendering" true
+    (contains
+       (Mad_mql.Session.run_to_string s
+          "MODIFY state.hectare = 7 FROM state-area WHERE state.name='SP';")
+       "modified state.hectare");
+  check "define rendering" true
+    (contains
+       (Mad_mql.Session.run_to_string s "DEFINE MOLECULE m1 AS state-area;")
+       "defined molecule type m1")
+
+let test_atom_pp_named () =
+  let b = Geo_brazil.build () in
+  let db = Geo_brazil.db b in
+  let at = Database.atom_type db "state" in
+  let a = List.hd (Database.atoms db "state") in
+  let s = Format.asprintf "%a" (Atom.pp_named at) a in
+  check "named attrs" true
+    (String.length s > 0
+     &&
+     let rec go i =
+       i + 5 <= String.length s && (String.sub s i 5 = "name=" || go (i + 1))
+     in
+     go 0)
+
+let test_link_type_helpers () =
+  let lt = Schema.Link_type.v "ab" ("a", "b") in
+  check "other end a->b" true (String.equal (Schema.Link_type.other_end lt "a") "b");
+  check "other end b->a" true (String.equal (Schema.Link_type.other_end lt "b") "a");
+  check "role left" true (Schema.Link_type.role_of lt "a" = `Left);
+  let refl = Schema.Link_type.v "cc" ("c", "c") in
+  check "reflexive" true (Schema.Link_type.reflexive refl);
+  check "role both" true (Schema.Link_type.role_of refl "c" = `Both);
+  (match Schema.Link_type.other_end lt "z" with
+   | _ -> Alcotest.fail "expected failure"
+   | exception Err.Mad_error _ -> ())
+
+let test_qual_pp_roundtrip_operators () =
+  (* the DSL builders produce what the printer says they do *)
+  let open Mad.Qual in
+  Alcotest.(check string)
+    "pp" "(state.hectare > 900 AND COUNT(edge) = 4)"
+    (to_string (And (attr "state" "hectare" >% int 900, Count "edge" =% int 4)));
+  check "agg pp" true
+    (to_string (Agg (Sum, "edge", "length") >=% int 4) |> fun s ->
+     String.length s > 0 && String.sub s 0 3 = "SUM")
+
+let suite =
+  [
+    Alcotest.test_case "value/domain edges" `Quick test_value_edges;
+    Alcotest.test_case "forced prop strategies" `Quick
+      test_forced_prop_strategies;
+    Alcotest.test_case "executor materialize option" `Quick
+      test_executor_materialize_option;
+    Alcotest.test_case "session rendering" `Quick test_session_rendering;
+    Alcotest.test_case "atom pp_named" `Quick test_atom_pp_named;
+    Alcotest.test_case "link-type helpers" `Quick test_link_type_helpers;
+    Alcotest.test_case "qual printing" `Quick test_qual_pp_roundtrip_operators;
+  ]

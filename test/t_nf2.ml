@@ -1,0 +1,224 @@
+(* The NF² baseline: nest/unnest laws, molecule embedding, rejection of
+   network structures, duplication of shared subobjects. *)
+
+open Mad_store
+open Workloads
+module N = Nf2.Nested
+module Em = Nf2.Embed
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let flat () =
+  let r =
+    N.create
+      [ ("dept", N.Scalar Domain.String); ("emp", N.Scalar Domain.String) ]
+  in
+  List.iter
+    (fun (d, e) -> N.insert r [ N.Atom (Value.String d); N.Atom (Value.String e) ])
+    [ ("a", "x"); ("a", "y"); ("b", "z") ];
+  r
+
+let test_nest_groups () =
+  let r = flat () in
+  let nested = N.nest r ~attrs:[ "emp" ] ~as_name:"emps" in
+  check_int "two groups" 2 (N.cardinality nested);
+  let row_a =
+    List.find
+      (fun row -> N.compare_nvalue (List.hd row) (N.Atom (Value.String "a")) = 0)
+      nested.N.rows
+  in
+  match List.nth row_a 1 with
+  | N.Rel sub -> check_int "a has two emps" 2 (N.cardinality sub)
+  | N.Atom _ -> Alcotest.fail "expected nested relation"
+
+let test_unnest_inverts_nest () =
+  let r = flat () in
+  let nested = N.nest r ~attrs:[ "emp" ] ~as_name:"emps" in
+  let back = N.unnest nested ~attr:"emps" in
+  (* same rows as the original, modulo column order (dept, emp) *)
+  check_int "same cardinality" (N.cardinality r) (N.cardinality back);
+  check "same content" true
+    (N.compare_rows r.N.rows back.N.rows = 0)
+
+let test_select_union_diff () =
+  let r = flat () in
+  let a_rows =
+    N.select
+      (fun row -> N.compare_nvalue (List.hd row) (N.Atom (Value.String "a")) = 0)
+      r
+  in
+  check_int "selected" 2 (N.cardinality a_rows);
+  let u = N.union a_rows a_rows in
+  check_int "idempotent union" 2 (N.cardinality u);
+  check_int "diff to empty" 0 (N.cardinality (N.diff a_rows a_rows))
+
+let test_embed_office () =
+  (* strictly hierarchical documents embed exactly, no duplication *)
+  let db = Office_gen.build Office_gen.default in
+  let desc = Office_gen.document_desc db in
+  let mt = Mad.Molecule_algebra.define db ~name:"docs" desc in
+  let e = Em.of_molecule_type db mt in
+  check_int "five rows" 5 (N.cardinality e.Em.nrel);
+  check "no duplication" true (Em.duplication e = 1.0);
+  (* weight = all atoms' values embedded once *)
+  check_int "distinct atoms" (5 + 20 + 60) e.Em.atoms_distinct
+
+let test_embed_mt_state_duplicates () =
+  (* the cartographic mt_state shares edges/points between neighbours:
+     NF² must duplicate them *)
+  let b = Geo_brazil.build () in
+  let db = Geo_brazil.db b in
+  let mt = Mad.Molecule_algebra.define db ~name:"mt_state" (Geo_brazil.mt_state_desc b) in
+  let e = Em.of_molecule_type db mt in
+  check "duplication factor > 1.6" true (Em.duplication e > 1.6);
+  check_int "ten rows" 10 (N.cardinality e.Em.nrel)
+
+let test_embed_rejects_diamond () =
+  let b = Geo_brazil.build () in
+  let db = Geo_brazil.db b in
+  let mt =
+    Mad.Molecule_algebra.define db ~name:"pn"
+      (Geo_brazil.point_neighborhood_desc b)
+  in
+  (* point neighborhood is a tree actually (point->edge->(area,net));
+     build a genuine diamond instead *)
+  ignore mt;
+  let ddb = Database.create () in
+  List.iter
+    (fun n ->
+      ignore (Database.declare_atom_type ddb n [ Schema.Attr.v "v" Domain.Int ]))
+    [ "r"; "x"; "y"; "z" ];
+  ignore (Database.declare_link_type ddb "rx" ("r", "x"));
+  ignore (Database.declare_link_type ddb "ry" ("r", "y"));
+  ignore (Database.declare_link_type ddb "xz" ("x", "z"));
+  ignore (Database.declare_link_type ddb "yz" ("y", "z"));
+  let desc =
+    Mad.Mdesc.v ddb ~nodes:[ "r"; "x"; "y"; "z" ]
+      ~edges:[ ("rx", "r", "x"); ("ry", "r", "y"); ("xz", "x", "z"); ("yz", "y", "z") ]
+  in
+  let dmt = Mad.Molecule_algebra.define ddb ~name:"diamond" desc in
+  match Em.of_molecule_type ddb dmt with
+  | _ -> Alcotest.fail "diamond must not embed into NF2"
+  | exception Err.Mad_error _ -> ()
+
+let test_embedded_query_agrees () =
+  (* selecting documents by title in NF² agrees with MAD restriction *)
+  let db = Office_gen.build Office_gen.default in
+  let desc = Office_gen.document_desc db in
+  let mt = Mad.Molecule_algebra.define db ~name:"docs2" desc in
+  let e = Em.of_molecule_type db mt in
+  let selected =
+    N.select
+      (fun row ->
+        N.compare_nvalue (List.hd row) (N.Atom (Value.String "Doc3")) = 0)
+      e.Em.nrel
+  in
+  let mad =
+    Mad.Molecule_algebra.restrict db
+      Mad.Qual.(attr "document" "title" =% str "Doc3")
+      mt
+  in
+  check_int "both select one" (Mad.Molecule_type.cardinality mad)
+    (N.cardinality selected)
+
+let test_nested_path_queries () =
+  let db = Office_gen.build Office_gen.default in
+  let desc = Office_gen.document_desc db in
+  let mt = Mad.Molecule_algebra.define db ~name:"docsq" desc in
+  let e = Em.of_molecule_type db mt in
+  (* documents having a section numbered 3 — all of them *)
+  let r =
+    Nf2.Query.select_exists e.Em.nrel ~path:[ "sections" ] ~attr:"number"
+      (fun v -> Value.equal_sem v (Value.Int 3))
+  in
+  check_int "every doc has section 3" 5 (N.cardinality r);
+  (* documents with a paragraph named D2.S1.P2: exactly one *)
+  let r2 =
+    Nf2.Query.select_exists e.Em.nrel
+      ~path:[ "sections"; "paragraphs" ]
+      ~attr:"text"
+      (fun v -> Value.equal_sem v (Value.String "D2.S1.P2"))
+  in
+  check_int "one doc" 1 (N.cardinality r2);
+  (* universal: every paragraph has at least 20 words *)
+  let r3 =
+    Nf2.Query.select_forall e.Em.nrel
+      ~path:[ "sections"; "paragraphs" ]
+      ~attr:"words"
+      (fun v -> Value.compare_sem v (Value.Int 20) >= 0)
+  in
+  check_int "all docs qualify" 5 (N.cardinality r3);
+  (* counting: 5 docs x 4 sections x 3 paragraphs *)
+  check_int "paragraph count" 60
+    (Nf2.Query.count_path e.Em.nrel ~path:[ "sections"; "paragraphs" ]);
+  (* agreement with MAD restriction *)
+  let mad =
+    Mad.Molecule_algebra.restrict db
+      Mad.Qual.(attr "paragraph" "text" =% str "D2.S1.P2")
+      mt
+  in
+  check_int "NF2 = MAD" (Mad.Molecule_type.cardinality mad) (N.cardinality r2)
+
+let test_structured_operators () =
+  let r = flat () in
+  let nested = N.nest r ~attrs:[ "emp" ] ~as_name:"emps" in
+  (* nested selection: keep only employee 'x' inside each group *)
+  let only_x =
+    N.select_nested nested ~attr:"emps" (fun row ->
+        N.compare_nvalue (List.hd row) (N.Atom (Value.String "x")) = 0)
+  in
+  check_int "outer rows kept" 2 (N.cardinality only_x);
+  let row_a =
+    List.find
+      (fun row -> N.compare_nvalue (List.hd row) (N.Atom (Value.String "a")) = 0)
+      only_x.N.rows
+  in
+  (match List.nth row_a 1 with
+   | N.Rel sub -> check_int "a keeps x only" 1 (N.cardinality sub)
+   | N.Atom _ -> Alcotest.fail "expected nested relation");
+  let row_b =
+    List.find
+      (fun row -> N.compare_nvalue (List.hd row) (N.Atom (Value.String "b")) = 0)
+      only_x.N.rows
+  in
+  (match List.nth row_b 1 with
+   | N.Rel sub -> check_int "b emptied" 0 (N.cardinality sub)
+   | N.Atom _ -> Alcotest.fail "expected nested relation");
+  (* nested projection keeps the schema shape with fewer columns *)
+  let wide =
+    N.create
+      [ ("dept", N.Scalar Domain.String); ("emp", N.Scalar Domain.String);
+        ("age", N.Scalar Domain.Int) ]
+  in
+  List.iter
+    (fun (d, e, a) ->
+      N.insert wide
+        [ N.Atom (Value.String d); N.Atom (Value.String e); N.Atom (Value.Int a) ])
+    [ ("a", "x", 30); ("a", "y", 40); ("b", "z", 20) ];
+  let nested2 = N.nest wide ~attrs:[ "emp"; "age" ] ~as_name:"staff" in
+  let projected = N.project_nested nested2 ~attr:"staff" ~inner:[ "emp" ] in
+  let row = List.hd projected.N.rows in
+  (match List.nth row 1 with
+   | N.Rel sub -> check_int "one inner column" 1 (List.length sub.N.schema)
+   | N.Atom _ -> Alcotest.fail "expected nested relation");
+  (* scalar attribute rejected *)
+  match N.project_nested nested2 ~attr:"dept" ~inner:[] with
+  | _ -> Alcotest.fail "scalar projection accepted"
+  | exception Err.Mad_error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "structured sigma/pi (SS86)" `Quick
+      test_structured_operators;
+    Alcotest.test_case "nested path queries" `Quick test_nested_path_queries;
+    Alcotest.test_case "nest groups" `Quick test_nest_groups;
+    Alcotest.test_case "unnest inverts nest" `Quick test_unnest_inverts_nest;
+    Alcotest.test_case "select/union/diff" `Quick test_select_union_diff;
+    Alcotest.test_case "office embeds exactly" `Quick test_embed_office;
+    Alcotest.test_case "mt_state duplicates shared atoms" `Quick
+      test_embed_mt_state_duplicates;
+    Alcotest.test_case "diamond rejected" `Quick test_embed_rejects_diamond;
+    Alcotest.test_case "NF2 query agrees with MAD" `Quick
+      test_embedded_query_agrees;
+  ]

@@ -1,0 +1,199 @@
+(* The PRIMA engine: plan correctness (optimized = naive results) and
+   the effectiveness of pushdown/pruning on the access counters. *)
+
+open Mad_store
+open Workloads
+module P = Prima.Planner
+module X = Prima.Executor
+module AI = Prima.Atom_interface
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let brazil () =
+  let b = Geo_brazil.build () in
+  (b, Geo_brazil.db b)
+
+let q2 b =
+  {
+    P.name = "q2";
+    desc = Geo_brazil.point_neighborhood_desc b;
+    where = Some Mad.Qual.(attr "point" "name" =% str "pn");
+    select = None;
+  }
+
+let same_molecules a b =
+  Mad.Molecule.Set.equal
+    (Mad.Molecule_type.molecule_set a)
+    (Mad.Molecule_type.molecule_set b)
+
+let test_optimized_equals_naive () =
+  let b, db = brazil () in
+  let naive, optimized = X.compare_plans db (q2 b) in
+  check "same result" true (same_molecules naive.X.mt optimized.X.mt);
+  check_int "one molecule" 1 (Mad.Molecule_type.cardinality optimized.X.mt)
+
+let test_pushdown_reduces_work () =
+  let b, db = brazil () in
+  let naive, optimized = X.compare_plans db (q2 b) in
+  let f (c : AI.counters) = c.AI.fetches + c.AI.links_followed in
+  check "optimized does less work" true
+    (f optimized.X.counters < f naive.X.counters);
+  (* the naive plan derives all 18 point molecules; optimized derives 1 *)
+  check "at least 5x less" true
+    (f naive.X.counters >= 5 * f optimized.X.counters)
+
+let test_pushdown_plan_shape () =
+  let b, _ = brazil () in
+  let plan = P.plan ~optimize:true (q2 b) in
+  check "root predicate pushed" true (plan.P.root_pred <> None);
+  check "no residual" true (plan.P.residual = None)
+
+let test_non_root_predicate_not_pushed () =
+  let b, _ = brazil () in
+  let q =
+    {
+      P.name = "q";
+      desc = Geo_brazil.mt_state_desc b;
+      where = Some Mad.Qual.(attr "point" "name" =% str "pn");
+      select = None;
+    }
+  in
+  let plan = P.plan ~optimize:true q in
+  check "not pushed" true (plan.P.root_pred = None);
+  check "residual kept" true (plan.P.residual <> None)
+
+let test_mixed_predicate_split () =
+  let b, db = brazil () in
+  let q =
+    {
+      P.name = "q";
+      desc = Geo_brazil.mt_state_desc b;
+      where =
+        Some
+          Mad.Qual.(
+            attr "state" "hectare" >% int 500
+            &&% (attr "point" "name" =% str "pn"));
+      select = None;
+    }
+  in
+  let plan = P.plan ~optimize:true q in
+  check "root part pushed" true (plan.P.root_pred <> None);
+  check "non-root residual" true (plan.P.residual <> None);
+  let naive, optimized = X.compare_plans db q in
+  check "same result" true (same_molecules naive.X.mt optimized.X.mt);
+  (* hectare > 500 and touching pn: GO(800) MS(700) SP(2000) MG(900) *)
+  check_int "four states" 4 (Mad.Molecule_type.cardinality optimized.X.mt)
+
+let test_pruning () =
+  let b, db = brazil () in
+  let q =
+    {
+      P.name = "q";
+      desc = Geo_brazil.mt_state_desc b;
+      where = Some Mad.Qual.(attr "state" "hectare" >% int 900);
+      select = Some [ ("state", None); ("area", None) ];
+    }
+  in
+  let plan = P.plan ~optimize:true q in
+  check_int "pruned to 2 nodes" 2
+    (List.length (Mad.Mdesc.nodes plan.P.derive_desc));
+  let naive, optimized = X.compare_plans db q in
+  check_int "same cardinality"
+    (Mad.Molecule_type.cardinality naive.X.mt)
+    (Mad.Molecule_type.cardinality optimized.X.mt);
+  (* pruned derivation never touches edges/points *)
+  let f (c : AI.counters) = c.AI.links_followed in
+  check "pruning cuts traversals" true
+    (f optimized.X.counters < f naive.X.counters);
+  (* the projected components agree molecule by molecule *)
+  List.iter2
+    (fun (m1 : Mad.Molecule.t) (m2 : Mad.Molecule.t) ->
+      check "same state" true (Aid.equal m1.Mad.Molecule.root m2.Mad.Molecule.root);
+      check "same area" true
+        (Aid.Set.equal
+           (Mad.Molecule.component m1 "area")
+           (Mad.Molecule.component m2 "area")))
+    (List.sort Mad.Molecule.compare (Mad.Molecule_type.occ naive.X.mt))
+    (List.sort Mad.Molecule.compare (Mad.Molecule_type.occ optimized.X.mt))
+
+let test_statistics () =
+  let _, db = brazil () in
+  let t = Prima.Stats.collect db in
+  Alcotest.(check int)
+    "state count" 10
+    (Prima.Stats.Smap.find "state" t.Prima.Stats.atom_counts);
+  (* every state name distinct *)
+  Alcotest.(check int)
+    "state.name ndv" 10
+    (Prima.Stats.Smap.find "state.name" t.Prima.Stats.distinct);
+  (* area-edge: 40 links over 10 areas -> fanout 4 forward *)
+  let ls = Prima.Stats.Smap.find "area-edge" t.Prima.Stats.link_stats in
+  check "area fanout 4" true (abs_float (ls.Prima.Stats.fanout_fwd -. 4.0) < 0.01)
+
+let test_selectivity_rules () =
+  let _, db = brazil () in
+  let t = Prima.Stats.collect db in
+  let s_eq = Prima.Stats.selectivity t Mad.Qual.(attr "state" "name" =% str "SP") in
+  check "eq = 1/ndv" true (abs_float (s_eq -. 0.1) < 0.001);
+  let s_and =
+    Prima.Stats.selectivity t
+      Mad.Qual.(
+        attr "state" "name" =% str "SP" &&% (attr "state" "hectare" >% int 0))
+  in
+  check "and multiplies" true (s_and < s_eq);
+  check "true is 1" true (Prima.Stats.selectivity t Mad.Qual.True = 1.0);
+  check "false is 0" true (Prima.Stats.selectivity t Mad.Qual.False = 0.0);
+  let s_not = Prima.Stats.selectivity t Mad.Qual.(Not (attr "state" "name" =% str "SP")) in
+  check "not complements" true (abs_float (s_not -. 0.9) < 0.001)
+
+let test_estimates_track_counters () =
+  (* the optimizer's estimates must rank naive above optimized, and be
+     within an order of magnitude of the real counters *)
+  let b, db = brazil () in
+  let t = Prima.Stats.collect db in
+  let q = q2 b in
+  let naive_est = Prima.Stats.estimate t (P.plan ~optimize:false q) in
+  let opt_est = Prima.Stats.estimate t (P.plan ~optimize:true q) in
+  check "naive estimated costlier" true
+    (naive_est.Prima.Stats.est_links > opt_est.Prima.Stats.est_links);
+  let naive, optimized = X.compare_plans db q in
+  let within_10x est actual =
+    actual = 0 || (est > float_of_int actual /. 10.0 && est < float_of_int actual *. 10.0)
+  in
+  check "naive links within 10x" true
+    (within_10x naive_est.Prima.Stats.est_links
+       naive.X.counters.AI.links_followed);
+  check "optimized links within 10x" true
+    (within_10x opt_est.Prima.Stats.est_links
+       optimized.X.counters.AI.links_followed)
+
+let test_explain_mentions_rewrites () =
+  let b, _ = brazil () in
+  let text = X.explain (q2 b) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "mentions pushdown" true (contains text "pushdown")
+
+let suite =
+  [
+    Alcotest.test_case "optimized = naive (Q2)" `Quick
+      test_optimized_equals_naive;
+    Alcotest.test_case "pushdown reduces work" `Quick
+      test_pushdown_reduces_work;
+    Alcotest.test_case "pushdown plan shape" `Quick test_pushdown_plan_shape;
+    Alcotest.test_case "non-root predicate stays residual" `Quick
+      test_non_root_predicate_not_pushed;
+    Alcotest.test_case "mixed predicate splits" `Quick
+      test_mixed_predicate_split;
+    Alcotest.test_case "projection pruning" `Quick test_pruning;
+    Alcotest.test_case "explain mentions rewrites" `Quick
+      test_explain_mentions_rewrites;
+    Alcotest.test_case "statistics collection" `Quick test_statistics;
+    Alcotest.test_case "selectivity rules" `Quick test_selectivity_rules;
+    Alcotest.test_case "estimates track counters" `Quick
+      test_estimates_track_counters;
+  ]

@@ -1,0 +1,110 @@
+(* Qualification formulas: evaluation semantics (atom and molecule
+   contexts), typechecking, arithmetic and quantifiers. *)
+
+open Mad_store
+open Workloads
+module Q = Mad.Qual
+module MA = Mad.Molecule_algebra
+module MT = Mad.Molecule_type
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let setting () =
+  let b = Geo_brazil.build () in
+  let db = Geo_brazil.db b in
+  let mt = MA.define db ~name:"mt_state" (Geo_brazil.mt_state_desc b) in
+  (b, db, mt)
+
+let count db mt pred =
+  List.length
+    (List.filter (fun m -> MA.molecule_satisfies db mt m pred) (MT.occ mt))
+
+let test_atom_context () =
+  let _, db, _ = setting () in
+  let at = Database.atom_type db "state" in
+  let sp =
+    List.find
+      (fun (a : Atom.t) ->
+        Value.equal (Atom.value a at "name") (Value.String "SP"))
+      (Database.atoms db "state")
+  in
+  check "eq" true (Q.eval_atom at sp Q.(attr "state" "name" =% str "SP"));
+  check "gt" true (Q.eval_atom at sp Q.(attr "state" "hectare" >% int 1999));
+  check "and/or/not" true
+    (Q.eval_atom at sp
+       Q.(
+         (attr "state" "name" =% str "SP" &&% (attr "state" "hectare" >% int 0))
+         ||% Not True));
+  (* wrong node rejected *)
+  match Q.eval_atom at sp Q.(attr "area" "name" =% str "x") with
+  | _ -> Alcotest.fail "expected error"
+  | exception Err.Mad_error _ -> ()
+
+let test_molecule_implicit_exists () =
+  let _, db, mt = setting () in
+  (* point.name = 'pn' holds for the four states around pn *)
+  check_int "implicit exists" 4 (count db mt Q.(attr "point" "name" =% str "pn"))
+
+let test_molecule_forall () =
+  let _, db, mt = setting () in
+  (* every edge has length 1 in every molecule *)
+  check_int "forall edges" 10
+    (count db mt Q.(Forall ("edge", attr "edge" "length" =% int 1)));
+  (* no molecule has all points named pn *)
+  check_int "forall points pn" 0
+    (count db mt Q.(Forall ("point", attr "point" "name" =% str "pn")))
+
+let test_molecule_exists_explicit () =
+  let _, db, mt = setting () in
+  check_int "exists = implicit" 4
+    (count db mt Q.(Exists ("point", attr "point" "name" =% str "pn")))
+
+let test_count () =
+  let _, db, mt = setting () in
+  check_int "all states have 4 points" 10 (count db mt Q.(Count "point" =% int 4));
+  check_int "none has 5" 0 (count db mt Q.(Count "point" =% int 5))
+
+let test_arithmetic () =
+  let _, db, mt = setting () in
+  (* hectare of the root state doubled *)
+  check_int "SP only: hectare*2 > 3000" 1
+    (count db mt Q.(Mul (attr "state" "hectare", int 2) >% int 3000));
+  check_int "int/float comparison" 1
+    (count db mt Q.(attr "state" "hectare" =% flt 2000.0));
+  (* division by zero is a user error *)
+  match count db mt Q.(Div (attr "state" "hectare", int 0) >% int 1) with
+  | _ -> Alcotest.fail "expected division error"
+  | exception Err.Mad_error _ -> ()
+
+let test_cross_node_comparison () =
+  let _, db, mt = setting () in
+  (* a state whose hectare equals 500 * one of its edge lengths * 4:
+     hectare = 2000 -> SP via edge length 1 *)
+  check_int "cross-node compare" 1
+    (count db mt
+       Q.(attr "state" "hectare" =% Mul (int 2000, attr "edge" "length")))
+
+let test_typecheck () =
+  let _, db, mt = setting () in
+  let bad pred =
+    match MA.restrict db pred mt with
+    | _ -> Alcotest.fail "expected typecheck failure"
+    | exception Err.Mad_error _ -> ()
+  in
+  bad Q.(attr "state" "nonexistent" =% int 1);
+  bad Q.(attr "river" "name" =% str "x") (* river not in mt_state *);
+  bad Q.(Exists ("river", True))
+
+let suite =
+  [
+    Alcotest.test_case "atom context" `Quick test_atom_context;
+    Alcotest.test_case "implicit exists" `Quick test_molecule_implicit_exists;
+    Alcotest.test_case "forall" `Quick test_molecule_forall;
+    Alcotest.test_case "explicit exists" `Quick test_molecule_exists_explicit;
+    Alcotest.test_case "count" `Quick test_count;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "cross-node comparison" `Quick
+      test_cross_node_comparison;
+    Alcotest.test_case "typecheck" `Quick test_typecheck;
+  ]

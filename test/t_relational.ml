@@ -1,0 +1,190 @@
+(* The relational baseline: algebra correctness, the MAD-to-relational
+   transformation, and the equivalence of relational join plans with
+   MAD molecule derivation. *)
+
+open Mad_store
+open Workloads
+module R = Relational.Relation
+module RA = Relational.Rel_algebra
+module M = Relational.Mapping
+module E = Relational.Emulate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let people () =
+  let r =
+    R.create "people"
+      [ Schema.Attr.v "name" Domain.String; Schema.Attr.v "age" Domain.Int ]
+  in
+  List.iter
+    (fun (n, a) -> R.insert_list r [ Value.String n; Value.Int a ])
+    [ ("ann", 30); ("bob", 20); ("cec", 40); ("dan", 20) ];
+  r
+
+let test_set_semantics () =
+  let r = people () in
+  check_int "4 tuples" 4 (R.cardinality r);
+  R.insert_list r [ Value.String "ann"; Value.Int 30 ];
+  check_int "duplicate ignored" 4 (R.cardinality r)
+
+let test_select_project () =
+  let r = people () in
+  let old = RA.select (fun t -> Value.compare_sem t.(1) (Value.Int 25) > 0) r in
+  check_int "two older" 2 (R.cardinality old);
+  let ages = RA.project [ "age" ] r in
+  check_int "ages deduped" 3 (R.cardinality ages)
+
+let test_union_diff () =
+  let r = people () in
+  let old = RA.select (fun t -> Value.compare_sem t.(1) (Value.Int 25) > 0) r in
+  let young = RA.select (fun t -> Value.compare_sem t.(1) (Value.Int 25) <= 0) r in
+  check_int "union back to all" 4 (R.cardinality (RA.union old young));
+  check_int "difference" 2 (R.cardinality (RA.diff r old));
+  check_int "intersect" 0 (R.cardinality (RA.intersect old young))
+
+let test_joins_agree () =
+  let l =
+    R.create "l" [ Schema.Attr.v "k" Domain.Int; Schema.Attr.v "a" Domain.String ]
+  in
+  let r =
+    R.create "r" [ Schema.Attr.v "k2" Domain.Int; Schema.Attr.v "b" Domain.String ]
+  in
+  List.iter
+    (fun (k, a) -> R.insert_list l [ Value.Int k; Value.String a ])
+    [ (1, "x"); (2, "y"); (3, "z"); (2, "y2") ];
+  List.iter
+    (fun (k, b) -> R.insert_list r [ Value.Int k; Value.String b ])
+    [ (2, "u"); (3, "v"); (3, "w"); (9, "q") ];
+  let h = RA.hash_join l r ~lkey:"k" ~rkey:"k2" in
+  let n =
+    RA.nl_join (fun t1 t2 -> Value.equal_sem t1.(0) t2.(0)) l r
+  in
+  let m = RA.merge_join l r ~lkey:"k" ~rkey:"k2" in
+  check_int "hash join size" 4 (R.cardinality h);
+  let same a b =
+    List.equal
+      (fun x y -> List.compare Value.compare (Array.to_list x) (Array.to_list y) = 0)
+      (R.sorted_tuples a) (R.sorted_tuples b)
+  in
+  check "hash = nested loop" true (same h n);
+  check "merge = hash" true (same m h)
+
+let test_semi_join () =
+  let l = R.create "l" [ Schema.Attr.v "k" Domain.Int ] in
+  let r = R.create "r" [ Schema.Attr.v "k" Domain.Int ] in
+  List.iter (fun k -> R.insert_list l [ Value.Int k ]) [ 1; 2; 3 ];
+  List.iter (fun k -> R.insert_list r [ Value.Int k ]) [ 2; 3; 4 ];
+  check_int "semijoin" 2 (R.cardinality (RA.semi_join l r ~lkey:"k" ~rkey:"k"))
+
+let test_mapping_shapes () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let map = M.of_database db in
+  (* 7 entity relations + 6 auxiliary link relations *)
+  check_int "13 relations" 13 (List.length (M.relation_names map));
+  check_int "6 auxiliary relations" 6 (M.auxiliary_count db map);
+  let st = M.relation map "state" in
+  check_int "id column added" 3 (R.arity st);
+  check_int "state rows" 10 (R.cardinality st);
+  let ae = M.relation map "area-edge" in
+  check_int "area-edge rows" (Database.count_links db "area-edge")
+    (R.cardinality ae)
+
+let test_mapping_inline_1n () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let map = M.of_database ~inline_1n:true db in
+  (* state-area, river-net (1:1) and city-point (n:1) inline; the three
+     n:m stay auxiliary *)
+  check_int "3 auxiliary relations" 3 (M.auxiliary_count db map);
+  check "city holds fk" true
+    (List.exists
+       (fun a -> String.length a > 3 && String.sub a (String.length a - 3) 3 = "_fk")
+       (R.attr_names (M.relation map "city"))
+     || List.exists
+          (fun a -> String.length a > 3 && String.sub a (String.length a - 3) 3 = "_fk")
+          (R.attr_names (M.relation map "area")))
+
+let components_equal (m : Mad.Molecule.t) comps desc =
+  List.for_all
+    (fun node ->
+      let mad_set = Mad.Molecule.component m node in
+      let rel_set =
+        Option.value ~default:Aid.Set.empty
+          (Relational.Emulate.Smap.find_opt node comps)
+      in
+      (* the relational frontier for the root includes the root *)
+      Aid.Set.equal mad_set rel_set)
+    (Mad.Mdesc.nodes desc)
+
+let test_emulation_matches_mad () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.mt_state_desc brazil in
+  let map = M.of_database db in
+  let mad_occ = Mad.Derive.m_dom db desc in
+  let rel_occ = E.derive map db desc in
+  check_int "same molecule count" (List.length mad_occ) (List.length rel_occ);
+  List.iter2
+    (fun (m : Mad.Molecule.t) (root, comps) ->
+      check "same root" true (Aid.equal m.Mad.Molecule.root root);
+      check "same components" true (components_equal m comps desc))
+    mad_occ rel_occ
+
+let test_emulation_matches_mad_diamond () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.point_neighborhood_desc brazil in
+  let map = M.of_database db in
+  let mad_occ = Mad.Derive.m_dom db desc in
+  let rel_occ = E.derive map db desc in
+  List.iter2
+    (fun (m : Mad.Molecule.t) (root, comps) ->
+      check "same root" true (Aid.equal m.Mad.Molecule.root root);
+      check "same components" true (components_equal m comps desc))
+    mad_occ rel_occ
+
+let test_flat_join_blowup () =
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.mt_state_desc brazil in
+  let map = M.of_database db in
+  let flat = E.flat_join map db desc in
+  (* each state: 1 area x 4 edges x 2 points = 8 rows *)
+  check_int "80 flat rows" 80 (R.cardinality flat);
+  (* versus 10 molecules over 10+10+27+18 distinct atoms *)
+  check "redundant" true (R.cardinality flat > Database.count_atoms db "state")
+
+let test_relational_work_exceeds_mad () =
+  (* the paper's efficiency claim, in counters: deriving all state
+     molecules costs the relational engine more tuple work than the MAD
+     engine costs link traversals *)
+  let brazil = Geo_brazil.build () in
+  let db = Geo_brazil.db brazil in
+  let desc = Geo_brazil.mt_state_desc brazil in
+  let map = M.of_database db in
+  let rstats = RA.stats () in
+  ignore (E.derive ~stats:rstats map db desc);
+  let mstats = Mad.Derive.stats () in
+  ignore (Mad.Derive.m_dom ~stats:mstats db desc);
+  check "relational scans more" true
+    (rstats.RA.tuples_scanned > mstats.Mad.Derive.links_traversed)
+
+let suite =
+  [
+    Alcotest.test_case "set semantics" `Quick test_set_semantics;
+    Alcotest.test_case "select/project" `Quick test_select_project;
+    Alcotest.test_case "union/diff" `Quick test_union_diff;
+    Alcotest.test_case "hash join = nested loop" `Quick test_joins_agree;
+    Alcotest.test_case "semi join" `Quick test_semi_join;
+    Alcotest.test_case "MAD->relational mapping" `Quick test_mapping_shapes;
+    Alcotest.test_case "1:n inlining" `Quick test_mapping_inline_1n;
+    Alcotest.test_case "join plan = MAD derivation (path)" `Quick
+      test_emulation_matches_mad;
+    Alcotest.test_case "join plan = MAD derivation (diamond)" `Quick
+      test_emulation_matches_mad_diamond;
+    Alcotest.test_case "flat join blowup" `Quick test_flat_join_blowup;
+    Alcotest.test_case "relational work exceeds MAD" `Quick
+      test_relational_work_exceeds_mad;
+  ]

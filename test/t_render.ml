@@ -1,0 +1,106 @@
+(* Rendering, notation, DOT and table output: shape checks on the
+   textual artifacts the figures are regenerated through. *)
+
+open Mad_store
+open Workloads
+
+let check = Alcotest.(check bool)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let setting () =
+  let b = Geo_brazil.build () in
+  let db = Geo_brazil.db b in
+  let mt =
+    Mad.Molecule_algebra.define db ~name:"mt_state" (Geo_brazil.mt_state_desc b)
+  in
+  (b, db, mt)
+
+let test_molecule_tree () =
+  let b, db, mt = setting () in
+  let sp =
+    match Mad.Molecule_type.find_by_root mt (Geo_brazil.state b "SP") with
+    | Some m -> m
+    | None -> assert false
+  in
+  let s = Format.asprintf "%a" (Mad.Render.pp_molecule db mt) sp in
+  check "root shown" true (contains s "SP");
+  check "area child" true (contains s "  area");
+  check "edges indented deeper" true (contains s "    edge");
+  check "points deepest" true (contains s "      point");
+  check "pn appears" true (contains s "[pn]")
+
+let test_projection_hides_attrs () =
+  let _, db, mt = setting () in
+  let proj =
+    Mad.Molecule_algebra.project db
+      [ ("state", Some [ "hectare" ]); ("area", None) ]
+      mt
+  in
+  let m = List.hd (Mad.Molecule_type.occ proj) in
+  let s = Format.asprintf "%a" (Mad.Render.pp_molecule db proj) m in
+  (* the name attribute was projected away: labels fall back to ids *)
+  check "no state name label" false (contains s "[GO]")
+
+let test_shared_report () =
+  let _, db, mt = setting () in
+  let s = Format.asprintf "%a" (fun ppf () -> Mad.Render.pp_shared db ppf mt) () in
+  check "mentions sharing" true (contains s "shared by molecules");
+  (* disjoint set: no sharing *)
+  let odb = Office_gen.build Office_gen.default in
+  let omt =
+    Mad.Molecule_algebra.define odb ~name:"docs" (Office_gen.document_desc odb)
+  in
+  let s' =
+    Format.asprintf "%a" (fun ppf () -> Mad.Render.pp_shared odb ppf omt) ()
+  in
+  check "no sharing reported" true (contains s' "no shared subobjects")
+
+let test_notation () =
+  let _, db, _ = setting () in
+  let s = Notation.database_to_string ~name:"GEO_DB" db in
+  check "AT*" true (contains s "∈ AT*");
+  check "LT*" true (contains s "∈ LT*");
+  check "DB*" true (contains s "GEO_DB = <{");
+  check "elision note" true (contains s "more)")
+
+let test_dot_outputs () =
+  let _, db, _ = setting () in
+  let s = Dot.schema_to_string db in
+  check "graph header" true (contains s "graph mad_schema");
+  check "undirected edge" true (contains s "\"state\" -- \"area\"");
+  let o = Dot.occurrence_to_string db in
+  check "atoms as nodes" true (contains o "a1 [label=");
+  check "links as edges" true (contains o " -- ")
+
+let test_table () =
+  let t = Table.create [ "col"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let s = Format.asprintf "%a" Table.pp t in
+  check "header" true (contains s "col");
+  check "rule" true (contains s "------");
+  check "row order" true (contains s "a");
+  (match Table.add_row t [ "too"; "many"; "cells" ] with
+   | _ -> Alcotest.fail "bad row accepted"
+   | exception Err.Mad_error _ -> ())
+
+let test_duplication_factor () =
+  let _, _, mt = setting () in
+  let f = Mad.Render.duplication_factor mt in
+  check "between 1 and 3" true (f > 1.0 && f < 3.0)
+
+let suite =
+  [
+    Alcotest.test_case "molecule tree" `Quick test_molecule_tree;
+    Alcotest.test_case "projection hides attributes" `Quick
+      test_projection_hides_attrs;
+    Alcotest.test_case "shared-subobject report" `Quick test_shared_report;
+    Alcotest.test_case "Fig. 4 notation" `Quick test_notation;
+    Alcotest.test_case "DOT outputs" `Quick test_dot_outputs;
+    Alcotest.test_case "text tables" `Quick test_table;
+    Alcotest.test_case "duplication factor" `Quick test_duplication_factor;
+  ]

@@ -1,0 +1,237 @@
+(* Unit tests for the storage substrate: values, domains, schemas,
+   database occurrence and integrity. *)
+
+open Mad_store
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let expect_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected Mad_error"
+  | exception Err.Mad_error _ -> ()
+
+(* a tiny two-type database used by several cases *)
+let tiny () =
+  let db = Database.create () in
+  ignore
+    (Database.declare_atom_type db "a"
+       [ Schema.Attr.v "name" Domain.String; Schema.Attr.v "n" Domain.Int ]);
+  ignore (Database.declare_atom_type db "b" [ Schema.Attr.v "m" Domain.Int ]);
+  ignore (Database.declare_link_type db "ab" ("a", "b"));
+  db
+
+let test_value_order () =
+  check "int eq" true (Value.equal (Value.Int 3) (Value.Int 3));
+  check "semantic int/float" true
+    (Value.equal_sem (Value.Int 2) (Value.Float 2.0));
+  check "structural int/float differ" false
+    (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check "string order" true (Value.compare (Value.String "a") (Value.String "b") < 0);
+  check "list order" true
+    (Value.compare (Value.List [ Value.Int 1 ]) (Value.List [ Value.Int 2 ]) < 0)
+
+let test_domain_mem () =
+  check "int in INT" true (Domain.mem (Value.Int 1) Domain.Int);
+  check "string not in INT" false (Domain.mem (Value.String "x") Domain.Int);
+  check "enum member" true
+    (Domain.mem (Value.String "red") (Domain.Enum [ "red"; "blue" ]));
+  check "enum non-member" false
+    (Domain.mem (Value.String "green") (Domain.Enum [ "red"; "blue" ]));
+  check "list of int" true
+    (Domain.mem (Value.List [ Value.Int 1; Value.Int 2 ]) (Domain.List_of Domain.Int));
+  check "heterogeneous list rejected" false
+    (Domain.mem
+       (Value.List [ Value.Int 1; Value.String "x" ])
+       (Domain.List_of Domain.Int))
+
+let test_atom_type_dup_attr () =
+  expect_error (fun () ->
+      Schema.Atom_type.v "bad"
+        [ Schema.Attr.v "x" Domain.Int; Schema.Attr.v "x" Domain.Int ])
+
+let test_insert_and_fetch () =
+  let db = tiny () in
+  let a = Database.insert_atom db ~atype:"a" [ Value.String "one"; Value.Int 1 ] in
+  let at = Database.atom_type db "a" in
+  check_str "attr by name" "one"
+    (match Atom.value a at "name" with Value.String s -> s | _ -> "?");
+  check_int "count" 1 (Database.count_atoms db "a");
+  expect_error (fun () ->
+      Database.insert_atom db ~atype:"a" [ Value.Int 1; Value.Int 1 ]);
+  expect_error (fun () -> Database.insert_atom db ~atype:"a" [ Value.Int 1 ])
+
+let test_links_and_neighbors () =
+  let db = tiny () in
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.String "a1"; Value.Int 1 ] in
+  let a2 = Database.insert_atom db ~atype:"a" [ Value.String "a2"; Value.Int 2 ] in
+  let b1 = Database.insert_atom db ~atype:"b" [ Value.Int 10 ] in
+  let b2 = Database.insert_atom db ~atype:"b" [ Value.Int 20 ] in
+  Database.add_link db "ab" ~left:a1.id ~right:b1.id;
+  Database.add_link db "ab" ~left:a1.id ~right:b2.id;
+  Database.add_link db "ab" ~left:a2.id ~right:b1.id;
+  check_int "a1 partners" 2
+    (Aid.Set.cardinal (Database.neighbors db "ab" ~dir:`Fwd a1.id));
+  check_int "b1 partners (symmetric)" 2
+    (Aid.Set.cardinal (Database.neighbors db "ab" ~dir:`Bwd b1.id));
+  check "linked unsorted" true (Database.linked db "ab" b1.id a1.id);
+  (* duplicate add is idempotent *)
+  Database.add_link db "ab" ~left:a1.id ~right:b1.id;
+  check_int "no dup link" 3 (Database.count_links db "ab");
+  Database.remove_link db "ab" ~left:a1.id ~right:b1.id;
+  check_int "removed" 2 (Database.count_links db "ab");
+  check "neighbor gone" false
+    (Aid.Set.mem b1.id (Database.neighbors db "ab" ~dir:`Fwd a1.id))
+
+let test_wrong_endpoint_type () =
+  let db = tiny () in
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.String "a1"; Value.Int 1 ] in
+  let b1 = Database.insert_atom db ~atype:"b" [ Value.Int 10 ] in
+  (* left must be of type a *)
+  expect_error (fun () -> Database.add_link db "ab" ~left:b1.id ~right:a1.id)
+
+let test_cardinality_enforced () =
+  let db = Database.create () in
+  ignore (Database.declare_atom_type db "a" [ Schema.Attr.v "n" Domain.Int ]);
+  ignore (Database.declare_atom_type db "b" [ Schema.Attr.v "m" Domain.Int ]);
+  ignore
+    (Database.declare_link_type db ~card:(Some 1, Some 2) "ab" ("a", "b"));
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.Int 1 ] in
+  let b1 = Database.insert_atom db ~atype:"b" [ Value.Int 1 ] in
+  let b2 = Database.insert_atom db ~atype:"b" [ Value.Int 2 ] in
+  let b3 = Database.insert_atom db ~atype:"b" [ Value.Int 3 ] in
+  Database.add_link db "ab" ~left:a1.id ~right:b1.id;
+  Database.add_link db "ab" ~left:a1.id ~right:b2.id;
+  (* a1 may carry at most 2 links (right bound) *)
+  expect_error (fun () -> Database.add_link db "ab" ~left:a1.id ~right:b3.id);
+  (* each b at most 1 link (left bound) *)
+  let a2 = Database.insert_atom db ~atype:"a" [ Value.Int 2 ] in
+  expect_error (fun () -> Database.add_link db "ab" ~left:a2.id ~right:b1.id)
+
+let test_delete_cascades () =
+  let db = tiny () in
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.String "a1"; Value.Int 1 ] in
+  let b1 = Database.insert_atom db ~atype:"b" [ Value.Int 10 ] in
+  Database.add_link db "ab" ~left:a1.id ~right:b1.id;
+  Database.delete_atom db b1.id;
+  check_int "link cascaded" 0 (Database.count_links db "ab");
+  check_int "atom gone" 0 (Database.count_atoms db "b");
+  check "still valid" true (Integrity.is_valid db)
+
+let test_integrity_detects_corruption () =
+  let db = tiny () in
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.String "a1"; Value.Int 1 ] in
+  let b1 = Database.insert_atom db ~atype:"b" [ Value.Int 10 ] in
+  Database.add_link db "ab" ~left:a1.id ~right:b1.id;
+  check "valid before corruption" true (Integrity.is_valid db);
+  (* corrupt behind the API's back: remove the atom record directly *)
+  let tbl = Database.atom_table db "b" in
+  Hashtbl.remove tbl.Database.atoms b1.id;
+  tbl.Database.ids <- Aid.Set.remove b1.id tbl.Database.ids;
+  let violations = Integrity.check db in
+  check "dangling link detected" true
+    (List.exists
+       (function Integrity.Dangling_link _ -> true | _ -> false)
+       violations)
+
+let test_integrity_detects_cardinality () =
+  let db = Database.create () in
+  ignore (Database.declare_atom_type db "a" [ Schema.Attr.v "n" Domain.Int ]);
+  ignore (Database.declare_atom_type db "b" [ Schema.Attr.v "m" Domain.Int ]);
+  (* declared without cardinality, then retro-fitted: simulate corruption *)
+  ignore (Database.declare_link_type db "ab" ("a", "b"));
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.Int 1 ] in
+  let b1 = Database.insert_atom db ~atype:"b" [ Value.Int 1 ] in
+  let b2 = Database.insert_atom db ~atype:"b" [ Value.Int 2 ] in
+  Database.add_link db "ab" ~left:a1.id ~right:b1.id;
+  Database.add_link db "ab" ~left:a1.id ~right:b2.id;
+  let st = Database.link_store db "ab" in
+  let st' =
+    {
+      st with
+      Database.lt = Schema.Link_type.v ~card:(None, Some 1) "ab" ("a", "b");
+    }
+  in
+  Hashtbl.replace db.Database.link_stores "ab" st';
+  let violations = Integrity.check db in
+  check "cardinality violation detected" true
+    (List.exists
+       (function Integrity.Cardinality _ -> true | _ -> false)
+       violations)
+
+let test_copy_isolation () =
+  let db = tiny () in
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.String "a1"; Value.Int 1 ] in
+  let db' = Database.copy db in
+  let b1 = Database.insert_atom db' ~atype:"b" [ Value.Int 10 ] in
+  Database.add_link db' "ab" ~left:a1.id ~right:b1.id;
+  check_int "original untouched (atoms)" 0 (Database.count_atoms db "b");
+  check_int "original untouched (links)" 0 (Database.count_links db "ab");
+  check_int "copy has them" 1 (Database.count_links db' "ab")
+
+let test_link_types_between () =
+  let db = tiny () in
+  check_int "one link type between a,b" 1
+    (List.length (Database.link_types_between db "a" "b"));
+  check_int "symmetric lookup" 1
+    (List.length (Database.link_types_between db "b" "a"));
+  check_int "none between a,a" 0
+    (List.length (Database.link_types_between db "a" "a"))
+
+let test_neighbors_scan_agrees () =
+  let db = tiny () in
+  let a1 = Database.insert_atom db ~atype:"a" [ Value.String "a1"; Value.Int 1 ] in
+  let a2 = Database.insert_atom db ~atype:"a" [ Value.String "a2"; Value.Int 2 ] in
+  let b1 = Database.insert_atom db ~atype:"b" [ Value.Int 10 ] in
+  let b2 = Database.insert_atom db ~atype:"b" [ Value.Int 20 ] in
+  Database.add_link db "ab" ~left:a1.id ~right:b1.id;
+  Database.add_link db "ab" ~left:a1.id ~right:b2.id;
+  Database.add_link db "ab" ~left:a2.id ~right:b2.id;
+  List.iter
+    (fun id ->
+      List.iter
+        (fun dir ->
+          check "scan = index" true
+            (Aid.Set.equal
+               (Database.neighbors db "ab" ~dir id)
+               (Database.neighbors_scan db "ab" ~dir id)))
+        [ `Fwd; `Bwd; `Both ])
+    [ a1.id; a2.id; b1.id; b2.id ]
+
+let test_reflexive_roles () =
+  let db = Database.create () in
+  ignore (Database.declare_atom_type db "part" [ Schema.Attr.v "n" Domain.Int ]);
+  ignore (Database.declare_link_type db "comp" ("part", "part"));
+  let p1 = Database.insert_atom db ~atype:"part" [ Value.Int 1 ] in
+  let p2 = Database.insert_atom db ~atype:"part" [ Value.Int 2 ] in
+  Database.add_link db "comp" ~left:p1.id ~right:p2.id;
+  check "fwd = sub-components" true
+    (Aid.Set.mem p2.id (Database.neighbors db "comp" ~dir:`Fwd p1.id));
+  check "bwd = super-components" true
+    (Aid.Set.mem p1.id (Database.neighbors db "comp" ~dir:`Bwd p2.id));
+  check "no fwd from child" false
+    (Aid.Set.mem p1.id (Database.neighbors db "comp" ~dir:`Fwd p2.id))
+
+let suite =
+  [
+    Alcotest.test_case "value ordering" `Quick test_value_order;
+    Alcotest.test_case "domain membership" `Quick test_domain_mem;
+    Alcotest.test_case "duplicate attribute rejected" `Quick
+      test_atom_type_dup_attr;
+    Alcotest.test_case "insert and fetch" `Quick test_insert_and_fetch;
+    Alcotest.test_case "links and neighbors" `Quick test_links_and_neighbors;
+    Alcotest.test_case "wrong endpoint type rejected" `Quick
+      test_wrong_endpoint_type;
+    Alcotest.test_case "cardinality enforced" `Quick test_cardinality_enforced;
+    Alcotest.test_case "delete cascades links" `Quick test_delete_cascades;
+    Alcotest.test_case "integrity detects dangling link" `Quick
+      test_integrity_detects_corruption;
+    Alcotest.test_case "integrity detects cardinality" `Quick
+      test_integrity_detects_cardinality;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+    Alcotest.test_case "link_types_between" `Quick test_link_types_between;
+    Alcotest.test_case "reflexive link roles" `Quick test_reflexive_roles;
+    Alcotest.test_case "neighbors scan = index" `Quick
+      test_neighbors_scan_agrees;
+  ]

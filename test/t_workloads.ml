@@ -1,0 +1,169 @@
+(* Workload generators: determinism, structural shapes, sharing
+   properties. *)
+
+open Mad_store
+open Workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then differs := true
+  done;
+  check "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    check "in range" true (x >= 0 && x < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    check "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_sample () =
+  let r = Rng.create 7 in
+  let xs = List.init 20 Fun.id in
+  let s = Rng.sample r 5 xs in
+  check_int "five" 5 (List.length s);
+  check "subset" true (List.for_all (fun x -> List.mem x xs) s);
+  check_int "no dup" 5 (List.length (List.sort_uniq compare s));
+  check "oversample = all" true (List.length (Rng.sample r 50 xs) = 20)
+
+let test_geo_gen_deterministic () =
+  let g1 = Geo_gen.build Geo_gen.default in
+  let g2 = Geo_gen.build Geo_gen.default in
+  check_int "same atoms"
+    (Database.total_atoms g1.Geo_grid.db)
+    (Database.total_atoms g2.Geo_grid.db);
+  check_int "same links"
+    (Database.total_links g1.Geo_grid.db)
+    (Database.total_links g2.Geo_grid.db);
+  check "identical dumps" true
+    (String.equal
+       (Serialize.dump g1.Geo_grid.db)
+       (Serialize.dump g2.Geo_grid.db))
+
+let test_geo_grid_shapes () =
+  let g = Geo_gen.build { Geo_gen.default with Geo_gen.rows = 3; cols = 5; rivers = 0; cities = 0 } in
+  let db = g.Geo_grid.db in
+  check_int "states" 15 (Database.count_atoms db "state");
+  check_int "areas" 15 (Database.count_atoms db "area");
+  (* edges: (rows+1)*cols + (cols+1)*rows = 4*5 + 6*3 = 38 *)
+  check_int "edges" 38 (Database.count_atoms db "edge");
+  (* points: (cols+1)*(rows+1) = 24 *)
+  check_int "points" 24 (Database.count_atoms db "point");
+  (* every area has exactly 4 border edges *)
+  List.iter
+    (fun (a : Atom.t) ->
+      check_int "4 borders" 4
+        (Aid.Set.cardinal (Database.neighbors db "area-edge" ~dir:`Fwd a.id)))
+    (Database.atoms db "area");
+  (* every edge has exactly 2 endpoints *)
+  List.iter
+    (fun (e : Atom.t) ->
+      check_int "2 endpoints" 2
+        (Aid.Set.cardinal (Database.neighbors db "edge-point" ~dir:`Fwd e.id)))
+    (Database.atoms db "edge");
+  (* interior edges are shared by exactly 2 areas *)
+  let shared =
+    List.filter
+      (fun (e : Atom.t) ->
+        Aid.Set.cardinal (Database.neighbors db "area-edge" ~dir:`Bwd e.id) = 2)
+      (Database.atoms db "edge")
+  in
+  (* interior: rows*(cols-1) vertical + (rows-1)*cols horizontal = 3*4 + 2*5 = 22 *)
+  check_int "interior edges shared" 22 (List.length shared)
+
+let test_shared_vs_private_rivers () =
+  let shared =
+    Geo_gen.build { Geo_gen.default with Geo_gen.shared_rivers = true }
+  in
+  let priv =
+    Geo_gen.build { Geo_gen.default with Geo_gen.shared_rivers = false }
+  in
+  check "private build is bigger" true
+    (Database.total_atoms priv.Geo_grid.db
+     > Database.total_atoms shared.Geo_grid.db);
+  check "both valid" true
+    (Integrity.is_valid shared.Geo_grid.db
+     && Integrity.is_valid priv.Geo_grid.db)
+
+let test_bom_shapes () =
+  let p = { Bom_gen.default with Bom_gen.depth = 3; width = 4; fanout = 2; share = 0.0 } in
+  let bom = Bom_gen.build p in
+  check_int "parts" 12 (Database.count_atoms bom.Bom_gen.db "part");
+  (* with share = 0 every super links to fanout distinct neighbours *)
+  Array.iteri
+    (fun lvl row ->
+      if lvl < 2 then
+        Array.iter
+          (fun part ->
+            check "fanout bounded" true
+              (Aid.Set.cardinal
+                 (Database.neighbors bom.Bom_gen.db "composition" ~dir:`Fwd part)
+               <= p.Bom_gen.fanout))
+          row)
+    bom.Bom_gen.levels;
+  check "valid" true (Integrity.is_valid bom.Bom_gen.db)
+
+let test_vlsi_shapes () =
+  let d = Vlsi_gen.build Vlsi_gen.default in
+  let db = d.Vlsi_gen.db in
+  check "valid" true (Integrity.is_valid db);
+  (* every cell has pins_per_cell pins, each owned by exactly one cell *)
+  List.iter
+    (fun (c : Atom.t) ->
+      check_int "pins per cell" Vlsi_gen.default.Vlsi_gen.pins_per_cell
+        (Aid.Set.cardinal (Database.neighbors db "cell-pin" ~dir:`Fwd c.id)))
+    (Database.atoms db "cell");
+  List.iter
+    (fun (p : Atom.t) ->
+      check_int "one owner" 1
+        (Aid.Set.cardinal (Database.neighbors db "cell-pin" ~dir:`Bwd p.id)))
+    (Database.atoms db "pin");
+  (* TOP reaches every module of the highest level *)
+  check_int "top instantiates top-level modules"
+    Vlsi_gen.default.Vlsi_gen.modules_per_level
+    (Aid.Set.cardinal
+       (Database.neighbors db "instantiates" ~dir:`Fwd d.Vlsi_gen.top))
+
+let test_office_strict_tree () =
+  let db = Office_gen.build Office_gen.default in
+  (* every section has exactly one document, every paragraph one section *)
+  List.iter
+    (fun (s : Atom.t) ->
+      Alcotest.(check int)
+        "one doc" 1
+        (Aid.Set.cardinal (Database.neighbors db "doc-sec" ~dir:`Bwd s.id)))
+    (Database.atoms db "section");
+  List.iter
+    (fun (p : Atom.t) ->
+      Alcotest.(check int)
+        "one section" 1
+        (Aid.Set.cardinal (Database.neighbors db "sec-para" ~dir:`Bwd p.id)))
+    (Database.atoms db "paragraph")
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng sample" `Quick test_rng_sample;
+    Alcotest.test_case "geo_gen deterministic" `Quick
+      test_geo_gen_deterministic;
+    Alcotest.test_case "geo grid shapes" `Quick test_geo_grid_shapes;
+    Alcotest.test_case "shared vs private rivers" `Quick
+      test_shared_vs_private_rivers;
+    Alcotest.test_case "bom shapes" `Quick test_bom_shapes;
+    Alcotest.test_case "vlsi shapes" `Quick test_vlsi_shapes;
+    Alcotest.test_case "office strict tree" `Quick test_office_strict_tree;
+  ]
