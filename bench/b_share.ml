@@ -113,6 +113,6 @@ let run () =
     "8x8 shared: MAD traverses %d links; the relational plan scans %d \
      tuples and emits %d (auxiliary relations double-visit every \
      relationship).@."
-    mstats.Mad.Derive.links_traversed
+    (Mad.Derive.links_traversed mstats)
     rstats.Relational.Rel_algebra.tuples_scanned
     rstats.Relational.Rel_algebra.tuples_emitted

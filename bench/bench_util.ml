@@ -1,15 +1,32 @@
 (* Shared measurement helpers for the experiment harness: a thin
-   Bechamel wrapper returning ns/run estimates, and formatting. *)
+   Bechamel wrapper returning ns/run estimates, and formatting.
+
+   Every measurement is also emitted as a "bench" event on the default
+   observability context, so MAD_OBS=json (or json:FILE) turns any
+   bench run into a machine-readable JSON-lines log. *)
 
 open Bechamel
 open Toolkit
 
+let obs = Mad_obs.Obs.default ()
+
 let quota =
   match Sys.getenv_opt "BENCH_QUOTA_MS" with
-  | Some s -> float_of_string s /. 1000.0
   | None -> 0.25
+  | Some s -> begin
+    match float_of_string_opt (String.trim s) with
+    | Some ms when Float.is_finite ms && ms > 0.0 -> ms /. 1000.0
+    | Some _ | None ->
+      Format.eprintf
+        "bench: invalid BENCH_QUOTA_MS=%S (expected a positive number of \
+         milliseconds)@."
+        s;
+      exit 2
+  end
 
-(** Measure [f] with Bechamel's OLS estimator; returns ns per run. *)
+(** Measure [f] with Bechamel's OLS estimator; returns ns per run.
+    Failed estimations warn on stderr instead of silently returning
+    [nan] downstream. *)
 let time_ns name f =
   let test = Test.make ~name (Staged.stage f) in
   let instances = Instance.[ monotonic_clock ] in
@@ -22,13 +39,27 @@ let time_ns name f =
   in
   let raw = Benchmark.all cfg instances test in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  match Hashtbl.find_opt results name with
-  | None -> nan
-  | Some ols_result -> begin
-    match Analyze.OLS.estimates ols_result with
-    | Some (est :: _) -> est
-    | Some [] | None -> nan
-  end
+  let est =
+    match Hashtbl.find_opt results name with
+    | None -> nan
+    | Some ols_result -> begin
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> est
+      | Some [] | None -> nan
+    end
+  in
+  if Float.is_nan est then
+    Format.eprintf
+      "bench: %s produced no estimate (quota %.0f ms too small?)@." name
+      (quota *. 1000.0)
+  else
+    Mad_obs.Obs.event obs "bench"
+      [
+        ("name", Mad_obs.Span.Str name);
+        ("ns_per_run", Mad_obs.Span.Float est);
+        ("quota_ms", Mad_obs.Span.Float (quota *. 1000.0));
+      ];
+  est
 
 let pp_ns ns =
   if Float.is_nan ns then "n/a"

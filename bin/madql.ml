@@ -72,7 +72,8 @@ let repl db_name =
       else if String.equal trimmed ":stats" then begin
         let s = session.Mad_mql.Session.stats in
         Format.printf "atoms visited: %d, links traversed: %d@."
-          s.Mad.Derive.atoms_visited s.Mad.Derive.links_traversed;
+          (Mad.Derive.atoms_visited s)
+          (Mad.Derive.links_traversed s);
         loop ()
       end
       else if String.length trimmed >= 9 && String.sub trimmed 0 9 = ":explain " then begin
@@ -105,44 +106,71 @@ let repl_cmd =
 let stmt_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"STATEMENT")
 
-let query db_name stmt =
+let profile_arg =
+  let doc =
+    "Also profile the statement (EXPLAIN ANALYZE): estimated vs. actual \
+     work per plan node.  $(docv) is pretty (default) or json."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "pretty") (some string) None
+    & info [ "profile" ] ~docv:"FORMAT" ~doc)
+
+let profile_report session fmt stmt =
+  let db = session.Mad_mql.Session.db in
+  match (fmt, Prima.Profile.query_of_stmt db stmt) with
+  | "json", Some q ->
+    Format.printf "%s@."
+      (Mad_obs.Json.to_string (Prima.Profile.to_json (Prima.Profile.analyze db q)))
+  | "pretty", Some q ->
+    Format.printf "%a" Prima.Profile.pp (Prima.Profile.analyze db q)
+  | ("pretty" | "json"), None ->
+    (* no physical plan (DML, set combinators, recursion): the textual
+       fallback reports session-level actuals *)
+    Format.printf "%s@." (Prima.Profile.analyze_stmt session stmt)
+  | other, _ ->
+    Err.failf "unknown profile format %s (expected pretty or json)" other
+
+let query db_name profile stmt =
   handle @@ fun () ->
   let db = load_db db_name in
   let session = Mad_mql.Session.create db in
-  print_string (Mad_mql.Session.run_to_string session stmt)
+  print_string (Mad_mql.Session.run_to_string session stmt);
+  match profile with
+  | None -> ()
+  | Some fmt -> profile_report session fmt (Mad_mql.Session.parse session stmt)
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Evaluate one MOL statement")
-    Term.(const query $ db_arg $ stmt_arg)
+    Term.(const query $ db_arg $ profile_arg $ stmt_arg)
 
-let explain db_name stmt =
+let analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Execute the statement and report estimated vs. actual roots, \
+           atoms and links per plan node (EXPLAIN ANALYZE).")
+
+let explain db_name analyze stmt =
   handle @@ fun () ->
   let db = load_db db_name in
   let session = Mad_mql.Session.create db in
-  Format.printf "algebra: %s@." (Mad_mql.Session.explain session stmt);
-  (* if the statement is a plain restricted query, also show PRIMA's
-     physical plan *)
-  match Mad_mql.Session.parse session stmt with
-  | Mad_mql.Ast.Query
-      (Mad_mql.Ast.Q
-         {
-           select;
-           from = Mad_mql.Ast.From_anon s | Mad_mql.Ast.From_named_def (_, s);
-           where;
-         }) ->
-    let desc = Mad_mql.Translate.resolve_structure db s in
-    let select_items =
-      match select with
-      | Mad_mql.Ast.All -> None
-      | Mad_mql.Ast.Items items -> Some items
-    in
-    let q = { Prima.Planner.name = "q"; desc; where; select = select_items } in
-    Format.printf "%s" (Prima.Stats.explain_with_estimates db q)
-  | _ -> ()
+  if analyze then
+    Format.printf "%s@."
+      (Prima.Profile.analyze_stmt session (Mad_mql.Session.parse session stmt))
+  else begin
+    Format.printf "algebra: %s@." (Mad_mql.Session.explain session stmt);
+    (* if the statement is a plain restricted query, also show PRIMA's
+       physical plan *)
+    match Prima.Profile.query_of_stmt db (Mad_mql.Session.parse session stmt) with
+    | Some q -> Format.printf "%s" (Prima.Stats.explain_with_estimates db q)
+    | None -> ()
+  end
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Show the algebra and PRIMA plans")
-    Term.(const explain $ db_arg $ stmt_arg)
+    Term.(const explain $ db_arg $ analyze_arg $ stmt_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schema / dot                                                         *)
@@ -251,6 +279,8 @@ let dump_cmd =
     Term.(const dump $ db_arg $ out_arg)
 
 let () =
+  (* route the session layer's EXPLAIN ANALYZE to the PRIMA profiler *)
+  Prima.Profile.install ();
   let info =
     Cmd.info "madql" ~version:"1.0"
       ~doc:"The MOL (molecule query language) processor over the MAD model"

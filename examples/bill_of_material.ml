@@ -86,7 +86,8 @@ let () =
     (fun (a : Atom.t) -> ignore (closure a.id))
     (Database.atoms db "part");
   Format.printf "MAD:        %d atoms visited, %d links traversed@."
-    mstats.Mad.Derive.atoms_visited mstats.Mad.Derive.links_traversed;
+    (Mad.Derive.atoms_visited mstats)
+    (Mad.Derive.links_traversed mstats);
   Format.printf "relational: %d tuples scanned, %d emitted, %d probes@."
     rstats.Relational.Rel_algebra.tuples_scanned
     rstats.Relational.Rel_algebra.tuples_emitted

@@ -51,7 +51,7 @@ let () =
   let rstats = Relational.Rel_algebra.stats () in
   ignore (Relational.Emulate.derive ~stats:rstats map gdb desc);
   Format.printf "MAD (links are first-class):   %d links traversed@."
-    mstats.Mad.Derive.links_traversed;
+    (Mad.Derive.links_traversed mstats);
   Format.printf
     "relational (via auxiliaries):  %d tuples scanned, %d emitted@."
     rstats.Relational.Rel_algebra.tuples_scanned

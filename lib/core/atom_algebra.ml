@@ -113,11 +113,25 @@ let inherit_links db ~res_name ~operands ~provenance =
 (* ------------------------------------------------------------------ *)
 (* The five operations                                                  *)
 
+(* One span per operator application, with input/output cardinalities
+   as attributes — the operator-level accounting the observability
+   layer is built around. *)
+let op_span obs op ~name ~in_count f =
+  Mad_obs.Obs.with_span obs ("atom_algebra." ^ op)
+    ~attrs:
+      [ ("result", Mad_obs.Span.Str name); ("in", Mad_obs.Span.Int in_count) ]
+  @@ fun sp ->
+  let r = f () in
+  Mad_obs.Span.set sp "out" (Mad_obs.Span.Int (Aid.Map.cardinal r.provenance));
+  r
+
 (** π — atom-type projection. [attrs] selects (and orders) the kept
     attribute descriptions; result atoms are de-duplicated by their
     projected values, provenance collects every source atom that
     projected onto them. *)
-let project db ~name ~attrs src =
+let project ?(obs = Mad_obs.Obs.noop) db ~name ~attrs src =
+  op_span obs "project" ~name ~in_count:(List.length (Database.atoms db src))
+  @@ fun () ->
   let at = Database.atom_type db src in
   let kept =
     List.map
@@ -149,7 +163,9 @@ let project db ~name ~attrs src =
   { at = res_at; inherited; provenance }
 
 (** σ — atom-type restriction by a qualification formula. *)
-let restrict db ~name ~pred src =
+let restrict ?(obs = Mad_obs.Obs.noop) db ~name ~pred src =
+  op_span obs "restrict" ~name ~in_count:(List.length (Database.atoms db src))
+  @@ fun () ->
   let at = Database.atom_type db src in
   Qual.typecheck ~allowed:[ src ] db pred;
   let res_at = Database.declare_atom_type db name at.attrs in
@@ -174,7 +190,12 @@ let restrict db ~name ~pred src =
     disjoint; attributes of the second operand that would collide are
     qualified as [<operand>_<attr>] to restore disjointness (the
     relational rename ρ folded into ×). *)
-let product db ~name src1 src2 =
+let product ?(obs = Mad_obs.Obs.noop) db ~name src1 src2 =
+  op_span obs "product" ~name
+    ~in_count:
+      (List.length (Database.atoms db src1)
+      + List.length (Database.atoms db src2))
+  @@ fun () ->
   let at1 = Database.atom_type db src1 and at2 = Database.atom_type db src2 in
   let taken =
     ref (List.map (fun (a : Schema.Attr.t) -> a.name) at1.attrs)
@@ -215,7 +236,12 @@ let check_same_description op at1 at2 =
 
 (** ω — atom-type union (identical descriptions required); result
     de-duplicated by values. *)
-let union db ~name src1 src2 =
+let union ?(obs = Mad_obs.Obs.noop) db ~name src1 src2 =
+  op_span obs "union" ~name
+    ~in_count:
+      (List.length (Database.atoms db src1)
+      + List.length (Database.atoms db src2))
+  @@ fun () ->
   let at1 = Database.atom_type db src1 and at2 = Database.atom_type db src2 in
   check_same_description "union" at1 at2;
   let res_at = Database.declare_atom_type db name at1.attrs in
@@ -242,7 +268,12 @@ let union db ~name src1 src2 =
 
 (** δ — atom-type difference (identical descriptions required):
     atoms of the first operand whose values do not occur in the second. *)
-let diff db ~name src1 src2 =
+let diff ?(obs = Mad_obs.Obs.noop) db ~name src1 src2 =
+  op_span obs "diff" ~name
+    ~in_count:
+      (List.length (Database.atoms db src1)
+      + List.length (Database.atoms db src2))
+  @@ fun () ->
   let at1 = Database.atom_type db src1 and at2 = Database.atom_type db src2 in
   check_same_description "difference" at1 at2;
   let res_at = Database.declare_atom_type db name at1.attrs in

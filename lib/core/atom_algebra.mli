@@ -21,20 +21,35 @@ type t = {
 
 val result_ids : t -> Aid.Set.t
 
-val project : Database.t -> name:string -> attrs:string list -> string -> t
+(** Each operator takes an optional observability context [obs]
+    (default: the shared no-op) and emits one span per application,
+    named [atom_algebra.<op>], carrying the result-type name and
+    input/output atom cardinalities. *)
+
+val project :
+  ?obs:Mad_obs.Obs.t ->
+  Database.t ->
+  name:string ->
+  attrs:string list ->
+  string ->
+  t
 (** π — keeps (and orders) the named attributes; de-duplicates. *)
 
-val restrict : Database.t -> name:string -> pred:Qual.t -> string -> t
+val restrict :
+  ?obs:Mad_obs.Obs.t -> Database.t -> name:string -> pred:Qual.t -> string -> t
 (** σ — the predicate may reference only the operand type. *)
 
-val product : Database.t -> name:string -> string -> string -> t
+val product :
+  ?obs:Mad_obs.Obs.t -> Database.t -> name:string -> string -> string -> t
 (** × — concatenates descriptions and values; colliding attributes of
     the second operand are qualified [<operand>_<attr>]; links of both
     operands are inherited. *)
 
-val union : Database.t -> name:string -> string -> string -> t
+val union :
+  ?obs:Mad_obs.Obs.t -> Database.t -> name:string -> string -> string -> t
 (** ω — requires identically described operands. *)
 
-val diff : Database.t -> name:string -> string -> string -> t
+val diff :
+  ?obs:Mad_obs.Obs.t -> Database.t -> name:string -> string -> string -> t
 (** δ — atoms of the first operand whose values do not occur in the
     second. *)

@@ -9,5 +9,15 @@ type report = { checks : int; failures : string list }
 val ok : report -> bool
 val pp_report : Format.formatter -> report -> unit
 
-val check_atom_result : Database.t -> Atom_algebra.t -> report
-val check_molecule_type : Database.t -> Molecule_type.t -> report
+val check_atom_result :
+  ?obs:Mad_obs.Obs.t -> Database.t -> Atom_algebra.t -> report
+
+val check_molecule_type :
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Derive.stats ->
+  Database.t ->
+  Molecule_type.t ->
+  report
+(** The Def. 9 bijection check re-derives the whole occurrence;
+    [stats] (default: counters in [obs]'s registry) accounts that
+    work so profiles stop under-reporting it. *)

@@ -10,15 +10,51 @@
     already-contained parent — the conjunctive reading of Def. 6's
     [contained].
 
-    [trace] counters expose the work done (atoms visited, links
-    traversed); the PRIMA engine and the benchmarks read them. *)
+    The [stats] handle counts the work done (atoms visited, links
+    traversed); it is a thin shim over {!Mad_obs} counters, so the same
+    numbers feed the PRIMA engine, the benchmarks, and — when the
+    handle is registry-backed ({!stats_in}) — the per-structure-node
+    accounting that EXPLAIN ANALYZE compares against the planner's
+    estimates. *)
 
 open Mad_store
 module Smap = Map.Make (String)
 
-type stats = { mutable atoms_visited : int; mutable links_traversed : int }
+type stats = {
+  atoms_visited : Mad_obs.Metric.counter;
+  links_traversed : Mad_obs.Metric.counter;
+  registry : Mad_obs.Registry.t option;
+      (** when present, derivation also accounts atoms/links per
+          structure node under ["derive.atoms"]/["derive.links"] with a
+          [node] label *)
+}
 
-let stats () = { atoms_visited = 0; links_traversed = 0 }
+let stats () =
+  {
+    atoms_visited = Mad_obs.Metric.counter "derive.atoms_visited";
+    links_traversed = Mad_obs.Metric.counter "derive.links_traversed";
+    registry = None;
+  }
+
+(** A stats handle whose counters live in (and whose per-node
+    accounting goes to) the given registry. *)
+let stats_in reg =
+  {
+    atoms_visited = Mad_obs.Registry.counter reg "derive.atoms_visited";
+    links_traversed = Mad_obs.Registry.counter reg "derive.links_traversed";
+    registry = Some reg;
+  }
+
+let atoms_visited s = Mad_obs.Metric.value s.atoms_visited
+let links_traversed s = Mad_obs.Metric.value s.links_traversed
+
+let node_counter s metric node =
+  match s.registry with
+  | None -> None
+  | Some reg ->
+    Some (Mad_obs.Registry.counter ~labels:[ ("node", node) ] reg metric)
+
+let opt_add c n = match c with None -> () | Some c -> Mad_obs.Metric.add c n
 
 (** Derive the molecule rooted at [root_atom] (an atom of the
     description's root type). *)
@@ -26,11 +62,13 @@ let derive_one ?(stats = stats ()) db desc root_atom =
   let order = Mdesc.topo_order desc in
   let by_node = ref (Smap.singleton (Mdesc.root desc) (Aid.Set.singleton root_atom)) in
   let links = ref Link.Set.empty in
-  stats.atoms_visited <- stats.atoms_visited + 1;
+  Mad_obs.Metric.incr stats.atoms_visited;
+  opt_add (node_counter stats "derive.atoms" (Mdesc.root desc)) 1;
   List.iter
     (fun node ->
       if not (String.equal node (Mdesc.root desc)) then begin
         let ins = Mdesc.in_edges desc node in
+        let node_links = node_counter stats "derive.links" node in
         (* candidate sets per incoming edge, then conjunction *)
         let reach (e : Mdesc.edge) =
           let parents =
@@ -43,8 +81,9 @@ let derive_one ?(stats = stats ()) db desc root_atom =
                   ~dir:(match e.dir with `Fwd -> `Fwd | `Bwd -> `Bwd)
                   p
               in
-              stats.links_traversed <-
-                stats.links_traversed + Aid.Set.cardinal partners;
+              let k = Aid.Set.cardinal partners in
+              Mad_obs.Metric.add stats.links_traversed k;
+              opt_add node_links k;
               Aid.Set.union partners acc)
             parents Aid.Set.empty
         in
@@ -56,7 +95,9 @@ let derive_one ?(stats = stats ()) db desc root_atom =
               (fun acc e -> Aid.Set.inter acc (reach e))
               (reach e) rest
         in
-        stats.atoms_visited <- stats.atoms_visited + Aid.Set.cardinal included;
+        let n_included = Aid.Set.cardinal included in
+        Mad_obs.Metric.add stats.atoms_visited n_included;
+        opt_add (node_counter stats "derive.atoms" node) n_included;
         by_node := Smap.add node included !by_node;
         (* record the links actually used, in role orientation *)
         List.iter

@@ -6,9 +6,27 @@
 
 open Mad_store
 
-type stats = { mutable atoms_visited : int; mutable links_traversed : int }
+type stats = {
+  atoms_visited : Mad_obs.Metric.counter;
+  links_traversed : Mad_obs.Metric.counter;
+  registry : Mad_obs.Registry.t option;
+}
+(** The derivation work counters.  Historically a pair of mutable ints;
+    now a shim over {!Mad_obs.Metric} counters so the same numbers flow
+    into the observability registry.  Read them with {!atoms_visited} /
+    {!links_traversed}. *)
 
 val stats : unit -> stats
+(** Fresh standalone counters (not attached to any registry). *)
+
+val stats_in : Mad_obs.Registry.t -> stats
+(** Counters registered as ["derive.atoms_visited"] /
+    ["derive.links_traversed"], plus per-structure-node accounting
+    under ["derive.atoms"]/["derive.links"] with a [node] label —
+    the actuals side of EXPLAIN ANALYZE. *)
+
+val atoms_visited : stats -> int
+val links_traversed : stats -> int
 
 val derive_one : ?stats:stats -> Database.t -> Mdesc.t -> Aid.t -> Molecule.t
 (** The molecule rooted at the given root-type atom. *)

@@ -18,16 +18,42 @@ let gen_name prefix =
   incr counter;
   Printf.sprintf "%s_%d" prefix !counter
 
+(* One span per operator application; input/output are molecule
+   cardinalities, and the derivation [stats] deltas (atoms visited,
+   links traversed) are attached so the cost of propagation exactness
+   checks is attributed to the operator that triggered them. *)
+let op_span obs stats op ~name ~in_count f =
+  Mad_obs.Obs.with_span obs ("molecule_algebra." ^ op)
+    ~attrs:
+      [ ("result", Mad_obs.Span.Str name); ("in", Mad_obs.Span.Int in_count) ]
+  @@ fun sp ->
+  let a0, l0 =
+    match stats with
+    | None -> (0, 0)
+    | Some s -> (Derive.atoms_visited s, Derive.links_traversed s)
+  in
+  let (mt : Molecule_type.t) = f () in
+  Mad_obs.Span.set sp "out" (Mad_obs.Span.Int (List.length mt.occ));
+  (match stats with
+  | None -> ()
+  | Some s ->
+    Mad_obs.Span.set sp "atoms_visited"
+      (Mad_obs.Span.Int (Derive.atoms_visited s - a0));
+    Mad_obs.Span.set sp "links_traversed"
+      (Mad_obs.Span.Int (Derive.links_traversed s - l0)));
+  mt
+
 (* ------------------------------------------------------------------ *)
 (* α — molecule-type definition (Def. 8)                                *)
 
-let define ?stats db ~name desc =
+let define ?(obs = Mad_obs.Obs.noop) ?stats db ~name desc =
+  op_span obs stats "define" ~name ~in_count:0 @@ fun () ->
   Molecule_type.v ~name ~desc (Derive.m_dom ?stats db desc)
 
 (** Convenience: build and validate the description, then define.
     [edges] are triples [(link, from_at, to_at)]. *)
-let define' ?stats db ~name ~nodes ~edges () =
-  define ?stats db ~name (Mdesc.v db ~nodes ~edges)
+let define' ?obs ?stats db ~name ~nodes ~edges () =
+  define ?obs ?stats db ~name (Mdesc.v db ~nodes ~edges)
 
 (* ------------------------------------------------------------------ *)
 (* Qualification over molecule types                                    *)
@@ -68,12 +94,15 @@ let molecule_satisfies db (mt : Molecule_type.t) (m : Molecule.t) pred =
 (* ------------------------------------------------------------------ *)
 (* Σ — molecule-type restriction (Def. 10)                              *)
 
-let restrict ?name db pred (mt : Molecule_type.t) =
+let restrict ?(obs = Mad_obs.Obs.noop) ?stats ?name db pred
+    (mt : Molecule_type.t) =
   let name = Option.value name ~default:(gen_name (mt.name ^ "_sigma")) in
+  op_span obs stats "restrict" ~name ~in_count:(List.length mt.occ)
+  @@ fun () ->
   typecheck_qual db mt pred;
   let rsv = List.filter (fun m -> molecule_satisfies db mt m pred) mt.occ in
   let materialized =
-    Propagate.prop db ~name ~desc:mt.desc ~attr_proj:mt.attr_proj rsv
+    Propagate.prop ?stats db ~name ~desc:mt.desc ~attr_proj:mt.attr_proj rsv
   in
   Molecule_type.v ~attr_proj:mt.attr_proj ~materialized ~name ~desc:mt.desc rsv
 
@@ -83,8 +112,11 @@ let restrict ?name db pred (mt : Molecule_type.t) =
 (** [keep] lists the retained nodes, each with [None] (all visible
     attributes) or [Some attrs].  The retained node set must induce a
     coherent single-rooted sub-DAG containing the root. *)
-let project ?name db keep (mt : Molecule_type.t) =
+let project ?(obs = Mad_obs.Obs.noop) ?stats ?name db keep
+    (mt : Molecule_type.t) =
   let name = Option.value name ~default:(gen_name (mt.name ^ "_pi")) in
+  op_span obs stats "project" ~name ~in_count:(List.length mt.occ)
+  @@ fun () ->
   let kept_nodes = List.map fst keep in
   let desc' = Mdesc.induced mt.desc kept_nodes in
   let attr_proj =
@@ -127,7 +159,7 @@ let project ?name db keep (mt : Molecule_type.t) =
         Molecule.v ~root:m.root ~by_node ~links)
       mt.occ
   in
-  let materialized = Propagate.prop db ~name ~desc:desc' ~attr_proj rsv in
+  let materialized = Propagate.prop ?stats db ~name ~desc:desc' ~attr_proj rsv in
   Molecule_type.v ~attr_proj ~materialized ~name ~desc:desc' rsv
 
 (* ------------------------------------------------------------------ *)
@@ -138,10 +170,14 @@ let check_compatible op (a : Molecule_type.t) (b : Molecule_type.t) =
     Err.failf "%s requires identically described molecule types (%s vs %s)" op
       a.name b.name
 
-let union ?name db (mt1 : Molecule_type.t) (mt2 : Molecule_type.t) =
+let union ?(obs = Mad_obs.Obs.noop) ?stats ?name db (mt1 : Molecule_type.t)
+    (mt2 : Molecule_type.t) =
   let name =
     Option.value name ~default:(gen_name (mt1.name ^ "_omega"))
   in
+  op_span obs stats "union" ~name
+    ~in_count:(List.length mt1.occ + List.length mt2.occ)
+  @@ fun () ->
   check_compatible "molecule-type union" mt1 mt2;
   let rsv =
     Molecule.Set.elements
@@ -149,15 +185,19 @@ let union ?name db (mt1 : Molecule_type.t) (mt2 : Molecule_type.t) =
          (Molecule_type.molecule_set mt2))
   in
   let materialized =
-    Propagate.prop db ~name ~desc:mt1.desc ~attr_proj:mt1.attr_proj rsv
+    Propagate.prop ?stats db ~name ~desc:mt1.desc ~attr_proj:mt1.attr_proj rsv
   in
   Molecule_type.v ~attr_proj:mt1.attr_proj ~materialized ~name ~desc:mt1.desc
     rsv
 
-let diff ?name db (mt1 : Molecule_type.t) (mt2 : Molecule_type.t) =
+let diff ?(obs = Mad_obs.Obs.noop) ?stats ?name db (mt1 : Molecule_type.t)
+    (mt2 : Molecule_type.t) =
   let name =
     Option.value name ~default:(gen_name (mt1.name ^ "_delta"))
   in
+  op_span obs stats "diff" ~name
+    ~in_count:(List.length mt1.occ + List.length mt2.occ)
+  @@ fun () ->
   check_compatible "molecule-type difference" mt1 mt2;
   let rsv =
     Molecule.Set.elements
@@ -165,18 +205,21 @@ let diff ?name db (mt1 : Molecule_type.t) (mt2 : Molecule_type.t) =
          (Molecule_type.molecule_set mt2))
   in
   let materialized =
-    Propagate.prop db ~name ~desc:mt1.desc ~attr_proj:mt1.attr_proj rsv
+    Propagate.prop ?stats db ~name ~desc:mt1.desc ~attr_proj:mt1.attr_proj rsv
   in
   Molecule_type.v ~attr_proj:mt1.attr_proj ~materialized ~name ~desc:mt1.desc
     rsv
 
 (** Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2)) — the paper's worked example of
     operator composition under closure. *)
-let intersect ?name db mt1 mt2 =
+let intersect ?(obs = Mad_obs.Obs.noop) ?stats ?name db mt1 mt2 =
   let name =
     Option.value name ~default:(gen_name (mt1.Molecule_type.name ^ "_psi"))
   in
-  diff ~name db mt1 (diff db mt1 mt2)
+  op_span obs stats "intersect" ~name
+    ~in_count:
+      (List.length mt1.Molecule_type.occ + List.length mt2.Molecule_type.occ)
+  @@ fun () -> diff ~obs ?stats ~name db mt1 (diff ~obs ?stats db mt1 mt2)
 
 (* ------------------------------------------------------------------ *)
 (* X — molecule-type cartesian product                                  *)
@@ -187,14 +230,18 @@ let intersect ?name db mt1 mt2 =
     link types to both operand roots) keeps the combined structure a
     single-rooted DAG, so the result is an ordinary molecule type over
     the enlarged database. *)
-let product ?name db (mt1 : Molecule_type.t) (mt2 : Molecule_type.t) =
+let product ?(obs = Mad_obs.Obs.noop) ?stats ?name db (mt1 : Molecule_type.t)
+    (mt2 : Molecule_type.t) =
   let name = Option.value name ~default:(gen_name (mt1.name ^ "_x")) in
+  op_span obs stats "product" ~name
+    ~in_count:(List.length mt1.occ + List.length mt2.occ)
+  @@ fun () ->
   let p1 =
-    Propagate.prop db ~name:(name ^ ".1") ~desc:mt1.desc
+    Propagate.prop ?stats db ~name:(name ^ ".1") ~desc:mt1.desc
       ~attr_proj:mt1.attr_proj mt1.occ
   in
   let p2 =
-    Propagate.prop db ~name:(name ^ ".2") ~desc:mt2.desc
+    Propagate.prop ?stats db ~name:(name ^ ".2") ~desc:mt2.desc
       ~attr_proj:mt2.attr_proj mt2.occ
   in
   let pair_type = Propagate.fresh_name db (name ^ ".pair") in
@@ -230,4 +277,4 @@ let product ?name db (mt1 : Molecule_type.t) (mt2 : Molecule_type.t) =
         (Mdesc.edges p2.mdesc)
   in
   let desc = Mdesc.v db ~nodes ~edges in
-  define db ~name desc
+  define ?stats db ~name desc

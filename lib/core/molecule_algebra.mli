@@ -9,10 +9,24 @@ open Mad_store
 val gen_name : string -> string
 (** A fresh result-type name with the given prefix. *)
 
-val define : ?stats:Derive.stats -> Database.t -> name:string -> Mdesc.t -> Molecule_type.t
+(** Each operator takes an optional observability context [obs]
+    (default: the shared no-op) and emits one span per application,
+    named [molecule_algebra.<op>], carrying the result-type name,
+    input/output molecule cardinalities and — when [stats] is given —
+    the derivation-work deltas attributable to the operator (including
+    the propagation exactness re-derivation). *)
+
+val define :
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Derive.stats ->
+  Database.t ->
+  name:string ->
+  Mdesc.t ->
+  Molecule_type.t
 (** α — molecule-type definition (Def. 8). *)
 
 val define' :
+  ?obs:Mad_obs.Obs.t ->
   ?stats:Derive.stats ->
   Database.t ->
   name:string ->
@@ -29,10 +43,19 @@ val typecheck_qual : Database.t -> Molecule_type.t -> Qual.t -> unit
 val molecule_satisfies : Database.t -> Molecule_type.t -> Molecule.t -> Qual.t -> bool
 (** [qual(m, restr(md))] of Def. 10. *)
 
-val restrict : ?name:string -> Database.t -> Qual.t -> Molecule_type.t -> Molecule_type.t
+val restrict :
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Derive.stats ->
+  ?name:string ->
+  Database.t ->
+  Qual.t ->
+  Molecule_type.t ->
+  Molecule_type.t
 (** Σ *)
 
 val project :
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Derive.stats ->
   ?name:string ->
   Database.t ->
   (string * string list option) list ->
@@ -42,15 +65,43 @@ val project :
     [Some attrs]); the retained set must induce a coherent
     single-rooted sub-DAG containing the root. *)
 
-val union : ?name:string -> Database.t -> Molecule_type.t -> Molecule_type.t -> Molecule_type.t
+val union :
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Derive.stats ->
+  ?name:string ->
+  Database.t ->
+  Molecule_type.t ->
+  Molecule_type.t ->
+  Molecule_type.t
 (** Ω — requires {!Molecule_type.compatible} operands. *)
 
-val diff : ?name:string -> Database.t -> Molecule_type.t -> Molecule_type.t -> Molecule_type.t
+val diff :
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Derive.stats ->
+  ?name:string ->
+  Database.t ->
+  Molecule_type.t ->
+  Molecule_type.t ->
+  Molecule_type.t
 (** Δ *)
 
-val intersect : ?name:string -> Database.t -> Molecule_type.t -> Molecule_type.t -> Molecule_type.t
+val intersect :
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Derive.stats ->
+  ?name:string ->
+  Database.t ->
+  Molecule_type.t ->
+  Molecule_type.t ->
+  Molecule_type.t
 (** Ψ = Δ(a, Δ(a,b)) — the paper's worked composition example. *)
 
-val product : ?name:string -> Database.t -> Molecule_type.t -> Molecule_type.t -> Molecule_type.t
+val product :
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Derive.stats ->
+  ?name:string ->
+  Database.t ->
+  Molecule_type.t ->
+  Molecule_type.t ->
+  Molecule_type.t
 (** X — operands are propagated onto fresh types; a synthetic pair root
     keeps the combined structure single-rooted. *)

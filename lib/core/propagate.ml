@@ -202,8 +202,8 @@ let propagate_copied db ~name ~desc ~attr_proj occ =
 
 (** Does re-derivation over the propagated types return exactly the
     propagated occurrence (Def. 9's bijection)? *)
-let exact db mdesc mocc =
-  let derived = Derive.m_dom db mdesc in
+let exact ?stats db mdesc mocc =
+  let derived = Derive.m_dom ?stats db mdesc in
   Molecule.Set.equal (Molecule.Set.of_list derived) (Molecule.Set.of_list mocc)
 
 let cleanup db node_map link_map =
@@ -213,7 +213,7 @@ let cleanup db node_map link_map =
 (** The propagation function of Def. 9.  [strategy] defaults to
     [`Auto]: try shared propagation, verify exactness, fall back to
     per-molecule copies if the bijection fails. *)
-let prop ?(strategy = `Auto) db ~name ~desc ~attr_proj occ =
+let prop ?stats ?(strategy = `Auto) db ~name ~desc ~attr_proj occ =
   let shared () = propagate_shared db ~name ~desc ~attr_proj occ in
   let copied () = propagate_copied db ~name ~desc ~attr_proj occ in
   let node_map, link_map, atom_map, mdesc, mocc, used =
@@ -226,7 +226,7 @@ let prop ?(strategy = `Auto) db ~name ~desc ~attr_proj occ =
       (n, l, a, d, o, `Copied)
     | `Auto ->
       let n, l, a, d, o = shared () in
-      if exact db d o then (n, l, a, d, o, `Shared)
+      if exact ?stats db d o then (n, l, a, d, o, `Shared)
       else begin
         cleanup db n l;
         let n, l, a, d, o = copied () in

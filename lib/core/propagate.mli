@@ -16,6 +16,7 @@ val fresh_name : Database.t -> string -> string
 (** An atom-/link-type name not yet used in the database. *)
 
 val prop :
+  ?stats:Derive.stats ->
   ?strategy:[ `Auto | `Shared | `Copied ] ->
   Database.t ->
   name:string ->
@@ -24,8 +25,10 @@ val prop :
   Molecule.t list ->
   Molecule_type.materialization
 (** The propagation function.  [`Auto] (default) tries shared
-    propagation, checks exactness and falls back to copies. *)
+    propagation, checks exactness and falls back to copies.  [stats]
+    accounts the exactness re-derivation. *)
 
-val exact : Database.t -> Mdesc.t -> Molecule.t list -> bool
+val exact : ?stats:Derive.stats -> Database.t -> Mdesc.t -> Molecule.t list -> bool
 (** Does re-derivation over the propagated types return exactly the
-    propagated occurrence? *)
+    propagated occurrence?  The re-derivation is real work; [stats]
+    makes it visible to profiles. *)

@@ -89,6 +89,9 @@ type stmt =
       from : from_item;
       where : Mad.Qual.t option;
     }
+  | Explain of { analyze : bool; stmt : stmt }
+      (** [EXPLAIN] shows the plan; [EXPLAIN ANALYZE] also executes the
+          statement and reports estimated vs. actual work *)
 
 (* ------------------------------------------------------------------ *)
 (* Pretty printing (MOL concrete syntax; parse ∘ print = id)            *)
@@ -169,7 +172,7 @@ let rec pp_qexpr ppf = function
   | Diff (a, b) -> Fmt.pf ppf "%a@ DIFF %a" pp_qexpr a pp_qexpr b
   | Intersect (a, b) -> Fmt.pf ppf "%a@ INTERSECT %a" pp_qexpr a pp_qexpr b
 
-let pp_stmt ppf = function
+let rec pp_stmt ppf = function
   | Define (n, s) -> Fmt.pf ppf "@[<hv>DEFINE MOLECULE %s AS %a;@]" n pp_structure s
   | Query q -> Fmt.pf ppf "@[<hv>%a;@]" pp_qexpr q
   | Insert { atype; values; links } ->
@@ -192,5 +195,7 @@ let pp_stmt ppf = function
       Mad_store.Value.pp value pp_from from
       Fmt.(option (fun ppf q -> Fmt.pf ppf "@ WHERE %a" Mad.Qual.pp q))
       where
+  | Explain { analyze; stmt } ->
+    Fmt.pf ppf "EXPLAIN %s%a" (if analyze then "ANALYZE " else "") pp_stmt stmt
 
 let to_string stmt = Format.asprintf "%a" pp_stmt stmt

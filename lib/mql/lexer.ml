@@ -39,7 +39,7 @@ let keywords =
     "COUNT"; "UNION"; "DIFF"; "INTERSECT"; "DEFINE"; "MOLECULE"; "AS";
     "RECURSIVE"; "BY"; "DEPTH"; "SUB"; "SUPER"; "TRUE"; "FALSE"; "INSERT";
     "INTO"; "VALUES"; "LINK"; "UNLINK"; "DELETE"; "DETACH"; "MODIFY";
-    "SUM"; "MIN"; "MAX"; "AVG"; "WITH";
+    "SUM"; "MIN"; "MAX"; "AVG"; "WITH"; "EXPLAIN"; "ANALYZE";
   ]
 
 let pp_token ppf = function

@@ -422,7 +422,7 @@ let parse_link_stmt st constructor =
   let right = atid st in
   constructor lt left right
 
-let parse_stmt st env_has =
+let parse_plain_stmt st env_has =
   let stmt =
     if accept st (L.KW "DEFINE") then begin
       expect st (L.KW "MOLECULE") "expected MOLECULE after DEFINE";
@@ -459,6 +459,15 @@ let parse_stmt st env_has =
       Ast.Modify { node; attr; value; from; where }
     end
     else Ast.Query (parse_qexpr st env_has)
+  in
+  stmt
+
+let parse_stmt st env_has =
+  let stmt =
+    if accept st (L.KW "EXPLAIN") then
+      let analyze = accept st (L.KW "ANALYZE") in
+      Ast.Explain { analyze; stmt = parse_plain_stmt st env_has }
+    else parse_plain_stmt st env_has
   in
   ignore (accept st L.SEMI);
   if peek st <> L.EOF then fail_at st "trailing input after statement";

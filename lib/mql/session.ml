@@ -10,14 +10,29 @@ type outcome =
   | Result of Translate.result
   | Inserted of Atom.t
   | Dml of string  (** summary of a manipulation statement's effect *)
+  | Explained of string  (** EXPLAIN / EXPLAIN ANALYZE report *)
 
 type t = {
   db : Database.t;
   env : (string, Mad.Molecule_type.t) Hashtbl.t;
   stats : Mad.Derive.stats;
+  obs : Mad_obs.Obs.t;
 }
 
-let create db = { db; env = Hashtbl.create 16; stats = Mad.Derive.stats () }
+(** [EXPLAIN ANALYZE] needs the physical engine, which lives above this
+    library; installing a profiler (see [Prima.Profile.install]) routes
+    the statement there.  Without one, ANALYZE falls back to executing
+    the statement and reporting the session-level actuals. *)
+let analyze_hook : (t -> Ast.stmt -> string) option ref = ref None
+
+let create ?obs db =
+  let obs = match obs with Some o -> o | None -> Mad_obs.Obs.default () in
+  {
+    db;
+    env = Hashtbl.create 16;
+    stats = Mad.Derive.stats_in (Mad_obs.Obs.registry obs);
+    obs;
+  }
 
 let lookup t name = Hashtbl.find_opt t.env name
 
@@ -104,17 +119,79 @@ let dml_target t from where =
   in
   (mt, victims)
 
-let eval_stmt t (stmt : Ast.stmt) : outcome =
+(** EXPLAIN: the algebra plan a statement compiles to. *)
+let rec explain_stmt t (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Define (name, s) ->
+    Format.asprintf "α[%s](%a)" name Mad.Mdesc.pp
+      (Translate.resolve_structure t.db s)
+  | Ast.Query q ->
+    Format.asprintf "%a" Translate.pp_plan (Translate.compile t.db (lookup t) q)
+  | Ast.Explain { analyze = _; stmt } -> explain_stmt t stmt
+  | (Ast.Insert _ | Ast.Link _ | Ast.Unlink _ | Ast.Delete _ | Ast.Modify _) as
+    stmt ->
+    Format.asprintf "manipulation: %a" Ast.pp_stmt stmt
+
+let stmt_kind = function
+  | Ast.Define _ -> "define"
+  | Ast.Query _ -> "query"
+  | Ast.Insert _ -> "insert"
+  | Ast.Link _ -> "link"
+  | Ast.Unlink _ -> "unlink"
+  | Ast.Delete _ -> "delete"
+  | Ast.Modify _ -> "modify"
+  | Ast.Explain _ -> "explain"
+
+let rec eval_stmt t (stmt : Ast.stmt) : outcome =
+  (* one root span per statement; everything the engine does beneath —
+     algebra operators, derivations, closure checks — nests under it *)
+  Mad_obs.Obs.with_span t.obs "mql.statement"
+    ~attrs:[ ("kind", Mad_obs.Span.Str (stmt_kind stmt)) ]
+  @@ fun _ ->
   match stmt with
   | Ast.Define (name, s) ->
     let desc = Translate.resolve_structure t.db s in
-    let mt = Mad.Molecule_algebra.define ~stats:t.stats t.db ~name desc in
+    let mt =
+      Mad.Molecule_algebra.define ~obs:t.obs ~stats:t.stats t.db ~name desc
+    in
     define t name mt;
     Defined mt
   | Ast.Query q ->
     let q = hoist_definitions t q in
     let plan = Translate.compile t.db (lookup t) q in
-    Result (Translate.run ~stats:t.stats t.db (lookup t) plan)
+    Result (Translate.run ~obs:t.obs ~stats:t.stats t.db (lookup t) plan)
+  | Ast.Explain { analyze = false; stmt } -> Explained (explain_stmt t stmt)
+  | Ast.Explain { analyze = true; stmt } -> begin
+    match !analyze_hook with
+    | Some hook -> Explained (hook t stmt)
+    | None ->
+      (* no physical engine installed: execute anyway and report the
+         session-level actuals against the algebra plan *)
+      let a0 = Mad.Derive.atoms_visited t.stats
+      and l0 = Mad.Derive.links_traversed t.stats in
+      let t0 = !Mad_obs.Span.clock () in
+      let outcome = eval_stmt t stmt in
+      let ms = (!Mad_obs.Span.clock () -. t0) *. 1000. in
+      let molecules =
+        match outcome with
+        | Result (Translate.Molecules mt) ->
+          Printf.sprintf "%d molecule(s), "
+            (List.length (Mad.Molecule_type.occ mt))
+        | Defined mt ->
+          Printf.sprintf "%d molecule(s), "
+            (List.length (Mad.Molecule_type.occ mt))
+        | Result (Translate.Recursive _ | Translate.Cycles _)
+        | Inserted _ | Dml _ | Explained _ ->
+          ""
+      in
+      Explained
+        (Format.asprintf
+           "%s@.actual: %s%d atoms visited, %d links traversed (%.2f ms)"
+           (explain_stmt t stmt) molecules
+           (Mad.Derive.atoms_visited t.stats - a0)
+           (Mad.Derive.links_traversed t.stats - l0)
+           ms)
+  end
   | Ast.Insert { atype; values; links } ->
     let atom = Mad.Manipulate.insert_atom_linked t.db ~atype values ~links in
     refresh t;
@@ -169,15 +246,7 @@ let run_to_string t src =
     Format.asprintf "inserted %a as @%d" Fmt.string atom.Atom.atype
       atom.Atom.id
   | Dml msg -> msg
+  | Explained report -> report
 
 (** EXPLAIN: the algebra plan a statement compiles to. *)
-let explain t src =
-  match parse t src with
-  | Ast.Define (name, s) ->
-    Format.asprintf "α[%s](%a)" name Mad.Mdesc.pp
-      (Translate.resolve_structure t.db s)
-  | Ast.Query q ->
-    Format.asprintf "%a" Translate.pp_plan (Translate.compile t.db (lookup t) q)
-  | (Ast.Insert _ | Ast.Link _ | Ast.Unlink _ | Ast.Delete _ | Ast.Modify _) as
-    stmt ->
-    Format.asprintf "manipulation: %a" Ast.pp_stmt stmt
+let explain t src = explain_stmt t (parse t src)

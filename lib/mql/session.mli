@@ -9,14 +9,27 @@ type outcome =
   | Result of Translate.result
   | Inserted of Atom.t
   | Dml of string  (** summary of a manipulation statement's effect *)
+  | Explained of string  (** EXPLAIN / EXPLAIN ANALYZE report *)
 
 type t = {
   db : Database.t;
   env : (string, Mad.Molecule_type.t) Hashtbl.t;
   stats : Mad.Derive.stats;
+  obs : Mad_obs.Obs.t;
 }
 
-val create : Database.t -> t
+val analyze_hook : (t -> Ast.stmt -> string) option ref
+(** [EXPLAIN ANALYZE] needs the physical engine, which lives above
+    this library; a profiler (see [Prima.Profile.install]) registers
+    itself here.  Without one, ANALYZE executes the statement and
+    reports session-level actuals only. *)
+
+val create : ?obs:Mad_obs.Obs.t -> Database.t -> t
+(** [obs] defaults to the process-wide context of [MAD_OBS]
+    ({!Mad_obs.Obs.default}); the session's [stats] counters live in
+    its registry, and every statement runs under a root span.
+    {!lookup} finds a catalogued molecule type. *)
+
 val lookup : t -> string -> Mad.Molecule_type.t option
 val define : t -> string -> Mad.Molecule_type.t -> unit
 
@@ -32,6 +45,9 @@ val run : t -> string -> outcome
 val run_to_string : t -> string -> string
 (** Evaluate and render (molecule trees, explosion trees, DML
     summaries). *)
+
+val explain_stmt : t -> Ast.stmt -> string
+(** The algebra plan a parsed statement compiles to. *)
 
 val explain : t -> string -> string
 (** The algebra plan the statement compiles to. *)

@@ -134,48 +134,52 @@ and wrap select where plan =
   | Ast.All -> plan
   | Ast.Items items -> P_project (items, plan)
 
-(** Execute a plan.  [stats] feeds the PRIMA access counters.  The set
-    operators dispatch on the operand kind: two molecule types go
-    through Ω/Δ/Ψ, two recursive types through the recursive
-    extension's set operators; mixing the two kinds is an error. *)
-let rec run ?stats db env plan : result =
+(** Execute a plan.  [stats] feeds the PRIMA access counters; [obs]
+    gives every algebra operator its span.  The set operators dispatch
+    on the operand kind: two molecule types go through Ω/Δ/Ψ, two
+    recursive types through the recursive extension's set operators;
+    mixing the two kinds is an error. *)
+let rec run ?(obs = Mad_obs.Obs.noop) ?stats db env plan : result =
   let molecule p =
-    match run ?stats db env p with
+    match run ~obs ?stats db env p with
     | Molecules mt -> mt
     | Recursive _ | Cycles _ ->
       Err.failf "recursive molecule types cannot feed this operator"
   in
   let setop p1 p2 ~mol ~rec_ =
-    match (run ?stats db env p1, run ?stats db env p2) with
+    match (run ~obs ?stats db env p1, run ~obs ?stats db env p2) with
     | Molecules a, Molecules b -> Molecules (mol a b)
     | Recursive a, Recursive b -> Recursive (rec_ a b)
     | (Molecules _ | Recursive _ | Cycles _), _ ->
       Err.failf "set operators cannot mix result kinds"
   in
   match plan with
-  | P_define (name, desc) -> Molecules (Mad.Molecule_algebra.define ?stats db ~name desc)
+  | P_define (name, desc) ->
+    Molecules (Mad.Molecule_algebra.define ~obs ?stats db ~name desc)
   | P_ref name -> begin
     match env name with
     | Some mt -> Molecules mt
     | None -> Err.failf "unknown molecule type %s" name
   end
-  | P_restrict (q, p) -> Molecules (Mad.Molecule_algebra.restrict db q (molecule p))
+  | P_restrict (q, p) ->
+    Molecules (Mad.Molecule_algebra.restrict ~obs ?stats db q (molecule p))
   | P_project (items, p) ->
-    Molecules (Mad.Molecule_algebra.project db items (molecule p))
+    Molecules (Mad.Molecule_algebra.project ~obs ?stats db items (molecule p))
   | P_union (a, b) ->
     setop a b
-      ~mol:(fun x y -> Mad.Molecule_algebra.union db x y)
+      ~mol:(fun x y -> Mad.Molecule_algebra.union ~obs ?stats db x y)
       ~rec_:(fun x y -> R.union ~name:(fresh_query_name ()) x y)
   | P_diff (a, b) ->
     setop a b
-      ~mol:(fun x y -> Mad.Molecule_algebra.diff db x y)
+      ~mol:(fun x y -> Mad.Molecule_algebra.diff ~obs ?stats db x y)
       ~rec_:(fun x y -> R.diff ~name:(fresh_query_name ()) x y)
   | P_intersect (a, b) ->
     setop a b
-      ~mol:(fun x y -> Mad.Molecule_algebra.intersect db x y)
+      ~mol:(fun x y -> Mad.Molecule_algebra.intersect ~obs ?stats db x y)
       ~rec_:(fun x y -> R.intersect ~name:(fresh_query_name ()) x y)
   | P_product (a, b) ->
-    Molecules (Mad.Molecule_algebra.product db (molecule a) (molecule b))
+    Molecules
+      (Mad.Molecule_algebra.product ~obs ?stats db (molecule a) (molecule b))
   | P_recursive (d, where) -> begin
     let t = R.define ?stats db ~name:(fresh_query_name ()) d in
     match where with

@@ -32,8 +32,11 @@ val compile :
   Database.t -> (string -> Mad.Molecule_type.t option) -> Ast.qexpr -> plan
 
 val run :
+  ?obs:Mad_obs.Obs.t ->
   ?stats:Mad.Derive.stats ->
   Database.t ->
   (string -> Mad.Molecule_type.t option) ->
   plan ->
   result
+(** [obs] gives every executed algebra operator its span; [stats]
+    accounts the derivation work. *)

@@ -1,0 +1,121 @@
+(** Metric instruments.
+
+    An instrument is a mutable cell; recording is a field update, so
+    instruments can sit on hot paths (molecule derivation visits one
+    counter per atom).  Aggregation, naming and export live in
+    {!Registry} and {!Sink}; an unregistered instrument is just a
+    cheap local accumulator (the [Derive.stats] shim uses that). *)
+
+type labels = (string * string) list
+
+type counter = {
+  c_name : string;
+  c_labels : labels;
+  mutable count : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_labels : labels;
+  mutable value : float;
+}
+
+type histogram = {
+  h_name : string;
+  h_labels : labels;
+  bounds : float array;  (** inclusive upper bounds, strictly increasing *)
+  counts : int array;  (** length = length bounds + 1 (overflow bucket) *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type sample = Counter of counter | Gauge of gauge | Histogram of histogram
+
+(* ------------------------------------------------------------------ *)
+
+let counter ?(labels = []) name = { c_name = name; c_labels = labels; count = 0 }
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+
+let gauge ?(labels = []) name = { g_name = name; g_labels = labels; value = 0.0 }
+let set g v = g.value <- v
+let get g = g.value
+
+(** Default histogram bounds: a 1-2-5 ladder covering microsecond to
+    multi-second durations in milliseconds. *)
+let default_bounds =
+  [| 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
+     10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0 |]
+
+let histogram ?(labels = []) ?(bounds = default_bounds) name =
+  {
+    h_name = name;
+    h_labels = labels;
+    bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    sum = 0.0;
+    n = 0;
+  }
+
+let observe h v =
+  let k = Array.length h.bounds in
+  let rec bucket i = if i >= k || v <= h.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1
+
+let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+
+(** Approximate quantile from the bucket boundaries ([q] in [0,1]). *)
+let quantile h q =
+  if h.n = 0 then 0.0
+  else begin
+    let target = int_of_float (Float.round (q *. float_of_int h.n)) in
+    let target = max 1 (min h.n target) in
+    let k = Array.length h.bounds in
+    let rec go i acc =
+      if i > k then h.bounds.(k - 1)
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= target then
+          if i >= k then h.bounds.(k - 1) else h.bounds.(i)
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let reset = function
+  | Counter c -> c.count <- 0
+  | Gauge g -> g.value <- 0.0
+  | Histogram h ->
+    Array.fill h.counts 0 (Array.length h.counts) 0;
+    h.sum <- 0.0;
+    h.n <- 0
+
+(* ------------------------------------------------------------------ *)
+
+let name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let labels = function
+  | Counter c -> c.c_labels
+  | Gauge g -> g.g_labels
+  | Histogram h -> h.h_labels
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+    Fmt.pf ppf "{%a}"
+      Fmt.(list ~sep:(any ",") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+      labels
+
+let pp ppf = function
+  | Counter c -> Fmt.pf ppf "%s%a = %d" c.c_name pp_labels c.c_labels c.count
+  | Gauge g -> Fmt.pf ppf "%s%a = %g" g.g_name pp_labels g.g_labels g.value
+  | Histogram h ->
+    Fmt.pf ppf "%s%a: n=%d mean=%.3f p50=%.3f p95=%.3f" h.h_name pp_labels
+      h.h_labels h.n (mean h) (quantile h 0.5) (quantile h 0.95)

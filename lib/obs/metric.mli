@@ -1,0 +1,51 @@
+(** Metric instruments: counters, gauges, histograms.  An instrument
+    is a mutable cell; recording is a field update.  Naming and export
+    live in {!Registry} and {!Sink}. *)
+
+type labels = (string * string) list
+
+type counter = private {
+  c_name : string;
+  c_labels : labels;
+  mutable count : int;
+}
+
+type gauge = private {
+  g_name : string;
+  g_labels : labels;
+  mutable value : float;
+}
+
+type histogram = private {
+  h_name : string;
+  h_labels : labels;
+  bounds : float array;
+  counts : int array;
+  mutable sum : float;
+  mutable n : int;
+}
+
+type sample = Counter of counter | Gauge of gauge | Histogram of histogram
+
+val counter : ?labels:labels -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val get : gauge -> float
+
+val default_bounds : float array
+val histogram : ?labels:labels -> ?bounds:float array -> string -> histogram
+val observe : histogram -> float -> unit
+val mean : histogram -> float
+
+val quantile : histogram -> float -> float
+(** Approximate quantile from the bucket boundaries. *)
+
+val reset : sample -> unit
+val name : sample -> string
+val labels : sample -> labels
+val pp_labels : Format.formatter -> labels -> unit
+val pp : Format.formatter -> sample -> unit

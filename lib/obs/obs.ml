@@ -1,0 +1,102 @@
+(** The observability context: one metrics registry, one span stack,
+    one sink.
+
+    The engine threads a context through its layers (session ->
+    executor -> derivation); code that was not handed one records
+    against {!noop}, whose counters nobody reads and whose sink drops
+    everything — the instrumentation points stay unconditional while
+    the disabled cost stays at a few field updates.
+
+    Configuration comes from the [MAD_OBS] environment variable (see
+    {!of_env}):
+    {v
+    MAD_OBS=           (unset, "", "off", "none")  silent no-op
+    MAD_OBS=pretty     human-readable rendering on stderr
+    MAD_OBS=json       JSON lines on stderr
+    MAD_OBS=json:FILE  JSON lines appended to FILE
+    v} *)
+
+type t = {
+  registry : Registry.t;
+  sink : Sink.t;
+  tracing : bool;  (** are spans recorded? *)
+  mutable stack : Span.t list;  (** open spans, innermost first *)
+}
+
+let create ?(tracing = true) ?(sink = Sink.noop) () =
+  { registry = Registry.create (); sink; tracing; stack = [] }
+
+(** The shared disabled context. *)
+let noop = create ~tracing:false ~sink:Sink.noop ()
+
+let registry t = t.registry
+let sink t = t.sink
+let enabled t = t.tracing
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+let current_span t = match t.stack with sp :: _ -> Some sp | [] -> None
+
+let with_span t name ?(attrs = []) f =
+  if not t.tracing then f Span.none
+  else begin
+    let sp = Span.start name in
+    List.iter (fun (k, v) -> Span.set sp k v) attrs;
+    (match t.stack with
+     | parent :: _ -> Span.add_child parent sp
+     | [] -> ());
+    t.stack <- sp :: t.stack;
+    let finish () =
+      Span.finish sp;
+      (match t.stack with
+       | top :: rest when top == sp -> t.stack <- rest
+       | _ -> t.stack <- List.filter (fun s -> not (s == sp)) t.stack);
+      if t.stack = [] then t.sink.Sink.emit_span sp
+    in
+    match f sp with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      Span.set sp "error" (Span.Str (Printexc.to_string e));
+      finish ();
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics and events                                                   *)
+
+let counter ?labels t name = Registry.counter ?labels t.registry name
+let gauge ?labels t name = Registry.gauge ?labels t.registry name
+let histogram ?labels ?bounds t name = Registry.histogram ?labels ?bounds t.registry name
+
+let event t kind fields = t.sink.Sink.emit_event kind fields
+
+(** Push every registered metric to the sink. *)
+let flush t = t.sink.Sink.emit_metrics (Registry.to_list t.registry)
+
+let pp_metrics ppf t = Registry.pp ppf t.registry
+
+(* ------------------------------------------------------------------ *)
+(* Environment configuration                                            *)
+
+let of_env ?(var = "MAD_OBS") () =
+  match Option.map String.trim (Sys.getenv_opt var) with
+  | None | Some "" | Some "off" | Some "none" | Some "0" -> create ~tracing:false ()
+  | Some "pretty" -> create ~sink:(Sink.pretty Fmt.stderr) ()
+  | Some "json" -> create ~sink:(Sink.json stderr) ()
+  | Some spec when String.length spec > 5 && String.sub spec 0 5 = "json:" ->
+    let path = String.sub spec 5 (String.length spec - 5) in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+    create ~sink:(Sink.json oc) ()
+  | Some other ->
+    Printf.eprintf
+      "mad_obs: unknown %s value %S (expected off, pretty, json or json:FILE); \
+       observability disabled\n%!"
+      var other;
+    create ~tracing:false ()
+
+let default = lazy (of_env ())
+let default () = Lazy.force default

@@ -1,0 +1,46 @@
+(** The observability context: a metrics registry, a span stack and a
+    sink.  Threaded through the engine layers; {!noop} is the shared
+    disabled context for code that was not handed one.  [MAD_OBS]
+    selects the sink: [off] (default) / [pretty] / [json] /
+    [json:FILE]. *)
+
+type t
+
+val create : ?tracing:bool -> ?sink:Sink.t -> unit -> t
+
+val noop : t
+(** Shared disabled context: spans are not recorded, the sink drops
+    everything.  Counters created against it still count (cheaply)
+    but are never exported. *)
+
+val registry : t -> Registry.t
+val sink : t -> Sink.t
+val enabled : t -> bool
+
+val with_span : t -> string -> ?attrs:(string * Span.value) list -> (Span.t -> 'a) -> 'a
+(** Run the function inside a span nested under the current one; on
+    completion of the outermost span, the tree is emitted to the sink.
+    With tracing off the function simply receives {!Span.none}.
+    Exception-safe; an escaping exception is recorded as an [error]
+    attribute. *)
+
+val current_span : t -> Span.t option
+
+val counter : ?labels:Metric.labels -> t -> string -> Metric.counter
+val gauge : ?labels:Metric.labels -> t -> string -> Metric.gauge
+val histogram : ?labels:Metric.labels -> ?bounds:float array -> t -> string -> Metric.histogram
+
+val event : t -> string -> (string * Span.value) list -> unit
+(** Emit a free-form event (kind, fields) to the sink. *)
+
+val flush : t -> unit
+(** Push every registered metric to the sink. *)
+
+val pp_metrics : Format.formatter -> t -> unit
+
+val of_env : ?var:string -> unit -> t
+(** Build a context from the [MAD_OBS] (or [var]) environment
+    variable; unknown values warn on stderr and disable. *)
+
+val default : unit -> t
+(** The lazily-created process-wide context per {!of_env}. *)

@@ -1,0 +1,73 @@
+(** The metrics registry: get-or-create instruments by (name, labels).
+
+    A registry is the unit of aggregation and isolation — each MOL
+    session and each EXPLAIN ANALYZE run owns one, so actual counters
+    can be compared against a plan's estimates without cross-talk. *)
+
+type key = string * Metric.labels
+
+type t = {
+  metrics : (key, Metric.sample) Hashtbl.t;
+  mutable order : key list;  (** registration order, reversed *)
+}
+
+let create () = { metrics = Hashtbl.create 32; order = [] }
+
+let canon labels = List.sort compare labels
+
+let get_or_create t name labels build cast kind =
+  let key = (name, canon labels) in
+  match Hashtbl.find_opt t.metrics key with
+  | Some sample -> begin
+    match cast sample with
+    | Some m -> m
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Mad_obs.Registry: %s already registered as a non-%s"
+           name kind)
+  end
+  | None ->
+    let m, sample = build () in
+    Hashtbl.replace t.metrics key sample;
+    t.order <- key :: t.order;
+    m
+
+let counter ?(labels = []) t name =
+  get_or_create t name labels
+    (fun () ->
+      let c = Metric.counter ~labels:(canon labels) name in
+      (c, Metric.Counter c))
+    (function Metric.Counter c -> Some c | _ -> None)
+    "counter"
+
+let gauge ?(labels = []) t name =
+  get_or_create t name labels
+    (fun () ->
+      let g = Metric.gauge ~labels:(canon labels) name in
+      (g, Metric.Gauge g))
+    (function Metric.Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let histogram ?(labels = []) ?bounds t name =
+  get_or_create t name labels
+    (fun () ->
+      let h = Metric.histogram ~labels:(canon labels) ?bounds name in
+      (h, Metric.Histogram h))
+    (function Metric.Histogram h -> Some h | _ -> None)
+    "histogram"
+
+let find t ?(labels = []) name =
+  Hashtbl.find_opt t.metrics (name, canon labels)
+
+let counter_value t ?labels name =
+  match find t ?labels name with
+  | Some (Metric.Counter c) -> Metric.value c
+  | Some (Metric.Gauge _ | Metric.Histogram _) | None -> 0
+
+let to_list t =
+  List.rev_map (fun key -> Hashtbl.find t.metrics key) t.order
+
+let reset t = List.iter Metric.reset (to_list t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") Metric.pp) (to_list t)

@@ -1,0 +1,25 @@
+(** The metrics registry: get-or-create instruments by (name, labels).
+    Each MOL session / EXPLAIN ANALYZE run owns one, isolating its
+    actual counters. *)
+
+type t
+
+val create : unit -> t
+
+val counter : ?labels:Metric.labels -> t -> string -> Metric.counter
+(** Get or create; raises [Invalid_argument] if the name is already
+    registered as a different instrument kind (same for the others). *)
+
+val gauge : ?labels:Metric.labels -> t -> string -> Metric.gauge
+val histogram : ?labels:Metric.labels -> ?bounds:float array -> t -> string -> Metric.histogram
+
+val find : t -> ?labels:Metric.labels -> string -> Metric.sample option
+
+val counter_value : t -> ?labels:Metric.labels -> string -> int
+(** The counter's value, or 0 when absent (or not a counter). *)
+
+val to_list : t -> Metric.sample list
+(** All samples in registration order. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Pluggable sinks for finished root spans, metric flushes and
+    free-form events: silent no-op (default), pretty console, JSON
+    lines. *)
+
+type t = {
+  emit_span : Span.t -> unit;
+  emit_metrics : Metric.sample list -> unit;
+  emit_event : string -> (string * Span.value) list -> unit;
+}
+
+val noop : t
+val pretty : Format.formatter -> t
+
+val json : out_channel -> t
+(** One JSON object per line, flushed per line. *)
+
+val json_to_buffer : Buffer.t -> t
+val json_lines : (string -> unit) -> t
+
+val json_of_sample : Metric.sample -> Json.t
+val json_of_span : Span.t -> Json.t
+val json_of_event : string -> (string * Span.value) list -> Json.t

@@ -1,0 +1,75 @@
+(** Hierarchical tracing spans.
+
+    A span is one timed region of work; children nest inside it, so a
+    finished root span is a profile tree (statement -> plan nodes ->
+    operators).  Timings use the best wall clock available to the
+    platform through the pluggable [clock] (seconds; the default is
+    [Unix.gettimeofday] — installers with access to a true monotonic
+    clock can swap it in). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+let pp_value ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | Str s -> Fmt.string ppf s
+  | Bool b -> Fmt.bool ppf b
+
+let json_of_value = function
+  | Int i -> Json.Num (float_of_int i)
+  | Float f -> Json.Num f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let clock = ref Unix.gettimeofday
+
+type t = {
+  name : string;
+  recording : bool;
+  start : float;  (** clock seconds *)
+  mutable attrs : (string * value) list;  (** reverse insertion order *)
+  mutable dur : float;  (** seconds; negative while the span is open *)
+  mutable children : t list;  (** reverse order *)
+}
+
+(** A shared non-recording span: handed to instrumented code when
+    tracing is off so the instrumentation points stay unconditional. *)
+let none =
+  { name = ""; recording = false; start = 0.0; attrs = []; dur = 0.0; children = [] }
+
+let start name =
+  { name; recording = true; start = !clock (); attrs = []; dur = -1.0; children = [] }
+
+let set sp key v = if sp.recording then sp.attrs <- (key, v) :: sp.attrs
+
+let add_child parent child =
+  if parent.recording then parent.children <- child :: parent.children
+
+let finish sp = if sp.recording && sp.dur < 0.0 then sp.dur <- !clock () -. sp.start
+
+let finished sp = sp.dur >= 0.0
+let duration_ms sp = (if sp.dur < 0.0 then 0.0 else sp.dur) *. 1000.0
+let attrs sp = List.rev sp.attrs
+let children sp = List.rev sp.children
+
+(* ------------------------------------------------------------------ *)
+
+let rec pp ppf sp =
+  Fmt.pf ppf "@[<v>%s  %.3f ms%a%a@]" sp.name (duration_ms sp)
+    Fmt.(
+      list ~sep:nop (fun ppf (k, v) -> Fmt.pf ppf " %s=%a" k pp_value v))
+    (attrs sp)
+    Fmt.(list ~sep:nop (fun ppf c -> Fmt.pf ppf "@,  @[<v>%a@]" pp c))
+    (children sp)
+
+let rec to_json sp =
+  Json.Obj
+    ([ ("name", Json.Str sp.name); ("dur_ms", Json.Num (duration_ms sp)) ]
+    @ (match attrs sp with
+       | [] -> []
+       | attrs ->
+         [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)) ])
+    @
+    match children sp with
+    | [] -> []
+    | cs -> [ ("children", Json.List (List.map to_json cs)) ])

@@ -1,0 +1,37 @@
+(** Hierarchical tracing spans with wall-clock timings.  A finished
+    root span is a profile tree.  Use {!Obs.with_span} rather than
+    driving [start]/[finish] by hand. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+val pp_value : Format.formatter -> value -> unit
+val json_of_value : value -> Json.t
+
+val clock : (unit -> float) ref
+(** Pluggable clock in seconds; defaults to [Unix.gettimeofday].
+    Tests install a deterministic clock; platforms with a true
+    monotonic clock can install it here. *)
+
+type t = private {
+  name : string;
+  recording : bool;
+  start : float;
+  mutable attrs : (string * value) list;
+  mutable dur : float;
+  mutable children : t list;
+}
+
+val none : t
+(** Shared non-recording span: [set]/[add_child]/[finish] on it are
+    no-ops, so instrumented code needs no tracing-enabled branch. *)
+
+val start : string -> t
+val set : t -> string -> value -> unit
+val add_child : t -> t -> unit
+val finish : t -> unit
+val finished : t -> bool
+val duration_ms : t -> float
+val attrs : t -> (string * value) list
+val children : t -> t list
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

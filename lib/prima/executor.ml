@@ -1,14 +1,21 @@
 (** The molecule-processing component's executor: runs a {!Planner}
     plan against the atom-oriented interface and returns a molecule
     type.  The counters in {!Atom_interface} record the logical work;
-    the Q2 ablation compares naive vs. optimized plans on them. *)
+    the Q2 ablation compares naive vs. optimized plans on them.
+
+    Each plan stage (scan, derive, filter, project) runs under its own
+    tracing span so a profile shows where a query's time and logical
+    work went; all spans nest under one [prima.execute] root. *)
 
 open Mad_store
+module Obs = Mad_obs.Obs
+module Span = Mad_obs.Span
 
 type outcome = {
   mt : Mad.Molecule_type.t;
   counters : Atom_interface.counters;
   plan : Planner.plan;
+  stats : Mad.Derive.stats;  (** the derivation work of this run *)
 }
 
 (* molecule restriction against a throw-away molecule type wrapper *)
@@ -16,27 +23,74 @@ let satisfies db desc m pred =
   let mt = Mad.Molecule_type.v ~name:"tmp" ~desc [] in
   Mad.Molecule_algebra.molecule_satisfies db mt m pred
 
-let run ?(optimize = true) ?(materialize = false) db (q : Planner.query) =
-  let plan = Planner.plan ~optimize q in
+let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
+    (q : Planner.query) =
+  Obs.with_span obs "prima.execute"
+    ~attrs:[ ("query", Span.Str q.Planner.name) ]
+  @@ fun _ ->
+  let stats =
+    match stats with
+    | Some s -> s
+    | None -> Mad.Derive.stats_in (Obs.registry obs)
+  in
+  let plan =
+    Obs.with_span obs "prima.plan" (fun _ -> Planner.plan ~optimize q)
+  in
   let iface = Atom_interface.v db in
-  let roots = Atom_interface.scan ?pred:plan.Planner.root_pred iface (Mad.Mdesc.root q.Planner.desc) in
-  let stats = Mad.Derive.stats () in
+  let root_node = Mad.Mdesc.root q.Planner.desc in
+  let roots =
+    Obs.with_span obs "prima.scan"
+      ~attrs:
+        [
+          ("node", Span.Str root_node);
+          ( "pushdown",
+            Span.Bool (Option.is_some plan.Planner.root_pred) );
+        ]
+    @@ fun sp ->
+    let roots =
+      Atom_interface.scan ?pred:plan.Planner.root_pred iface root_node
+    in
+    Span.set sp "out" (Span.Int (List.length roots));
+    roots
+  in
+  let a0 = Mad.Derive.atoms_visited stats
+  and l0 = Mad.Derive.links_traversed stats in
   let derived =
-    List.map
-      (fun (a : Atom.t) -> Mad.Derive.derive_one ~stats db plan.Planner.derive_desc a.id)
-      roots
+    Obs.with_span obs "prima.derive"
+      ~attrs:[ ("roots", Span.Int (List.length roots)) ]
+    @@ fun sp ->
+    let derived =
+      List.map
+        (fun (a : Atom.t) ->
+          Mad.Derive.derive_one ~stats db plan.Planner.derive_desc a.id)
+        roots
+    in
+    Span.set sp "atoms_visited"
+      (Span.Int (Mad.Derive.atoms_visited stats - a0));
+    Span.set sp "links_traversed"
+      (Span.Int (Mad.Derive.links_traversed stats - l0));
+    derived
   in
   iface.Atom_interface.c.Atom_interface.links_followed <-
     iface.Atom_interface.c.Atom_interface.links_followed
-    + stats.Mad.Derive.links_traversed;
+    + (Mad.Derive.links_traversed stats - l0);
   iface.Atom_interface.c.Atom_interface.fetches <-
     iface.Atom_interface.c.Atom_interface.fetches
-    + stats.Mad.Derive.atoms_visited;
+    + (Mad.Derive.atoms_visited stats - a0);
   let filtered =
     match plan.Planner.residual with
     | None -> derived
     | Some pred ->
-      List.filter (fun m -> satisfies db plan.Planner.derive_desc m pred) derived
+      Obs.with_span obs "prima.filter"
+        ~attrs:[ ("in", Span.Int (List.length derived)) ]
+      @@ fun sp ->
+      let kept =
+        List.filter
+          (fun m -> satisfies db plan.Planner.derive_desc m pred)
+          derived
+      in
+      Span.set sp "out" (Span.Int (List.length kept));
+      kept
   in
   let mt =
     Mad.Molecule_type.v ~name:q.Planner.name ~desc:plan.Planner.derive_desc
@@ -46,13 +100,16 @@ let run ?(optimize = true) ?(materialize = false) db (q : Planner.query) =
     match q.Planner.select with
     | None -> mt
     | Some items ->
+      Obs.with_span obs "prima.project"
+        ~attrs:[ ("materialize", Span.Bool materialize) ]
+      @@ fun _ ->
       (* keep only selected nodes that survive in the derive structure *)
       let keep =
         List.filter
           (fun (n, _) -> List.mem n (Mad.Mdesc.nodes plan.Planner.derive_desc))
           items
       in
-      if materialize then Mad.Molecule_algebra.project db keep mt
+      if materialize then Mad.Molecule_algebra.project ~obs ~stats db keep mt
       else begin
         (* pipelined projection without propagation: restrict the
            molecules' visible structure *)
@@ -80,7 +137,7 @@ let run ?(optimize = true) ?(materialize = false) db (q : Planner.query) =
         Mad.Molecule_type.v ~name:q.Planner.name ~desc:desc' occ
       end
   in
-  { mt; counters = iface.Atom_interface.c; plan }
+  { mt; counters = iface.Atom_interface.c; plan; stats }
 
 (** Convenience wrapper: evaluate a molecule query naive vs. optimized
     and report both outcomes (the ablation harness). *)

@@ -7,12 +7,23 @@ type outcome = {
   mt : Mad.Molecule_type.t;
   counters : Atom_interface.counters;
   plan : Planner.plan;
+  stats : Mad.Derive.stats;  (** the derivation work of this run *)
 }
 
 val run :
-  ?optimize:bool -> ?materialize:bool -> Database.t -> Planner.query -> outcome
+  ?obs:Mad_obs.Obs.t ->
+  ?stats:Mad.Derive.stats ->
+  ?optimize:bool ->
+  ?materialize:bool ->
+  Database.t ->
+  Planner.query ->
+  outcome
 (** [materialize] routes the projection through the algebra's Π
-    (propagation) instead of the pipelined restriction. *)
+    (propagation) instead of the pipelined restriction.  Under [obs]
+    every plan stage (plan, scan, derive, filter, project) runs in its
+    own span beneath one [prima.execute] root; [stats] (default:
+    counters in [obs]'s registry, giving per-node actuals for
+    [EXPLAIN ANALYZE]) accounts the derivation work. *)
 
 val compare_plans : Database.t -> Planner.query -> outcome * outcome
 (** (naive, optimized) — the ablation harness. *)

@@ -31,10 +31,13 @@ module Pool = struct
     mutable logical_reads : int;
     mutable physical_reads : int;
     mutable evictions : int;
+    pins : Mad_obs.Metric.counter;  (** mirrors [logical_reads] *)
+    faults : Mad_obs.Metric.counter;  (** mirrors [physical_reads] *)
   }
 
-  let create capacity =
+  let create ?(obs = Mad_obs.Obs.noop) capacity =
     if capacity < 1 then Err.failf "buffer pool needs at least one frame";
+    let reg = Mad_obs.Obs.registry obs in
     {
       capacity;
       frames = Hashtbl.create capacity;
@@ -42,18 +45,22 @@ module Pool = struct
       logical_reads = 0;
       physical_reads = 0;
       evictions = 0;
+      pins = Mad_obs.Registry.counter reg "paged.page_pins";
+      faults = Mad_obs.Registry.counter reg "paged.page_faults";
     }
 
   let touch t page =
     t.lru <- page :: List.filter (fun p -> p <> page) t.lru
 
-  (** Fix a page: a logical read, plus a physical read on a miss (with
-      LRU eviction when the pool is full). *)
+  (** Fix a page: a logical read (a pin), plus a physical read (a page
+      fault) on a miss, with LRU eviction when the pool is full. *)
   let fix t page =
     t.logical_reads <- t.logical_reads + 1;
+    Mad_obs.Metric.incr t.pins;
     if Hashtbl.mem t.frames page then touch t page
     else begin
       t.physical_reads <- t.physical_reads + 1;
+      Mad_obs.Metric.incr t.faults;
       if Hashtbl.length t.frames >= t.capacity then begin
         match List.rev t.lru with
         | victim :: _ ->
@@ -140,14 +147,15 @@ let by_molecule_order db desc =
   List.iter (fun id -> visit id) (by_type_order db);
   List.rev !order
 
-let load ?(placement = `By_type) ?(page_size = 8) ?(buffer_pages = 16) db =
+let load ?obs ?(placement = `By_type) ?(page_size = 8) ?(buffer_pages = 16) db
+    =
   let order =
     match placement with
     | `By_type -> by_type_order db
     | `By_molecule desc -> by_molecule_order db desc
   in
   let page_of, pages = assign order page_size in
-  { db; page_size; page_of; pages; pool = Pool.create buffer_pages }
+  { db; page_size; page_of; pages; pool = Pool.create ?obs buffer_pages }
 
 let page_of t id =
   match Hashtbl.find_opt t.page_of id with

@@ -13,9 +13,14 @@ module Pool : sig
     mutable logical_reads : int;
     mutable physical_reads : int;
     mutable evictions : int;
+    pins : Mad_obs.Metric.counter;
+        (** mirrors [logical_reads] into [obs]'s registry
+            ([paged.page_pins]) *)
+    faults : Mad_obs.Metric.counter;
+        (** mirrors [physical_reads] ([paged.page_faults]) *)
   }
 
-  val create : int -> t
+  val create : ?obs:Mad_obs.Obs.t -> int -> t
   val fix : t -> int -> unit
   val hit_ratio : t -> float
   val reset : t -> unit
@@ -32,7 +37,13 @@ type t = {
   pool : Pool.t;
 }
 
-val load : ?placement:placement -> ?page_size:int -> ?buffer_pages:int -> Database.t -> t
+val load :
+  ?obs:Mad_obs.Obs.t ->
+  ?placement:placement ->
+  ?page_size:int ->
+  ?buffer_pages:int ->
+  Database.t ->
+  t
 
 val page_of : t -> Aid.t -> int
 val fetch : t -> atype:string -> Aid.t -> Atom.t

@@ -1,0 +1,42 @@
+(** EXPLAIN ANALYZE: execute a query under a private observability
+    context and line the planner's estimates up against the recorded
+    actuals, per structure node, with executor stage timings. *)
+
+open Mad_store
+
+type node_report = {
+  nr_node : string;
+  nr_est_atoms : float;
+  nr_est_links : float;
+  nr_atoms : int;  (** actual atoms included at this node *)
+  nr_links : int;  (** actual link traversals arriving at this node *)
+}
+
+type t = {
+  plan : Planner.plan;
+  est : Stats.estimate;
+  actual_roots : int;
+  actual_atoms : int;
+  actual_links : int;
+  nodes : node_report list;
+  stages : (string * float) list;  (** executor stage -> duration ms *)
+  duration_ms : float;
+  counters : Atom_interface.counters;
+}
+
+val analyze : ?optimize:bool -> Database.t -> Planner.query -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_json : t -> Mad_obs.Json.t
+
+val query_of_stmt : Database.t -> Mad_mql.Ast.stmt -> Planner.query option
+(** The physical query a plain SELECT maps to, if any. *)
+
+val analyze_stmt : Mad_mql.Session.t -> Mad_mql.Ast.stmt -> string
+(** The [EXPLAIN ANALYZE] report for a parsed statement: the full
+    per-node profile for physical-plan queries, algebra plan plus
+    session-level actuals otherwise. *)
+
+val install : unit -> unit
+(** Register {!analyze_stmt} in {!Mad_mql.Session.analyze_hook}. *)

@@ -113,10 +113,21 @@ let pp_estimate ppf e =
   Fmt.pf ppf "est: %.1f molecules, %.1f atoms, %.1f link traversals"
     e.est_roots e.est_atoms e.est_links
 
+type node_estimate = {
+  ne_node : string;
+  ne_atoms : float;  (** atoms expected at this node, over all molecules *)
+  ne_links : float;  (** link traversals arriving at this node *)
+}
+
+type detail = { d_est : estimate; d_nodes : node_estimate list }
+
 (** Estimate the work of executing a plan: qualifying roots, then per
     structure edge in topological order the expected component sizes
-    (fanout products; diamonds take the min over incoming edges). *)
-let estimate t (p : Planner.plan) =
+    (fanout products; diamonds take the min over incoming edges).
+    The detail keeps the per-node totals — the "estimated" column of
+    [EXPLAIN ANALYZE], matched against the per-node actuals recorded
+    by {!Mad.Derive} under the same node names. *)
+let estimate_detail t (p : Planner.plan) =
   let desc = p.Planner.derive_desc in
   let root = Mad.Mdesc.root desc in
   let root_count =
@@ -132,9 +143,11 @@ let estimate t (p : Planner.plan) =
   let sizes = ref (Smap.singleton root 1.0) in
   let links = ref 0.0 in
   let atoms = ref 1.0 in
+  let nodes = ref [ { ne_node = root; ne_atoms = roots; ne_links = 0.0 } ] in
   List.iter
     (fun node ->
       if not (String.equal node root) then begin
+        let node_links = ref 0.0 in
         let per_edge =
           List.map
             (fun (e : Mad.Mdesc.edge) ->
@@ -148,6 +161,7 @@ let estimate t (p : Planner.plan) =
               in
               let reached = parent *. fanout in
               links := !links +. reached;
+              node_links := !node_links +. reached;
               reached)
             (Mad.Mdesc.in_edges desc node)
         in
@@ -157,14 +171,27 @@ let estimate t (p : Planner.plan) =
           | xs -> List.fold_left Float.min Float.infinity xs
         in
         atoms := !atoms +. size;
-        sizes := Smap.add node size !sizes
+        sizes := Smap.add node size !sizes;
+        nodes :=
+          {
+            ne_node = node;
+            ne_atoms = roots *. size;
+            ne_links = roots *. !node_links;
+          }
+          :: !nodes
       end)
     (Mad.Mdesc.topo_order desc);
   {
-    est_roots = roots;
-    est_atoms = roots *. !atoms;
-    est_links = roots *. !links;
+    d_est =
+      {
+        est_roots = roots;
+        est_atoms = roots *. !atoms;
+        est_links = roots *. !links;
+      };
+    d_nodes = List.rev !nodes;
   }
+
+let estimate t p = (estimate_detail t p).d_est
 
 (** EXPLAIN with cost estimates: the naive and optimized plans side by
     side. *)

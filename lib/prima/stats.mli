@@ -22,4 +22,16 @@ type estimate = { est_roots : float; est_atoms : float; est_links : float }
 val pp_estimate : Format.formatter -> estimate -> unit
 val estimate : t -> Planner.plan -> estimate
 
+type node_estimate = {
+  ne_node : string;
+  ne_atoms : float;  (** atoms expected at this node, over all molecules *)
+  ne_links : float;  (** link traversals arriving at this node *)
+}
+
+type detail = { d_est : estimate; d_nodes : node_estimate list }
+
+val estimate_detail : t -> Planner.plan -> detail
+(** Like {!estimate} but keeping the per-node totals — the "estimated"
+    column of [EXPLAIN ANALYZE]. *)
+
 val explain_with_estimates : Database.t -> Planner.query -> string

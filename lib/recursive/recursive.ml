@@ -97,8 +97,8 @@ let derive_one ?(stats = Mad.Derive.stats ()) db (d : desc) root =
         Aid.Set.fold
           (fun p (next, links) ->
             let partners = Database.neighbors db d.link ~dir p in
-            stats.Mad.Derive.links_traversed <-
-              stats.Mad.Derive.links_traversed + Aid.Set.cardinal partners;
+            Mad_obs.Metric.add stats.Mad.Derive.links_traversed
+              (Aid.Set.cardinal partners);
             let links =
               Aid.Set.fold
                 (fun c links ->
@@ -112,14 +112,14 @@ let derive_one ?(stats = Mad.Derive.stats ()) db (d : desc) root =
           frontier (Aid.Set.empty, links)
       in
       let fresh = Aid.Set.diff next members in
-      stats.Mad.Derive.atoms_visited <-
-        stats.Mad.Derive.atoms_visited + Aid.Set.cardinal fresh;
+      Mad_obs.Metric.add stats.Mad.Derive.atoms_visited
+        (Aid.Set.cardinal fresh);
       let depth_of =
         Aid.Set.fold (fun id m -> Aid.Map.add id depth m) fresh depth_of
       in
       go (Aid.Set.union members fresh) links depth_of fresh (depth + 1)
   in
-  stats.Mad.Derive.atoms_visited <- stats.Mad.Derive.atoms_visited + 1;
+  Mad_obs.Metric.incr stats.Mad.Derive.atoms_visited;
   let members, links, depth_of =
     go (Aid.Set.singleton root) Link.Set.empty
       (Aid.Map.singleton root 0)

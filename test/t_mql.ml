@@ -18,13 +18,14 @@ let session () =
 let molecules = function
   | S.Result (T.Molecules mt) -> mt
   | S.Defined mt -> mt
-  | S.Result (T.Recursive _ | T.Cycles _) | S.Inserted _ | S.Dml _ ->
+  | S.Result (T.Recursive _ | T.Cycles _)
+  | S.Inserted _ | S.Dml _ | S.Explained _ ->
     Alcotest.fail "expected molecules"
 
 let recursive = function
   | S.Result (T.Recursive r) -> r
   | S.Result (T.Molecules _ | T.Cycles _) | S.Defined _ | S.Inserted _
-  | S.Dml _ ->
+  | S.Dml _ | S.Explained _ ->
     Alcotest.fail "expected recursive result"
 
 (* --- parsing ------------------------------------------------------- *)

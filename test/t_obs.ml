@@ -1,0 +1,262 @@
+(* The observability layer: registry get-or-create semantics, span
+   nesting under a deterministic clock, JSON sink round-trips, and
+   EXPLAIN ANALYZE's estimate-vs-actual wiring on the Fig. 1 brazil
+   database. *)
+
+open Workloads
+module Obs = Mad_obs.Obs
+module Registry = Mad_obs.Registry
+module Metric = Mad_obs.Metric
+module Span = Mad_obs.Span
+module Sink = Mad_obs.Sink
+module Json = Mad_obs.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+
+let test_registry_get_or_create () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "requests" in
+  Metric.incr c;
+  Metric.add c 4;
+  (* same (name, labels) -> same instrument *)
+  let c' = Registry.counter reg "requests" in
+  Metric.incr c';
+  check_int "shared cell" 6 (Metric.value c);
+  check_int "counter_value" 6 (Registry.counter_value reg "requests");
+  check_int "absent counter reads 0" 0 (Registry.counter_value reg "nope")
+
+let test_registry_labels_distinguish () =
+  let reg = Registry.create () in
+  let a = Registry.counter reg ~labels:[ ("node", "state") ] "derive.atoms" in
+  let b = Registry.counter reg ~labels:[ ("node", "area") ] "derive.atoms" in
+  Metric.add a 3;
+  Metric.incr b;
+  check_int "state" 3
+    (Registry.counter_value reg ~labels:[ ("node", "state") ] "derive.atoms");
+  check_int "area" 1
+    (Registry.counter_value reg ~labels:[ ("node", "area") ] "derive.atoms");
+  check_int "two samples" 2 (List.length (Registry.to_list reg))
+
+let test_registry_kind_clash () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg "x");
+  check "kind clash rejected" true
+    (match Registry.gauge reg "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_registry_reset () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "n" in
+  let g = Registry.gauge reg "depth" in
+  Metric.add c 7;
+  Metric.set g 3.5;
+  Registry.reset reg;
+  check_int "counter reset" 0 (Metric.value c);
+  check "gauge reset" true (Metric.get g = 0.0)
+
+let test_histogram () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg ~bounds:[| 1.0; 10.0; 100.0 |] "lat" in
+  List.iter (Metric.observe h) [ 0.5; 5.0; 50.0; 500.0 ];
+  check "mean" true (abs_float (Metric.mean h -. 138.875) < 1e-6);
+  check "median in second bucket" true
+    (Metric.quantile h 0.5 <= 10.0 && Metric.quantile h 0.5 >= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+(* run [f] under a fake clock advancing [step] seconds per reading *)
+let with_fake_clock step f =
+  let saved = !Span.clock in
+  let t = ref 0.0 in
+  Span.clock :=
+    (fun () ->
+      let now = !t in
+      t := now +. step;
+      now);
+  Fun.protect ~finally:(fun () -> Span.clock := saved) f
+
+let capture_ctx () =
+  let spans = ref [] in
+  let sink = { Sink.noop with Sink.emit_span = (fun sp -> spans := sp :: !spans) } in
+  (Obs.create ~tracing:true ~sink (), spans)
+
+let test_span_nesting () =
+  with_fake_clock 0.001 @@ fun () ->
+  let obs, spans = capture_ctx () in
+  let result =
+    Obs.with_span obs "outer" ~attrs:[ ("q", Span.Str "v") ] @@ fun outer ->
+    ignore (Obs.with_span obs "inner" (fun _ -> 1));
+    Span.set outer "out" (Span.Int 42);
+    "done"
+  in
+  check_str "value returned" "done" result;
+  (* only the root emits, carrying the child *)
+  check_int "one root span" 1 (List.length !spans);
+  let root = List.hd !spans in
+  check_str "root name" "outer" root.Span.name;
+  check "root finished" true (Span.finished root);
+  check_int "one child" 1 (List.length (Span.children root));
+  check_str "child name" "inner" (List.hd (Span.children root)).Span.name;
+  check "child shorter than root" true
+    (Span.duration_ms (List.hd (Span.children root)) < Span.duration_ms root);
+  check "attrs recorded" true
+    (List.mem_assoc "q" (Span.attrs root)
+    && List.assoc "out" (Span.attrs root) = Span.Int 42)
+
+let test_span_noop () =
+  let count = ref 0 in
+  let sink = { Sink.noop with Sink.emit_span = (fun _ -> incr count) } in
+  let obs = Obs.create ~tracing:false ~sink () in
+  Obs.with_span obs "quiet" (fun sp ->
+      check "noop span handed out" true (sp == Span.none);
+      Span.set sp "ignored" (Span.Int 1));
+  check_int "nothing emitted" 0 !count;
+  Obs.with_span Obs.noop "also quiet" (fun sp ->
+      check "shared noop context" true (sp == Span.none))
+
+let test_span_exception_safe () =
+  with_fake_clock 0.001 @@ fun () ->
+  let obs, spans = capture_ctx () in
+  (try Obs.with_span obs "boom" (fun _ -> failwith "expected") with
+  | Failure _ -> ());
+  check_int "span still emitted" 1 (List.length !spans);
+  let root = List.hd !spans in
+  check "error attribute" true (List.mem_assoc "error" (Span.attrs root));
+  (* the stack unwound: a fresh root nests correctly again *)
+  Obs.with_span obs "next" (fun _ -> ());
+  check_int "fresh root" 2 (List.length !spans);
+  check_str "not nested under boom" "next" (List.hd !spans).Span.name
+
+(* ------------------------------------------------------------------ *)
+(* JSON sink round-trip                                                 *)
+
+let parse_line line =
+  match Json.of_string line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable sink line %S: %s" line e
+
+let test_json_sink_roundtrip () =
+  with_fake_clock 0.001 @@ fun () ->
+  let lines = ref [] in
+  let obs =
+    Obs.create ~tracing:true
+      ~sink:(Sink.json_lines (fun l -> lines := l :: !lines))
+      ()
+  in
+  Obs.with_span obs "root" ~attrs:[ ("n", Span.Int 3) ] (fun _ ->
+      Obs.with_span obs "child" (fun _ -> ()));
+  Obs.event obs "bench" [ ("ns", Span.Float 12.5) ];
+  Metric.add (Obs.counter obs "hits") 9;
+  Obs.flush obs;
+  let jsons = List.rev_map parse_line !lines in
+  check "every line parses" true (List.length jsons >= 3);
+  let span_json =
+    List.find
+      (fun j -> Json.member "kind" j = Some (Json.Str "span"))
+      jsons
+  in
+  check "span name" true (Json.member "name" span_json = Some (Json.Str "root"));
+  check "span attr" true
+    (Option.bind (Json.member "attrs" span_json) (Json.member "n")
+    = Some (Json.Num 3.0));
+  check "span child present" true
+    (match Json.member "children" span_json with
+    | Some (Json.List [ c ]) -> Json.member "name" c = Some (Json.Str "child")
+    | _ -> false);
+  let event_json =
+    List.find
+      (fun j -> Json.member "kind" j = Some (Json.Str "bench"))
+      jsons
+  in
+  check "event field" true (Json.member "ns" event_json = Some (Json.Num 12.5));
+  let metric_json =
+    List.find
+      (fun j -> Json.member "name" j = Some (Json.Str "hits"))
+      jsons
+  in
+  check "metric value" true
+    (Json.member "value" metric_json = Some (Json.Num 9.0))
+
+(* ------------------------------------------------------------------ *)
+(* Estimate vs. actual on Fig. 1                                        *)
+
+let brazil () =
+  let b = Geo_brazil.build () in
+  (b, Geo_brazil.db b)
+
+let test_profile_actuals_match_ground_truth () =
+  let b, db = brazil () in
+  let desc = Geo_brazil.mt_state_desc b in
+  let q = { Prima.Planner.name = "q"; desc; where = None; select = None } in
+  let r = Prima.Profile.analyze db q in
+  (* ground truth: a plain derivation with fresh counters *)
+  let stats = Mad.Derive.stats () in
+  let molecules = Mad.Derive.m_dom ~stats db desc in
+  check_int "actual roots" (List.length molecules) r.Prima.Profile.actual_roots;
+  check_int "actual atoms" (Mad.Derive.atoms_visited stats)
+    r.Prima.Profile.actual_atoms;
+  check_int "actual links" (Mad.Derive.links_traversed stats)
+    r.Prima.Profile.actual_links;
+  (* the per-node actuals partition the totals *)
+  check_int "node atoms sum to total" r.Prima.Profile.actual_atoms
+    (List.fold_left
+       (fun acc nr -> acc + nr.Prima.Profile.nr_atoms)
+       0 r.Prima.Profile.nodes);
+  check_int "node links sum to total" r.Prima.Profile.actual_links
+    (List.fold_left
+       (fun acc nr -> acc + nr.Prima.Profile.nr_links)
+       0 r.Prima.Profile.nodes);
+  (* with uniform synthetic stats the estimator is exact on roots *)
+  check "root estimate exact" true
+    (int_of_float r.Prima.Profile.est.Prima.Stats.est_roots
+    = r.Prima.Profile.actual_roots);
+  (* one report per structure node *)
+  check_int "one report per node" (List.length (Mad.Mdesc.nodes desc))
+    (List.length r.Prima.Profile.nodes)
+
+let test_explain_analyze_via_session () =
+  Prima.Profile.install ();
+  let _, db = brazil () in
+  let session = Mad_mql.Session.create db in
+  let report =
+    Mad_mql.Session.run_to_string session
+      "EXPLAIN ANALYZE SELECT ALL FROM state-area WHERE state.name = 'SP';"
+  in
+  let has_substr s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "mentions estimates" true (has_substr report "est=");
+  check "mentions actuals" true (has_substr report "actual=");
+  check "per-node tree includes area" true (has_substr report "-[state-area]-");
+  (* EXPLAIN (without ANALYZE) never executes *)
+  let explained =
+    Mad_mql.Session.run_to_string session
+      "EXPLAIN SELECT ALL FROM state-area;"
+  in
+  check "plain explain shows algebra" true (has_substr explained "root state")
+
+let suite =
+  [
+    Alcotest.test_case "registry get-or-create" `Quick test_registry_get_or_create;
+    Alcotest.test_case "registry labels" `Quick test_registry_labels_distinguish;
+    Alcotest.test_case "registry kind clash" `Quick test_registry_kind_clash;
+    Alcotest.test_case "registry reset" `Quick test_registry_reset;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span noop" `Quick test_span_noop;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
+    Alcotest.test_case "json sink round-trip" `Quick test_json_sink_roundtrip;
+    Alcotest.test_case "profile estimate vs actual" `Quick
+      test_profile_actuals_match_ground_truth;
+    Alcotest.test_case "explain analyze via session" `Quick
+      test_explain_analyze_via_session;
+  ]

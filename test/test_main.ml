@@ -19,6 +19,7 @@ let () =
       ("paged", T_paged.suite);
       ("workloads", T_workloads.suite);
       ("render", T_render.suite);
+      ("obs", T_obs.suite);
       ("misc", T_misc.suite);
       ("properties", T_props.suite);
     ]
