@@ -24,6 +24,46 @@ let quota =
       exit 2
   end
 
+(* Per-measurement latency distributions and the machine-readable
+   results file.  Each [time_ns] call, besides the OLS estimate, runs a
+   short sampling loop recording individual run durations into a
+   [bench.latency_us{bench=<name>}] histogram; the collected rows are
+   written out as BENCH_RESULTS.json by the harness on exit. *)
+let registry = Mad_obs.Registry.create ()
+
+type result = {
+  r_name : string;
+  r_iterations : int;  (** sampled runs behind the histogram *)
+  r_ns_per_run : float;  (** Bechamel OLS estimate *)
+  r_mean_us : float;
+  r_p50_us : float;
+  r_p95_us : float;
+}
+
+let recorded : result list ref = ref []
+
+(* sample individual run durations into the measurement's histogram:
+   bounded by the same quota as the estimator and a hard run cap, so a
+   slow experiment cannot double the harness's wall-clock *)
+let max_sample_runs = 200
+
+let sample_latency name f =
+  let h =
+    Mad_obs.Registry.histogram
+      ~labels:[ ("bench", name) ]
+      ~bounds:Mad_obs.Metric.latency_bounds_us registry "bench.latency_us"
+  in
+  let clock = !Mad_obs.Span.clock in
+  let deadline = clock () +. quota in
+  let runs = ref 0 in
+  while !runs < max_sample_runs && (!runs = 0 || clock () < deadline) do
+    let t0 = clock () in
+    ignore (Sys.opaque_identity (f ()));
+    Mad_obs.Metric.observe h ((clock () -. t0) *. 1e6);
+    incr runs
+  done;
+  h
+
 (** Measure [f] with Bechamel's OLS estimator; returns ns per run.
     Failed estimations warn on stderr instead of silently returning
     [nan] downstream. *)
@@ -59,7 +99,50 @@ let time_ns name f =
         ("ns_per_run", Mad_obs.Span.Float est);
         ("quota_ms", Mad_obs.Span.Float (quota *. 1000.0));
       ];
+  let h = sample_latency name f in
+  recorded :=
+    {
+      r_name = name;
+      r_iterations = h.Mad_obs.Metric.n;
+      r_ns_per_run = est;
+      r_mean_us = Mad_obs.Metric.mean h;
+      r_p50_us = Mad_obs.Metric.quantile h 0.5;
+      r_p95_us = Mad_obs.Metric.quantile h 0.95;
+    }
+    :: !recorded;
   est
+
+(* NaN is not valid JSON; the OLS estimate can be NaN when the quota
+   was too small, the histogram stats cannot (>= 1 sampled run) *)
+let json_num f = Mad_obs.Json.Num (if Float.is_nan f then 0.0 else f)
+
+let result_json r =
+  Mad_obs.Json.Obj
+    [
+      ("name", Mad_obs.Json.Str r.r_name);
+      ("iterations", json_num (float_of_int r.r_iterations));
+      ("ns_per_run", json_num r.r_ns_per_run);
+      ("mean_us", json_num r.r_mean_us);
+      ("p50_us", json_num r.r_p50_us);
+      ("p95_us", json_num r.r_p95_us);
+    ]
+
+(** Write every measurement recorded so far (name, sampled iteration
+    count, OLS ns/run, and the histogram's mean/p50/p95 in µs) as a
+    JSON document — the harness calls this once, at the end. *)
+let write_results path =
+  let doc =
+    Mad_obs.Json.Obj
+      [
+        ("quota_ms", json_num (quota *. 1000.0));
+        ( "benches",
+          Mad_obs.Json.List (List.rev_map result_json !recorded) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Mad_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc
 
 let pp_ns ns =
   if Float.is_nan ns then "n/a"

@@ -39,4 +39,5 @@ let () =
         Format.eprintf "unknown experiment %s (known: %s)@." name
           (String.concat ", " (List.map fst experiments)))
     selected;
-  Format.printf "@.done.@."
+  Bench_util.write_results "BENCH_RESULTS.json";
+  Format.printf "@.done. (results in BENCH_RESULTS.json)@."

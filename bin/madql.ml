@@ -46,7 +46,7 @@ let repl db_name =
   let db = load_db db_name in
   let session = Mad_mql.Session.create db in
   Format.printf "madql: %s loaded (%a)@." db_name Database.pp_summary db;
-  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :explain <stmt>@.";
+  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :drift :explain <stmt>@.";
   let buf = Buffer.create 256 in
   let rec loop () =
     if Buffer.length buf = 0 then print_string "MOL> " else print_string "...> ";
@@ -74,6 +74,16 @@ let repl db_name =
         Format.printf "atoms visited: %d, links traversed: %d@."
           (Mad.Derive.atoms_visited s)
           (Mad.Derive.links_traversed s);
+        loop ()
+      end
+      else if String.equal trimmed ":metrics" then begin
+        print_string
+          (Mad_obs.Registry.expose
+             (Mad_obs.Obs.registry session.Mad_mql.Session.obs));
+        loop ()
+      end
+      else if String.equal trimmed ":drift" then begin
+        Format.printf "%s@." (Prima.Adaptive.report session);
         loop ()
       end
       else if String.length trimmed >= 9 && String.sub trimmed 0 9 = ":explain " then begin
@@ -258,6 +268,38 @@ let script_cmd =
   Cmd.v (Cmd.info "script" ~doc:"Execute a file of MOL statements")
     Term.(const script $ db_arg $ script_path_arg)
 
+(* ------------------------------------------------------------------ *)
+(* stats — run statements, expose the session registry                  *)
+
+let stats db_name stmts =
+  handle @@ fun () ->
+  let db = load_db db_name in
+  (* a private tracing context: spans drive the op.latency_us
+     histograms; nothing is emitted, the registry is the product *)
+  let obs = Mad_obs.Obs.create ~tracing:true () in
+  let session = Mad_mql.Session.create ~obs db in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun stmt -> ignore (Mad_mql.Session.run session (String.trim stmt)))
+        (split_statements src))
+    stmts;
+  print_string (Mad_obs.Registry.expose (Mad_obs.Obs.registry obs))
+
+let stats_stmts_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"STATEMENTS"
+        ~doc:"MOL statements to execute before exposing the metrics.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Execute MOL statements and print the session's metrics registry \
+          as Prometheus text (counters, gauges, op.latency_us histograms).")
+    Term.(const stats $ db_arg $ stats_stmts_arg)
+
 let dump db_name out =
   handle @@ fun () ->
   let db = load_db db_name in
@@ -279,8 +321,10 @@ let dump_cmd =
     Term.(const dump $ db_arg $ out_arg)
 
 let () =
-  (* route the session layer's EXPLAIN ANALYZE to the PRIMA profiler *)
-  Prima.Profile.install ();
+  (* route the session layer's EXPLAIN ANALYZE to the learning PRIMA
+     profiler: estimates come from (and actuals feed back into) each
+     session's adaptive catalog *)
+  Prima.Adaptive.install ();
   let info =
     Cmd.info "madql" ~version:"1.0"
       ~doc:"The MOL (molecule query language) processor over the MAD model"
@@ -290,5 +334,5 @@ let () =
        (Cmd.group info
           [
             repl_cmd; query_cmd; explain_cmd; schema_cmd; dot_cmd; dump_cmd;
-            script_cmd;
+            script_cmd; stats_cmd;
           ]))

@@ -114,10 +114,10 @@ let inherit_links db ~res_name ~operands ~provenance =
 (* The five operations                                                  *)
 
 (* One span per operator application, with input/output cardinalities
-   as attributes — the operator-level accounting the observability
-   layer is built around. *)
+   as attributes, plus an op.latency_us histogram record — the
+   operator-level accounting the observability layer is built around. *)
 let op_span obs op ~name ~in_count f =
-  Mad_obs.Obs.with_span obs ("atom_algebra." ^ op)
+  Mad_obs.Obs.timed obs ("atom_algebra." ^ op)
     ~attrs:
       [ ("result", Mad_obs.Span.Str name); ("in", Mad_obs.Span.Int in_count) ]
   @@ fun sp ->

@@ -38,7 +38,7 @@ let add r name cond =
     is still a member of the database domain, and the result type is a
     registered, integrity-clean atom type. *)
 let check_atom_result ?(obs = Mad_obs.Obs.noop) db (r : Atom_algebra.t) =
-  Mad_obs.Obs.with_span obs "closure.check_atom_result"
+  Mad_obs.Obs.timed obs "closure.check_atom_result"
     ~attrs:[ ("type", Mad_obs.Span.Str r.at.name) ]
   @@ fun sp ->
   let rep = empty in
@@ -68,7 +68,7 @@ let check_atom_result ?(obs = Mad_obs.Obs.noop) db (r : Atom_algebra.t) =
     visible instead of letting profiles under-report it. *)
 let check_molecule_type ?(obs = Mad_obs.Obs.noop) ?stats db
     (mt : Molecule_type.t) =
-  Mad_obs.Obs.with_span obs "closure.check_molecule_type"
+  Mad_obs.Obs.timed obs "closure.check_molecule_type"
     ~attrs:[ ("type", Mad_obs.Span.Str mt.name) ]
   @@ fun sp ->
   let stats = match stats with Some s -> s | None -> Derive.stats_in (Mad_obs.Obs.registry obs) in

@@ -23,7 +23,7 @@ let gen_name prefix =
    links traversed) are attached so the cost of propagation exactness
    checks is attributed to the operator that triggered them. *)
 let op_span obs stats op ~name ~in_count f =
-  Mad_obs.Obs.with_span obs ("molecule_algebra." ^ op)
+  Mad_obs.Obs.timed obs ("molecule_algebra." ^ op)
     ~attrs:
       [ ("result", Mad_obs.Span.Str name); ("in", Mad_obs.Span.Int in_count) ]
   @@ fun sp ->

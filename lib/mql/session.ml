@@ -12,11 +12,18 @@ type outcome =
   | Dml of string  (** summary of a manipulation statement's effect *)
   | Explained of string  (** EXPLAIN / EXPLAIN ANALYZE report *)
 
+(** Extension slot for upper layers: this library sits below the
+    physical engine, so per-session state owned by PRIMA (the adaptive
+    statistics catalog, see [Prima.Adaptive]) is carried opaquely via
+    an extensible variant rather than a direct dependency. *)
+type ext = ..
+
 type t = {
   db : Database.t;
   env : (string, Mad.Molecule_type.t) Hashtbl.t;
   stats : Mad.Derive.stats;
   obs : Mad_obs.Obs.t;
+  mutable ext : ext option;
 }
 
 (** [EXPLAIN ANALYZE] needs the physical engine, which lives above this
@@ -32,6 +39,7 @@ let create ?obs db =
     env = Hashtbl.create 16;
     stats = Mad.Derive.stats_in (Mad_obs.Obs.registry obs);
     obs;
+    ext = None;
   }
 
 let lookup t name = Hashtbl.find_opt t.env name
@@ -145,7 +153,7 @@ let stmt_kind = function
 let rec eval_stmt t (stmt : Ast.stmt) : outcome =
   (* one root span per statement; everything the engine does beneath —
      algebra operators, derivations, closure checks — nests under it *)
-  Mad_obs.Obs.with_span t.obs "mql.statement"
+  Mad_obs.Obs.timed t.obs "mql.statement"
     ~attrs:[ ("kind", Mad_obs.Span.Str (stmt_kind stmt)) ]
   @@ fun _ ->
   match stmt with

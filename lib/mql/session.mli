@@ -11,11 +11,17 @@ type outcome =
   | Dml of string  (** summary of a manipulation statement's effect *)
   | Explained of string  (** EXPLAIN / EXPLAIN ANALYZE report *)
 
+type ext = ..
+(** Extension slot for layers above this library: PRIMA stores its
+    per-session adaptive statistics catalog here (see
+    [Prima.Adaptive]) without creating a downward dependency. *)
+
 type t = {
   db : Database.t;
   env : (string, Mad.Molecule_type.t) Hashtbl.t;
   stats : Mad.Derive.stats;
   obs : Mad_obs.Obs.t;
+  mutable ext : ext option;
 }
 
 val analyze_hook : (t -> Ast.stmt -> string) option ref

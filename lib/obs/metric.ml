@@ -27,6 +27,8 @@ type histogram = {
   counts : int array;  (** length = length bounds + 1 (overflow bucket) *)
   mutable sum : float;
   mutable n : int;
+  mutable min_v : float;  (** [infinity] while empty *)
+  mutable max_v : float;  (** [neg_infinity] while empty *)
 }
 
 type sample = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -48,6 +50,12 @@ let default_bounds =
   [| 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
      10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0 |]
 
+(** A 1-2-5 ladder for operator latencies in microseconds: 1 µs up to
+    5 s — the bounds of the [op.latency_us] histograms. *)
+let latency_bounds_us =
+  [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1e3; 2e3; 5e3;
+     1e4; 2e4; 5e4; 1e5; 2e5; 5e5; 1e6; 2e6; 5e6 |]
+
 let histogram ?(labels = []) ?(bounds = default_bounds) name =
   {
     h_name = name;
@@ -56,6 +64,8 @@ let histogram ?(labels = []) ?(bounds = default_bounds) name =
     counts = Array.make (Array.length bounds + 1) 0;
     sum = 0.0;
     n = 0;
+    min_v = infinity;
+    max_v = neg_infinity;
   }
 
 let observe h v =
@@ -64,24 +74,42 @@ let observe h v =
   let i = bucket 0 in
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
-  h.n <- h.n + 1
+  h.n <- h.n + 1;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
 
 let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+let min_value h = if h.n = 0 then 0.0 else h.min_v
+let max_value h = if h.n = 0 then 0.0 else h.max_v
 
-(** Approximate quantile from the bucket boundaries ([q] in [0,1]). *)
+(** Approximate quantile ([q] in [0,1]): find the bucket holding the
+    target rank, then interpolate linearly inside it.  The first
+    bucket's lower edge is the tracked minimum and the overflow
+    bucket's upper edge is the tracked maximum, so long-tail
+    observations beyond the last bound report their true range instead
+    of being capped at [bounds.(k-1)]. *)
 let quantile h q =
   if h.n = 0 then 0.0
   else begin
     let target = int_of_float (Float.round (q *. float_of_int h.n)) in
     let target = max 1 (min h.n target) in
     let k = Array.length h.bounds in
-    let rec go i acc =
-      if i > k then h.bounds.(k - 1)
-      else
-        let acc = acc + h.counts.(i) in
-        if acc >= target then
-          if i >= k then h.bounds.(k - 1) else h.bounds.(i)
-        else go (i + 1) acc
+    let rec go i before =
+      let c = h.counts.(i) in
+      if i < k && before + c < target then go (i + 1) (before + c)
+      else begin
+        let lower = if i = 0 then h.min_v else h.bounds.(i - 1) in
+        let upper = if i < k then h.bounds.(i) else h.max_v in
+        let v =
+          if c = 0 then upper
+          else
+            lower
+            +. (upper -. lower)
+               *. (float_of_int (target - before) /. float_of_int c)
+        in
+        (* observed range always brackets the estimate *)
+        Float.max h.min_v (Float.min h.max_v v)
+      end
     in
     go 0 0
   end
@@ -92,7 +120,9 @@ let reset = function
   | Histogram h ->
     Array.fill h.counts 0 (Array.length h.counts) 0;
     h.sum <- 0.0;
-    h.n <- 0
+    h.n <- 0;
+    h.min_v <- infinity;
+    h.max_v <- neg_infinity
 
 (* ------------------------------------------------------------------ *)
 
@@ -117,5 +147,7 @@ let pp ppf = function
   | Counter c -> Fmt.pf ppf "%s%a = %d" c.c_name pp_labels c.c_labels c.count
   | Gauge g -> Fmt.pf ppf "%s%a = %g" g.g_name pp_labels g.g_labels g.value
   | Histogram h ->
-    Fmt.pf ppf "%s%a: n=%d mean=%.3f p50=%.3f p95=%.3f" h.h_name pp_labels
-      h.h_labels h.n (mean h) (quantile h 0.5) (quantile h 0.95)
+    Fmt.pf ppf
+      "%s%a: n=%d sum=%.3f min=%.3f mean=%.3f p50=%.3f p95=%.3f max=%.3f"
+      h.h_name pp_labels h.h_labels h.n h.sum (min_value h) (mean h)
+      (quantile h 0.5) (quantile h 0.95) (max_value h)

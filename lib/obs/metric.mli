@@ -23,6 +23,8 @@ type histogram = private {
   counts : int array;
   mutable sum : float;
   mutable n : int;
+  mutable min_v : float;  (** [infinity] while empty *)
+  mutable max_v : float;  (** [neg_infinity] while empty *)
 }
 
 type sample = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -37,12 +39,26 @@ val set : gauge -> float -> unit
 val get : gauge -> float
 
 val default_bounds : float array
+
+val latency_bounds_us : float array
+(** 1-2-5 ladder from 1 µs to 5 s, the bounds of the per-operator
+    [op.latency_us] histograms. *)
+
 val histogram : ?labels:labels -> ?bounds:float array -> string -> histogram
 val observe : histogram -> float -> unit
 val mean : histogram -> float
 
+val min_value : histogram -> float
+(** Smallest observation, 0 while empty. *)
+
+val max_value : histogram -> float
+(** Largest observation, 0 while empty. *)
+
 val quantile : histogram -> float -> float
-(** Approximate quantile from the bucket boundaries. *)
+(** Approximate quantile: linear interpolation inside the bucket
+    holding the target rank, with the tracked min/max as the outermost
+    bucket edges (so a long tail beyond the last bound reports its
+    true maximum). *)
 
 val reset : sample -> unit
 val name : sample -> string

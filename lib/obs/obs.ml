@@ -14,17 +14,51 @@
     MAD_OBS=pretty     human-readable rendering on stderr
     MAD_OBS=json       JSON lines on stderr
     MAD_OBS=json:FILE  JSON lines appended to FILE
-    v} *)
+    MAD_OBS=prom:FILE  Prometheus text written to FILE on exit
+    v}
+    plus the sampling knobs [MAD_OBS_SAMPLE] (root-span keep
+    probability), [MAD_OBS_SLOW_MS] (always keep roots at least this
+    slow) and [MAD_OBS_SEED] (the sampler's RNG seed). *)
+
+(** Head-based probabilistic span sampling.  The keep/drop decision is
+    drawn from a seeded RNG when a root span opens (so a run is
+    reproducible), and overridden at emission time for root spans that
+    carry an [error] attribute or exceed the slow threshold — errors
+    and outliers always trace.  Metrics are recorded independently of
+    the decision, so aggregates stay exact while trace volume scales
+    down. *)
+type sampler = {
+  rate : float;  (** keep probability in [0,1] *)
+  slow_ms : float option;  (** always keep roots at least this slow *)
+  rng : Random.State.t;
+}
+
+let default_seed = 0x6d6164 (* "mad" *)
 
 type t = {
   registry : Registry.t;
   sink : Sink.t;
   tracing : bool;  (** are spans recorded? *)
   mutable stack : Span.t list;  (** open spans, innermost first *)
+  sampler : sampler option;
+  mutable keep_root : bool;  (** head decision for the open root span *)
 }
 
-let create ?(tracing = true) ?(sink = Sink.noop) () =
-  { registry = Registry.create (); sink; tracing; stack = [] }
+let create ?(tracing = true) ?(sink = Sink.noop) ?sample ?slow_ms
+    ?(seed = default_seed) () =
+  let sampler =
+    match (sample, slow_ms) with
+    | None, None -> None
+    | rate, slow_ms ->
+      Some
+        {
+          rate = Float.max 0.0 (Float.min 1.0 (Option.value ~default:1.0 rate));
+          slow_ms;
+          rng = Random.State.make [| seed |];
+        }
+  in
+  { registry = Registry.create (); sink; tracing; stack = []; sampler;
+    keep_root = true }
 
 (** The shared disabled context. *)
 let noop = create ~tracing:false ~sink:Sink.noop ()
@@ -38,9 +72,28 @@ let enabled t = t.tracing
 
 let current_span t = match t.stack with sp :: _ -> Some sp | [] -> None
 
+let errored sp = List.mem_assoc "error" (Span.attrs sp)
+
+(* the always-keep rule: errored or slow-over-threshold root spans
+   trace regardless of the head decision *)
+let keep_span t sp =
+  match t.sampler with
+  | None -> true
+  | Some s ->
+    t.keep_root || errored sp
+    || (match s.slow_ms with
+        | Some th -> Span.duration_ms sp >= th
+        | None -> false)
+
 let with_span t name ?(attrs = []) f =
   if not t.tracing then f Span.none
   else begin
+    (match (t.stack, t.sampler) with
+     | [], Some s ->
+       (* head decision: drawn exactly once per root span, so a seeded
+          run keeps a reproducible subset *)
+       t.keep_root <- Random.State.float s.rng 1.0 < s.rate
+     | _, _ -> ());
     let sp = Span.start name in
     List.iter (fun (k, v) -> Span.set sp k v) attrs;
     (match t.stack with
@@ -52,7 +105,7 @@ let with_span t name ?(attrs = []) f =
       (match t.stack with
        | top :: rest when top == sp -> t.stack <- rest
        | _ -> t.stack <- List.filter (fun s -> not (s == sp)) t.stack);
-      if t.stack = [] then t.sink.Sink.emit_span sp
+      if t.stack = [] && keep_span t sp then t.sink.Sink.emit_span sp
     in
     match f sp with
     | v ->
@@ -71,6 +124,30 @@ let counter ?labels t name = Registry.counter ?labels t.registry name
 let gauge ?labels t name = Registry.gauge ?labels t.registry name
 let histogram ?labels ?bounds t name = Registry.histogram ?labels ?bounds t.registry name
 
+(** Like {!with_span}, but also record the wall-clock duration into
+    the [op.latency_us] histogram labeled [op=name].  The histogram is
+    updated even when tracing is off or the sampler drops the span —
+    latency aggregates stay exact while trace volume scales down.
+    Only the shared {!noop} context skips the clock reads entirely. *)
+let timed t name ?attrs f =
+  if t == noop then f Span.none
+  else begin
+    let h =
+      Registry.histogram
+        ~labels:[ ("op", name) ]
+        ~bounds:Metric.latency_bounds_us t.registry "op.latency_us"
+    in
+    let t0 = !Span.clock () in
+    let record () = Metric.observe h ((!Span.clock () -. t0) *. 1e6) in
+    match with_span t name ?attrs f with
+    | v ->
+      record ();
+      v
+    | exception e ->
+      record ();
+      raise e
+  end
+
 let event t kind fields = t.sink.Sink.emit_event kind fields
 
 (** Push every registered metric to the sink. *)
@@ -81,20 +158,68 @@ let pp_metrics ppf t = Registry.pp ppf t.registry
 (* ------------------------------------------------------------------ *)
 (* Environment configuration                                            *)
 
+let env_float var =
+  match Option.map String.trim (Sys.getenv_opt var) with
+  | None | Some "" -> None
+  | Some s -> begin
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f -> Some f
+    | Some _ | None ->
+      Printf.eprintf "mad_obs: ignoring invalid %s=%S (expected a number)\n%!"
+        var s;
+      None
+  end
+
+let env_int var =
+  match Option.map String.trim (Sys.getenv_opt var) with
+  | None | Some "" -> None
+  | Some s -> begin
+    match int_of_string_opt s with
+    | Some i -> Some i
+    | None ->
+      Printf.eprintf
+        "mad_obs: ignoring invalid %s=%S (expected an integer)\n%!" var s;
+      None
+  end
+
 let of_env ?(var = "MAD_OBS") () =
+  let sample = env_float (var ^ "_SAMPLE") in
+  let slow_ms = env_float (var ^ "_SLOW_MS") in
+  let seed = Option.value ~default:default_seed (env_int (var ^ "_SEED")) in
+  let sampled ?tracing sink = create ?tracing ~sink ?sample ?slow_ms ~seed () in
+  let file_suffix prefix spec =
+    let n = String.length prefix in
+    if String.length spec > n && String.sub spec 0 n = prefix then
+      Some (String.sub spec n (String.length spec - n))
+    else None
+  in
   match Option.map String.trim (Sys.getenv_opt var) with
   | None | Some "" | Some "off" | Some "none" | Some "0" -> create ~tracing:false ()
-  | Some "pretty" -> create ~sink:(Sink.pretty Fmt.stderr) ()
-  | Some "json" -> create ~sink:(Sink.json stderr) ()
-  | Some spec when String.length spec > 5 && String.sub spec 0 5 = "json:" ->
-    let path = String.sub spec 5 (String.length spec - 5) in
+  | Some "pretty" -> sampled (Sink.pretty Fmt.stderr)
+  | Some "json" -> sampled (Sink.json stderr)
+  | Some spec when file_suffix "json:" spec <> None ->
+    let path = Option.get (file_suffix "json:" spec) in
     let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
     at_exit (fun () -> try close_out oc with Sys_error _ -> ());
-    create ~sink:(Sink.json oc) ()
+    sampled (Sink.json oc)
+  | Some spec when file_suffix "prom:" spec <> None ->
+    (* metrics-only mode: spans are not recorded (the [timed]
+       histograms are), and the registry is flushed as Prometheus text
+       when the process exits *)
+    let path = Option.get (file_suffix "prom:" spec) in
+    let t = sampled ~tracing:false Sink.noop in
+    at_exit (fun () ->
+        try
+          let oc = open_out path in
+          output_string oc (Registry.expose t.registry);
+          close_out oc
+        with Sys_error e ->
+          Printf.eprintf "mad_obs: could not write %s: %s\n%!" path e);
+    t
   | Some other ->
     Printf.eprintf
-      "mad_obs: unknown %s value %S (expected off, pretty, json or json:FILE); \
-       observability disabled\n%!"
+      "mad_obs: unknown %s value %S (expected off, pretty, json, json:FILE \
+       or prom:FILE); observability disabled\n%!"
       var other;
     create ~tracing:false ()
 

@@ -1,12 +1,27 @@
-(** The observability context: a metrics registry, a span stack and a
-    sink.  Threaded through the engine layers; {!noop} is the shared
-    disabled context for code that was not handed one.  [MAD_OBS]
-    selects the sink: [off] (default) / [pretty] / [json] /
-    [json:FILE]. *)
+(** The observability context: a metrics registry, a span stack, a
+    sink and an optional span sampler.  Threaded through the engine
+    layers; {!noop} is the shared disabled context for code that was
+    not handed one.  [MAD_OBS] selects the sink: [off] (default) /
+    [pretty] / [json] / [json:FILE] / [prom:FILE]; [MAD_OBS_SAMPLE],
+    [MAD_OBS_SLOW_MS] and [MAD_OBS_SEED] configure sampling. *)
 
 type t
 
-val create : ?tracing:bool -> ?sink:Sink.t -> unit -> t
+val create :
+  ?tracing:bool ->
+  ?sink:Sink.t ->
+  ?sample:float ->
+  ?slow_ms:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** [sample] is the head-based keep probability for root spans (drawn
+    from an RNG seeded with [seed], default a fixed constant, so runs
+    are reproducible); [slow_ms] always keeps root spans at least that
+    slow.  Root spans carrying an [error] attribute are always kept.
+    With neither [sample] nor [slow_ms], every span is kept.  Sampling
+    only gates span {e emission}: metrics — including the
+    [op.latency_us] histograms of {!timed} — stay exact. *)
 
 val noop : t
 (** Shared disabled context: spans are not recorded, the sink drops
@@ -30,6 +45,13 @@ val counter : ?labels:Metric.labels -> t -> string -> Metric.counter
 val gauge : ?labels:Metric.labels -> t -> string -> Metric.gauge
 val histogram : ?labels:Metric.labels -> ?bounds:float array -> t -> string -> Metric.histogram
 
+val timed : t -> string -> ?attrs:(string * Span.value) list -> (Span.t -> 'a) -> 'a
+(** {!with_span} plus a latency record: the wall-clock duration lands
+    in the registry's [op.latency_us] histogram labeled [op=name],
+    even when tracing is off or the sampler drops the span (the shared
+    {!noop} context alone skips the clock).  The engine's operator
+    instrumentation points use this. *)
+
 val event : t -> string -> (string * Span.value) list -> unit
 (** Emit a free-form event (kind, fields) to the sink. *)
 
@@ -40,7 +62,10 @@ val pp_metrics : Format.formatter -> t -> unit
 
 val of_env : ?var:string -> unit -> t
 (** Build a context from the [MAD_OBS] (or [var]) environment
-    variable; unknown values warn on stderr and disable. *)
+    variable; unknown values warn on stderr and disable.  [prom:FILE]
+    records metrics only and writes the registry's Prometheus text to
+    FILE on exit.  [<var>_SAMPLE], [<var>_SLOW_MS] and [<var>_SEED]
+    configure the span sampler. *)
 
 val default : unit -> t
 (** The lazily-created process-wide context per {!of_env}. *)

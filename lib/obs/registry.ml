@@ -71,3 +71,92 @@ let reset t = List.iter Metric.reset (to_list t)
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") Metric.pp) (to_list t)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                           *)
+
+(* metric names may only use [a-zA-Z0-9_:]; the engine's dotted names
+   ("op.latency_us") map onto underscores *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_escape v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let prom_labels buf = function
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (prom_name k);
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (prom_escape v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let expose t =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 8 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  let line name labels value =
+    Buffer.add_string buf name;
+    prom_labels buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf value;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun sample ->
+      match sample with
+      | Metric.Counter c ->
+        let name = prom_name c.Metric.c_name in
+        type_line name "counter";
+        line name c.Metric.c_labels (string_of_int c.Metric.count)
+      | Metric.Gauge g ->
+        let name = prom_name g.Metric.g_name in
+        type_line name "gauge";
+        line name g.Metric.g_labels (prom_float g.Metric.value)
+      | Metric.Histogram h ->
+        let name = prom_name h.Metric.h_name in
+        type_line name "histogram";
+        let acc = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            acc := !acc + h.Metric.counts.(i);
+            line (name ^ "_bucket")
+              (h.Metric.h_labels @ [ ("le", prom_float bound) ])
+              (string_of_int !acc))
+          h.Metric.bounds;
+        line (name ^ "_bucket")
+          (h.Metric.h_labels @ [ ("le", "+Inf") ])
+          (string_of_int h.Metric.n);
+        line (name ^ "_sum") h.Metric.h_labels (prom_float h.Metric.sum);
+        line (name ^ "_count") h.Metric.h_labels (string_of_int h.Metric.n))
+    (to_list t);
+  Buffer.contents buf

@@ -23,3 +23,10 @@ val to_list : t -> Metric.sample list
 
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit
+
+val expose : t -> string
+(** Prometheus text exposition of every registered sample: [# TYPE]
+    comments, counters and gauges as single lines, histograms as
+    cumulative [_bucket{le=...}] lines plus [_sum] and [_count].
+    Dotted metric names are mapped to underscores ([op.latency_us] →
+    [op_latency_us]); label values are escaped per the format. *)

@@ -70,9 +70,11 @@ let json_of_sample = function
         ("labels", json_of_labels h.Metric.h_labels);
         ("n", Json.Num (float_of_int h.Metric.n));
         ("sum", Json.Num h.Metric.sum);
+        ("min", Json.Num (Metric.min_value h));
         ("mean", Json.Num (Metric.mean h));
         ("p50", Json.Num (Metric.quantile h 0.5));
         ("p95", Json.Num (Metric.quantile h 0.95));
+        ("max", Json.Num (Metric.max_value h));
       ]
 
 let json_of_span sp =

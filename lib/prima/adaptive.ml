@@ -1,0 +1,125 @@
+(** The per-session adaptive statistics catalog: the feedback loop
+    between [EXPLAIN ANALYZE] and {!Stats}.
+
+    Each profiled statement's recorded actuals are fed back through
+    {!Stats.refine}, so a session's estimates converge onto its
+    workload (exponentially weighted — repeated queries dominate, one
+    outlier run cannot wreck the catalog).  Nodes whose estimate was
+    off by more than the drift factor are logged; the drift report is
+    the optimizer-facing answer to "which plans were costed wrong?".
+
+    [Mad_mql.Session] sits below PRIMA and cannot depend on this
+    module, so the state rides in the session's extension slot
+    ({!Mad_mql.Session.ext}) and {!install} registers the profiling
+    hook, exactly like {!Profile.install} — but where [Profile]'s hook
+    is stateless, this one learns. *)
+
+module Session = Mad_mql.Session
+
+type drift_entry = {
+  de_stmt : string;  (** the statement kind/name the drift came from *)
+  de_drift : Profile.drift;
+}
+
+type state = {
+  mutable catalog : Stats.t option;  (** [None] until first profiled run *)
+  mutable drifts : drift_entry list;  (** newest first *)
+  mutable refinements : int;
+  alpha : float;
+  factor : float;  (** drift threshold, an off-by factor *)
+}
+
+type Session.ext += Adaptive of state
+
+let default_factor =
+  match Option.map float_of_string_opt (Sys.getenv_opt "MAD_DRIFT_FACTOR") with
+  | Some (Some f) when Float.is_finite f && f >= 1.0 -> f
+  | _ -> 2.0
+
+(** The session's adaptive state, created on first use.  [alpha] and
+    [factor] only apply at creation; [MAD_DRIFT_FACTOR] overrides the
+    default threshold. *)
+let state ?(alpha = 0.5) ?(factor = default_factor) (session : Session.t) =
+  match session.Session.ext with
+  | Some (Adaptive st) -> st
+  | _ ->
+    let st =
+      { catalog = None; drifts = []; refinements = 0; alpha; factor }
+    in
+    session.Session.ext <- Some (Adaptive st);
+    st
+
+let catalog st db =
+  match st.catalog with
+  | Some c -> c
+  | None ->
+    let c = Stats.collect db in
+    st.catalog <- Some c;
+    c
+
+(** Record one profiled run: log its drift against the threshold,
+    refine the catalog with the actuals.  Returns the drift entries of
+    this run. *)
+let observe st ~stmt (r : Profile.t) =
+  let drifted = Profile.drift ~factor:st.factor r in
+  st.drifts <-
+    List.rev_append
+      (List.rev_map (fun d -> { de_stmt = stmt; de_drift = d }) drifted)
+      st.drifts;
+  (match st.catalog with
+   | Some c -> st.catalog <- Some (Profile.refine ~alpha:st.alpha c r)
+   | None -> ());
+  st.refinements <- st.refinements + 1;
+  drifted
+
+(* ------------------------------------------------------------------ *)
+(* The session hook                                                     *)
+
+(** [EXPLAIN ANALYZE] with learning: profile against the session's
+    adaptive catalog, then feed the actuals back and log drift.  The
+    report grows a trailing adaptive section naming the drifted nodes
+    and the refinement count. *)
+let analyze_stmt (session : Session.t) stmt =
+  match Profile.query_of_stmt session.Session.db stmt with
+  | Some q ->
+    let st = state session in
+    let stats = catalog st session.Session.db in
+    let r = Profile.analyze ~stats session.Session.db q in
+    let drifted = observe st ~stmt:q.Planner.name r in
+    Format.asprintf "%a%a" Profile.pp r
+      (fun ppf -> function
+        | [] ->
+          Fmt.pf ppf "adaptive: catalog refined (%d run(s)); no drift over %.1fx@."
+            st.refinements st.factor
+        | ds ->
+          Fmt.pf ppf
+            "adaptive: catalog refined (%d run(s)); drift over %.1fx: %a@."
+            st.refinements st.factor
+            Fmt.(list ~sep:(any "; ") Profile.pp_drift)
+            ds)
+      drifted
+  | None -> Profile.analyze_stmt session stmt
+
+(** Register the learning profiler as the session layer's
+    [EXPLAIN ANALYZE] engine (supersedes {!Profile.install}). *)
+let install () = Session.analyze_hook := Some analyze_stmt
+
+(* ------------------------------------------------------------------ *)
+(* The drift report                                                     *)
+
+let pp_report ppf (session : Session.t) =
+  match session.Session.ext with
+  | Some (Adaptive st) ->
+    Fmt.pf ppf "@[<v>adaptive catalog: %d refinement(s), drift threshold %.1fx@,"
+      st.refinements st.factor;
+    (match st.drifts with
+     | [] -> Fmt.pf ppf "no drift recorded@]"
+     | ds ->
+       Fmt.pf ppf "%a@]"
+         Fmt.(
+           list ~sep:(any "@,") (fun ppf e ->
+               Fmt.pf ppf "%s: %a" e.de_stmt Profile.pp_drift e.de_drift))
+         (List.rev ds))
+  | _ -> Fmt.pf ppf "adaptive catalog: no profiled runs yet"
+
+let report session = Format.asprintf "%a" pp_report session

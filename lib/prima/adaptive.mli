@@ -1,0 +1,54 @@
+(** Per-session adaptive statistics: every [EXPLAIN ANALYZE] run feeds
+    its recorded actuals back into a session-private {!Stats.t}
+    catalog ({!Stats.refine}), so estimates converge onto the
+    session's workload; nodes off by more than the drift factor are
+    logged.  The state rides in {!Mad_mql.Session.ext} (the session
+    layer cannot depend on PRIMA); {!install} registers the learning
+    profiler as the session's [EXPLAIN ANALYZE] engine. *)
+
+open Mad_store
+module Session = Mad_mql.Session
+
+type drift_entry = {
+  de_stmt : string;  (** the statement/query name the drift came from *)
+  de_drift : Profile.drift;
+}
+
+type state = {
+  mutable catalog : Stats.t option;  (** [None] until first profiled run *)
+  mutable drifts : drift_entry list;  (** newest first *)
+  mutable refinements : int;
+  alpha : float;  (** EWMA weight of each new observation *)
+  factor : float;  (** drift threshold, an off-by factor *)
+}
+
+type Session.ext += Adaptive of state
+
+val default_factor : float
+(** 2.0, or the [MAD_DRIFT_FACTOR] environment variable. *)
+
+val state : ?alpha:float -> ?factor:float -> Session.t -> state
+(** The session's adaptive state, created on first use ([alpha]
+    default 0.5, [factor] default {!default_factor}). *)
+
+val catalog : state -> Database.t -> Stats.t
+(** The adaptive catalog, collected from the database on first use. *)
+
+val observe : state -> stmt:string -> Profile.t -> Profile.drift list
+(** Log one profiled run's drift and refine the catalog with its
+    actuals; returns the drift entries of this run. *)
+
+val analyze_stmt : Session.t -> Mad_mql.Ast.stmt -> string
+(** Like {!Profile.analyze_stmt}, but estimates come from (and the
+    actuals are fed back into) the session's adaptive catalog; the
+    report carries a trailing [adaptive:] section. *)
+
+val install : unit -> unit
+(** Register {!analyze_stmt} in {!Mad_mql.Session.analyze_hook}
+    (supersedes {!Profile.install}). *)
+
+val pp_report : Format.formatter -> Session.t -> unit
+
+val report : Session.t -> string
+(** The session's drift report: refinement count, threshold, and
+    every drifted node estimate recorded so far. *)

@@ -25,7 +25,7 @@ let satisfies db desc m pred =
 
 let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
     (q : Planner.query) =
-  Obs.with_span obs "prima.execute"
+  Obs.timed obs "prima.execute"
     ~attrs:[ ("query", Span.Str q.Planner.name) ]
   @@ fun _ ->
   let stats =
@@ -34,12 +34,12 @@ let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
     | None -> Mad.Derive.stats_in (Obs.registry obs)
   in
   let plan =
-    Obs.with_span obs "prima.plan" (fun _ -> Planner.plan ~optimize q)
+    Obs.timed obs "prima.plan" (fun _ -> Planner.plan ~optimize q)
   in
   let iface = Atom_interface.v db in
   let root_node = Mad.Mdesc.root q.Planner.desc in
   let roots =
-    Obs.with_span obs "prima.scan"
+    Obs.timed obs "prima.scan"
       ~attrs:
         [
           ("node", Span.Str root_node);
@@ -56,7 +56,7 @@ let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
   let a0 = Mad.Derive.atoms_visited stats
   and l0 = Mad.Derive.links_traversed stats in
   let derived =
-    Obs.with_span obs "prima.derive"
+    Obs.timed obs "prima.derive"
       ~attrs:[ ("roots", Span.Int (List.length roots)) ]
     @@ fun sp ->
     let derived =
@@ -81,7 +81,7 @@ let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
     match plan.Planner.residual with
     | None -> derived
     | Some pred ->
-      Obs.with_span obs "prima.filter"
+      Obs.timed obs "prima.filter"
         ~attrs:[ ("in", Span.Int (List.length derived)) ]
       @@ fun sp ->
       let kept =
@@ -100,7 +100,7 @@ let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
     match q.Planner.select with
     | None -> mt
     | Some items ->
-      Obs.with_span obs "prima.project"
+      Obs.timed obs "prima.project"
         ~attrs:[ ("materialize", Span.Bool materialize) ]
       @@ fun _ ->
       (* keep only selected nodes that survive in the derive structure *)

@@ -34,8 +34,11 @@ type t = {
 }
 
 (** Run [q] in a fresh context (its own registry, so the actuals start
-    at zero) and pair the recorded work with the plan's estimates. *)
-let analyze ?(optimize = true) db (q : Planner.query) =
+    at zero) and pair the recorded work with the plan's estimates.
+    [stats] supplies the catalog the estimates come from (default: a
+    fresh {!Stats.collect}); pass a refined catalog to see how much an
+    adaptive run closed the gap. *)
+let analyze ?(optimize = true) ?stats:catalog db (q : Planner.query) =
   let spans = ref [] in
   let sink =
     { Mad_obs.Sink.noop with emit_span = (fun sp -> spans := sp :: !spans) }
@@ -44,7 +47,10 @@ let analyze ?(optimize = true) db (q : Planner.query) =
   let reg = Obs.registry obs in
   let stats = Mad.Derive.stats_in reg in
   let outcome = Executor.run ~obs ~stats ~optimize db q in
-  let detail = Stats.estimate_detail (Stats.collect db) outcome.Executor.plan in
+  let catalog =
+    match catalog with Some c -> c | None -> Stats.collect db
+  in
+  let detail = Stats.estimate_detail catalog outcome.Executor.plan in
   let nodes =
     List.map
       (fun (ne : Stats.node_estimate) ->
@@ -84,6 +90,65 @@ let analyze ?(optimize = true) db (q : Planner.query) =
     duration_ms;
     counters = outcome.Executor.counters;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Estimate error, drift, and the feedback edge                         *)
+
+(** Total absolute estimate error of a report: |est - actual| summed
+    over roots, per-node atoms and per-node links.  The quantity
+    {!Stats.refine} drives down. *)
+let error (r : t) =
+  List.fold_left
+    (fun acc nr ->
+      acc
+      +. Float.abs (nr.nr_est_atoms -. float_of_int nr.nr_atoms)
+      +. Float.abs (nr.nr_est_links -. float_of_int nr.nr_links))
+    (Float.abs (r.est.Stats.est_roots -. float_of_int r.actual_roots))
+    r.nodes
+
+type drift = {
+  dd_node : string;
+  dd_metric : string;  (** ["atoms"] or ["links"] *)
+  dd_est : float;
+  dd_actual : int;
+  dd_ratio : float;  (** how far off, as a >= 1 factor *)
+}
+
+let pp_drift ppf d =
+  Fmt.pf ppf "%s %s est=%.1f actual=%d (%.1fx off)" d.dd_node d.dd_metric
+    d.dd_est d.dd_actual d.dd_ratio
+
+(* over/under-estimation factor; both sides are floored at 1 so a
+   0-vs-small mismatch does not report an infinite ratio *)
+let off_ratio est actual =
+  let a = Float.max 1.0 est and b = Float.max 1.0 (float_of_int actual) in
+  Float.max a b /. Float.min a b
+
+(** The nodes whose estimate was off by more than [factor] — the
+    statements worth re-planning once the catalog has been refined. *)
+let drift ?(factor = 2.0) (r : t) =
+  List.concat_map
+    (fun nr ->
+      let check metric est actual =
+        let ratio = off_ratio est actual in
+        if ratio >= factor then
+          [ { dd_node = nr.nr_node; dd_metric = metric; dd_est = est;
+              dd_actual = actual; dd_ratio = ratio } ]
+        else []
+      in
+      check "atoms" nr.nr_est_atoms nr.nr_atoms
+      @ check "links" nr.nr_est_links nr.nr_links)
+    r.nodes
+
+(** Feed this report's actuals back into a catalog
+    ({!Stats.refine_actuals} on the per-node records). *)
+let refine ?alpha catalog (r : t) =
+  Stats.refine_actuals ?alpha catalog r.plan
+    (List.map
+       (fun nr ->
+         { Stats.na_node = nr.nr_node; na_atoms = nr.nr_atoms;
+           na_links = nr.nr_links })
+       r.nodes)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                            *)

@@ -24,7 +24,31 @@ type t = {
   counters : Atom_interface.counters;
 }
 
-val analyze : ?optimize:bool -> Database.t -> Planner.query -> t
+val analyze : ?optimize:bool -> ?stats:Stats.t -> Database.t -> Planner.query -> t
+(** [stats] is the catalog the estimates come from (default: fresh
+    {!Stats.collect}); pass a refined catalog to measure how much the
+    feedback loop closed the gap. *)
+
+val error : t -> float
+(** Total absolute estimate error: |est - actual| over roots and the
+    per-node atoms/links — the quantity {!Stats.refine} drives down. *)
+
+type drift = {
+  dd_node : string;
+  dd_metric : string;  (** ["atoms"] or ["links"] *)
+  dd_est : float;
+  dd_actual : int;
+  dd_ratio : float;  (** how far off, as a >= 1 factor *)
+}
+
+val pp_drift : Format.formatter -> drift -> unit
+
+val drift : ?factor:float -> t -> drift list
+(** The nodes whose estimate was off by at least [factor] (default 2). *)
+
+val refine : ?alpha:float -> Stats.t -> t -> Stats.t
+(** Feed this report's recorded actuals back into a catalog — the
+    [EXPLAIN ANALYZE] end of the adaptive-statistics loop. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -18,10 +18,25 @@ type link_stat = {
   fanout_bwd : float;
 }
 
+type learned_link = {
+  lf_fwd : float option;  (** link traversals per parent atom, forward *)
+  lf_bwd : float option;
+  lr_fwd : float option;  (** distinct atoms reached per parent atom *)
+  lr_bwd : float option;
+}
+(** Adaptive per-link-type factors, learned by {!refine} from recorded
+    actuals.  Traversal fanout (lf) and distinct reach (lr) are kept
+    separately: the catalog fanout conflates them, but under subobject
+    sharing many traversals reach few distinct atoms (Fig. 1's edges
+    sharing corner points), so links and component sizes need
+    different factors. *)
+
 type t = {
   atom_counts : int Smap.t;
   distinct : int Smap.t;  (** "type.attr" -> distinct values *)
   link_stats : link_stat Smap.t;
+  learned : learned_link Smap.t;  (** link type -> refined factors *)
+  learned_sel : float Smap.t;  (** "root|pred" -> observed selectivity *)
 }
 
 let key atype attr = atype ^ "." ^ attr
@@ -65,7 +80,8 @@ let collect db =
           m)
       Smap.empty (Database.link_type_names db)
   in
-  { atom_counts; distinct; link_stats }
+  { atom_counts; distinct; link_stats; learned = Smap.empty;
+    learned_sel = Smap.empty }
 
 (* ------------------------------------------------------------------ *)
 (* Selectivity of qualifications (textbook heuristics)                  *)
@@ -127,6 +143,30 @@ type detail = { d_est : estimate; d_nodes : node_estimate list }
     The detail keeps the per-node totals — the "estimated" column of
     [EXPLAIN ANALYZE], matched against the per-node actuals recorded
     by {!Mad.Derive} under the same node names. *)
+let sel_key root pred = root ^ "|" ^ Mad.Qual.to_string pred
+
+(* the per-edge factors the estimator multiplies with: traversal
+   fanout (how many link traversals a parent atom causes) and distinct
+   reach (how many distinct atoms they arrive at).  The static catalog
+   knows only the former; [refine] learns both from actuals. *)
+let edge_factors t (e : Mad.Mdesc.edge) =
+  let static =
+    match (Smap.find_opt e.link t.link_stats, e.dir) with
+    | Some s, `Fwd -> s.fanout_fwd
+    | Some s, `Bwd -> s.fanout_bwd
+    | None, (`Fwd | `Bwd) -> 1.0
+  in
+  match Smap.find_opt e.link t.learned with
+  | None -> (static, static)
+  | Some l ->
+    let lf, lr =
+      match e.dir with
+      | `Fwd -> (l.lf_fwd, l.lr_fwd)
+      | `Bwd -> (l.lf_bwd, l.lr_bwd)
+    in
+    let trav = Option.value ~default:static lf in
+    (trav, Option.value ~default:trav lr)
+
 let estimate_detail t (p : Planner.plan) =
   let desc = p.Planner.derive_desc in
   let root = Mad.Mdesc.root desc in
@@ -136,7 +176,13 @@ let estimate_detail t (p : Planner.plan) =
   let roots =
     match p.Planner.root_pred with
     | None -> root_count
-    | Some q -> root_count *. selectivity t q
+    | Some q ->
+      let sel =
+        match Smap.find_opt (sel_key root q) t.learned_sel with
+        | Some s -> s
+        | None -> selectivity t q
+      in
+      root_count *. sel
   in
   (* sizes: expected atoms per molecule at each node; the root
      contributes exactly one *)
@@ -152,17 +198,11 @@ let estimate_detail t (p : Planner.plan) =
           List.map
             (fun (e : Mad.Mdesc.edge) ->
               let parent = Option.value ~default:0.0 (Smap.find_opt e.from_at !sizes) in
-              let st = Smap.find_opt e.link t.link_stats in
-              let fanout =
-                match (st, e.dir) with
-                | Some s, `Fwd -> s.fanout_fwd
-                | Some s, `Bwd -> s.fanout_bwd
-                | None, (`Fwd | `Bwd) -> 1.0
-              in
-              let reached = parent *. fanout in
-              links := !links +. reached;
-              node_links := !node_links +. reached;
-              reached)
+              let trav, reach = edge_factors t e in
+              let traversed = parent *. trav in
+              links := !links +. traversed;
+              node_links := !node_links +. traversed;
+              parent *. reach)
             (Mad.Mdesc.in_edges desc node)
         in
         let size =
@@ -192,6 +232,110 @@ let estimate_detail t (p : Planner.plan) =
   }
 
 let estimate t p = (estimate_detail t p).d_est
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive statistics: feeding recorded actuals back into the catalog *)
+
+type node_actual = {
+  na_node : string;
+  na_atoms : int;  (** atoms included at this node, over all molecules *)
+  na_links : int;  (** link traversals arriving at this node *)
+}
+
+(** The per-node actuals a registry-backed derivation recorded (the
+    ["derive.atoms"]/["derive.links"] counters of an [EXPLAIN ANALYZE]
+    or {!Profile} run). *)
+let actuals_of_registry reg desc =
+  List.map
+    (fun node ->
+      let labels = [ ("node", node) ] in
+      {
+        na_node = node;
+        na_atoms = Mad_obs.Registry.counter_value reg ~labels "derive.atoms";
+        na_links = Mad_obs.Registry.counter_value reg ~labels "derive.links";
+      })
+    (Mad.Mdesc.nodes desc)
+
+(** Refine the catalog with one plan's recorded actuals,
+    exponentially weighted: each learned factor moves [alpha] of the
+    way from its previous value (or the static estimate, on first
+    observation) toward the observed one, so repeated queries
+    converge geometrically while one outlier run cannot wreck the
+    catalog.  Learned per edge: traversal fanout (links per parent
+    atom) and distinct reach (atoms per parent atom); per root
+    predicate: observed selectivity.  Only nodes with a single
+    incoming edge teach fanouts — a diamond's aggregate counters
+    cannot be attributed to one edge. *)
+let refine_actuals ?(alpha = 0.5) t (p : Planner.plan) actuals =
+  let find node = List.find_opt (fun a -> String.equal a.na_node node) actuals in
+  let desc = p.Planner.derive_desc in
+  let root = Mad.Mdesc.root desc in
+  let blend prev obs = ((1.0 -. alpha) *. prev) +. (alpha *. obs) in
+  (* root selectivity: qualifying roots over the type's cardinality *)
+  let learned_sel =
+    match (p.Planner.root_pred, find root) with
+    | Some q, Some na ->
+      let root_count =
+        float_of_int
+          (Option.value ~default:0 (Smap.find_opt root t.atom_counts))
+      in
+      if root_count <= 0.0 then t.learned_sel
+      else begin
+        let k = sel_key root q in
+        let obs = float_of_int na.na_atoms /. root_count in
+        let prev =
+          match Smap.find_opt k t.learned_sel with
+          | Some s -> s
+          | None -> selectivity t q
+        in
+        Smap.add k (blend prev obs) t.learned_sel
+      end
+    | (None | Some _), _ -> t.learned_sel
+  in
+  (* per-link-type factors from single-in-edge nodes *)
+  let learned =
+    List.fold_left
+      (fun learned node ->
+        if String.equal node root then learned
+        else
+          match Mad.Mdesc.in_edges desc node with
+          | [ e ] -> begin
+            match (find e.Mad.Mdesc.from_at, find node) with
+            | Some pa, Some na when pa.na_atoms > 0 ->
+              let parent = float_of_int pa.na_atoms in
+              let obs_lf = float_of_int na.na_links /. parent in
+              let obs_lr = float_of_int na.na_atoms /. parent in
+              let static, _ = edge_factors t e in
+              let prior =
+                Option.value
+                  ~default:{ lf_fwd = None; lf_bwd = None; lr_fwd = None; lr_bwd = None }
+                  (Smap.find_opt e.Mad.Mdesc.link learned)
+              in
+              let upd prev obs =
+                Some (blend (Option.value ~default:static prev) obs)
+              in
+              let prior =
+                match e.Mad.Mdesc.dir with
+                | `Fwd ->
+                  { prior with
+                    lf_fwd = upd prior.lf_fwd obs_lf;
+                    lr_fwd = upd prior.lr_fwd obs_lr }
+                | `Bwd ->
+                  { prior with
+                    lf_bwd = upd prior.lf_bwd obs_lf;
+                    lr_bwd = upd prior.lr_bwd obs_lr }
+              in
+              Smap.add e.Mad.Mdesc.link prior learned
+            | _, _ -> learned
+          end
+          | _ -> learned)
+      t.learned (Mad.Mdesc.nodes desc)
+  in
+  { t with learned; learned_sel }
+
+(** {!refine_actuals} over the per-node counters a registry recorded. *)
+let refine ?alpha t (p : Planner.plan) reg =
+  refine_actuals ?alpha t p (actuals_of_registry reg p.Planner.derive_desc)
 
 (** EXPLAIN with cost estimates: the naive and optimized plans side by
     side. *)

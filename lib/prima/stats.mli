@@ -8,13 +8,27 @@ module Smap : Map.S with type key = string and type 'a t = 'a Map.Make(String).t
 
 type link_stat = { pairs : int; fanout_fwd : float; fanout_bwd : float }
 
+type learned_link = {
+  lf_fwd : float option;  (** link traversals per parent atom, forward *)
+  lf_bwd : float option;
+  lr_fwd : float option;  (** distinct atoms reached per parent atom *)
+  lr_bwd : float option;
+}
+(** Adaptive per-link-type factors learned by {!refine}: traversal
+    fanout and distinct reach, kept separately because subobject
+    sharing makes many traversals arrive at few distinct atoms. *)
+
 type t = {
   atom_counts : int Smap.t;
   distinct : int Smap.t;  (** "type.attr" -> distinct values *)
   link_stats : link_stat Smap.t;
+  learned : learned_link Smap.t;  (** link type -> refined factors *)
+  learned_sel : float Smap.t;  (** "root|pred" -> observed selectivity *)
 }
 
 val collect : Database.t -> t
+(** Static catalog statistics; the learned maps start empty. *)
+
 val selectivity : t -> Mad.Qual.t -> float
 
 type estimate = { est_roots : float; est_atoms : float; est_links : float }
@@ -32,6 +46,28 @@ type detail = { d_est : estimate; d_nodes : node_estimate list }
 
 val estimate_detail : t -> Planner.plan -> detail
 (** Like {!estimate} but keeping the per-node totals — the "estimated"
-    column of [EXPLAIN ANALYZE]. *)
+    column of [EXPLAIN ANALYZE].  Learned factors and selectivities
+    (from {!refine}) take precedence over the static catalog. *)
+
+type node_actual = {
+  na_node : string;
+  na_atoms : int;  (** atoms included at this node, over all molecules *)
+  na_links : int;  (** link traversals arriving at this node *)
+}
+
+val actuals_of_registry : Mad_obs.Registry.t -> Mad.Mdesc.t -> node_actual list
+(** The per-node ["derive.atoms"]/["derive.links"] counters a
+    registry-backed derivation recorded. *)
+
+val refine_actuals : ?alpha:float -> t -> Planner.plan -> node_actual list -> t
+(** Feed one plan's recorded actuals back into the catalog:
+    exponentially-weighted ([alpha], default 0.5) updates of
+    per-link-type traversal fanouts, distinct-reach factors, and the
+    root predicate's observed selectivity.  Repeated refinement on the
+    same workload converges the estimates onto the actuals. *)
+
+val refine : ?alpha:float -> t -> Planner.plan -> Mad_obs.Registry.t -> t
+(** {!refine_actuals} over {!actuals_of_registry} — the direct
+    feedback edge from an [EXPLAIN ANALYZE] run's registry. *)
 
 val explain_with_estimates : Database.t -> Planner.query -> string

@@ -68,6 +68,49 @@ let test_histogram () =
   check "median in second bucket" true
     (Metric.quantile h 0.5 <= 10.0 && Metric.quantile h 0.5 >= 1.0)
 
+let test_histogram_stats () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg ~bounds:[| 10.0; 20.0; 50.0 |] "lat" in
+  check "empty quantile is 0" true (Metric.quantile h 0.5 = 0.0);
+  check "empty min/max are 0" true
+    (Metric.min_value h = 0.0 && Metric.max_value h = 0.0);
+  List.iter (Metric.observe h) [ 5.0; 15.0; 15.0; 100.0 ];
+  check "min tracked" true (Metric.min_value h = 5.0);
+  check "max tracked" true (Metric.max_value h = 100.0);
+  check "sum tracked" true (h.Metric.sum = 135.0);
+  (* rank 2 of 4 lands mid-bucket (10, 20]: interpolates to exactly 15 *)
+  check "median interpolated" true
+    (abs_float (Metric.quantile h 0.5 -. 15.0) < 1e-9);
+  (* the top quantile reports the tracked maximum, not a bucket bound *)
+  check "p100 is the tracked max" true (Metric.quantile h 1.0 = 100.0);
+  check "quantiles clamped to min" true (Metric.quantile h 0.0 >= 5.0)
+
+let test_expose_golden () =
+  let reg = Registry.create () in
+  Metric.add (Registry.counter reg ~labels:[ ("node", "state") ] "derive.atoms") 3;
+  Metric.set (Registry.gauge reg "depth") 2.5;
+  Metric.add (Registry.counter reg ~labels:[ ("q", "a\"b") ] "esc") 1;
+  let h =
+    Registry.histogram reg
+      ~labels:[ ("op", "mql.statement") ]
+      ~bounds:[| 1.0; 10.0 |] "op.latency_us"
+  in
+  List.iter (Metric.observe h) [ 0.5; 5.0; 100.0 ];
+  check_str "prometheus text"
+    "# TYPE derive_atoms counter\n\
+     derive_atoms{node=\"state\"} 3\n\
+     # TYPE depth gauge\n\
+     depth 2.5\n\
+     # TYPE esc counter\n\
+     esc{q=\"a\\\"b\"} 1\n\
+     # TYPE op_latency_us histogram\n\
+     op_latency_us_bucket{op=\"mql.statement\",le=\"1\"} 1\n\
+     op_latency_us_bucket{op=\"mql.statement\",le=\"10\"} 2\n\
+     op_latency_us_bucket{op=\"mql.statement\",le=\"+Inf\"} 3\n\
+     op_latency_us_sum{op=\"mql.statement\"} 105.5\n\
+     op_latency_us_count{op=\"mql.statement\"} 3\n"
+    (Registry.expose reg)
+
 (* ------------------------------------------------------------------ *)
 (* Spans                                                                *)
 
@@ -133,6 +176,86 @@ let test_span_exception_safe () =
   Obs.with_span obs "next" (fun _ -> ());
   check_int "fresh root" 2 (List.length !spans);
   check_str "not nested under boom" "next" (List.hd !spans).Span.name
+
+(* ------------------------------------------------------------------ *)
+(* Span sampling                                                        *)
+
+let sampled_ctx ?slow_ms rate seed =
+  let spans = ref [] in
+  let sink =
+    { Sink.noop with Sink.emit_span = (fun sp -> spans := sp :: !spans) }
+  in
+  (Obs.create ~tracing:true ~sink ~sample:rate ?slow_ms ~seed (), spans)
+
+let run_roots obs n =
+  for i = 1 to n do
+    Obs.with_span obs (Printf.sprintf "s%d" i) (fun _ -> ())
+  done
+
+let kept spans = List.rev_map (fun (sp : Span.t) -> sp.Span.name) !spans
+
+let test_sampling_deterministic () =
+  let obs1, s1 = sampled_ctx 0.5 42 in
+  let obs2, s2 = sampled_ctx 0.5 42 in
+  run_roots obs1 40;
+  run_roots obs2 40;
+  let k1 = kept s1 and k2 = kept s2 in
+  check "same seed keeps the same roots" true (k1 = k2);
+  check "some kept" true (List.length k1 > 0);
+  check "some dropped" true (List.length k1 < 40);
+  let obs3, s3 = sampled_ctx 0.5 43 in
+  run_roots obs3 40;
+  check "a different seed draws differently" true (kept s3 <> k1)
+
+let test_sampling_always_keeps_errors_and_slow () =
+  let obs, spans = sampled_ctx 0.0 7 in
+  run_roots obs 10;
+  check_int "rate 0 drops everything" 0 (List.length !spans);
+  (* an errored root beats the coin flip *)
+  (try Obs.with_span obs "boom" (fun _ -> failwith "expected") with
+  | Failure _ -> ());
+  check_int "errored root still emitted" 1 (List.length !spans);
+  check_str "errored root" "boom" (List.hd !spans).Span.name;
+  (* and so does a root slower than the threshold: the fake clock makes
+     every span take ~20 ms against a 10 ms threshold *)
+  with_fake_clock 0.02 @@ fun () ->
+  let obs, spans = sampled_ctx ~slow_ms:10.0 0.0 7 in
+  Obs.with_span obs "slow" (fun _ -> ());
+  check_int "slow root emitted" 1 (List.length !spans)
+
+let test_sampling_metrics_stay_exact () =
+  let obs, spans = sampled_ctx 0.0 7 in
+  for _ = 1 to 5 do
+    Obs.timed obs "work" (fun _ -> ())
+  done;
+  check_int "all spans dropped" 0 (List.length !spans);
+  match
+    Registry.find (Obs.registry obs) ~labels:[ ("op", "work") ] "op.latency_us"
+  with
+  | Some (Metric.Histogram h) ->
+    check_int "histogram counted every run" 5 h.Metric.n
+  | _ -> Alcotest.fail "op.latency_us{op=work} histogram missing"
+
+let test_timed_without_tracing () =
+  let obs = Obs.create ~tracing:false () in
+  let v =
+    Obs.timed obs "op.x" (fun sp ->
+        check "timed hands out the noop span" true (sp == Span.none);
+        7)
+  in
+  check_int "value returned" 7 v;
+  (match
+     Registry.find (Obs.registry obs) ~labels:[ ("op", "op.x") ] "op.latency_us"
+   with
+  | Some (Metric.Histogram h) -> check_int "latency recorded" 1 h.Metric.n
+  | _ -> Alcotest.fail "op.latency_us{op=op.x} histogram missing");
+  (* only the shared noop context skips the record entirely *)
+  ignore (Obs.timed Obs.noop "noop.probe" (fun _ -> ()));
+  check "noop context records nothing" true
+    (Registry.find (Obs.registry Obs.noop)
+       ~labels:[ ("op", "noop.probe") ]
+       "op.latency_us"
+    = None)
 
 (* ------------------------------------------------------------------ *)
 (* JSON sink round-trip                                                 *)
@@ -244,6 +367,42 @@ let test_explain_analyze_via_session () =
   in
   check "plain explain shows algebra" true (has_substr explained "root state")
 
+let has_substr s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* the full loop at the session layer: per-statement latency histograms
+   land in the session's registry, repeated EXPLAIN ANALYZE runs refine
+   the adaptive catalog, and both the report and the registry expose it *)
+let test_adaptive_session () =
+  Prima.Adaptive.install ();
+  let _, db = brazil () in
+  let obs = Obs.create ~tracing:true () in
+  let session = Mad_mql.Session.create ~obs db in
+  ignore (Mad_mql.Session.run_to_string session "SELECT ALL FROM state-area;");
+  (match
+     Registry.find (Obs.registry obs)
+       ~labels:[ ("op", "mql.statement") ]
+       "op.latency_us"
+   with
+  | Some (Metric.Histogram h) ->
+    check "statement latency recorded" true (h.Metric.n >= 1)
+  | _ -> Alcotest.fail "op.latency_us{op=mql.statement} missing");
+  check "exposition carries the latency histogram" true
+    (has_substr (Registry.expose (Obs.registry obs)) "op_latency_us_bucket");
+  let stmt = "EXPLAIN ANALYZE SELECT ALL FROM state-area-edge-point;" in
+  let r1 = Mad_mql.Session.run_to_string session stmt in
+  let r2 = Mad_mql.Session.run_to_string session stmt in
+  check "adaptive section present" true (has_substr r1 "adaptive:");
+  check "refinements counted across runs" true (has_substr r2 "2 run(s)");
+  (match session.Mad_mql.Session.ext with
+  | Some (Prima.Adaptive.Adaptive st) ->
+    check_int "two refinements recorded" 2 st.Prima.Adaptive.refinements
+  | _ -> Alcotest.fail "adaptive state missing from session");
+  check "drift report renders" true
+    (has_substr (Prima.Adaptive.report session) "refinement")
+
 let suite =
   [
     Alcotest.test_case "registry get-or-create" `Quick test_registry_get_or_create;
@@ -251,6 +410,17 @@ let suite =
     Alcotest.test_case "registry kind clash" `Quick test_registry_kind_clash;
     Alcotest.test_case "registry reset" `Quick test_registry_reset;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram stats and quantiles" `Quick
+      test_histogram_stats;
+    Alcotest.test_case "prometheus exposition" `Quick test_expose_golden;
+    Alcotest.test_case "sampling is deterministic" `Quick
+      test_sampling_deterministic;
+    Alcotest.test_case "sampling keeps errors and slow roots" `Quick
+      test_sampling_always_keeps_errors_and_slow;
+    Alcotest.test_case "sampling leaves metrics exact" `Quick
+      test_sampling_metrics_stay_exact;
+    Alcotest.test_case "timed without tracing" `Quick
+      test_timed_without_tracing;
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "span noop" `Quick test_span_noop;
     Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
@@ -259,4 +429,5 @@ let suite =
       test_profile_actuals_match_ground_truth;
     Alcotest.test_case "explain analyze via session" `Quick
       test_explain_analyze_via_session;
+    Alcotest.test_case "adaptive session loop" `Quick test_adaptive_session;
   ]

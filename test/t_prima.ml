@@ -168,6 +168,69 @@ let test_estimates_track_counters () =
     (within_10x opt_est.Prima.Stats.est_links
        optimized.X.counters.AI.links_followed)
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive statistics: refining with recorded actuals closes the gap   *)
+
+(* one EXPLAIN ANALYZE / refine round trip on [q]: the estimate error
+   of the refined catalog must be strictly below the static catalog's *)
+let refine_shrinks_error db q =
+  let stats0 = Prima.Stats.collect db in
+  let r0 = Prima.Profile.analyze ~stats:stats0 db q in
+  let e0 = Prima.Profile.error r0 in
+  check "static catalog has error to close" true (e0 > 0.0);
+  let stats1 = Prima.Profile.refine stats0 r0 in
+  let r1 = Prima.Profile.analyze ~stats:stats1 db q in
+  let e1 = Prima.Profile.error r1 in
+  check
+    (Printf.sprintf "refined error %.2f < static %.2f" e1 e0)
+    true (e1 < e0)
+
+let test_refine_brazil () =
+  let b, db = brazil () in
+  refine_shrinks_error db
+    {
+      P.name = "brazil";
+      desc = Geo_brazil.mt_state_desc b;
+      where = None;
+      select = None;
+    }
+
+let test_refine_geo_grid () =
+  let g = Geo_gen.build Geo_gen.default in
+  let db = g.Geo_grid.db in
+  refine_shrinks_error db
+    {
+      P.name = "geo";
+      desc = Geo_schema.mt_state_desc db;
+      where = None;
+      select = None;
+    }
+
+(* refinement converges: repeating the same query stops drifting — the
+   second refined round is no worse than the first, and drift entries
+   over the default factor disappear once the catalog has learned *)
+let test_refine_converges () =
+  let b, db = brazil () in
+  let q =
+    {
+      P.name = "q";
+      desc = Geo_brazil.mt_state_desc b;
+      where = None;
+      select = None;
+    }
+  in
+  let stats0 = Prima.Stats.collect db in
+  let r0 = Prima.Profile.analyze ~stats:stats0 db q in
+  let stats1 = Prima.Profile.refine stats0 r0 in
+  let r1 = Prima.Profile.analyze ~stats:stats1 db q in
+  let stats2 = Prima.Profile.refine stats1 r1 in
+  let r2 = Prima.Profile.analyze ~stats:stats2 db q in
+  check "second round no worse" true
+    (Prima.Profile.error r2 <= Prima.Profile.error r1);
+  check "learned catalog under drift factor" true
+    (List.length (Prima.Profile.drift r2)
+    <= List.length (Prima.Profile.drift r0))
+
 let test_explain_mentions_rewrites () =
   let b, _ = brazil () in
   let text = X.explain (q2 b) in
@@ -196,4 +259,9 @@ let suite =
     Alcotest.test_case "selectivity rules" `Quick test_selectivity_rules;
     Alcotest.test_case "estimates track counters" `Quick
       test_estimates_track_counters;
+    Alcotest.test_case "refine shrinks error (brazil)" `Quick
+      test_refine_brazil;
+    Alcotest.test_case "refine shrinks error (geo grid)" `Quick
+      test_refine_geo_grid;
+    Alcotest.test_case "refine converges" `Quick test_refine_converges;
   ]
