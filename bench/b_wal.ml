@@ -1,0 +1,107 @@
+(* WAL — durability engine costs: append throughput with and without
+   an fsync per record, group commit, snapshot rolling, and recovery
+   time as a function of log length. *)
+
+module Table = Mad_store.Table
+open Mad_store
+open Mad_durable
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ()) ("b_wal_" ^ name)
+
+(* a representative record: one insert op, encoded exactly as the
+   journal would *)
+let sample_payload () =
+  let db = Harness.seed_db () in
+  let payload = ref "" in
+  Database.set_journal db (Some (fun op -> payload := Logrec.encode op));
+  ignore
+    (Database.insert_atom db ~atype:"part"
+       [ Value.String "bench part"; Value.Int 42; Value.List [ Value.Int 7 ] ]);
+  Database.set_journal db None;
+  !payload
+
+let run () =
+  Bench_util.section "WAL - durability engine";
+
+  let payload = sample_payload () in
+  Format.printf "record payload: %d bytes (+%d framing)@."
+    (String.length payload) Wal.header_bytes;
+
+  (* --- append throughput ------------------------------------------- *)
+  let dir = tmp "append" in
+  Harness.rm_rf dir;
+  Unix.mkdir dir 0o755;
+  let bench_writer name ~sync f =
+    let path = Filename.concat dir (name ^ ".log") in
+    let w = Wal.create ~sync ~truncate:true path in
+    let ns = Bench_util.time_ns ("wal/" ^ name) (fun () -> f w) in
+    Wal.close w;
+    ns
+  in
+  let t = Table.create [ "variant"; "cost" ] in
+  let buffered =
+    bench_writer "append" ~sync:false (fun w -> Wal.append w payload)
+  in
+  Table.add_row t [ "append (buffered)"; Bench_util.pp_ns buffered ];
+  let group =
+    bench_writer "append-commit-10" ~sync:false (fun w ->
+        for _ = 1 to 10 do
+          Wal.append w payload
+        done;
+        Wal.fsync w)
+  in
+  Table.add_row t
+    [ "10 appends + group commit"; Bench_util.pp_ns group ];
+  let synced =
+    bench_writer "append-fsync" ~sync:true (fun w -> Wal.append w payload)
+  in
+  Table.add_row t [ "append (fsync each)"; Bench_util.pp_ns synced ];
+  Table.print t;
+  Format.printf "fsync-per-record over buffered: %s@."
+    (Bench_util.ratio synced buffered);
+
+  (* --- recovery time vs. log length --------------------------------- *)
+  Bench_util.subsection "recovery (snapshot + replay)";
+  let t = Table.create [ "log records"; "recovery" ] in
+  List.iter
+    (fun n ->
+      let rdir = tmp (Printf.sprintf "recover-%d" n) in
+      Harness.rm_rf rdir;
+      let h = Durable.open_or_seed ~seed:Harness.seed_db rdir in
+      for i = 1 to n do
+        ignore
+          (Database.insert_atom (Durable.db h) ~atype:"part"
+             [
+               Value.String (Printf.sprintf "p%d" i);
+               Value.Int i;
+               Value.List [];
+             ])
+      done;
+      Durable.close h;
+      let ns =
+        Bench_util.time_ns
+          (Printf.sprintf "wal/recover-%d" n)
+          (fun () -> Durable.close (Durable.open_dir rdir))
+      in
+      Table.add_row t [ string_of_int n; Bench_util.pp_ns ns ];
+      Harness.rm_rf rdir)
+    [ 0; 100; 1000 ];
+  Table.print t;
+
+  (* --- snapshot roll ------------------------------------------------ *)
+  let sdir = tmp "snapshot" in
+  Harness.rm_rf sdir;
+  let h = Durable.open_or_seed ~seed:Harness.seed_db sdir in
+  let ns =
+    Bench_util.time_ns "wal/snapshot" (fun () ->
+        ignore
+          (Database.insert_atom (Durable.db h) ~atype:"part"
+             [ Value.String "s"; Value.Int 1; Value.List [] ]);
+        Durable.snapshot h)
+  in
+  Format.printf "snapshot roll (write + fsync + rename + truncate): %s@."
+    (Bench_util.pp_ns ns);
+  Durable.close h;
+  Harness.rm_rf sdir;
+  Harness.rm_rf dir

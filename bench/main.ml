@@ -19,6 +19,7 @@ let experiments =
     ("share", B_share.run);
     ("clos", B_clos.run);
     ("clust", B_clust.run);
+    ("wal", B_wal.run);
   ]
 
 let () =

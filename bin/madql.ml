@@ -5,7 +5,12 @@
      query    evaluate one MOL statement
      explain  show the algebra plan and PRIMA's optimized plan
      schema   print the schema (MAD diagram) or the formal Fig. 4 view
-     dot      emit Graphviz for the schema or the atom networks *)
+     dot      emit Graphviz for the schema or the atom networks
+     recovery run the crash-recovery fault-injection suite
+
+   repl, query, explain and script take --data DIR to run against a
+   durable store (snapshot + write-ahead log) instead of a transient
+   in-memory database. *)
 
 open Mad_store
 open Cmdliner
@@ -39,14 +44,60 @@ let handle f =
     1
 
 (* ------------------------------------------------------------------ *)
+(* Durable sessions                                                     *)
+
+let data_arg =
+  let doc =
+    "Durable data directory: open (or create, seeded from $(b,--db)) a \
+     snapshot + write-ahead-log store.  Manipulation statements are \
+     journaled and group-committed at each statement boundary, and the \
+     learned statistics catalog persists beside the log as stats.mad."
+  in
+  Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~doc)
+
+(** Run [f session durable] against either a transient session over a
+    built-in database or, with [--data], a durable one: recovery on
+    open, statement-level group commit, and the adaptive catalog
+    loaded from (and saved back to) the directory's [stats.mad]. *)
+let with_session ?obs db_name data f =
+  match data with
+  | None -> f (Mad_mql.Session.create ?obs (load_db db_name)) None
+  | Some dirname ->
+    let h =
+      Mad_durable.Durable.open_or_seed ?obs ~snapshot_every:1000
+        ~seed:(fun () -> load_db db_name)
+        dirname
+    in
+    Fun.protect
+      ~finally:(fun () -> Mad_durable.Durable.close h)
+      (fun () ->
+        let session = Mad_mql.Session.create ?obs (Mad_durable.Durable.db h) in
+        session.Mad_mql.Session.on_commit <-
+          Some (fun () -> Mad_durable.Durable.commit h);
+        ignore
+          (Prima.Adaptive.load_session session (Mad_durable.Durable.stats_path h));
+        Fun.protect
+          ~finally:(fun () ->
+            ignore
+              (Prima.Adaptive.save_session session
+                 (Mad_durable.Durable.stats_path h)))
+          (fun () -> f session (Some h)))
+
+(* ------------------------------------------------------------------ *)
 (* repl                                                                 *)
 
-let repl db_name =
+let repl db_name data =
   handle @@ fun () ->
-  let db = load_db db_name in
-  let session = Mad_mql.Session.create db in
-  Format.printf "madql: %s loaded (%a)@." db_name Database.pp_summary db;
-  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :drift :explain <stmt>@.";
+  with_session db_name data @@ fun session durable ->
+  let db = session.Mad_mql.Session.db in
+  (match durable with
+   | None -> Format.printf "madql: %s loaded (%a)@." db_name Database.pp_summary db
+   | Some h ->
+     Format.printf "madql: %s durable in %s (%a; %a)@." db_name
+       (Mad_durable.Durable.dir h) Database.pp_summary db
+       Mad_durable.Durable.pp_recovery
+       (Mad_durable.Durable.recovery h));
+  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :drift :save :explain <stmt>@.";
   let buf = Buffer.create 256 in
   let rec loop () =
     if Buffer.length buf = 0 then print_string "MOL> " else print_string "...> ";
@@ -86,6 +137,19 @@ let repl db_name =
         Format.printf "%s@." (Prima.Adaptive.report session);
         loop ()
       end
+      else if String.equal trimmed ":save" then begin
+        (match durable with
+         | None -> Format.printf "not a durable session (run with --data DIR)@."
+         | Some h ->
+           Mad_durable.Durable.snapshot h;
+           let stats_saved =
+             Prima.Adaptive.save_session session (Mad_durable.Durable.stats_path h)
+           in
+           Format.printf "snapshot rolled in %s%s@."
+             (Mad_durable.Durable.dir h)
+             (if stats_saved then " (learned catalog saved)" else ""));
+        loop ()
+      end
       else if String.length trimmed >= 9 && String.sub trimmed 0 9 = ":explain " then begin
         let stmt = String.sub trimmed 9 (String.length trimmed - 9) in
         (try Format.printf "%s@." (Mad_mql.Session.explain session stmt)
@@ -108,7 +172,7 @@ let repl db_name =
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive MOL session")
-    Term.(const repl $ db_arg)
+    Term.(const repl $ db_arg $ data_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query / explain                                                      *)
@@ -141,10 +205,9 @@ let profile_report session fmt stmt =
   | other, _ ->
     Err.failf "unknown profile format %s (expected pretty or json)" other
 
-let query db_name profile stmt =
+let query db_name data profile stmt =
   handle @@ fun () ->
-  let db = load_db db_name in
-  let session = Mad_mql.Session.create db in
+  with_session db_name data @@ fun session _durable ->
   print_string (Mad_mql.Session.run_to_string session stmt);
   match profile with
   | None -> ()
@@ -152,7 +215,7 @@ let query db_name profile stmt =
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Evaluate one MOL statement")
-    Term.(const query $ db_arg $ profile_arg $ stmt_arg)
+    Term.(const query $ db_arg $ data_arg $ profile_arg $ stmt_arg)
 
 let analyze_arg =
   Arg.(
@@ -162,10 +225,10 @@ let analyze_arg =
           "Execute the statement and report estimated vs. actual roots, \
            atoms and links per plan node (EXPLAIN ANALYZE).")
 
-let explain db_name analyze stmt =
+let explain db_name data analyze stmt =
   handle @@ fun () ->
-  let db = load_db db_name in
-  let session = Mad_mql.Session.create db in
+  with_session db_name data @@ fun session _durable ->
+  let db = session.Mad_mql.Session.db in
   if analyze then
     Format.printf "%s@."
       (Prima.Profile.analyze_stmt session (Mad_mql.Session.parse session stmt))
@@ -180,7 +243,7 @@ let explain db_name analyze stmt =
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Show the algebra and PRIMA plans")
-    Term.(const explain $ db_arg $ analyze_arg $ stmt_arg)
+    Term.(const explain $ db_arg $ data_arg $ analyze_arg $ stmt_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schema / dot                                                         *)
@@ -246,10 +309,9 @@ let split_statements src =
   go 0 false;
   List.rev !out
 
-let script db_name path =
+let script db_name data path =
   handle @@ fun () ->
-  let db = load_db db_name in
-  let session = Mad_mql.Session.create db in
+  with_session db_name data @@ fun session _durable ->
   let src =
     let ic = open_in path in
     Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
@@ -266,7 +328,7 @@ let script_path_arg =
 
 let script_cmd =
   Cmd.v (Cmd.info "script" ~doc:"Execute a file of MOL statements")
-    Term.(const script $ db_arg $ script_path_arg)
+    Term.(const script $ db_arg $ data_arg $ script_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats — run statements, expose the session registry                  *)
@@ -320,6 +382,85 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Dump a database as a .mad text file")
     Term.(const dump $ db_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* recovery — the fault-injection suite (CI's recovery-smoke job)       *)
+
+let recovery_report_json (r : Mad_durable.Harness.report) =
+  Mad_obs.Json.(
+    Obj
+      [
+        ("seed", Num (float_of_int r.Mad_durable.Harness.seed));
+        ("ops", Num (float_of_int r.ops));
+        ("records", Num (float_of_int r.records));
+        ("scenarios", Num (float_of_int r.scenarios));
+        ("torn_recoveries", Num (float_of_int r.torn_recoveries));
+        ("converged", Bool (Mad_durable.Harness.converged r));
+        ("failures", List (List.map (fun f -> Str f) r.failures));
+      ])
+
+let recovery seed ops dir report_file =
+  handle @@ fun () ->
+  let dir, cleanup =
+    match dir with
+    | Some d -> (d, false)
+    | None ->
+      ( Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "madql-recovery-seed%d" seed),
+        true )
+  in
+  let r = Mad_durable.Harness.run ~seed ~ops ~dir () in
+  if cleanup then Mad_durable.Harness.rm_rf dir;
+  Format.printf "%a@." Mad_durable.Harness.pp_report r;
+  (match report_file with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (Mad_obs.Json.to_string (recovery_report_json r));
+         output_char oc '\n');
+     Format.printf "report written to %s@." path);
+  if not (Mad_durable.Harness.converged r) then
+    Err.failf "recovery diverged in %d scenario(s)"
+      (List.length r.Mad_durable.Harness.failures)
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N" ~doc:"Workload seed (one suite per seed).")
+
+let ops_arg =
+  Arg.(
+    value & opt int 60
+    & info [ "ops" ] ~docv:"N" ~doc:"DML decisions in the workload.")
+
+let dir_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Run the scenarios under $(docv) and keep them (default: a \
+           throwaway directory under the system temp dir).")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+
+let recovery_cmd =
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:
+         "Run the crash-recovery fault-injection suite: a seeded DML \
+          workload killed (process death and torn final record) at every \
+          WAL record boundary, with recovery convergence asserted at each \
+          crash point.  Exits non-zero on any divergence.")
+    Term.(const recovery $ seed_arg $ ops_arg $ dir_opt_arg $ report_arg)
+
 let () =
   (* route the session layer's EXPLAIN ANALYZE to the learning PRIMA
      profiler: estimates come from (and actuals feed back into) each
@@ -334,5 +475,5 @@ let () =
        (Cmd.group info
           [
             repl_cmd; query_cmd; explain_cmd; schema_cmd; dot_cmd; dump_cmd;
-            script_cmd; stats_cmd;
+            script_cmd; stats_cmd; recovery_cmd;
           ]))

@@ -110,8 +110,6 @@ let modify_attribute db ~node ~attr value (molecules : Molecule.t list) =
       Aid.Set.empty molecules
   in
   Aid.Set.iter
-    (fun id ->
-      let a = Database.get_atom db ~atype:node id in
-      a.Atom.values.(i) <- value)
+    (fun id -> Database.set_attribute db ~atype:node id ~index:i value)
     targets;
   Aid.Set.cardinal targets

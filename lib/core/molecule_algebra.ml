@@ -236,6 +236,10 @@ let product ?(obs = Mad_obs.Obs.noop) ?stats ?name db (mt1 : Molecule_type.t)
   op_span obs stats "product" ~name
     ~in_count:(List.length mt1.occ + List.length mt2.occ)
   @@ fun () ->
+  (* the synthetic pair root and its link types are enlarged-database
+     scratch, like everything [Propagate.prop] builds: keep them out of
+     any journal the database carries *)
+  Database.unjournaled db @@ fun () ->
   let p1 =
     Propagate.prop ?stats db ~name:(name ^ ".1") ~desc:mt1.desc
       ~attr_proj:mt1.attr_proj mt1.occ

@@ -212,8 +212,14 @@ let cleanup db node_map link_map =
 
 (** The propagation function of Def. 9.  [strategy] defaults to
     [`Auto]: try shared propagation, verify exactness, fall back to
-    per-molecule copies if the bijection fails. *)
+    per-molecule copies if the bijection fails.
+
+    Everything materialized here is the {e enlarged database} — scratch
+    result types a query rebuilds on demand — so the whole propagation
+    runs with the journal detached: derived types never reach a
+    write-ahead log. *)
 let prop ?stats ?(strategy = `Auto) db ~name ~desc ~attr_proj occ =
+  Database.unjournaled db @@ fun () ->
   let shared () = propagate_shared db ~name ~desc ~attr_proj occ in
   let copied () = propagate_copied db ~name ~desc ~attr_proj occ in
   let node_map, link_map, atom_map, mdesc, mocc, used =

@@ -1,0 +1,72 @@
+(** Fault injection for the write-ahead log.
+
+    A plan arms one failure at a chosen point in the append sequence:
+    the first [after] appends succeed, the next one misbehaves.  Three
+    behaviours cover the failure modes a log must survive:
+
+    - [Fail_append]: the write fails cleanly (ENOSPC-style) — nothing
+      reaches the file, the caller gets an {!Mad_store.Err.Mad_error},
+      the process lives on and later appends succeed.
+    - [Short_write]: a random prefix of the framed record reaches the
+      file, then the process dies — the torn-record case recovery must
+      skip.
+    - [Crash_after]: the process dies between appends — the log ends
+      on a record boundary.
+
+    Simulated death is the {!Crash} exception: the harness catches it
+    where a real deployment would re-exec, then re-opens the data
+    directory.  The prefix length of a short write is drawn from an
+    RNG seeded with [seed], so every run of a seeded plan tears the
+    log at the same byte. *)
+
+exception Crash of string
+(** Simulated process death.  Deliberately not an
+    [Mad_store.Err.Mad_error]: nothing in the engine catches it. *)
+
+type action =
+  | Fail_append  (** clean write failure, process survives *)
+  | Short_write  (** partial record hits the disk, then death *)
+  | Crash_after  (** death on a record boundary *)
+
+type t = {
+  action : action;
+  after : int;  (** appends that succeed before the fault fires *)
+  rng : Random.State.t;
+  mutable appends : int;  (** records fully written so far *)
+  mutable fired : bool;
+  mutable dead : bool;
+}
+
+let create ?(seed = 0) ~after action =
+  {
+    action;
+    after;
+    rng = Random.State.make [| seed; after |];
+    appends = 0;
+    fired = false;
+    dead = false;
+  }
+
+let durable_appends t = t.appends
+let fired t = t.fired
+
+(** Decide the fate of the next append of a [len]-byte framed record.
+    Called by the log writer before touching the file. *)
+let next t ~len =
+  if t.dead then `Crash
+  else if (not t.fired) && t.appends >= t.after then begin
+    t.fired <- true;
+    match t.action with
+    | Fail_append -> `Fail
+    | Short_write ->
+      t.dead <- true;
+      (* 0..len-1 bytes land: anything from nothing to all-but-one *)
+      `Short (Random.State.int t.rng (max 1 len))
+    | Crash_after ->
+      t.dead <- true;
+      `Crash
+  end
+  else `Write
+
+(** Notify that a record was fully written. *)
+let wrote t = t.appends <- t.appends + 1

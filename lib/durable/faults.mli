@@ -1,0 +1,34 @@
+(** Fault injection for the write-ahead log: a seeded plan that makes
+    one append fail cleanly ([Fail_append]), tear ([Short_write]) or
+    die between records ([Crash_after]).  Simulated process death is
+    the {!Crash} exception; the crash-recovery harness catches it and
+    re-opens the data directory, as a supervisor would re-exec. *)
+
+exception Crash of string
+(** Simulated process death; deliberately not an [Err.Mad_error]. *)
+
+type action =
+  | Fail_append  (** clean write failure, process survives *)
+  | Short_write  (** partial record hits the disk, then death *)
+  | Crash_after  (** death on a record boundary *)
+
+type t
+
+val create : ?seed:int -> after:int -> action -> t
+(** A plan whose fault fires on the append following [after]
+    successful ones.  [seed] (default 0) fixes the short-write tear
+    point, making every run byte-identical. *)
+
+val durable_appends : t -> int
+(** Records fully written under this plan — what recovery must
+    replay. *)
+
+val fired : t -> bool
+
+(** {1 Writer-side hooks} (used by {!Wal}) *)
+
+val next : t -> len:int -> [ `Write | `Fail | `Short of int | `Crash ]
+(** Fate of the next append of a [len]-byte framed record. *)
+
+val wrote : t -> unit
+(** Notify that a record was fully written. *)

@@ -1,0 +1,256 @@
+(** The crash-recovery harness: random DML interleaved with simulated
+    crashes, with a convergence check at every crash point.
+
+    The workload is a seeded list of abstract DML decisions
+    ({!wop}) over a small self-contained schema.  Decisions name their
+    targets by {e rank} (the k-th atom of a type, the k-th pair of a
+    link type), not by identity, so the same list replays identically
+    against any database in the same state — which is what lets one
+    dry run predict the exact WAL record sequence every faulted run
+    must produce a prefix of.
+
+    {!run} then exercises every crash point: for each [n] in
+    [0..records] it re-runs the workload against a fresh data
+    directory armed with a fault plan ([Crash_after] and [Short_write]
+    alternatives both), catches the simulated death, re-opens the
+    directory, and asserts that the recovered database (a) passes
+    {!Integrity} (enforced by [open_dir] itself) and (b) equals the
+    straight-line reference state after exactly [n] journal records —
+    byte-for-byte, via [Serialize.dump].  One extra scenario per seed
+    runs crash-free and must converge on the full final state. *)
+
+open Mad_store
+
+(* --- the self-contained workload schema ----------------------------- *)
+
+(** Boxes hold parts (n:m); [next] chains parts 1:1 (cardinality
+    rejections are part of the workload: a rejected op must journal
+    nothing). *)
+let seed_db () =
+  let db = Database.create () in
+  ignore
+    (Database.declare_atom_type db "part"
+       [
+         Schema.Attr.v "name" Domain.String;
+         Schema.Attr.v "weight" Domain.Int;
+         Schema.Attr.v "tags" (Domain.List_of Domain.Int);
+       ]);
+  ignore
+    (Database.declare_atom_type db "box"
+       [
+         Schema.Attr.v "label" (Domain.Enum [ "s"; "m"; "l" ]);
+         Schema.Attr.v "cap" Domain.Int;
+       ]);
+  ignore (Database.declare_link_type db "in" ("box", "part"));
+  ignore
+    (Database.declare_link_type db ~card:(Some 1, Some 1) "next"
+       ("part", "part"));
+  let parts =
+    List.init 10 (fun i ->
+        (Database.insert_atom db ~atype:"part"
+           [
+             Value.String (Printf.sprintf "p%d" i);
+             Value.Int (i * 3);
+             Value.List [ Value.Int i ];
+           ])
+          .Atom.id)
+  in
+  let boxes =
+    List.init 4 (fun i ->
+        (Database.insert_atom db ~atype:"box"
+           [ Value.String [| "s"; "m"; "l" |].(i mod 3); Value.Int (10 + i) ])
+          .Atom.id)
+  in
+  List.iteri
+    (fun i p ->
+      Database.add_link db "in" ~left:(List.nth boxes (i mod 4)) ~right:p)
+    parts;
+  db
+
+(* --- abstract DML decisions ------------------------------------------ *)
+
+type wop =
+  | W_insert of string * Value.t list
+  | W_delete of string * int  (** rank into the type's occurrence *)
+  | W_link of string * int * int  (** ranks into the two end types *)
+  | W_unlink of string * int  (** rank into the link type's pairs *)
+  | W_set of string * int * int * Value.t  (** type, atom rank, attr index *)
+
+let nth_id db atype rank =
+  let ids = Aid.Set.elements (Database.atom_ids db atype) in
+  match ids with [] -> None | _ -> Some (List.nth ids (rank mod List.length ids))
+
+(** Apply one decision; rejected operations (cardinality overflow) are
+    skipped, exactly as an interactive session would report-and-go-on.
+    Returns [true] if the op was attempted against the store. *)
+let apply_wop db = function
+  | W_insert (atype, values) ->
+    ignore (Database.insert_atom db ~atype values);
+    true
+  | W_delete (atype, rank) -> begin
+    match nth_id db atype rank with
+    | None -> false
+    | Some id ->
+      Database.delete_atom db id;
+      true
+  end
+  | W_link (lt, rl, rr) -> begin
+    let e1, e2 = (Database.link_type db lt).Schema.Link_type.ends in
+    match (nth_id db e1 rl, nth_id db e2 rr) with
+    | Some l, Some r when not (Aid.equal l r) ->
+      (try Database.add_link db lt ~left:l ~right:r
+       with Err.Mad_error _ -> () (* cardinality rejection *));
+      true
+    | _ -> false
+  end
+  | W_unlink (lt, rank) -> begin
+    match Database.links db lt with
+    | [] -> false
+    | pairs ->
+      let l, r = List.nth pairs (rank mod List.length pairs) in
+      Database.remove_link db lt ~left:l ~right:r;
+      true
+  end
+  | W_set (atype, rank, index, value) -> begin
+    match nth_id db atype rank with
+    | None -> false
+    | Some id ->
+      Database.set_attribute db ~atype id ~index value;
+      true
+  end
+
+let gen_ops rng n =
+  List.init n (fun i ->
+      let rank () = Random.State.int rng 1000 in
+      match Random.State.int rng 100 with
+      | k when k < 30 ->
+        if Random.State.bool rng then
+          W_insert
+            ( "part",
+              [
+                Value.String (Printf.sprintf "n%d" i);
+                Value.Int (Random.State.int rng 50);
+                Value.List [ Value.Int i ];
+              ] )
+        else
+          W_insert
+            ( "box",
+              [
+                Value.String [| "s"; "m"; "l" |].(Random.State.int rng 3);
+                Value.Int (Random.State.int rng 30);
+              ] )
+      | k when k < 60 ->
+        W_link
+          ((if Random.State.bool rng then "in" else "next"), rank (), rank ())
+      | k when k < 75 ->
+        if Random.State.bool rng then
+          W_set ("part", rank (), 1, Value.Int (Random.State.int rng 99))
+        else
+          W_set
+            ("box", rank (), 0,
+             Value.String [| "s"; "m"; "l" |].(Random.State.int rng 3))
+      | k when k < 88 ->
+        W_unlink ((if Random.State.bool rng then "in" else "next"), rank ())
+      | _ ->
+        W_delete ((if Random.State.bool rng then "part" else "box"), rank ()))
+
+(* --- the suite ------------------------------------------------------- *)
+
+type report = {
+  seed : int;
+  ops : int;  (** workload decisions generated *)
+  records : int;  (** WAL records the straight-line run produces *)
+  scenarios : int;  (** recovery scenarios exercised *)
+  torn_recoveries : int;  (** scenarios that recovered past a torn tail *)
+  failures : string list;  (** divergence descriptions; [] = converged *)
+}
+
+let converged r = r.failures = []
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>crash-recovery: seed %d, %d op(s) -> %d record(s), %d scenario(s), \
+     %d torn recover(ies): %s@,%a@]"
+    r.seed r.ops r.records r.scenarios r.torn_recoveries
+    (if converged r then "converged" else "DIVERGED")
+    Fmt.(list ~sep:(any "@,") string)
+    r.failures
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(** Run the suite in (a subdirectory per scenario of) [dir], which is
+    created and cleaned as needed. *)
+let run ?(seed = 0) ?(ops = 60) ~dir () =
+  let wops = gen_ops (Random.State.make [| seed |]) ops in
+  (* dry run: the straight-line record sequence and, per prefix
+     length, the reference state a crash at that point must recover *)
+  let records = ref [] in
+  let dry = seed_db () in
+  Database.set_journal dry
+    (Some (fun op -> records := Logrec.encode op :: !records));
+  List.iter (fun w -> ignore (apply_wop dry w)) wops;
+  Database.set_journal dry None;
+  let records = List.rev !records in
+  let n_records = List.length records in
+  let reference = Array.make (n_records + 1) "" in
+  let ref_db = seed_db () in
+  List.iteri
+    (fun i payload ->
+      reference.(i) <- Serialize.dump ref_db;
+      Logrec.apply ref_db (Logrec.decode ~recno:(i + 1) payload))
+    records;
+  reference.(n_records) <- Serialize.dump ref_db;
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+  let scenarios = ref 0 in
+  let torn_recoveries = ref 0 in
+  let scenario ~label ~crash_at faults =
+    incr scenarios;
+    let sdir = Filename.concat dir label in
+    rm_rf sdir;
+    let h = Durable.open_dir ?faults ~seed:(seed_db ()) sdir in
+    (match
+       List.iter (fun w -> ignore (apply_wop (Durable.db h) w)) wops
+     with
+     | () -> Durable.close h
+     | exception Faults.Crash _ -> () (* simulated death: no close *));
+    match Durable.open_dir sdir with
+    | exception Err.Mad_error msg -> fail "%s: recovery failed: %s" label msg
+    | h2 ->
+      let rec_info = Durable.recovery h2 in
+      if rec_info.Durable.torn_tail_bytes > 0 then incr torn_recoveries;
+      if rec_info.Durable.replayed_records <> crash_at then
+        fail "%s: replayed %d record(s), expected %d" label
+          rec_info.Durable.replayed_records crash_at;
+      let got = Serialize.dump (Durable.db h2) in
+      if not (String.equal got reference.(crash_at)) then
+        fail "%s: recovered state diverges from the %d-record reference"
+          label crash_at;
+      Durable.close h2
+  in
+  for n = 0 to n_records - 1 do
+    scenario
+      ~label:(Printf.sprintf "kill-%d" n)
+      ~crash_at:n
+      (Some (Faults.create ~seed ~after:n Faults.Crash_after));
+    scenario
+      ~label:(Printf.sprintf "torn-%d" n)
+      ~crash_at:n
+      (Some (Faults.create ~seed ~after:n Faults.Short_write))
+  done;
+  (* the crash-free scenario: run to completion, close, recover *)
+  scenario ~label:"clean" ~crash_at:n_records None;
+  {
+    seed;
+    ops;
+    records = n_records;
+    scenarios = !scenarios;
+    torn_recoveries = !torn_recoveries;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,41 @@
+(** The crash-recovery harness: a seeded random DML workload over a
+    self-contained schema, re-run against a fault plan for {e every}
+    crash point, with recovery convergence asserted at each — the
+    recovered database must pass [Integrity] and equal the
+    straight-line reference state after exactly the durable record
+    prefix.  Used by the property tests and by [madql recovery] (the
+    CI fault-injection job). *)
+
+open Mad_store
+
+val seed_db : unit -> Database.t
+(** The workload's small parts-and-boxes schema, with seed atoms,
+    links, and a 1:1 link type so cardinality rejections occur. *)
+
+type wop
+(** One abstract DML decision (targets named by rank, not identity, so
+    a decision list replays identically against equal states). *)
+
+val gen_ops : Random.State.t -> int -> wop list
+val apply_wop : Database.t -> wop -> bool
+
+type report = {
+  seed : int;
+  ops : int;  (** workload decisions generated *)
+  records : int;  (** WAL records the straight-line run produces *)
+  scenarios : int;  (** recovery scenarios exercised *)
+  torn_recoveries : int;  (** scenarios that recovered past a torn tail *)
+  failures : string list;  (** divergence descriptions; [] = converged *)
+}
+
+val converged : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+val run : ?seed:int -> ?ops:int -> dir:string -> unit -> report
+(** Exercise every crash point of the seeded workload — [Crash_after]
+    and [Short_write] at each record boundary, plus one crash-free
+    scenario — inside per-scenario subdirectories of [dir]. *)
+
+val rm_rf : string -> unit
+(** Recursive delete (scenario-directory hygiene, exposed for the
+    tests and the CLI). *)

@@ -1,0 +1,142 @@
+(** Logical DML records: the payload codec between {!Database.op} and
+    the write-ahead log.
+
+    One op is one single-line payload, in the word syntax of
+    [Serialize] (quoted strings, bracketed lists, [@n] identities), so
+    a WAL is as greppable as a .mad dump:
+    {v
+    defatom part name:STRING weight:INT
+    deflink in box part n:m
+    insert part @17 'axle' 3
+    link in @2 @17
+    unlink in @2 @17
+    set part @17 1 4
+    delete @17
+    dropatom part
+    droplink in
+    v}
+    Replay applies ops through the public [Database] mutators, so the
+    same eager checks that guarded the original operation guard its
+    replay — a record that no longer applies is a corruption, not a
+    silent skip. *)
+
+open Mad_store
+
+let encode (op : Database.op) =
+  let buf = Buffer.create 64 in
+  let word s = Buffer.add_char buf ' '; Buffer.add_string buf s in
+  let id i = word ("@" ^ string_of_int i) in
+  (match op with
+   | Database.Op_define_atom_type at ->
+     Buffer.add_string buf "defatom";
+     word at.Schema.Atom_type.name;
+     List.iter
+       (fun (a : Schema.Attr.t) ->
+         word (a.name ^ ":" ^ Serialize.domain_to_string a.domain))
+       at.Schema.Atom_type.attrs
+   | Database.Op_define_link_type lt ->
+     Buffer.add_string buf "deflink";
+     word lt.Schema.Link_type.name;
+     word (fst lt.Schema.Link_type.ends);
+     word (snd lt.Schema.Link_type.ends);
+     word (Serialize.card_to_string lt.Schema.Link_type.card)
+   | Database.Op_drop_atom_type name ->
+     Buffer.add_string buf "dropatom";
+     word name
+   | Database.Op_drop_link_type name ->
+     Buffer.add_string buf "droplink";
+     word name
+   | Database.Op_insert_atom { atype; id = aid; values } ->
+     Buffer.add_string buf "insert";
+     word atype;
+     id aid;
+     List.iter (fun v -> word (Serialize.value_to_string v)) values
+   | Database.Op_delete_atom aid ->
+     Buffer.add_string buf "delete";
+     id aid
+   | Database.Op_add_link { lt; left; right } ->
+     Buffer.add_string buf "link";
+     word lt;
+     id left;
+     id right
+   | Database.Op_remove_link { lt; left; right } ->
+     Buffer.add_string buf "unlink";
+     word lt;
+     id left;
+     id right
+   | Database.Op_set_attr { atype; id = aid; index; value } ->
+     Buffer.add_string buf "set";
+     word atype;
+     id aid;
+     word (string_of_int index);
+     word (Serialize.value_to_string value));
+  Buffer.contents buf
+
+let parse_attr recno spec =
+  match String.index_opt spec ':' with
+  | Some i ->
+    Schema.Attr.v
+      (String.sub spec 0 i)
+      (Serialize.parse_domain recno
+         (String.sub spec (i + 1) (String.length spec - i - 1)))
+  | None -> Err.failf "record %d: bad attribute spec %s" recno spec
+
+(** Decode record number [recno] (quoted in error messages). *)
+let decode ~recno payload : Database.op =
+  match Serialize.split_line payload recno with
+  | "defatom" :: name :: attrs ->
+    Database.Op_define_atom_type
+      (Schema.Atom_type.v name (List.map (parse_attr recno) attrs))
+  | [ "deflink"; name; e1; e2; card ] ->
+    Database.Op_define_link_type
+      (Schema.Link_type.v ~card:(Serialize.parse_card recno card) name (e1, e2))
+  | [ "dropatom"; name ] -> Database.Op_drop_atom_type name
+  | [ "droplink"; name ] -> Database.Op_drop_link_type name
+  | "insert" :: atype :: aid :: values ->
+    Database.Op_insert_atom
+      {
+        atype;
+        id = Serialize.parse_id recno aid;
+        values = List.map (Serialize.parse_value recno) values;
+      }
+  | [ "delete"; aid ] -> Database.Op_delete_atom (Serialize.parse_id recno aid)
+  | [ "link"; lt; l; r ] ->
+    Database.Op_add_link
+      { lt; left = Serialize.parse_id recno l;
+        right = Serialize.parse_id recno r }
+  | [ "unlink"; lt; l; r ] ->
+    Database.Op_remove_link
+      { lt; left = Serialize.parse_id recno l;
+        right = Serialize.parse_id recno r }
+  | [ "set"; atype; aid; index; value ] ->
+    Database.Op_set_attr
+      {
+        atype;
+        id = Serialize.parse_id recno aid;
+        index =
+          (match int_of_string_opt index with
+           | Some i when i >= 0 -> i
+           | Some _ | None ->
+             Err.failf "record %d: bad attribute index %s" recno index);
+        value = Serialize.parse_value recno value;
+      }
+  | word :: _ -> Err.failf "record %d: unknown log record %s" recno word
+  | [] -> Err.failf "record %d: empty log record" recno
+
+(** Apply one decoded op, re-running the same checked store mutation
+    that produced it. *)
+let apply db (op : Database.op) =
+  match op with
+  | Database.Op_define_atom_type at -> ignore (Database.define_atom_type db at)
+  | Database.Op_define_link_type lt -> ignore (Database.define_link_type db lt)
+  | Database.Op_drop_atom_type name -> Database.drop_atom_type db name
+  | Database.Op_drop_link_type name -> Database.drop_link_type db name
+  | Database.Op_insert_atom { atype; id; values } ->
+    ignore (Database.insert_atom_exact db ~atype ~id values)
+  | Database.Op_delete_atom id -> Database.delete_atom db id
+  | Database.Op_add_link { lt; left; right } ->
+    Database.add_link db lt ~left ~right
+  | Database.Op_remove_link { lt; left; right } ->
+    Database.remove_link db lt ~left ~right
+  | Database.Op_set_attr { atype; id; index; value } ->
+    Database.set_attribute db ~atype id ~index value

@@ -1,0 +1,15 @@
+(** Logical DML records: the payload codec between {!Database.op} and
+    the write-ahead log.  One op is one single-line payload in the
+    word syntax of [Serialize]. *)
+
+open Mad_store
+
+val encode : Database.op -> string
+
+val decode : recno:int -> string -> Database.op
+(** Parse a payload; [recno] is quoted in [Err.Mad_error] messages. *)
+
+val apply : Database.t -> Database.op -> unit
+(** Re-run the op through the public [Database] mutators, under the
+    same eager checks that guarded the original operation.  A record
+    that no longer applies raises — corruption, not a silent skip. *)

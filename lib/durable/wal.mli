@@ -1,0 +1,52 @@
+(** The write-ahead log file: length-prefixed, CRC-32-checksummed
+    records.  A record is durable iff its full frame is on disk and
+    the checksum matches; anything else at the end of the file is a
+    torn tail that {!read} reports (and recovery drops) instead of
+    failing. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE polynomial) of the string. *)
+
+val header_bytes : int
+(** Frame overhead per record: u32 length + u32 checksum. *)
+
+val frame : string -> string
+(** A payload's on-disk frame. *)
+
+type writer
+
+val create :
+  ?faults:Faults.t ->
+  ?obs:Mad_obs.Obs.t ->
+  ?sync:bool ->
+  truncate:bool ->
+  string ->
+  writer
+(** Open the log at the path for appending ([truncate] starts it
+    over).  [sync] (default false) fsyncs after every append.  Bytes
+    written land in the context's [wal.append_bytes] counter, fsync
+    durations in its [wal.fsync_us] histogram; every append is routed
+    through the optional fault plan. *)
+
+val append : writer -> string -> unit
+(** Append one record.  May raise [Err.Mad_error] ([Faults.Fail_append]
+    injected — nothing written) or [Faults.Crash] (simulated death,
+    possibly after a partial write). *)
+
+val fsync : writer -> unit
+(** Flush and fsync, recording the duration. *)
+
+val flush_writer : writer -> unit
+val close : writer -> unit
+
+val records : writer -> int
+(** Records appended through this writer. *)
+
+type tail =
+  | Clean
+  | Torn of { bytes_dropped : int }
+      (** trailing bytes that do not form a whole checksummed record *)
+
+val read : string -> string list * tail
+(** All durable records of the log at the path, in append order, plus
+    the state of its tail.  A missing file is an empty clean log. *)

@@ -24,6 +24,12 @@ type t = {
   stats : Mad.Derive.stats;
   obs : Mad_obs.Obs.t;
   mutable ext : ext option;
+  mutable on_commit : (unit -> unit) option;
+      (** Called after every successful manipulation statement — the
+          statement-level durability boundary.  A durable session
+          installs the engine's group commit (flush + fsync) here, so
+          autocommit costs one fsync per {e statement}, not per
+          journal record. *)
 }
 
 (** [EXPLAIN ANALYZE] needs the physical engine, which lives above this
@@ -40,7 +46,10 @@ let create ?obs db =
     stats = Mad.Derive.stats_in (Mad_obs.Obs.registry obs);
     obs;
     ext = None;
+    on_commit = None;
   }
+
+let commit t = match t.on_commit with None -> () | Some f -> f ()
 
 let lookup t name = Hashtbl.find_opt t.env name
 
@@ -203,6 +212,7 @@ let rec eval_stmt t (stmt : Ast.stmt) : outcome =
   | Ast.Insert { atype; values; links } ->
     let atom = Mad.Manipulate.insert_atom_linked t.db ~atype values ~links in
     refresh t;
+    commit t;
     Inserted atom
   | Ast.Link { lt; left; right } ->
     let ltype = Database.link_type t.db lt in
@@ -213,17 +223,20 @@ let rec eval_stmt t (stmt : Ast.stmt) : outcome =
       Database.add_link t.db lt ~left ~right
     else Database.add_link t.db lt ~left:right ~right:left;
     refresh t;
+    commit t;
     Dml (Printf.sprintf "linked @%d and @%d via %s" left right lt)
   | Ast.Unlink { lt; left; right } ->
     Database.remove_link t.db lt ~left ~right;
     Database.remove_link t.db lt ~left:right ~right:left;
     refresh t;
+    commit t;
     Dml (Printf.sprintf "unlinked @%d and @%d via %s" left right lt)
   | Ast.Delete { from; where; detach } ->
     let mt, victims = dml_target t from where in
     let mode = if detach then `Unlink_only else `Shared_safe in
     let report = Mad.Manipulate.delete_molecules ~mode t.db mt victims in
     refresh t;
+    commit t;
     Dml
       (Printf.sprintf
          "deleted %d molecule(s): %d atom(s) removed, %d shared atom(s) kept"
@@ -234,6 +247,7 @@ let rec eval_stmt t (stmt : Ast.stmt) : outcome =
     let _, victims = dml_target t from where in
     let n = Mad.Manipulate.modify_attribute t.db ~node ~attr value victims in
     refresh t;
+    commit t;
     Dml (Printf.sprintf "modified %s.%s on %d atom(s)" node attr n)
 
 (** Parse and evaluate one statement of MOL text. *)

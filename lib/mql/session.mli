@@ -22,6 +22,10 @@ type t = {
   stats : Mad.Derive.stats;
   obs : Mad_obs.Obs.t;
   mutable ext : ext option;
+  mutable on_commit : (unit -> unit) option;
+      (** Called after every successful manipulation statement — the
+          statement-level durability boundary (autocommit).  A durable
+          session installs the engine's group commit here. *)
 }
 
 val analyze_hook : (t -> Ast.stmt -> string) option ref
@@ -38,6 +42,10 @@ val create : ?obs:Mad_obs.Obs.t -> Database.t -> t
 
 val lookup : t -> string -> Mad.Molecule_type.t option
 val define : t -> string -> Mad.Molecule_type.t -> unit
+
+val commit : t -> unit
+(** Run the [on_commit] hook, if any ({!eval_stmt} does this after
+    each manipulation statement). *)
 
 val parse : t -> string -> Ast.stmt
 (** Parse with the session's catalog (bare FROM identifiers resolve to

@@ -105,6 +105,30 @@ let analyze_stmt (session : Session.t) stmt =
 let install () = Session.analyze_hook := Some analyze_stmt
 
 (* ------------------------------------------------------------------ *)
+(* Catalog persistence                                                  *)
+
+(** Persist the session's refined catalog as a [stats.mad] file
+    ({!Catalog_io}); [false] when the session has no adaptive state or
+    the catalog was never collected (nothing learned, nothing saved). *)
+let save_session (session : Session.t) path =
+  match session.Session.ext with
+  | Some (Adaptive { catalog = Some c; _ }) ->
+    Catalog_io.save c path;
+    true
+  | _ -> false
+
+(** Install a previously-saved catalog as the session's adaptive
+    starting point, superseding the static collection of the first
+    profiled run; [false] when the file does not exist. *)
+let load_session ?alpha ?factor (session : Session.t) path =
+  match Catalog_io.load_opt path with
+  | None -> false
+  | Some c ->
+    let st = state ?alpha ?factor session in
+    st.catalog <- Some c;
+    true
+
+(* ------------------------------------------------------------------ *)
 (* The drift report                                                     *)
 
 let pp_report ppf (session : Session.t) =

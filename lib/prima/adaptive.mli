@@ -47,6 +47,16 @@ val install : unit -> unit
 (** Register {!analyze_stmt} in {!Mad_mql.Session.analyze_hook}
     (supersedes {!Profile.install}). *)
 
+val save_session : Session.t -> string -> bool
+(** Persist the session's refined catalog as a [stats.mad] file
+    ({!Catalog_io}); [false] when nothing was learned yet. *)
+
+val load_session : ?alpha:float -> ?factor:float -> Session.t -> string -> bool
+(** Install a previously-saved catalog as the session's adaptive
+    starting point (supersedes the static collection of the first
+    profiled run); [false] when the file does not exist.  Closes the
+    loop across sessions: estimates persist per data directory. *)
+
 val pp_report : Format.formatter -> Session.t -> unit
 
 val report : Session.t -> string

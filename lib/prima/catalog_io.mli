@@ -1,0 +1,15 @@
+(** Persistence of the learned statistics catalog: {!Stats.t} as a
+    line-oriented [stats.mad] file stored beside the write-ahead log,
+    so a session's optimizer starts from the estimates the previous
+    session converged onto. *)
+
+val to_string : Stats.t -> string
+
+val of_string : ?file:string -> string -> Stats.t
+(** Parse; fails with a [file]- and line-named [Err.Mad_error] on
+    malformed input. *)
+
+val save : Stats.t -> string -> unit
+val load : string -> Stats.t
+val load_opt : string -> Stats.t option
+(** [None] when the file does not exist. *)

@@ -31,14 +31,46 @@ type link_store = {
   bwd : (Aid.t, Aid.Set.t) Hashtbl.t;  (** right atom -> left partners *)
 }
 
+(** The logical operations that change a database — the journal
+    vocabulary.  One [op] is atomic: it either happened or it did not,
+    which is what makes a log of them replayable ([Durable] appends
+    each op as one checksummed record and replays the sequence on
+    recovery).  A cascade ([delete_atom]) is a single op; the replay
+    re-runs the cascade. *)
+type op =
+  | Op_define_atom_type of Schema.Atom_type.t
+  | Op_define_link_type of Schema.Link_type.t
+  | Op_drop_atom_type of string
+  | Op_drop_link_type of string
+  | Op_insert_atom of { atype : string; id : Aid.t; values : Value.t list }
+  | Op_delete_atom of Aid.t
+  | Op_add_link of { lt : string; left : Aid.t; right : Aid.t }
+  | Op_remove_link of { lt : string; left : Aid.t; right : Aid.t }
+  | Op_set_attr of { atype : string; id : Aid.t; index : int; value : Value.t }
+
 type t = {
   mutable next_id : int;
   atom_tables : (string, atom_table) Hashtbl.t;
   link_stores : (string, link_store) Hashtbl.t;
+  mutable journal : (op -> unit) option;
+      (** Called after each successful mutation (never for rejected
+          ones); installed by the durability engine, [None] otherwise. *)
 }
 
 let create () =
-  { next_id = 1; atom_tables = Hashtbl.create 16; link_stores = Hashtbl.create 16 }
+  { next_id = 1; atom_tables = Hashtbl.create 16;
+    link_stores = Hashtbl.create 16; journal = None }
+
+let set_journal db j = db.journal <- j
+
+let emit db op = match db.journal with None -> () | Some j -> j op
+
+(* run [f] with journaling off: used when one logical op performs
+   sub-mutations (the delete cascade) that must not be double-logged *)
+let unjournaled db f =
+  let j = db.journal in
+  db.journal <- None;
+  Fun.protect ~finally:(fun () -> db.journal <- j) f
 
 let fresh_id db =
   let id = db.next_id in
@@ -56,6 +88,7 @@ let define_atom_type db (at : Schema.Atom_type.t) =
     Err.failf "atom type %s already defined" at.name;
   Hashtbl.replace db.atom_tables at.name
     { at; atoms = Hashtbl.create 64; ids = Aid.Set.empty };
+  emit db (Op_define_atom_type at);
   at
 
 let declare_atom_type db name attrs =
@@ -71,6 +104,7 @@ let define_link_type db (lt : Schema.Link_type.t) =
     Err.failf "link type %s: unknown atom type %s" lt.name e2;
   Hashtbl.replace db.link_stores lt.name
     { lt; pairs = Pair_set.empty; fwd = Hashtbl.create 64; bwd = Hashtbl.create 64 };
+  emit db (Op_define_link_type lt);
   lt
 
 let declare_link_type ?card db name ends =
@@ -124,11 +158,13 @@ let drop_atom_type db name =
       if Schema.Link_type.touches lt name then
         Hashtbl.remove db.link_stores lt.name)
     (List.map (link_type db) (link_type_names db));
-  Hashtbl.remove db.atom_tables name
+  Hashtbl.remove db.atom_tables name;
+  emit db (Op_drop_atom_type name)
 
 let drop_link_type db name =
   let _ = link_store db name in
-  Hashtbl.remove db.link_stores name
+  Hashtbl.remove db.link_stores name;
+  emit db (Op_drop_link_type name)
 
 (* ------------------------------------------------------------------ *)
 (* Atom occurrence                                                      *)
@@ -153,6 +189,7 @@ let insert_atom db ~atype values =
   let atom = Atom.v ~id ~atype values in
   Hashtbl.replace tbl.atoms id atom;
   tbl.ids <- Aid.Set.add id tbl.ids;
+  emit db (Op_insert_atom { atype; id; values });
   atom
 
 (** Insert a pre-built atom (fresh id is still assigned by the database;
@@ -172,6 +209,7 @@ let insert_atom_exact db ~atype ~id values =
   Hashtbl.replace tbl.atoms id atom;
   tbl.ids <- Aid.Set.add id tbl.ids;
   if id >= db.next_id then db.next_id <- id + 1;
+  emit db (Op_insert_atom { atype; id; values });
   atom
 
 let find_atom db id =
@@ -252,7 +290,8 @@ let add_link db ltname ~left ~right =
      | Some _ | None -> ());
     st.pairs <- Pair_set.add (left, right) st.pairs;
     adj_add st.fwd left right;
-    adj_add st.bwd right left
+    adj_add st.bwd right left;
+    emit db (Op_add_link { lt = ltname; left; right })
   end
 
 let remove_link db ltname ~left ~right =
@@ -260,7 +299,8 @@ let remove_link db ltname ~left ~right =
   if Pair_set.mem (left, right) st.pairs then begin
     st.pairs <- Pair_set.remove (left, right) st.pairs;
     adj_remove st.fwd left right;
-    adj_remove st.bwd right left
+    adj_remove st.bwd right left;
+    emit db (Op_remove_link { lt = ltname; left; right })
   end
 
 let link_exists db ltname ~left ~right =
@@ -322,17 +362,42 @@ let delete_atom db id =
   match find_atom db id with
   | None -> Err.failf "no atom %s in database" (Aid.to_string id)
   | Some a ->
-    List.iter
-      (fun (lt : Schema.Link_type.t) ->
-        let st = link_store db lt.name in
-        Aid.Set.iter (fun r -> remove_link db lt.name ~left:id ~right:r)
-          (adj_find st.fwd id);
-        Aid.Set.iter (fun l -> remove_link db lt.name ~left:l ~right:id)
-          (adj_find st.bwd id))
-      (incident_link_types db a.atype);
+    (* the cascade is one logical op: sub-removals are not journaled,
+       replaying [Op_delete_atom] re-runs the cascade *)
+    unjournaled db (fun () ->
+        List.iter
+          (fun (lt : Schema.Link_type.t) ->
+            let st = link_store db lt.name in
+            Aid.Set.iter (fun r -> remove_link db lt.name ~left:id ~right:r)
+              (adj_find st.fwd id);
+            Aid.Set.iter (fun l -> remove_link db lt.name ~left:l ~right:id)
+              (adj_find st.bwd id))
+          (incident_link_types db a.atype));
     let tbl = atom_table db a.atype in
     Hashtbl.remove tbl.atoms id;
-    tbl.ids <- Aid.Set.remove id tbl.ids
+    tbl.ids <- Aid.Set.remove id tbl.ids;
+    emit db (Op_delete_atom id)
+
+(** Set one attribute (by index) of an existing atom, domain-checked.
+    The store-level modification primitive: [Manipulate] routes its
+    attribute updates here so they reach the journal. *)
+let set_attribute db ~atype id ~index value =
+  let tbl = atom_table db atype in
+  let a =
+    match Hashtbl.find_opt tbl.atoms id with
+    | Some a -> a
+    | None -> Err.failf "atom type %s has no atom %s" atype (Aid.to_string id)
+  in
+  (match List.nth_opt tbl.at.Schema.Atom_type.attrs index with
+   | None ->
+     Err.failf "atom type %s has no attribute index %d" atype index
+   | Some (attr : Schema.Attr.t) ->
+     if not (Domain.mem value attr.domain) then
+       Err.failf "atom type %s, attribute %s: value %s outside domain %s"
+         atype attr.name (Value.to_string value)
+         (Domain.to_string attr.domain));
+  a.Atom.values.(index) <- value;
+  emit db (Op_set_attr { atype; id; index; value })
 
 (* ------------------------------------------------------------------ *)
 (* Whole-database helpers                                               *)
@@ -343,9 +408,11 @@ let total_atoms db =
 let total_links db =
   List.fold_left (fun n lt -> n + count_links db lt) 0 (link_type_names db)
 
-(** Deep copy (fresh hashtables and sets; atoms are immutable and
-    shared).  Used by tests and by engines that must not disturb the
-    caller's database. *)
+(** Deep copy (fresh hashtables and sets; atoms are shared — callers
+    mutating attributes through the store see the journal fire on the
+    copy they mutate only).  The journal is not copied: a copy is a
+    private scratch database.  Used by tests and by engines that must
+    not disturb the caller's database. *)
 let copy db =
   let db' = create () in
   db'.next_id <- db.next_id;

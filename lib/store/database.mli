@@ -30,14 +30,46 @@ type link_store = {
   bwd : (Aid.t, Aid.Set.t) Hashtbl.t;
 }
 
+(** The logical operations that change a database — the journal
+    vocabulary.  One [op] is atomic (a [delete_atom] cascade is a
+    single op; replay re-runs the cascade), which is what makes a log
+    of them a write-ahead log: the durability engine appends each op
+    as one checksummed record and replays the sequence on recovery. *)
+type op =
+  | Op_define_atom_type of Schema.Atom_type.t
+  | Op_define_link_type of Schema.Link_type.t
+  | Op_drop_atom_type of string
+  | Op_drop_link_type of string
+  | Op_insert_atom of { atype : string; id : Aid.t; values : Value.t list }
+  | Op_delete_atom of Aid.t
+  | Op_add_link of { lt : string; left : Aid.t; right : Aid.t }
+  | Op_remove_link of { lt : string; left : Aid.t; right : Aid.t }
+  | Op_set_attr of { atype : string; id : Aid.t; index : int; value : Value.t }
+
 type t = {
   mutable next_id : int;
   atom_tables : (string, atom_table) Hashtbl.t;
   link_stores : (string, link_store) Hashtbl.t;
+  mutable journal : (op -> unit) option;
+      (** Called after each successful mutation, never for rejected
+          ones; installed by the durability engine, [None] otherwise. *)
 }
 
 val create : unit -> t
 val fresh_id : t -> Aid.t
+
+val set_journal : t -> (op -> unit) option -> unit
+(** Install (or remove) the journal hook.  Rejected operations — domain
+    violations, cardinality overflows, duplicate identities — never
+    reach it, and idempotent no-ops (re-adding an existing link,
+    removing an absent one) are not re-journaled. *)
+
+val unjournaled : t -> (unit -> 'a) -> 'a
+(** Run [f] with the journal hook detached (restored on exit, even on
+    raise).  The algebra layers use this for the {e enlarged database}:
+    derived result types and their propagated occurrences are scratch
+    state that queries rebuild on demand, so they must not reach a
+    write-ahead log. *)
 
 (** {1 Schema} *)
 
@@ -99,6 +131,10 @@ val count_atoms : t -> string -> int
 
 val delete_atom : t -> Aid.t -> unit
 (** Cascade-deletes every incident link (no dangling links). *)
+
+val set_attribute : t -> atype:string -> Aid.t -> index:int -> Value.t -> unit
+(** Set one attribute of an existing atom, domain-checked — the
+    store-level modification primitive (journaled as [Op_set_attr]). *)
 
 (** {1 Link occurrence} *)
 

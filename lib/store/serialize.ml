@@ -254,8 +254,17 @@ let parse_id lineno s =
     int_of_string (String.sub s 1 (String.length s - 1))
   else Err.failf "line %d: expected @id, got %s" lineno s
 
-(** Load a database from dump text. *)
-let load text =
+(** Load a database from dump text.  With [file], parse errors are
+    prefixed with the file name, so that multi-file recovery (snapshot
+    plus write-ahead log) can say {e which} file is damaged. *)
+let load ?file text =
+  let in_file f = try f () with
+    | Err.Mad_error msg ->
+      (match file with
+       | None -> raise (Err.Mad_error msg)
+       | Some name -> Err.failf "%s: %s" name msg)
+  in
+  in_file @@ fun () ->
   let db = Database.create () in
   let lines = String.split_on_char '\n' text in
   List.iteri
@@ -301,4 +310,4 @@ let load_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> load (In_channel.input_all ic))
+    (fun () -> load ~file:(Filename.basename path) (In_channel.input_all ic))

@@ -5,9 +5,31 @@
 val dump : Database.t -> string
 val dump_file : Database.t -> string -> unit
 
-val load : string -> Database.t
+val load : ?file:string -> string -> Database.t
 (** Parse dump text; fails with a line-numbered {!Err.Mad_error} on
     malformed input, unknown names, domain violations or duplicate
-    identities. *)
+    identities.  With [file], the error is prefixed with the file
+    name, so recovery diagnostics can say whether the snapshot or the
+    write-ahead log is damaged. *)
 
 val load_file : string -> Database.t
+(** {!load} with [file] set to the path's basename. *)
+
+(** {1 Textual building blocks}
+
+    The word-level codec of the dump format, exported for other
+    line-oriented formats over the same value syntax (the write-ahead
+    log's record payloads).  The [int] parameter of each parser is the
+    line (or record) number quoted in error messages. *)
+
+val value_to_string : Value.t -> string
+val parse_value : int -> string -> Value.t
+val domain_to_string : Domain.t -> string
+val parse_domain : int -> string -> Domain.t
+val card_to_string : Schema.Link_type.cardinality -> string
+val parse_card : int -> string -> Schema.Link_type.cardinality
+val parse_id : int -> string -> Aid.t
+
+val split_line : string -> int -> string list
+(** Split a line into words, respecting single-quoted strings and
+    bracketed lists. *)

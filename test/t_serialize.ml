@@ -114,6 +114,15 @@ let test_malformed_rejected () =
   bad "atomtype a n:INT\natomtype b m:INT\nlinktype ab a b 1:1\nlink ab @1 @2"
     (* dangling link *)
 
+let test_error_names_file () =
+  (* diagnostics from a named source (load_file, the durability
+     engine's snapshots) lead with the file name *)
+  match Serialize.load ~file:"snapshot.mad" "frobnicate x y" with
+  | _ -> Alcotest.fail "expected load failure"
+  | exception Err.Mad_error msg ->
+    check "file named" true
+      (String.length msg > 13 && String.sub msg 0 13 = "snapshot.mad:")
+
 let suite =
   [
     Alcotest.test_case "round-trip Brazil" `Quick test_roundtrip_brazil;
@@ -123,4 +132,5 @@ let suite =
     Alcotest.test_case "tricky values" `Quick test_tricky_values;
     Alcotest.test_case "malformed input rejected" `Quick
       test_malformed_rejected;
+    Alcotest.test_case "errors name their file" `Quick test_error_names_file;
   ]
