@@ -18,6 +18,7 @@ let experiments =
     ("rec", B_rec.run);
     ("share", B_share.run);
     ("clos", B_clos.run);
+    ("kernel", B_kernel.run);
     ("clust", B_clust.run);
     ("wal", B_wal.run);
   ]

@@ -2,7 +2,14 @@
     operationally: the structure is a template laid over the atom
     networks; per root atom, hierarchical join along the branches until
     the leaves; diamonds include an atom only if every incoming edge
-    supplies a contained, linked parent. *)
+    supplies a contained, linked parent.
+
+    Two equivalent implementations: the {e scalar} walk over the
+    adjacency index, and the {e bitset kernel} ({!Mad_kernel}) over a
+    CSR snapshot, optionally parallel across root atoms.  Bulk
+    derivations default to the kernel ([MAD_KERNEL=off] disables);
+    single-molecule derivation uses it only when a snapshot is already
+    warm.  Both produce identical molecules and identical stats. *)
 
 open Mad_store
 
@@ -23,13 +30,45 @@ val stats_in : Mad_obs.Registry.t -> stats
 (** Counters registered as ["derive.atoms_visited"] /
     ["derive.links_traversed"], plus per-structure-node accounting
     under ["derive.atoms"]/["derive.links"] with a [node] label —
-    the actuals side of EXPLAIN ANALYZE. *)
+    the actuals side of EXPLAIN ANALYZE.  Kernel runs additionally
+    account ["kernel.runs"] / ["kernel.roots"]. *)
 
 val atoms_visited : stats -> int
 val links_traversed : stats -> int
 
-val derive_one : ?stats:stats -> Database.t -> Mdesc.t -> Aid.t -> Molecule.t
-(** The molecule rooted at the given root-type atom. *)
+val derive_one :
+  ?stats:stats -> ?kernel:bool -> Database.t -> Mdesc.t -> Aid.t -> Molecule.t
+(** The molecule rooted at the given root-type atom.  Kernel path only
+    when a snapshot is warm at the current epoch, or [~kernel:true]. *)
 
-val m_dom : ?stats:stats -> Database.t -> Mdesc.t -> Molecule.t list
+val derive_roots :
+  ?stats:stats ->
+  ?kernel:bool ->
+  ?par:int ->
+  Database.t ->
+  Mdesc.t ->
+  Aid.t list ->
+  Molecule.t list
+(** One molecule per given root atom, in input order.  [par] chunks the
+    roots across the domain pool (default {!Mad_kernel.Pool.parallelism},
+    i.e. [MAD_PAR]); merge order is deterministic. *)
+
+val m_dom :
+  ?stats:stats ->
+  ?kernel:bool ->
+  ?par:int ->
+  Database.t ->
+  Mdesc.t ->
+  Molecule.t list
 (** One molecule per root-type atom, in identity order. *)
+
+val derive_one_scalar :
+  ?stats:stats -> Database.t -> Mdesc.t -> Aid.t -> Molecule.t
+(** The scalar walk, unconditionally — parity baseline and fallback. *)
+
+val m_dom_scalar : ?stats:stats -> Database.t -> Mdesc.t -> Molecule.t list
+
+val describe_path : Database.t -> string
+(** The path [m_dom] would take on this database right now, e.g.
+    ["kernel (par=4, epoch=17, snapshot=warm)"] — EXPLAIN ANALYZE
+    includes it. *)

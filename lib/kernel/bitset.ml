@@ -1,0 +1,57 @@
+(** Bytes-backed bitsets — see the interface for the design notes. *)
+
+type t = Bytes.t
+
+let create n = Bytes.make ((n + 7) lsr 3) '\000'
+let capacity t = Bytes.length t lsl 3
+
+let set t i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set t j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t j) lor (1 lsl (i land 7))))
+
+let unset t i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set t j
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t j) land lnot (1 lsl (i land 7)) land 0xff))
+
+let mem t i =
+  Char.code (Bytes.unsafe_get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let inter_into dst src =
+  if Bytes.length dst <> Bytes.length src then
+    invalid_arg "Mad_kernel.Bitset.inter_into: capacity mismatch";
+  for j = 0 to Bytes.length dst - 1 do
+    Bytes.unsafe_set dst j
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst j)
+         land Char.code (Bytes.unsafe_get src j)))
+  done
+
+let popcount =
+  let tbl = Bytes.create 256 in
+  for b = 0 to 255 do
+    let rec bits n = if n = 0 then 0 else (n land 1) + bits (n lsr 1) in
+    Bytes.set tbl b (Char.chr (bits b))
+  done;
+  tbl
+
+let count t =
+  let n = ref 0 in
+  for j = 0 to Bytes.length t - 1 do
+    n :=
+      !n + Char.code (Bytes.unsafe_get popcount (Char.code (Bytes.unsafe_get t j)))
+  done;
+  !n
+
+let iter t f =
+  for j = 0 to Bytes.length t - 1 do
+    let b = Char.code (Bytes.unsafe_get t j) in
+    if b <> 0 then
+      for k = 0 to 7 do
+        if b land (1 lsl k) <> 0 then f ((j lsl 3) lor k)
+      done
+  done
+
+let clear t = Bytes.fill t 0 (Bytes.length t) '\000'

@@ -1,0 +1,34 @@
+(** Fixed-capacity bitsets over dense atom indices.
+
+    The derivation kernel works in the index space of a
+    {!Snapshot.tindex}, where a set of atoms of one type is a set of
+    small integers — a [Bytes] of bits.  Membership and insertion are
+    single byte operations, and the conjunctive diamond rule of Def. 6
+    becomes a bytewise AND ({!inter_into}). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over capacity [n] (indices [0..n-1]). *)
+
+val capacity : t -> int
+(** Rounded up to the allocation granularity (whole bytes). *)
+
+val set : t -> int -> unit
+val unset : t -> int -> unit
+val mem : t -> int -> bool
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] replaces [dst] with [dst ∩ src] — the bitwise
+    AND realising the "every incoming edge" conjunction on diamond
+    nodes.  Both sets must have the same capacity. *)
+
+val count : t -> int
+(** Population count (table-driven, one lookup per byte). *)
+
+val iter : t -> (int -> unit) -> unit
+(** Members in ascending order; skips empty bytes. *)
+
+val clear : t -> unit
+(** Remove every member.  O(capacity/8) — the kernel prefers unsetting
+    just the members it tracked when the set is sparse. *)

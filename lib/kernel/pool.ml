@@ -1,0 +1,132 @@
+(** The domain pool — see the interface for the contract. *)
+
+let parallelism () =
+  match Sys.getenv_opt "MAD_PAR" with
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ()
+  end
+  | None -> Domain.recommended_domain_count ()
+
+let max_workers = 7
+
+type pool = {
+  m : Mutex.t;
+  work_cv : Condition.t;  (** signalled when a job is queued / shutdown *)
+  jobs : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  mutable n_workers : int;
+}
+
+(* set inside workers so a parallel operation reached from within one
+   (e.g. a derivation inside a parallel restriction) runs sequentially
+   instead of deadlocking on its own pool *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let worker p () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock p.m;
+    let rec next () =
+      if p.stop then None
+      else
+        match Queue.take_opt p.jobs with
+        | Some j -> Some j
+        | None ->
+          Condition.wait p.work_cv p.m;
+          next ()
+    in
+    let job = next () in
+    Mutex.unlock p.m;
+    match job with
+    | None -> ()
+    | Some j ->
+      (* jobs carry their own exception capture; this is a backstop *)
+      (try j () with _ -> ());
+      loop ()
+  in
+  loop ()
+
+let the_pool =
+  lazy
+    (let p =
+       {
+         m = Mutex.create ();
+         work_cv = Condition.create ();
+         jobs = Queue.create ();
+         stop = false;
+         domains = [];
+         n_workers = 0;
+       }
+     in
+     at_exit (fun () ->
+         Mutex.lock p.m;
+         p.stop <- true;
+         Condition.broadcast p.work_cv;
+         Mutex.unlock p.m;
+         List.iter Domain.join p.domains);
+     p)
+
+(* under p.m *)
+let ensure_workers p wanted =
+  let wanted = min wanted max_workers in
+  while p.n_workers < wanted do
+    p.domains <- Domain.spawn (worker p) :: p.domains;
+    p.n_workers <- p.n_workers + 1
+  done
+
+let run_chunks ?par n f =
+  let par = match par with Some k -> k | None -> parallelism () in
+  let par = min par n in
+  if par <= 1 || Domain.DLS.get in_worker then begin
+    if n > 0 then f 0 n
+  end
+  else begin
+    let p = Lazy.force the_pool in
+    Mutex.lock p.m;
+    ensure_workers p (par - 1);
+    let par = min par (p.n_workers + 1) in
+    Mutex.unlock p.m;
+    if par <= 1 then f 0 n
+    else begin
+      let base = n / par and rem = n mod par in
+      let chunk i =
+        let lo = (i * base) + min i rem in
+        (lo, lo + base + if i < rem then 1 else 0)
+      in
+      let pending = ref (par - 1) in
+      let failed = ref None in
+      let done_cv = Condition.create () in
+      let run lo hi =
+        try f lo hi
+        with e ->
+          Mutex.lock p.m;
+          (match !failed with None -> failed := Some e | Some _ -> ());
+          Mutex.unlock p.m
+      in
+      for i = 1 to par - 1 do
+        let lo, hi = chunk i in
+        let job () =
+          run lo hi;
+          Mutex.lock p.m;
+          decr pending;
+          if !pending = 0 then Condition.broadcast done_cv;
+          Mutex.unlock p.m
+        in
+        Mutex.lock p.m;
+        Queue.add job p.jobs;
+        Condition.signal p.work_cv;
+        Mutex.unlock p.m
+      done;
+      let lo, hi = chunk 0 in
+      run lo hi;
+      Mutex.lock p.m;
+      while !pending > 0 do
+        Condition.wait done_cv p.m
+      done;
+      Mutex.unlock p.m;
+      match !failed with Some e -> raise e | None -> ()
+    end
+  end

@@ -1,0 +1,25 @@
+(** A fixed pool of worker domains for data-parallel derivation.
+
+    Spawning a domain costs milliseconds, so the kernel keeps a small
+    pool alive for the life of the process (joined via [at_exit]) and
+    feeds it chunk jobs.  Work is always split into {e contiguous}
+    chunks of the input range so that merged results keep the
+    deterministic ascending-identity order of the scalar paths. *)
+
+val parallelism : unit -> int
+(** Requested parallelism: [MAD_PAR] when set to a positive integer,
+    else [Domain.recommended_domain_count ()]. *)
+
+val run_chunks : ?par:int -> int -> (int -> int -> unit) -> unit
+(** [run_chunks ~par n f] partitions [\[0, n)] into at most [par]
+    contiguous chunks and runs [f lo hi] once per chunk: chunk 0 on the
+    calling domain, the others on pool workers.  Blocks until every
+    chunk finished; the first chunk exception (if any) is re-raised.
+
+    Runs sequentially when [par <= 1], [n <= 1], or when called from
+    inside a pool worker (no nested parallelism).  [par] defaults to
+    {!parallelism}[ ()] and is capped by the pool size
+    ({!max_workers}[ + 1]). *)
+
+val max_workers : int
+(** Upper bound on pool size; workers are spawned on demand up to it. *)

@@ -1,0 +1,111 @@
+(** CSR snapshots — see the interface for the representation. *)
+
+open Mad_store
+
+type csr = { offs : int array; cols : int array }
+type tindex = { ids : Aid.t array }
+
+type t = {
+  db : Database.t;
+  snap_epoch : int;
+  tindexes : (string, tindex) Hashtbl.t;
+  csrs : (string * bool, csr) Hashtbl.t;  (** key: (link type, fwd?) *)
+}
+
+let epoch t = t.snap_epoch
+let cardinal (ti : tindex) = Array.length ti.ids
+
+let idx_of (ti : tindex) id =
+  let lo = ref 0 and hi = ref (Array.length ti.ids - 1) in
+  let found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = Array.unsafe_get ti.ids mid in
+    if v = id then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if v < id then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let tindex t atname =
+  match Hashtbl.find_opt t.tindexes atname with
+  | Some ti -> ti
+  | None ->
+    (* [atom_ids] is an ordered set: elements come out ascending, so
+       the dense index is monotone in the identity *)
+    let ids = Array.of_list (Aid.Set.elements (Database.atom_ids t.db atname)) in
+    let ti = { ids } in
+    Hashtbl.replace t.tindexes atname ti;
+    ti
+
+let build_csr t ltname fwd =
+  let st = Database.link_store t.db ltname in
+  let e1, e2 = st.lt.Schema.Link_type.ends in
+  let rows_t = tindex t (if fwd then e1 else e2) in
+  let cols_t = tindex t (if fwd then e2 else e1) in
+  let nrows = cardinal rows_t in
+  let offs = Array.make (nrows + 1) 0 in
+  (* count pass: pairs are ordered by (left, right), so for either
+     direction each row's columns are filled in ascending order *)
+  Database.Pair_set.iter
+    (fun (l, r) ->
+      let row = idx_of rows_t (if fwd then l else r) in
+      offs.(row + 1) <- offs.(row + 1) + 1)
+    st.pairs;
+  for i = 1 to nrows do
+    offs.(i) <- offs.(i) + offs.(i - 1)
+  done;
+  let cols = Array.make offs.(nrows) 0 in
+  let cursor = Array.copy offs in
+  Database.Pair_set.iter
+    (fun (l, r) ->
+      let row = idx_of rows_t (if fwd then l else r) in
+      cols.(cursor.(row)) <- idx_of cols_t (if fwd then r else l);
+      cursor.(row) <- cursor.(row) + 1)
+    st.pairs;
+  { offs; cols }
+
+let csr t ltname ~dir =
+  let fwd = match dir with `Fwd -> true | `Bwd -> false in
+  match Hashtbl.find_opt t.csrs (ltname, fwd) with
+  | Some m -> m
+  | None ->
+    let m = build_csr t ltname fwd in
+    Hashtbl.replace t.csrs (ltname, fwd) m;
+    m
+
+(* ------------------------------------------------------------------ *)
+(* Cache: a small LRU keyed on physical database identity.  An entry
+   whose epoch no longer matches its database is stale and replaced on
+   the next [of_db]; [peek] never returns it. *)
+
+let cache_cap = 8
+let cache : t list ref = ref []
+
+let of_db db =
+  let e = Database.epoch db in
+  match List.find_opt (fun s -> s.db == db && s.snap_epoch = e) !cache with
+  | Some s ->
+    cache := s :: List.filter (fun s' -> s' != s) !cache;
+    s
+  | None ->
+    let s =
+      {
+        db;
+        snap_epoch = e;
+        tindexes = Hashtbl.create 8;
+        csrs = Hashtbl.create 8;
+      }
+    in
+    let keep = List.filter (fun s' -> s'.db != db) !cache in
+    cache := s :: List.filteri (fun i _ -> i < cache_cap - 1) keep;
+    s
+
+let peek db =
+  let e = Database.epoch db in
+  List.find_opt (fun s -> s.db == db && s.snap_epoch = e) !cache
+
+let invalidate db = cache := List.filter (fun s -> s.db != db) !cache

@@ -186,6 +186,7 @@ let rec eval_stmt t (stmt : Ast.stmt) : outcome =
          session-level actuals against the algebra plan *)
       let a0 = Mad.Derive.atoms_visited t.stats
       and l0 = Mad.Derive.links_traversed t.stats in
+      let path = Mad.Derive.describe_path t.db in
       let t0 = !Mad_obs.Span.clock () in
       let outcome = eval_stmt t stmt in
       let ms = (!Mad_obs.Span.clock () -. t0) *. 1000. in
@@ -203,8 +204,9 @@ let rec eval_stmt t (stmt : Ast.stmt) : outcome =
       in
       Explained
         (Format.asprintf
-           "%s@.actual: %s%d atoms visited, %d links traversed (%.2f ms)"
-           (explain_stmt t stmt) molecules
+           "%s@.derive: %s@.actual: %s%d atoms visited, %d links traversed \
+            (%.2f ms)"
+           (explain_stmt t stmt) path molecules
            (Mad.Derive.atoms_visited t.stats - a0)
            (Mad.Derive.links_traversed t.stats - l0)
            ms)

@@ -11,7 +11,9 @@ type labels = (string * string) list
 type counter = {
   c_name : string;
   c_labels : labels;
-  mutable count : int;
+  count : int Atomic.t;
+      (** atomic so kernel workers on other domains can account
+          atoms/links into the same counter without tearing *)
 }
 
 type gauge = {
@@ -35,10 +37,12 @@ type sample = Counter of counter | Gauge of gauge | Histogram of histogram
 
 (* ------------------------------------------------------------------ *)
 
-let counter ?(labels = []) name = { c_name = name; c_labels = labels; count = 0 }
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let value c = c.count
+let counter ?(labels = []) name =
+  { c_name = name; c_labels = labels; count = Atomic.make 0 }
+
+let incr c = Atomic.incr c.count
+let add c n = ignore (Atomic.fetch_and_add c.count n)
+let value c = Atomic.get c.count
 
 let gauge ?(labels = []) name = { g_name = name; g_labels = labels; value = 0.0 }
 let set g v = g.value <- v
@@ -115,7 +119,7 @@ let quantile h q =
   end
 
 let reset = function
-  | Counter c -> c.count <- 0
+  | Counter c -> Atomic.set c.count 0
   | Gauge g -> g.value <- 0.0
   | Histogram h ->
     Array.fill h.counts 0 (Array.length h.counts) 0;
@@ -144,7 +148,8 @@ let pp_labels ppf = function
       labels
 
 let pp ppf = function
-  | Counter c -> Fmt.pf ppf "%s%a = %d" c.c_name pp_labels c.c_labels c.count
+  | Counter c ->
+    Fmt.pf ppf "%s%a = %d" c.c_name pp_labels c.c_labels (Atomic.get c.count)
   | Gauge g -> Fmt.pf ppf "%s%a = %g" g.g_name pp_labels g.g_labels g.value
   | Histogram h ->
     Fmt.pf ppf

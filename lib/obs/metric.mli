@@ -7,7 +7,9 @@ type labels = (string * string) list
 type counter = private {
   c_name : string;
   c_labels : labels;
-  mutable count : int;
+  count : int Atomic.t;
+      (** atomic so counters shared with kernel worker domains stay
+          exact; read through {!value} *)
 }
 
 type gauge = private {

@@ -137,7 +137,7 @@ let expose t =
       | Metric.Counter c ->
         let name = prom_name c.Metric.c_name in
         type_line name "counter";
-        line name c.Metric.c_labels (string_of_int c.Metric.count)
+        line name c.Metric.c_labels (string_of_int (Metric.value c))
       | Metric.Gauge g ->
         let name = prom_name g.Metric.g_name in
         type_line name "gauge";

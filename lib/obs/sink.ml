@@ -52,7 +52,7 @@ let json_of_sample = function
         ("kind", Json.Str "counter");
         ("name", Json.Str c.Metric.c_name);
         ("labels", json_of_labels c.Metric.c_labels);
-        ("value", Json.Num (float_of_int c.Metric.count));
+        ("value", Json.Num (float_of_int (Metric.value c)));
       ]
   | Metric.Gauge g ->
     Json.Obj

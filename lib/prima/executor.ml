@@ -60,10 +60,8 @@ let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
       ~attrs:[ ("roots", Span.Int (List.length roots)) ]
     @@ fun sp ->
     let derived =
-      List.map
-        (fun (a : Atom.t) ->
-          Mad.Derive.derive_one ~stats db plan.Planner.derive_desc a.id)
-        roots
+      Mad.Derive.derive_roots ~stats db plan.Planner.derive_desc
+        (List.map (fun (a : Atom.t) -> a.id) roots)
     in
     Span.set sp "atoms_visited"
       (Span.Int (Mad.Derive.atoms_visited stats - a0));

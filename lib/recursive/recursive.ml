@@ -83,48 +83,185 @@ let v db ~root_type ~link ?(view = Sub) ?max_depth ?component () =
 
 let dir_of_view = function Sub -> `Fwd | Super -> `Bwd
 
-(** Derive the recursive molecule rooted at [root]. *)
-let derive_one ?(stats = Mad.Derive.stats ()) db (d : desc) root =
-  let dir = dir_of_view d.view in
-  let within depth =
-    match d.max_depth with None -> true | Some k -> depth <= k
+let kernel_enabled () =
+  match Sys.getenv_opt "MAD_KERNEL" with
+  | Some ("off" | "0" | "scalar" | "no" | "false") -> false
+  | Some _ | None -> true
+
+(* Post-order of the CSR graph (children before parents), or [None]
+   when a cycle (including a self-loop) makes one impossible.
+   Iterative DFS — recursion depth would track the longest chain. *)
+let topo_postorder (m : Mad_kernel.Snapshot.csr) n =
+  let state = Bytes.make (max 1 n) '\000' in
+  (* '\000' unvisited, '\001' on the DFS stack, '\002' finished *)
+  let order = Array.make (max 1 n) 0 in
+  let onum = ref 0 in
+  let cyclic = ref false in
+  let stack = ref [] in
+  for s = 0 to n - 1 do
+    if Bytes.get state s = '\000' && not !cyclic then begin
+      Bytes.set state s '\001';
+      stack := [ (s, m.Mad_kernel.Snapshot.offs.(s)) ];
+      while !stack <> [] && not !cyclic do
+        match !stack with
+        | [] -> ()
+        | (v, k) :: rest ->
+          if k < m.Mad_kernel.Snapshot.offs.(v + 1) then begin
+            stack := (v, k + 1) :: rest;
+            let c = m.Mad_kernel.Snapshot.cols.(k) in
+            match Bytes.get state c with
+            | '\000' ->
+              Bytes.set state c '\001';
+              stack := (c, m.Mad_kernel.Snapshot.offs.(c)) :: !stack
+            | '\001' -> cyclic := true
+            | _ -> ()
+          end
+          else begin
+            Bytes.set state v '\002';
+            order.(!onum) <- v;
+            incr onum;
+            stack := rest
+          end
+      done
+    end
+  done;
+  if !cyclic then None else Some order
+
+(* Unbounded closures over a DAG compose: members(p) = {p} ∪ the
+   members of p's partners, likewise the used links.  Computing them
+   bottom-up shares the persistent sub-sets across every root — the
+   per-root BFS then only supplies depths and the work counts, which
+   are root-relative and cannot be shared. *)
+let memo_closures snap (d : desc) =
+  let ti = Mad_kernel.Snapshot.tindex snap d.root_type in
+  let n = Mad_kernel.Snapshot.cardinal ti in
+  let dir = match d.view with Sub -> `Fwd | Super -> `Bwd in
+  let m = Mad_kernel.Snapshot.csr snap d.link ~dir in
+  match topo_postorder m n with
+  | None -> None
+  | Some order ->
+    let members = Array.make (max 1 n) Aid.Set.empty in
+    let links = Array.make (max 1 n) Link.Set.empty in
+    for k = 0 to n - 1 do
+      let p = order.(k) in
+      let p_raw = ti.Mad_kernel.Snapshot.ids.(p) in
+      let mem = ref (Aid.Set.singleton p_raw) in
+      let lnk = ref Link.Set.empty in
+      for j = m.Mad_kernel.Snapshot.offs.(p)
+          to m.Mad_kernel.Snapshot.offs.(p + 1) - 1 do
+        let c = m.Mad_kernel.Snapshot.cols.(j) in
+        let c_raw = ti.Mad_kernel.Snapshot.ids.(c) in
+        let left, right =
+          match d.view with Sub -> (p_raw, c_raw) | Super -> (c_raw, p_raw)
+        in
+        mem := Aid.Set.union !mem members.(c);
+        lnk := Link.Set.add (Link.v d.link left right) (Link.Set.union !lnk links.(c))
+      done;
+      members.(p) <- !mem;
+      links.(p) <- !lnk
+    done;
+    Some (ti, members, links)
+
+(* The memo is pure given (database, epoch, link, view) — exactly the
+   snapshot-cache discipline, so it gets the same small keyed cache:
+   repeated derivations of one recursive type between mutations reuse
+   the shared sets outright.  A [None] value records a cyclic verdict,
+   sparing the re-probe. *)
+type memo_entry = {
+  me_db : Database.t;
+  me_epoch : int;
+  me_link : string;
+  me_view : view;
+  me_val :
+    (Mad_kernel.Snapshot.tindex * Aid.Set.t array * Link.Set.t array) option;
+}
+
+let memo_cache : memo_entry list ref = ref []
+let memo_cache_cap = 8
+
+let memo_hit db ep (d : desc) e =
+  e.me_db == db && e.me_epoch = ep
+  && String.equal e.me_link d.link
+  && e.me_view = d.view
+
+(* probe only — a single-root derivation is not worth building the
+   whole-graph memo, but reuses one a prior [m_dom] left behind *)
+let memo_probe snap db (d : desc) =
+  match d.max_depth with
+  | Some _ -> None
+  | None -> begin
+    let ep = Mad_kernel.Snapshot.epoch snap in
+    match List.find_opt (memo_hit db ep d) !memo_cache with
+    | Some { me_val = Some v; _ } -> Some v
+    | Some { me_val = None; _ } | None -> None
+  end
+
+let memo_closures_cached snap db (d : desc) =
+  let ep = Mad_kernel.Snapshot.epoch snap in
+  let hit = memo_hit db ep d in
+  match List.find_opt hit !memo_cache with
+  | Some e -> e.me_val
+  | None ->
+    let v = memo_closures snap d in
+    let keep = List.filter (fun e -> not (e.me_db == db && e.me_epoch <> ep)) !memo_cache in
+    let keep = List.filteri (fun i _ -> i < memo_cache_cap - 1) keep in
+    memo_cache :=
+      { me_db = db; me_epoch = ep; me_link = d.link; me_view = d.view; me_val = v }
+      :: keep;
+    v
+
+let depth_map (cl : Mad_kernel.Kernel.closure) =
+  let depth_of = ref Aid.Map.empty in
+  Array.iteri
+    (fun i id -> depth_of := Aid.Map.add id cl.c_depths.(i) !depth_of)
+    cl.c_atoms;
+  !depth_of
+
+(* Lift a kernel closure into the molecule's sets; work accounting
+   matches the scalar loop below exactly.  [of_list] builds (sort +
+   linear construction) beat element-wise [add] here, and at this
+   point the closure output is complete, so batch construction is
+   available. *)
+let convert_closure ~stats (d : desc) (cl : Mad_kernel.Kernel.closure) =
+  Mad_obs.Metric.add stats.Mad.Derive.atoms_visited cl.c_visited;
+  Mad_obs.Metric.add stats.Mad.Derive.links_traversed cl.c_traversed;
+  let members = Aid.Set.of_list (Array.to_list cl.c_atoms) in
+  let links =
+    Link.Set.of_list
+      (List.rev_map
+         (fun (p, c) ->
+           let left, right = match d.view with Sub -> (p, c) | Super -> (c, p) in
+           Link.v d.link left right)
+         cl.c_pairs)
   in
-  let rec go members links depth_of frontier depth =
-    if Aid.Set.is_empty frontier || not (within depth) then
-      (members, links, depth_of)
-    else
-      let next, links =
-        Aid.Set.fold
-          (fun p (next, links) ->
-            let partners = Database.neighbors db d.link ~dir p in
-            Mad_obs.Metric.add stats.Mad.Derive.links_traversed
-              (Aid.Set.cardinal partners);
-            let links =
-              Aid.Set.fold
-                (fun c links ->
-                  let left, right =
-                    match d.view with Sub -> (p, c) | Super -> (c, p)
-                  in
-                  Link.Set.add (Link.v d.link left right) links)
-                partners links
-            in
-            (Aid.Set.union next partners, links))
-          frontier (Aid.Set.empty, links)
-      in
-      let fresh = Aid.Set.diff next members in
-      Mad_obs.Metric.add stats.Mad.Derive.atoms_visited
-        (Aid.Set.cardinal fresh);
-      let depth_of =
-        Aid.Set.fold (fun id m -> Aid.Map.add id depth m) fresh depth_of
-      in
-      go (Aid.Set.union members fresh) links depth_of fresh (depth + 1)
-  in
-  Mad_obs.Metric.incr stats.Mad.Derive.atoms_visited;
-  let members, links, depth_of =
-    go (Aid.Set.singleton root) Link.Set.empty
-      (Aid.Map.singleton root 0)
-      (Aid.Set.singleton root) 1
-  in
+  (members, links, depth_map cl)
+
+(* the fixpoint as the kernel's BFS closure over the CSR snapshot *)
+let closure_kernel ~stats db (d : desc) root =
+  let snap = Mad_kernel.Snapshot.of_db db in
+  let fwd = match d.view with Sub -> true | Super -> false in
+  match memo_probe snap db d with
+  | Some (ti, members, links) ->
+    let cl =
+      Mad_kernel.Kernel.closure ~with_pairs:false snap ~link:d.link ~fwd
+        ~atype:d.root_type root
+    in
+    Mad_obs.Metric.add stats.Mad.Derive.atoms_visited cl.c_visited;
+    Mad_obs.Metric.add stats.Mad.Derive.links_traversed cl.c_traversed;
+    let ri = Mad_kernel.Snapshot.idx_of ti root in
+    (members.(ri), links.(ri), depth_map cl)
+  | None ->
+    let cl =
+      Mad_kernel.Kernel.closure ?max_depth:d.max_depth snap ~link:d.link ~fwd
+        ~atype:d.root_type root
+    in
+    convert_closure ~stats d cl
+
+(** Derive the recursive molecule rooted at [root].  [~kernel] forces
+    the path; the default uses the kernel only when a snapshot is warm
+    ({!m_dom} builds one up front). *)
+(* components (if any) and the molecule record, shared by every path *)
+let finish ~stats db (d : desc) root (members, links, depth_of) =
   let components =
     match d.component with
     | None -> Aid.Map.empty
@@ -136,12 +273,100 @@ let derive_one ?(stats = Mad.Derive.stats ()) db (d : desc) root =
   in
   { root; members; links; depth_of; components }
 
-(** One recursive molecule per atom of the root type. *)
-let m_dom ?stats db (d : desc) =
-  Database.atoms db d.root_type
-  |> List.map (fun (a : Atom.t) -> derive_one ?stats db d a.id)
+let derive_one ?(stats = Mad.Derive.stats ()) ?kernel db (d : desc) root =
+  let dir = dir_of_view d.view in
+  let within depth =
+    match d.max_depth with None -> true | Some k -> depth <= k
+  in
+  let rec go members links depth_of frontier depth =
+    if Aid.Set.is_empty frontier || not (within depth) then
+      (members, links, depth_of)
+    else
+      let next, links =
+        Aid.Set.fold
+          (fun p (next, links) ->
+            let next = ref next and links = ref links and seen = ref 0 in
+            Database.iter_neighbors db d.link ~dir p (fun c ->
+                incr seen;
+                let left, right =
+                  match d.view with Sub -> (p, c) | Super -> (c, p)
+                in
+                links := Link.Set.add (Link.v d.link left right) !links;
+                next := Aid.Set.add c !next);
+            Mad_obs.Metric.add stats.Mad.Derive.links_traversed !seen;
+            (!next, !links))
+          frontier (Aid.Set.empty, links)
+      in
+      let fresh = Aid.Set.diff next members in
+      Mad_obs.Metric.add stats.Mad.Derive.atoms_visited
+        (Aid.Set.cardinal fresh);
+      let depth_of =
+        Aid.Set.fold (fun id m -> Aid.Map.add id depth m) fresh depth_of
+      in
+      go (Aid.Set.union members fresh) links depth_of fresh (depth + 1)
+  in
+  let use =
+    match kernel with
+    | Some b -> b
+    | None ->
+      kernel_enabled ()
+      && (match Mad_kernel.Snapshot.peek db with Some _ -> true | None -> false)
+  in
+  let members, links, depth_of =
+    if use then closure_kernel ~stats db d root
+    else begin
+      Mad_obs.Metric.incr stats.Mad.Derive.atoms_visited;
+      go (Aid.Set.singleton root) Link.Set.empty
+        (Aid.Map.singleton root 0)
+        (Aid.Set.singleton root) 1
+    end
+  in
+  finish ~stats db d root (members, links, depth_of)
 
-let define ?stats db ~name (d : desc) = { name; desc = d; occ = m_dom ?stats db d }
+(** One recursive molecule per atom of the root type.  The kernel path
+    runs every root's closure over one CSR snapshot with shared
+    scratch buffers ({!Mad_kernel.Kernel.closure_roots}); unbounded
+    closures over acyclic link graphs additionally share the member
+    and link sets bottom-up ({!memo_closures}). *)
+let m_dom ?(stats = Mad.Derive.stats ()) ?kernel db (d : desc) =
+  let use = match kernel with Some b -> b | None -> kernel_enabled () in
+  let atoms = Database.atoms db d.root_type in
+  if not use then
+    List.map
+      (fun (a : Atom.t) -> derive_one ~stats ~kernel:false db d a.id)
+      atoms
+  else
+    let snap = Mad_kernel.Snapshot.of_db db in
+    let fwd = match d.view with Sub -> true | Super -> false in
+    let roots = Array.of_list (List.map (fun (a : Atom.t) -> a.Atom.id) atoms) in
+    let memo =
+      match d.max_depth with
+      | None -> memo_closures_cached snap db d
+      | Some _ -> None
+    in
+    match memo with
+    | Some (ti, members, links) ->
+      let cls =
+        Mad_kernel.Kernel.closure_roots ~with_pairs:false snap ~link:d.link
+          ~fwd ~atype:d.root_type roots
+      in
+      List.init (Array.length roots) (fun i ->
+          let cl = cls.(i) in
+          Mad_obs.Metric.add stats.Mad.Derive.atoms_visited cl.c_visited;
+          Mad_obs.Metric.add stats.Mad.Derive.links_traversed cl.c_traversed;
+          let ri = Mad_kernel.Snapshot.idx_of ti roots.(i) in
+          finish ~stats db d roots.(i)
+            (members.(ri), links.(ri), depth_map cl))
+    | None ->
+      let cls =
+        Mad_kernel.Kernel.closure_roots ?max_depth:d.max_depth snap
+          ~link:d.link ~fwd ~atype:d.root_type roots
+      in
+      List.init (Array.length roots) (fun i ->
+          finish ~stats db d roots.(i) (convert_closure ~stats d cls.(i)))
+
+let define ?stats ?kernel db ~name (d : desc) =
+  { name; desc = d; occ = m_dom ?stats ?kernel db d }
 
 (* ------------------------------------------------------------------ *)
 (* Restriction over recursive molecules                                 *)
@@ -295,7 +520,10 @@ let macro_step db (d : cycle_desc) frontier intermediates =
           let dir = (step.s_dir :> [ `Fwd | `Bwd | `Both ]) in
           Aid.Set.fold
             (fun id acc ->
-              Aid.Set.union acc (Database.neighbors db step.s_link ~dir id))
+              let acc = ref acc in
+              Database.iter_neighbors db step.s_link ~dir id (fun n ->
+                  acc := Aid.Set.add n !acc);
+              !acc)
             current Aid.Set.empty
         in
         let lt = Database.link_type db step.s_link in

@@ -44,9 +44,18 @@ val v :
     component structure must be rooted at [root_type] and must not
     reuse the recursion link. *)
 
-val derive_one : ?stats:Mad.Derive.stats -> Database.t -> desc -> Aid.t -> molecule
-val m_dom : ?stats:Mad.Derive.stats -> Database.t -> desc -> molecule list
-val define : ?stats:Mad.Derive.stats -> Database.t -> name:string -> desc -> t
+val derive_one :
+  ?stats:Mad.Derive.stats -> ?kernel:bool -> Database.t -> desc -> Aid.t -> molecule
+(** The fixpoint from one root.  [~kernel] forces the path; by default
+    the kernel's BFS closure runs only on a warm snapshot. *)
+
+val m_dom :
+  ?stats:Mad.Derive.stats -> ?kernel:bool -> Database.t -> desc -> molecule list
+(** One molecule per root-type atom; builds the CSR snapshot once and
+    runs every closure on it (unless [MAD_KERNEL=off]). *)
+
+val define :
+  ?stats:Mad.Derive.stats -> ?kernel:bool -> Database.t -> name:string -> desc -> t
 
 val molecule_satisfies : Database.t -> t -> molecule -> Mad.Qual.t -> bool
 (** Qualification over a recursive molecule; the pseudo-attribute

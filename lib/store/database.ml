@@ -55,15 +55,28 @@ type t = {
   mutable journal : (op -> unit) option;
       (** Called after each successful mutation (never for rejected
           ones); installed by the durability engine, [None] otherwise. *)
+  mutable epoch : int;
+      (** Monotonic mutation epoch: bumped once per successful logical
+          op (cascade sub-ops included).  Derived read-only structures
+          — the kernel's CSR adjacency snapshots — record the epoch
+          they were built at and rebuild when it has moved on. *)
 }
 
 let create () =
   { next_id = 1; atom_tables = Hashtbl.create 16;
-    link_stores = Hashtbl.create 16; journal = None }
+    link_stores = Hashtbl.create 16; journal = None; epoch = 0 }
 
 let set_journal db j = db.journal <- j
 
-let emit db op = match db.journal with None -> () | Some j -> j op
+let epoch db = db.epoch
+
+(* every successful mutation flows through here (rejected ones raise
+   before), so the epoch bump and the journal share one choke point;
+   the epoch also moves for unjournaled sub-mutations, which is what
+   snapshot invalidation needs *)
+let emit db op =
+  db.epoch <- db.epoch + 1;
+  match db.journal with None -> () | Some j -> j op
 
 (* run [f] with journaling off: used when one logical op performs
    sub-mutations (the delete cascade) that must not be double-logged *)
@@ -326,6 +339,23 @@ let neighbors db ltname ~dir from =
   | `Fwd -> adj_find st.fwd from
   | `Bwd -> adj_find st.bwd from
   | `Both -> Aid.Set.union (adj_find st.fwd from) (adj_find st.bwd from)
+
+(** Iterate the partners of [from] without building a union set: the
+    stored side sets are walked in ascending id order; for [`Both] the
+    backward side skips atoms already seen forward, so each partner is
+    visited exactly once (same multiset as {!neighbors}).  This is the
+    allocation-free traversal primitive for hot loops (closure
+    fixpoints, integrity re-verification). *)
+let iter_neighbors db ltname ~dir from f =
+  let st = link_store db ltname in
+  match dir with
+  | `Fwd -> Aid.Set.iter f (adj_find st.fwd from)
+  | `Bwd -> Aid.Set.iter f (adj_find st.bwd from)
+  | `Both ->
+    let fwd = adj_find st.fwd from in
+    Aid.Set.iter f fwd;
+    Aid.Set.iter (fun id -> if not (Aid.Set.mem id fwd) then f id)
+      (adj_find st.bwd from)
 
 (** Like {!neighbors} but computed by scanning the link type's pair set
     instead of the adjacency index — the ablation baseline quantifying

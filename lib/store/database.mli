@@ -53,10 +53,18 @@ type t = {
   mutable journal : (op -> unit) option;
       (** Called after each successful mutation, never for rejected
           ones; installed by the durability engine, [None] otherwise. *)
+  mutable epoch : int;
+      (** Monotonic mutation epoch (see {!epoch}). *)
 }
 
 val create : unit -> t
 val fresh_id : t -> Aid.t
+
+val epoch : t -> int
+(** The mutation epoch: bumped once per successful logical mutation
+    (delete cascades bump once per sub-removal too).  Read-only derived
+    structures — the derivation kernel's CSR snapshots — are keyed by
+    [(database, epoch)] and rebuild when the epoch has moved. *)
 
 val set_journal : t -> (op -> unit) option -> unit
 (** Install (or remove) the journal hook.  Rejected operations — domain
@@ -155,6 +163,12 @@ val count_links : t -> string -> int
 val neighbors : t -> string -> dir:[ `Fwd | `Bwd | `Both ] -> Aid.t -> Aid.Set.t
 (** Partners over a link type. [`Fwd]: the atom plays the left role;
     [`Bwd]: the right; [`Both]: union (the fully symmetric view). *)
+
+val iter_neighbors :
+  t -> string -> dir:[ `Fwd | `Bwd | `Both ] -> Aid.t -> (Aid.t -> unit) -> unit
+(** Iterate the partners of an atom without allocating a result set
+    (ascending id order per side; [`Both] visits each partner once).
+    The traversal primitive for hot loops. *)
 
 val neighbors_scan :
   t -> string -> dir:[ `Fwd | `Bwd | `Both ] -> Aid.t -> Aid.Set.t

@@ -121,8 +121,10 @@ let check_index db acc =
       let via_index =
         List.concat_map
           (fun (l, _) ->
-            Aid.Set.elements (Database.neighbors db ltname ~dir:`Fwd l)
-            |> List.map (fun r -> (l, r)))
+            let partners = ref [] in
+            Database.iter_neighbors db ltname ~dir:`Fwd l (fun r ->
+                partners := (l, r) :: !partners);
+            !partners)
           pairs
         |> List.sort_uniq compare
       in

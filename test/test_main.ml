@@ -5,6 +5,7 @@ let () =
       ("serialize", T_serialize.suite);
       ("mdesc", T_mdesc.suite);
       ("derive", T_derive.suite);
+      ("kernel", T_kernel.suite);
       ("qual", T_qual.suite);
       ("atom-algebra", T_atom_algebra.suite);
       ("molecule-algebra", T_molecule_algebra.suite);
