@@ -106,8 +106,8 @@ let time_ns name f =
       r_iterations = h.Mad_obs.Metric.n;
       r_ns_per_run = est;
       r_mean_us = Mad_obs.Metric.mean h;
-      r_p50_us = Mad_obs.Metric.quantile h 0.5;
-      r_p95_us = Mad_obs.Metric.quantile h 0.95;
+      r_p50_us = Option.value ~default:0.0 (Mad_obs.Metric.quantile h 0.5);
+      r_p95_us = Option.value ~default:0.0 (Mad_obs.Metric.quantile h 0.95);
     }
     :: !recorded;
   est

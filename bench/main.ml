@@ -21,6 +21,7 @@ let experiments =
     ("kernel", B_kernel.run);
     ("clust", B_clust.run);
     ("wal", B_wal.run);
+    ("obs", B_obs.run);
   ]
 
 let () =

@@ -6,11 +6,14 @@
      explain  show the algebra plan and PRIMA's optimized plan
      schema   print the schema (MAD diagram) or the formal Fig. 4 view
      dot      emit Graphviz for the schema or the atom networks
+     trace    run statements and dump the flight recorder (Chrome trace)
      recovery run the crash-recovery fault-injection suite
 
    repl, query, explain and script take --data DIR to run against a
    durable store (snapshot + write-ahead log) instead of a transient
-   in-memory database. *)
+   in-memory database.  query takes --trace FILE (and the repl
+   :trace) to dump the engine's flight-recorder ring as Chrome
+   trace-event JSON, loadable in Perfetto. *)
 
 open Mad_store
 open Cmdliner
@@ -84,6 +87,14 @@ let with_session ?obs db_name data f =
           (fun () -> f session (Some h)))
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder dumps                                                *)
+
+let write_trace path =
+  Mad_obs.Recorder.dump (Mad_obs.Recorder.global ()) path;
+  Format.eprintf "trace written to %s (%d event(s) recorded)@." path
+    (Mad_obs.Recorder.recorded (Mad_obs.Recorder.global ()))
+
+(* ------------------------------------------------------------------ *)
 (* repl                                                                 *)
 
 let repl db_name data =
@@ -97,7 +108,7 @@ let repl db_name data =
        (Mad_durable.Durable.dir h) Database.pp_summary db
        Mad_durable.Durable.pp_recovery
        (Mad_durable.Durable.recovery h));
-  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :drift :save :explain <stmt>@.";
+  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :drift :save :trace [FILE] :explain <stmt>@.";
   let buf = Buffer.create 256 in
   let rec loop () =
     if Buffer.length buf = 0 then print_string "MOL> " else print_string "...> ";
@@ -148,6 +159,17 @@ let repl db_name data =
            Format.printf "snapshot rolled in %s%s@."
              (Mad_durable.Durable.dir h)
              (if stats_saved then " (learned catalog saved)" else ""));
+        loop ()
+      end
+      else if String.equal trimmed ":trace"
+              || (String.length trimmed >= 7
+                  && String.sub trimmed 0 7 = ":trace ") then begin
+        let path =
+          if String.equal trimmed ":trace" then "trace.json"
+          else String.trim (String.sub trimmed 7 (String.length trimmed - 7))
+        in
+        (try write_trace path
+         with Sys_error msg -> Format.printf "error: %s@." msg);
         loop ()
       end
       else if String.length trimmed >= 9 && String.sub trimmed 0 9 = ":explain " then begin
@@ -205,17 +227,28 @@ let profile_report session fmt stmt =
   | other, _ ->
     Err.failf "unknown profile format %s (expected pretty or json)" other
 
-let query db_name data profile stmt =
+let trace_arg =
+  let doc =
+    "Dump the engine's flight recorder (ring-buffered spans, WAL, kernel \
+     and snapshot events) to $(docv) as Chrome trace-event JSON after the \
+     statement ran — open it in Perfetto or about://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let query db_name data profile trace stmt =
   handle @@ fun () ->
-  with_session db_name data @@ fun session _durable ->
-  print_string (Mad_mql.Session.run_to_string session stmt);
-  match profile with
-  | None -> ()
-  | Some fmt -> profile_report session fmt (Mad_mql.Session.parse session stmt)
+  (with_session db_name data @@ fun session _durable ->
+   print_string (Mad_mql.Session.run_to_string session stmt);
+   match profile with
+   | None -> ()
+   | Some fmt -> profile_report session fmt (Mad_mql.Session.parse session stmt));
+  (* dump after the session closed so the final group commit's fsync is
+     part of the trace *)
+  match trace with None -> () | Some path -> write_trace path
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Evaluate one MOL statement")
-    Term.(const query $ db_arg $ data_arg $ profile_arg $ stmt_arg)
+    Term.(const query $ db_arg $ data_arg $ profile_arg $ trace_arg $ stmt_arg)
 
 let analyze_arg =
   Arg.(
@@ -359,8 +392,45 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Execute MOL statements and print the session's metrics registry \
-          as Prometheus text (counters, gauges, op.latency_us histograms).")
+          as Prometheus text (counters, gauges, op.latency_us histograms \
+          with flight-recorder exemplars).")
     Term.(const stats $ db_arg $ stats_stmts_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace — run statements, dump the flight recorder                     *)
+
+let trace db_name data out stmts =
+  handle @@ fun () ->
+  (with_session db_name data @@ fun session _durable ->
+   List.iter
+     (fun src ->
+       List.iter
+         (fun stmt -> ignore (Mad_mql.Session.run session (String.trim stmt)))
+         (split_statements src))
+     stmts);
+  write_trace out
+
+let trace_out_arg =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the Chrome trace to $(docv) (default trace.json).")
+
+let trace_stmts_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"STATEMENTS"
+        ~doc:"MOL statements to execute before dumping the recorder.")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Execute MOL statements (against $(b,--db) or a durable \
+          $(b,--data) store) and dump the engine's flight recorder as \
+          Chrome trace-event JSON: one track per domain plus WAL and \
+          planner tracks, loadable in Perfetto or about://tracing.")
+    Term.(const trace $ db_arg $ data_arg $ trace_out_arg $ trace_stmts_arg)
 
 let dump db_name out =
   handle @@ fun () ->
@@ -475,5 +545,5 @@ let () =
        (Cmd.group info
           [
             repl_cmd; query_cmd; explain_cmd; schema_cmd; dot_cmd; dump_cmd;
-            script_cmd; stats_cmd; recovery_cmd;
+            script_cmd; stats_cmd; trace_cmd; recovery_cmd;
           ]))

@@ -99,8 +99,12 @@ let replay_wal db dirname =
   List.iteri
     (fun i payload ->
       let recno = i + 1 in
-      try Logrec.apply db (Logrec.decode ~recno payload)
-      with Err.Mad_error msg -> Err.failf "%s: %s" wal_basename msg)
+      (try Logrec.apply db (Logrec.decode ~recno payload)
+       with Err.Mad_error msg -> Err.failf "%s: %s" wal_basename msg);
+      (* a recovery timeline in the flight recorder: one instant per
+         replayed record, so a stalled replay shows where it stopped *)
+      Mad_obs.Recorder.note Recovery_replay ~label:wal_basename ~a:recno
+        ~b:(String.length payload) ())
     payloads;
   let torn =
     match tail with Wal.Clean -> 0 | Wal.Torn { bytes_dropped } -> bytes_dropped
@@ -128,8 +132,13 @@ let check_open t = if t.closed then Err.failf "durable store %s is closed" t.dir
     live database and truncate the log. *)
 let snapshot t =
   check_open t;
+  let t0 = Mad_obs.Monotonic.ticks () in
+  let records = t.wal_records in
   write_atomically (snapshot_path t.dir) (Serialize.dump t.db);
-  restart_wal t
+  restart_wal t;
+  Mad_obs.Recorder.note Snapshot_build
+    ~dur_ns:(Mad_obs.Monotonic.ticks () - t0)
+    ~label:snapshot_basename ~a:records ()
 
 (** Open (or create) the data directory and recover its database.
 
@@ -209,7 +218,11 @@ let open_or_seed ?obs ?sync ?snapshot_every ?faults ~seed dirname =
     paying an fsync per record). *)
 let commit t =
   check_open t;
-  Wal.fsync t.wal
+  let t0 = Mad_obs.Monotonic.ticks () in
+  Wal.fsync t.wal;
+  Mad_obs.Recorder.note Group_commit
+    ~dur_ns:(Mad_obs.Monotonic.ticks () - t0)
+    ~a:t.wal_records ()
 
 (** Detach the journal and close the log.  [snapshot] (default false)
     rolls a final snapshot first, leaving an empty log behind. *)

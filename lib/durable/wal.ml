@@ -58,6 +58,7 @@ let frame payload =
 
 type writer = {
   path : string;
+  tag : string;  (** [basename path]; labels flight-recorder events *)
   oc : out_channel;
   sync : bool;  (** fsync after every append *)
   faults : Faults.t option;
@@ -73,6 +74,7 @@ let create ?faults ?(obs = Mad_obs.Obs.noop) ?(sync = false) ~truncate path =
   in
   {
     path;
+    tag = Filename.basename path;
     oc = open_out_gen flags 0o644 path;
     sync;
     faults;
@@ -87,7 +89,11 @@ let fsync w =
   flush w.oc;
   let t0 = !Mad_obs.Span.clock () in
   Unix.fsync (Unix.descr_of_out_channel w.oc);
-  Mad_obs.Metric.observe w.fsync_us ((!Mad_obs.Span.clock () -. t0) *. 1e6)
+  let dt = !Mad_obs.Span.clock () -. t0 in
+  Mad_obs.Metric.observe w.fsync_us (dt *. 1e6);
+  Mad_obs.Recorder.note Wal_fsync
+    ~dur_ns:(int_of_float (dt *. 1e9))
+    ~label:w.tag ()
 
 let append w payload =
   let framed = frame payload in
@@ -98,6 +104,7 @@ let append w payload =
        the separate power-loss boundary *)
     flush w.oc;
     Mad_obs.Metric.add w.append_bytes (String.length framed);
+    Mad_obs.Recorder.note Wal_append ~label:w.tag ~a:(String.length framed) ();
     w.records <- w.records + 1;
     if w.sync then fsync w
   in

@@ -215,6 +215,31 @@ let reset_work pnodes work =
 
 let dummy_mol = { m_root = -1; m_atoms = [||]; m_links = [] }
 
+(* Per-domain pool utilization: [pool.busy_us{domain=i}] gauges in the
+   default registry, written from worker domains via the atomic
+   [Metric.add_gauge].  Created once from a non-worker domain — the
+   registry's hash table is not thread-safe, so workers only ever see
+   the published array (and skip recording in the unlikely event they
+   run before the first main-domain kernel run publishes it). *)
+let pool_busy : Mad_obs.Metric.gauge array option Atomic.t = Atomic.make None
+
+let pool_busy_gauges () =
+  match Atomic.get pool_busy with
+  | Some a -> Some a
+  | None ->
+    if Pool.worker_index () = 0 then begin
+      let reg = Mad_obs.Obs.registry (Mad_obs.Obs.default ()) in
+      let a =
+        Array.init (Pool.max_workers + 1) (fun i ->
+            Mad_obs.Registry.gauge reg
+              ~labels:[ ("domain", string_of_int i) ]
+              "pool.busy_us")
+      in
+      Atomic.set pool_busy (Some a);
+      Some a
+    end
+    else None
+
 let run_roots ?par snap plan roots =
   let n_nodes = Array.length plan.p_nodes in
   let pnodes = prepare snap plan in
@@ -223,7 +248,10 @@ let run_roots ?par snap plan roots =
   let out = Array.make (max 1 n) dummy_mol in
   let stats = { st_atoms = Array.make n_nodes 0; st_links = Array.make n_nodes 0 } in
   let merge = Mutex.create () in
+  let busy = pool_busy_gauges () in
+  let t_run = Mad_obs.Monotonic.ticks () in
   Pool.run_chunks ?par n (fun lo hi ->
+      let t_chunk = Mad_obs.Monotonic.ticks () in
       let work = make_work pnodes in
       let atoms = Array.make n_nodes 0 and links = Array.make n_nodes 0 in
       for i = lo to hi - 1 do
@@ -244,7 +272,18 @@ let run_roots ?par snap plan roots =
         stats.st_atoms.(j) <- stats.st_atoms.(j) + atoms.(j);
         stats.st_links.(j) <- stats.st_links.(j) + links.(j)
       done;
-      Mutex.unlock merge);
+      Mutex.unlock merge;
+      let dur_ns = Mad_obs.Monotonic.ticks () - t_chunk in
+      (match busy with
+       | Some a ->
+         Mad_obs.Metric.add_gauge
+           a.(Pool.worker_index ())
+           (float_of_int dur_ns /. 1e3)
+       | None -> ());
+      Mad_obs.Recorder.note Kernel_chunk ~dur_ns ~a:lo ~b:hi ());
+  Mad_obs.Recorder.note Kernel_run
+    ~dur_ns:(Mad_obs.Monotonic.ticks () - t_run)
+    ~label:plan.p_nodes.(0).n_type ~a:n ~b:n_nodes ();
   ((if n = 0 then [||] else out), stats)
 
 (* ------------------------------------------------------------------ *)
@@ -271,6 +310,7 @@ let closure_roots ?max_depth ?(with_pairs = true) snap ~link ~fwd ~atype roots
   let fa = ref (Array.make (max 1 n) 0) in
   let nb = ref (Array.make (max 1 n) 0) in
   let within d = match max_depth with None -> true | Some k -> d <= k in
+  let t_run = Mad_obs.Monotonic.ticks () in
   let one root_raw =
     let ri = Snapshot.idx_of ti root_raw in
     if ri < 0 then
@@ -326,7 +366,11 @@ let closure_roots ?max_depth ?(with_pairs = true) snap ~link ~fwd ~atype roots
       c_traversed = !traversed;
     }
   in
-  Array.map one roots
+  let out = Array.map one roots in
+  Mad_obs.Recorder.note Kernel_run
+    ~dur_ns:(Mad_obs.Monotonic.ticks () - t_run)
+    ~label:"closure" ~a:(Array.length roots) ~b:1 ();
+  out
 
 let closure ?max_depth ?with_pairs snap ~link ~fwd ~atype root_raw =
   (closure_roots ?max_depth ?with_pairs snap ~link ~fwd ~atype [| root_raw |]).(0)

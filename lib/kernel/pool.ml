@@ -22,11 +22,15 @@ type pool = {
 
 (* set inside workers so a parallel operation reached from within one
    (e.g. a derivation inside a parallel restriction) runs sequentially
-   instead of deadlocking on its own pool *)
-let in_worker = Domain.DLS.new_key (fun () -> false)
+   instead of deadlocking on its own pool; 0 = not a pool worker,
+   1..max_workers = stable worker slot (the per-domain busy-time
+   gauges and trace tracks key on it) *)
+let worker_ix = Domain.DLS.new_key (fun () -> 0)
+let worker_index () = Domain.DLS.get worker_ix
+let in_worker () = worker_index () > 0
 
-let worker p () =
-  Domain.DLS.set in_worker true;
+let worker p ix () =
+  Domain.DLS.set worker_ix ix;
   let rec loop () =
     Mutex.lock p.m;
     let rec next () =
@@ -73,14 +77,14 @@ let the_pool =
 let ensure_workers p wanted =
   let wanted = min wanted max_workers in
   while p.n_workers < wanted do
-    p.domains <- Domain.spawn (worker p) :: p.domains;
+    p.domains <- Domain.spawn (worker p (p.n_workers + 1)) :: p.domains;
     p.n_workers <- p.n_workers + 1
   done
 
 let run_chunks ?par n f =
   let par = match par with Some k -> k | None -> parallelism () in
   let par = min par n in
-  if par <= 1 || Domain.DLS.get in_worker then begin
+  if par <= 1 || in_worker () then begin
     if n > 0 then f 0 n
   end
   else begin

@@ -23,3 +23,9 @@ val run_chunks : ?par:int -> int -> (int -> int -> unit) -> unit
 
 val max_workers : int
 (** Upper bound on pool size; workers are spawned on demand up to it. *)
+
+val worker_index : unit -> int
+(** Stable slot of the calling domain in the pool: [0] for any domain
+    that is not a pool worker (the caller runs chunk 0), [1..]
+    {!max_workers} for workers.  The kernel keys its per-domain
+    busy-time gauges on it. *)

@@ -36,9 +36,13 @@ let tindex t atname =
   | None ->
     (* [atom_ids] is an ordered set: elements come out ascending, so
        the dense index is monotone in the identity *)
+    let t0 = Mad_obs.Monotonic.ticks () in
     let ids = Array.of_list (Aid.Set.elements (Database.atom_ids t.db atname)) in
     let ti = { ids } in
     Hashtbl.replace t.tindexes atname ti;
+    Mad_obs.Recorder.note Snapshot_build
+      ~dur_ns:(Mad_obs.Monotonic.ticks () - t0)
+      ~label:atname ~a:(Array.length ids) ();
     ti
 
 let build_csr t ltname fwd =
@@ -73,8 +77,14 @@ let csr t ltname ~dir =
   match Hashtbl.find_opt t.csrs (ltname, fwd) with
   | Some m -> m
   | None ->
+    let t0 = Mad_obs.Monotonic.ticks () in
     let m = build_csr t ltname fwd in
     Hashtbl.replace t.csrs (ltname, fwd) m;
+    Mad_obs.Recorder.note Snapshot_build
+      ~dur_ns:(Mad_obs.Monotonic.ticks () - t0)
+      ~label:(if fwd then ltname else ltname ^ "~")
+      ~a:(Array.length m.offs - 1)
+      ~b:(Array.length m.cols) ();
     m
 
 (* ------------------------------------------------------------------ *)
@@ -108,4 +118,6 @@ let peek db =
   let e = Database.epoch db in
   List.find_opt (fun s -> s.db == db && s.snap_epoch = e) !cache
 
-let invalidate db = cache := List.filter (fun s -> s.db != db) !cache
+let invalidate db =
+  Mad_obs.Recorder.note Snapshot_invalidate ~a:(Database.epoch db) ();
+  cache := List.filter (fun s -> s.db != db) !cache

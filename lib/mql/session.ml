@@ -49,7 +49,13 @@ let create ?obs db =
     on_commit = None;
   }
 
-let commit t = match t.on_commit with None -> () | Some f -> f ()
+(* the commit is timed as its own operator so fsync stalls show up in
+   [op.latency_us{op=mql.commit}] (with a flight-recorder exemplar)
+   instead of hiding inside the statement's latency *)
+let commit t =
+  match t.on_commit with
+  | None -> ()
+  | Some f -> Mad_obs.Obs.timed t.obs "mql.commit" (fun _ -> f ())
 
 let lookup t name = Hashtbl.find_opt t.env name
 

@@ -19,7 +19,9 @@ type counter = {
 type gauge = {
   g_name : string;
   g_labels : labels;
-  mutable value : float;
+  cell : float Atomic.t;
+      (** atomic for the same reason as [count]: the pool-utilization
+          gauges are bumped from kernel worker domains *)
 }
 
 type histogram = {
@@ -27,6 +29,10 @@ type histogram = {
   h_labels : labels;
   bounds : float array;  (** inclusive upper bounds, strictly increasing *)
   counts : int array;  (** length = length bounds + 1 (overflow bucket) *)
+  ex_seq : int array;
+      (** per-bucket exemplar: recorder seq of the last span that
+          landed in the bucket, [-1] while the bucket has none *)
+  ex_val : float array;  (** the exemplar's observed value *)
   mutable sum : float;
   mutable n : int;
   mutable min_v : float;  (** [infinity] while empty *)
@@ -44,9 +50,17 @@ let incr c = Atomic.incr c.count
 let add c n = ignore (Atomic.fetch_and_add c.count n)
 let value c = Atomic.get c.count
 
-let gauge ?(labels = []) name = { g_name = name; g_labels = labels; value = 0.0 }
-let set g v = g.value <- v
-let get g = g.value
+let gauge ?(labels = []) name =
+  { g_name = name; g_labels = labels; cell = Atomic.make 0.0 }
+
+let set g v = Atomic.set g.cell v
+let get g = Atomic.get g.cell
+
+(* [compare_and_set] on a boxed float compares the box physically; we
+   retry with the freshly read box, so the loop is ABA-safe. *)
+let rec add_gauge g d =
+  let cur = Atomic.get g.cell in
+  if not (Atomic.compare_and_set g.cell cur (cur +. d)) then add_gauge g d
 
 (** Default histogram bounds: a 1-2-5 ladder covering microsecond to
     multi-second durations in milliseconds. *)
@@ -66,17 +80,23 @@ let histogram ?(labels = []) ?(bounds = default_bounds) name =
     h_labels = labels;
     bounds;
     counts = Array.make (Array.length bounds + 1) 0;
+    ex_seq = Array.make (Array.length bounds + 1) (-1);
+    ex_val = Array.make (Array.length bounds + 1) 0.0;
     sum = 0.0;
     n = 0;
     min_v = infinity;
     max_v = neg_infinity;
   }
 
-let observe h v =
+let observe ?(exemplar = -1) h v =
   let k = Array.length h.bounds in
   let rec bucket i = if i >= k || v <= h.bounds.(i) then i else bucket (i + 1) in
   let i = bucket 0 in
   h.counts.(i) <- h.counts.(i) + 1;
+  if exemplar >= 0 then begin
+    h.ex_seq.(i) <- exemplar;
+    h.ex_val.(i) <- v
+  end;
   h.sum <- h.sum +. v;
   h.n <- h.n + 1;
   if v < h.min_v then h.min_v <- v;
@@ -91,9 +111,11 @@ let max_value h = if h.n = 0 then 0.0 else h.max_v
     bucket's lower edge is the tracked minimum and the overflow
     bucket's upper edge is the tracked maximum, so long-tail
     observations beyond the last bound report their true range instead
-    of being capped at [bounds.(k-1)]. *)
+    of being capped at [bounds.(k-1)].  [None] while the histogram is
+    empty — there is no rank to interpolate against, and the sentinels
+    [min_v = infinity] / [max_v = neg_infinity] must not leak. *)
 let quantile h q =
-  if h.n = 0 then 0.0
+  if h.n = 0 then None
   else begin
     let target = int_of_float (Float.round (q *. float_of_int h.n)) in
     let target = max 1 (min h.n target) in
@@ -115,14 +137,16 @@ let quantile h q =
         Float.max h.min_v (Float.min h.max_v v)
       end
     in
-    go 0 0
+    Some (go 0 0)
   end
 
 let reset = function
   | Counter c -> Atomic.set c.count 0
-  | Gauge g -> g.value <- 0.0
+  | Gauge g -> Atomic.set g.cell 0.0
   | Histogram h ->
     Array.fill h.counts 0 (Array.length h.counts) 0;
+    Array.fill h.ex_seq 0 (Array.length h.ex_seq) (-1);
+    Array.fill h.ex_val 0 (Array.length h.ex_val) 0.0;
     h.sum <- 0.0;
     h.n <- 0;
     h.min_v <- infinity;
@@ -147,12 +171,16 @@ let pp_labels ppf = function
       Fmt.(list ~sep:(any ",") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
       labels
 
+let pp_quantile ppf = function
+  | None -> Fmt.pf ppf "-"
+  | Some v -> Fmt.pf ppf "%.3f" v
+
 let pp ppf = function
   | Counter c ->
     Fmt.pf ppf "%s%a = %d" c.c_name pp_labels c.c_labels (Atomic.get c.count)
-  | Gauge g -> Fmt.pf ppf "%s%a = %g" g.g_name pp_labels g.g_labels g.value
+  | Gauge g ->
+    Fmt.pf ppf "%s%a = %g" g.g_name pp_labels g.g_labels (Atomic.get g.cell)
   | Histogram h ->
-    Fmt.pf ppf
-      "%s%a: n=%d sum=%.3f min=%.3f mean=%.3f p50=%.3f p95=%.3f max=%.3f"
+    Fmt.pf ppf "%s%a: n=%d sum=%.3f min=%.3f mean=%.3f p50=%a p95=%a max=%.3f"
       h.h_name pp_labels h.h_labels h.n h.sum (min_value h) (mean h)
-      (quantile h 0.5) (quantile h 0.95) (max_value h)
+      pp_quantile (quantile h 0.5) pp_quantile (quantile h 0.95) (max_value h)

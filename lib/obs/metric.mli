@@ -15,7 +15,9 @@ type counter = private {
 type gauge = private {
   g_name : string;
   g_labels : labels;
-  mutable value : float;
+  cell : float Atomic.t;
+      (** atomic — the pool-utilization gauges are written from kernel
+          worker domains; read through {!get} *)
 }
 
 type histogram = private {
@@ -23,6 +25,10 @@ type histogram = private {
   h_labels : labels;
   bounds : float array;
   counts : int array;
+  ex_seq : int array;
+      (** per-bucket exemplar: flight-recorder seq of the last span
+          that landed in the bucket, [-1] while the bucket has none *)
+  ex_val : float array;  (** the exemplar's observed value *)
   mutable sum : float;
   mutable n : int;
   mutable min_v : float;  (** [infinity] while empty *)
@@ -40,6 +46,9 @@ val gauge : ?labels:labels -> string -> gauge
 val set : gauge -> float -> unit
 val get : gauge -> float
 
+val add_gauge : gauge -> float -> unit
+(** Atomically add a delta; safe from any domain (CAS retry loop). *)
+
 val default_bounds : float array
 
 val latency_bounds_us : float array
@@ -47,7 +56,13 @@ val latency_bounds_us : float array
     [op.latency_us] histograms. *)
 
 val histogram : ?labels:labels -> ?bounds:float array -> string -> histogram
-val observe : histogram -> float -> unit
+
+val observe : ?exemplar:int -> histogram -> float -> unit
+(** Record an observation.  [exemplar] is a flight-recorder event seq
+    ({!Recorder.record}); when [>= 0] the target bucket remembers it
+    (last-writer-wins) and {!Registry.expose} renders it as an
+    OpenMetrics exemplar. *)
+
 val mean : histogram -> float
 
 val min_value : histogram -> float
@@ -56,11 +71,11 @@ val min_value : histogram -> float
 val max_value : histogram -> float
 (** Largest observation, 0 while empty. *)
 
-val quantile : histogram -> float -> float
+val quantile : histogram -> float -> float option
 (** Approximate quantile: linear interpolation inside the bucket
     holding the target rank, with the tracked min/max as the outermost
     bucket edges (so a long tail beyond the last bound reports its
-    true maximum). *)
+    true maximum).  [None] while the histogram is empty. *)
 
 val reset : sample -> unit
 val name : sample -> string

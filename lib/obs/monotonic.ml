@@ -1,0 +1,11 @@
+(** Monotonic ticks for the flight recorder.
+
+    A tick is a nanosecond on the engine clock.  Reading goes through
+    the pluggable {!Span.clock}, so the deterministic clocks tests
+    install drive the recorder too, and a platform that swaps a true
+    monotonic clock into [Span.clock] upgrades every consumer at once.
+    Ticks fit a native [int] (63 bits outlast the epoch in
+    nanoseconds); arithmetic on them is allocation-free, which is what
+    lets recorder events be stamped on the hot path. *)
+
+let ticks () = int_of_float (!Span.clock () *. 1e9)

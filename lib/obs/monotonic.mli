@@ -1,0 +1,6 @@
+(** Monotonic ticks (engine-clock nanoseconds) for event stamping. *)
+
+val ticks : unit -> int
+(** Nanoseconds on the engine clock, as a native [int].  Reads
+    {!Span.clock}, so deterministic test clocks and installed
+    monotonic clocks apply here as well. *)

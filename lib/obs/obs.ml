@@ -42,6 +42,11 @@ type t = {
   mutable stack : Span.t list;  (** open spans, innermost first *)
   sampler : sampler option;
   mutable keep_root : bool;  (** head decision for the open root span *)
+  mutable last_closed : int;
+      (** flight-recorder seq of the most recently closed span, [-1]
+          before any; {!timed} reads it as the histogram exemplar.
+          Deliberately non-atomic: a context belongs to one session on
+          one domain (the kernel records to the ring directly). *)
 }
 
 let create ?(tracing = true) ?(sink = Sink.noop) ?sample ?slow_ms
@@ -58,7 +63,7 @@ let create ?(tracing = true) ?(sink = Sink.noop) ?sample ?slow_ms
         }
   in
   { registry = Registry.create (); sink; tracing; stack = []; sampler;
-    keep_root = true }
+    keep_root = true; last_closed = -1 }
 
 (** The shared disabled context. *)
 let noop = create ~tracing:false ~sink:Sink.noop ()
@@ -86,7 +91,28 @@ let keep_span t sp =
         | None -> false)
 
 let with_span t name ?(attrs = []) f =
-  if not t.tracing then f Span.none
+  if t == noop then f Span.none
+  else if not t.tracing then begin
+    (* tracing off (the default context, prom-mode, …): no Span is
+       built, but the span still journals to the flight recorder — the
+       always-on record the trace dump and exemplars draw from *)
+    if not (Recorder.enabled ()) then f Span.none
+    else begin
+      let t0 = Monotonic.ticks () in
+      let seq = Recorder.span_begin ~ticks:t0 name in
+      match f Span.none with
+      | v ->
+        let t1 = Monotonic.ticks () in
+        Recorder.span_end ~ticks:t1 ~seq ~dur_ns:(t1 - t0) ~error:false name;
+        t.last_closed <- seq;
+        v
+      | exception e ->
+        let t1 = Monotonic.ticks () in
+        Recorder.span_end ~ticks:t1 ~seq ~dur_ns:(t1 - t0) ~error:true name;
+        t.last_closed <- seq;
+        raise e
+    end
+  end
   else begin
     (match (t.stack, t.sampler) with
      | [], Some s ->
@@ -95,6 +121,7 @@ let with_span t name ?(attrs = []) f =
        t.keep_root <- Random.State.float s.rng 1.0 < s.rate
      | _, _ -> ());
     let sp = Span.start name in
+    let seq = Recorder.span_begin ~ticks:(Monotonic.ticks ()) name in
     List.iter (fun (k, v) -> Span.set sp k v) attrs;
     (match t.stack with
      | parent :: _ -> Span.add_child parent sp
@@ -102,10 +129,22 @@ let with_span t name ?(attrs = []) f =
     t.stack <- sp :: t.stack;
     let finish () =
       Span.finish sp;
+      let err = errored sp in
+      Recorder.span_end
+        ~ticks:(Monotonic.ticks ())
+        ~seq
+        ~dur_ns:(int_of_float (Span.duration_ms sp *. 1e6))
+        ~error:err name;
+      t.last_closed <- seq;
       (match t.stack with
        | top :: rest when top == sp -> t.stack <- rest
        | _ -> t.stack <- List.filter (fun s -> not (s == sp)) t.stack);
-      if t.stack = [] && keep_span t sp then t.sink.Sink.emit_span sp
+      if t.stack = [] then begin
+        if keep_span t sp then t.sink.Sink.emit_span sp;
+        (* an errored root is exactly when a post-mortem wants the
+           flight recorder: dump to MAD_OBS_TRACE if configured *)
+        if err then Recorder.dump_on_error ()
+      end
     in
     match f sp with
     | v ->
@@ -138,7 +177,12 @@ let timed t name ?attrs f =
         ~bounds:Metric.latency_bounds_us t.registry "op.latency_us"
     in
     let t0 = !Span.clock () in
-    let record () = Metric.observe h ((!Span.clock () -. t0) *. 1e6) in
+    (* [with_span] sets [t.last_closed] to our span's recorder seq in
+       its finish (children close earlier), so the observation links
+       back to the right flight-recorder event as its exemplar *)
+    let record () =
+      Metric.observe ~exemplar:t.last_closed h ((!Span.clock () -. t0) *. 1e6)
+    in
     match with_span t name ?attrs f with
     | v ->
       record ();
@@ -151,7 +195,10 @@ let timed t name ?attrs f =
 let event t kind fields = t.sink.Sink.emit_event kind fields
 
 (** Push every registered metric to the sink. *)
-let flush t = t.sink.Sink.emit_metrics (Registry.to_list t.registry)
+let flush t =
+  let samples = Registry.to_list t.registry in
+  if t != noop then Recorder.note Metric_flush ~a:(List.length samples) ();
+  t.sink.Sink.emit_metrics samples
 
 let pp_metrics ppf t = Registry.pp ppf t.registry
 

@@ -37,7 +37,13 @@ val with_span : t -> string -> ?attrs:(string * Span.value) list -> (Span.t -> '
     completion of the outermost span, the tree is emitted to the sink.
     With tracing off the function simply receives {!Span.none}.
     Exception-safe; an escaping exception is recorded as an [error]
-    attribute. *)
+    attribute.
+
+    Every span open/close (except on {!noop}) also journals to the
+    global {!Recorder} ring regardless of tracing or sampling — that
+    always-on record feeds [--trace] dumps and histogram exemplars.
+    When an errored root span closes and [MAD_OBS_TRACE] is set, the
+    ring is dumped automatically ({!Recorder.dump_on_error}). *)
 
 val current_span : t -> Span.t option
 
@@ -49,8 +55,10 @@ val timed : t -> string -> ?attrs:(string * Span.value) list -> (Span.t -> 'a) -
 (** {!with_span} plus a latency record: the wall-clock duration lands
     in the registry's [op.latency_us] histogram labeled [op=name],
     even when tracing is off or the sampler drops the span (the shared
-    {!noop} context alone skips the clock).  The engine's operator
-    instrumentation points use this. *)
+    {!noop} context alone skips the clock).  The observation carries
+    the span's flight-recorder seq as its bucket exemplar, so
+    [madql stats] can link a latency bucket to a trace event.  The
+    engine's operator instrumentation points use this. *)
 
 val event : t -> string -> (string * Span.value) list -> unit
 (** Emit a free-form event (kind, fields) to the sink. *)

@@ -141,21 +141,31 @@ let expose t =
       | Metric.Gauge g ->
         let name = prom_name g.Metric.g_name in
         type_line name "gauge";
-        line name g.Metric.g_labels (prom_float g.Metric.value)
+        line name g.Metric.g_labels (prom_float (Metric.get g))
       | Metric.Histogram h ->
         let name = prom_name h.Metric.h_name in
         type_line name "histogram";
+        (* OpenMetrics exemplar: the flight-recorder seq of the last
+           span that landed in the bucket, so a histogram outlier links
+           back to a concrete trace event *)
+        let exemplar i value =
+          if h.Metric.ex_seq.(i) < 0 then value
+          else
+            Printf.sprintf "%s # {span_seq=\"%d\"} %s" value
+              h.Metric.ex_seq.(i)
+              (prom_float h.Metric.ex_val.(i))
+        in
         let acc = ref 0 in
         Array.iteri
           (fun i bound ->
             acc := !acc + h.Metric.counts.(i);
             line (name ^ "_bucket")
               (h.Metric.h_labels @ [ ("le", prom_float bound) ])
-              (string_of_int !acc))
+              (exemplar i (string_of_int !acc)))
           h.Metric.bounds;
         line (name ^ "_bucket")
           (h.Metric.h_labels @ [ ("le", "+Inf") ])
-          (string_of_int h.Metric.n);
+          (exemplar (Array.length h.Metric.bounds) (string_of_int h.Metric.n));
         line (name ^ "_sum") h.Metric.h_labels (prom_float h.Metric.sum);
         line (name ^ "_count") h.Metric.h_labels (string_of_int h.Metric.n))
     (to_list t);

@@ -60,7 +60,7 @@ let json_of_sample = function
         ("kind", Json.Str "gauge");
         ("name", Json.Str g.Metric.g_name);
         ("labels", json_of_labels g.Metric.g_labels);
-        ("value", Json.Num g.Metric.value);
+        ("value", Json.Num (Metric.get g));
       ]
   | Metric.Histogram h ->
     Json.Obj
@@ -72,8 +72,14 @@ let json_of_sample = function
         ("sum", Json.Num h.Metric.sum);
         ("min", Json.Num (Metric.min_value h));
         ("mean", Json.Num (Metric.mean h));
-        ("p50", Json.Num (Metric.quantile h 0.5));
-        ("p95", Json.Num (Metric.quantile h 0.95));
+        ( "p50",
+          match Metric.quantile h 0.5 with
+          | Some v -> Json.Num v
+          | None -> Json.Null );
+        ( "p95",
+          match Metric.quantile h 0.95 with
+          | Some v -> Json.Num v
+          | None -> Json.Null );
         ("max", Json.Num (Metric.max_value h));
       ]
 

@@ -15,6 +15,11 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                             *)
 
@@ -65,25 +70,29 @@ let test_histogram () =
   let h = Registry.histogram reg ~bounds:[| 1.0; 10.0; 100.0 |] "lat" in
   List.iter (Metric.observe h) [ 0.5; 5.0; 50.0; 500.0 ];
   check "mean" true (abs_float (Metric.mean h -. 138.875) < 1e-6);
-  check "median in second bucket" true
-    (Metric.quantile h 0.5 <= 10.0 && Metric.quantile h 0.5 >= 1.0)
+  let p50 = Option.get (Metric.quantile h 0.5) in
+  check "median in second bucket" true (p50 <= 10.0 && p50 >= 1.0)
 
 let test_histogram_stats () =
   let reg = Registry.create () in
   let h = Registry.histogram reg ~bounds:[| 10.0; 20.0; 50.0 |] "lat" in
-  check "empty quantile is 0" true (Metric.quantile h 0.5 = 0.0);
+  let qv h p = Option.get (Metric.quantile h p) in
+  check "empty quantile is None" true (Metric.quantile h 0.5 = None);
   check "empty min/max are 0" true
     (Metric.min_value h = 0.0 && Metric.max_value h = 0.0);
+  (* empty histograms render "-" instead of a non-finite quantile *)
+  check "empty pp prints dash" true
+    (let s = Format.asprintf "%a" Metric.pp (Metric.Histogram h) in
+     contains s "p50=-");
   List.iter (Metric.observe h) [ 5.0; 15.0; 15.0; 100.0 ];
   check "min tracked" true (Metric.min_value h = 5.0);
   check "max tracked" true (Metric.max_value h = 100.0);
   check "sum tracked" true (h.Metric.sum = 135.0);
   (* rank 2 of 4 lands mid-bucket (10, 20]: interpolates to exactly 15 *)
-  check "median interpolated" true
-    (abs_float (Metric.quantile h 0.5 -. 15.0) < 1e-9);
+  check "median interpolated" true (abs_float (qv h 0.5 -. 15.0) < 1e-9);
   (* the top quantile reports the tracked maximum, not a bucket bound *)
-  check "p100 is the tracked max" true (Metric.quantile h 1.0 = 100.0);
-  check "quantiles clamped to min" true (Metric.quantile h 0.0 >= 5.0)
+  check "p100 is the tracked max" true (qv h 1.0 = 100.0);
+  check "quantiles clamped to min" true (qv h 0.0 >= 5.0)
 
 let test_expose_golden () =
   let reg = Registry.create () in
@@ -403,6 +412,280 @@ let test_adaptive_session () =
   check "drift report renders" true
     (has_substr (Prima.Adaptive.report session) "refinement")
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+
+module Recorder = Mad_obs.Recorder
+
+let test_recorder_ring_wrap () =
+  let r = Recorder.create 8 in
+  check_int "capacity rounds to a power of two" 8 (Recorder.capacity r);
+  for i = 0 to 11 do
+    ignore (Recorder.record r Recorder.Wal_append ~a:i ())
+  done;
+  check_int "cursor counts every event" 12 (Recorder.recorded r);
+  let evs = Recorder.drain r in
+  check_int "ring retains the newest window" 8 (List.length evs);
+  let seqs = List.map (fun e -> e.Recorder.e_seq) evs in
+  check "oldest first, newest last" true (seqs = [ 4; 5; 6; 7; 8; 9; 10; 11 ]);
+  check "payloads line up with seqs" true
+    (List.map (fun e -> e.Recorder.e_a) evs = seqs);
+  (* disabling the global ring drops events without consuming seqs *)
+  let g = Recorder.global () in
+  let before = Recorder.recorded g in
+  Recorder.set_enabled false;
+  Recorder.note Recorder.Wal_append ~label:"t_obs.disabled" ();
+  Recorder.set_enabled true;
+  check_int "disabled ring records nothing" before (Recorder.recorded g)
+
+(* the acceptance bar: concurrent recording from 4 domains loses no
+   events when the ring is large enough for the burst — fetch_and_add
+   hands every event its own slot *)
+let test_recorder_concurrent_domains () =
+  let per = 400 and doms = 4 in
+  let r = Recorder.create 2048 in
+  let worker k () =
+    for i = 0 to per - 1 do
+      ignore
+        (Recorder.record r Recorder.Kernel_chunk
+           ~label:(Printf.sprintf "d%d" k)
+           ~a:i ())
+    done
+  in
+  let ds = List.init doms (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join ds;
+  check_int "every event recorded" (per * doms) (Recorder.recorded r);
+  let evs = Recorder.drain r in
+  check_int "no event lost" (per * doms) (List.length evs);
+  let seqs = List.map (fun e -> e.Recorder.e_seq) evs in
+  check_int "seqs all distinct" (per * doms)
+    (List.length (List.sort_uniq compare seqs));
+  List.iter
+    (fun k ->
+      let lbl = Printf.sprintf "d%d" k in
+      check_int (lbl ^ " complete") per
+        (List.length (List.filter (fun e -> e.Recorder.e_label = lbl) evs)))
+    (List.init doms Fun.id)
+
+let test_recorder_chrome_export () =
+  with_fake_clock 0.001 @@ fun () ->
+  let r = Recorder.create 64 in
+  ignore (Recorder.record r Recorder.Span_begin ~label:"prima.plan" ());
+  ignore
+    (Recorder.record r Recorder.Span_end ~label:"mql.statement"
+       ~dur_ns:500_000 ~a:0 ());
+  ignore (Recorder.record r Recorder.Wal_append ~label:"wal.log" ~a:32 ());
+  ignore
+    (Recorder.record r Recorder.Wal_fsync ~label:"wal.log" ~dur_ns:2_000_000 ());
+  ignore
+    (Recorder.record r Recorder.Kernel_run ~label:"part" ~a:10 ~b:3
+       ~dur_ns:1_000_000 ());
+  ignore
+    (Recorder.record r Recorder.Snapshot_build ~label:"composition" ~a:100
+       ~b:400 ());
+  let text = Json.to_string (Recorder.to_chrome r) in
+  let parsed =
+    match Json.of_string text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "trace does not parse: %s" e
+  in
+  let events =
+    match Json.member "traceEvents" parsed with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let names =
+    List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_str)
+      events
+  in
+  List.iter
+    (fun n -> check ("event " ^ n) true (List.mem n names))
+    [ "mql.statement"; "wal.append"; "wal.fsync"; "kernel.run";
+      "snapshot.build"; "prima.plan"; "thread_name" ];
+  (* the WAL and the planner get their own named tracks *)
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        if Json.member "name" e = Some (Json.Str "thread_name") then
+          Option.bind (Json.member "args" e) (fun a ->
+              Option.bind (Json.member "name" a) Json.to_str)
+        else None)
+      events
+  in
+  check "wal track" true (List.mem "wal" thread_names);
+  check "planner track" true (List.mem "planner" thread_names);
+  (* events with a duration export as complete ("X") slices in µs *)
+  let fsync =
+    List.find (fun e -> Json.member "name" e = Some (Json.Str "wal.fsync")) events
+  in
+  check "fsync is a complete event" true
+    (Json.member "ph" fsync = Some (Json.Str "X"));
+  check "fsync duration in us" true
+    (Json.member "dur" fsync = Some (Json.Num 2000.0))
+
+(* spans journal to the global ring even on a non-tracing context —
+   the "always on" half of the flight-recorder contract *)
+let test_recorder_span_journal () =
+  Recorder.set_enabled true;
+  let g = Recorder.global () in
+  let obs = Obs.create ~tracing:false () in
+  Obs.with_span obs "t_obs.journal" (fun _ -> ());
+  (try Obs.with_span obs "t_obs.journal_err" (fun _ -> failwith "expected")
+   with Failure _ -> ());
+  let evs = Recorder.drain g in
+  let ends l =
+    List.filter
+      (fun e ->
+        e.Recorder.e_kind = Recorder.Span_end && e.Recorder.e_label = l)
+      evs
+  in
+  check_int "untraced span journaled" 1 (List.length (ends "t_obs.journal"));
+  (match ends "t_obs.journal_err" with
+   | [ e ] -> check "error flagged on the end event" true (e.Recorder.e_b = 1)
+   | _ -> Alcotest.fail "errored span not journaled");
+  check "noop journals nothing" true
+    (Obs.with_span Obs.noop "t_obs.noop_probe" (fun _ -> ());
+     List.for_all
+       (fun e -> e.Recorder.e_label <> "t_obs.noop_probe")
+       (Recorder.drain g))
+
+(* the integration bar: driving the durable engine and the kernel puts
+   span, WAL, group-commit, kernel-run, snapshot-build and
+   recovery-replay events into the one global ring, and the dumped
+   Chrome trace parses *)
+let test_recorder_engine_events () =
+  Recorder.set_enabled true;
+  let g = Recorder.global () in
+  (* kernel + snapshot: BOM part explosion through the closure kernel *)
+  let bom = Workloads.Bom_gen.build Workloads.Bom_gen.default in
+  let kdb = bom.Workloads.Bom_gen.db in
+  let d =
+    Mad_recursive.Recursive.v kdb ~root_type:"part" ~link:"composition" ()
+  in
+  ignore (Mad_recursive.Recursive.m_dom ~kernel:true kdb d);
+  (* durable: journal + group commit, close, reopen (replay) *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "t_obs_recorder"
+  in
+  Mad_durable.Harness.rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> Mad_durable.Harness.rm_rf dir)
+    (fun () ->
+      let _, db = brazil () in
+      let h = Mad_durable.Durable.open_dir ~seed:db dir in
+      let session =
+        Mad_mql.Session.create
+          ~obs:(Obs.create ~tracing:false ())
+          (Mad_durable.Durable.db h)
+      in
+      session.Mad_mql.Session.on_commit <-
+        Some (fun () -> Mad_durable.Durable.commit h);
+      ignore
+        (Mad_mql.Session.run session
+           "INSERT INTO city VALUES ('Trace City', 3);");
+      Mad_durable.Durable.close h;
+      let h2 = Mad_durable.Durable.open_dir dir in
+      check "reopen replays the insert" true
+        ((Mad_durable.Durable.recovery h2).Mad_durable.Durable.replayed_records
+        >= 1);
+      Mad_durable.Durable.close h2);
+  let evs = Recorder.drain g in
+  let has k = List.exists (fun e -> e.Recorder.e_kind = k) evs in
+  List.iter
+    (fun (k, name) -> check name true (has k))
+    [
+      (Recorder.Span_end, "span event present");
+      (Recorder.Wal_append, "wal append present");
+      (Recorder.Wal_fsync, "wal fsync present");
+      (Recorder.Group_commit, "group commit present");
+      (Recorder.Kernel_run, "kernel run present");
+      (Recorder.Snapshot_build, "snapshot build present");
+      (Recorder.Recovery_replay, "recovery replay present");
+    ];
+  let trace = Filename.temp_file "t_obs_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove trace)
+    (fun () ->
+      Recorder.dump g trace;
+      let ic = open_in trace in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> In_channel.input_all ic)
+      in
+      match Json.of_string text with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "dumped trace does not parse: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safe gauges, exemplars, exposition escaping                   *)
+
+let test_gauge_domain_safe () =
+  let g = Metric.gauge "pool.busy_us" in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Metric.add_gauge g 1.0
+            done))
+  in
+  List.iter Domain.join ds;
+  check "40000 concurrent adds survive" true (Metric.get g = 40000.0);
+  Metric.set g 2.0;
+  check "set still wins" true (Metric.get g = 2.0)
+
+let test_exemplars () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg ~bounds:[| 1.0; 10.0 |] "lat" in
+  Metric.observe h 0.5 (* no exemplar *);
+  Metric.observe ~exemplar:42 h 5.0;
+  Metric.observe ~exemplar:99 h 7.0 (* same bucket: last writer wins *);
+  Metric.observe ~exemplar:7 h 100.0 (* overflow bucket *);
+  check_int "bucket exemplar overwritten" 99 h.Metric.ex_seq.(1);
+  check "exemplar value kept" true (h.Metric.ex_val.(1) = 7.0);
+  check_int "no exemplar where none landed" (-1) h.Metric.ex_seq.(0);
+  let text = Registry.expose reg in
+  check "bucket line carries its exemplar" true
+    (contains text "lat_bucket{le=\"10\"} 3 # {span_seq=\"99\"} 7");
+  check "+Inf bucket too" true
+    (contains text "lat_bucket{le=\"+Inf\"} 4 # {span_seq=\"7\"} 100");
+  Registry.reset reg;
+  check "reset clears exemplars" true
+    (not (contains (Registry.expose reg) "span_seq"));
+  (* the timed path wires the span's recorder seq in automatically *)
+  Recorder.set_enabled true;
+  let obs = Obs.create ~tracing:true () in
+  Obs.timed obs "probe" (fun _ -> ());
+  check "timed observation carries an exemplar" true
+    (contains (Registry.expose (Obs.registry obs)) "# {span_seq=")
+
+let test_prom_escaping () =
+  let reg = Registry.create () in
+  Metric.incr (Registry.counter reg ~labels:[ ("q", "a\"b\\c\nd") ] "esc.full");
+  Metric.set (Registry.gauge reg ~labels:[ ("p", "x\\\"y") ] "esc.g") 1.0;
+  let text = Registry.expose reg in
+  check "quote, backslash and newline escaped" true
+    (contains text "esc_full{q=\"a\\\"b\\\\c\\nd\"} 1");
+  check "adjacent backslash-quote escaped" true
+    (contains text "esc_g{p=\"x\\\\\\\"y\"} 1")
+
+(* MAD_OBS_SAMPLE=0.0 / =1.0 edge cases ([create ~sample] is the same
+   code path as the env knob), each with an errored root span *)
+let test_sampling_rate_edges () =
+  let obs, spans = sampled_ctx 1.0 7 in
+  run_roots obs 40;
+  check_int "rate 1 keeps everything" 40 (List.length !spans);
+  (try Obs.with_span obs "boom" (fun _ -> failwith "expected")
+   with Failure _ -> ());
+  check_int "errored root emitted exactly once" 41 (List.length !spans);
+  let obs0, spans0 = sampled_ctx 0.0 7 in
+  run_roots obs0 40;
+  (try Obs.with_span obs0 "boom" (fun _ -> failwith "expected")
+   with Failure _ -> ());
+  check_int "rate 0 keeps only the error" 1 (List.length !spans0);
+  check_str "the survivor is the errored root" "boom"
+    (List.hd !spans0).Span.name
+
 let suite =
   [
     Alcotest.test_case "registry get-or-create" `Quick test_registry_get_or_create;
@@ -430,4 +713,17 @@ let suite =
     Alcotest.test_case "explain analyze via session" `Quick
       test_explain_analyze_via_session;
     Alcotest.test_case "adaptive session loop" `Quick test_adaptive_session;
+    Alcotest.test_case "recorder ring wrap" `Quick test_recorder_ring_wrap;
+    Alcotest.test_case "recorder concurrent domains" `Quick
+      test_recorder_concurrent_domains;
+    Alcotest.test_case "recorder chrome export" `Quick
+      test_recorder_chrome_export;
+    Alcotest.test_case "recorder span journal" `Quick
+      test_recorder_span_journal;
+    Alcotest.test_case "recorder engine events" `Quick
+      test_recorder_engine_events;
+    Alcotest.test_case "gauge domain safety" `Quick test_gauge_domain_safe;
+    Alcotest.test_case "histogram exemplars" `Quick test_exemplars;
+    Alcotest.test_case "prometheus escaping" `Quick test_prom_escaping;
+    Alcotest.test_case "sampling rate edges" `Quick test_sampling_rate_edges;
   ]
