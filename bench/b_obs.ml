@@ -24,8 +24,11 @@ open Workloads
    back-to-back as a pair, in alternating order, so load drift over
    the window cancels inside each pair; and the overhead estimate is
    the {e median} of the paired differences, immune to the outlier
-   pairs a GC slice or scheduler preemption lands on *)
-let overhead_pct ~runs ~batch f =
+   pairs a GC slice or scheduler preemption lands on.
+
+   [set] toggles the feature being priced (default: the recorder
+   ring); the same harness prices the workload digest below. *)
+let overhead_pct ?(set = Recorder.set_enabled) ~runs ~batch f =
   let time_batch () =
     let t0 = Unix.gettimeofday () in
     for _ = 1 to batch do
@@ -37,15 +40,15 @@ let overhead_pct ~runs ~batch f =
   let diffs = Array.make runs 0.0 and offs = Array.make runs 0.0 in
   for i = 0 to runs - 1 do
     let on_first = i land 1 = 0 in
-    Recorder.set_enabled on_first;
+    set on_first;
     let x = time_batch () in
-    Recorder.set_enabled (not on_first);
+    set (not on_first);
     let y = time_batch () in
     let on, off = if on_first then (x, y) else (y, x) in
     diffs.(i) <- on -. off;
     offs.(i) <- off
   done;
-  Recorder.set_enabled true;
+  set true;
   let median a =
     let s = Array.copy a in
     Array.sort compare s;
@@ -85,11 +88,11 @@ let run () =
   (* confirm-on-failure: a genuine regression exceeds the threshold in
      both trials; a load spike during one measurement window does not,
      so the reported estimate is the min of the (at most two) trials *)
-  let measure f =
-    let (pct, _, _) as first = overhead_pct ~runs ~batch f in
-    if pct < 5.0 then first
+  let measure ?set ?(threshold = 5.0) f =
+    let (pct, _, _) as first = overhead_pct ?set ~runs ~batch f in
+    if pct < threshold then first
     else
-      let (pct', _, _) as second = overhead_pct ~runs ~batch f in
+      let (pct', _, _) as second = overhead_pct ?set ~runs ~batch f in
       if pct' < pct then second else first
   in
   let k_pct, k_on, k_off = measure kernel_work in
@@ -106,6 +109,39 @@ let run () =
   Format.printf "recorder overhead: %.2f%% worst-case (threshold 5%%): %s@."
     worst
     (if worst < 5.0 then "recorder-overhead-ok" else "recorder-overhead-exceeded");
+
+  (* -- the workload digest's price on the Fig. 1 query path (b_q1) -- *)
+  Bench_util.subsection "digest overhead (brazil b_q1 statement)";
+  let brazil = Geo_brazil.db (Geo_brazil.build ()) in
+  (* the full wiring: Adaptive's plan hasher (memoized after the first
+     call) feeds the digest, exactly as under madql *)
+  Prima.Adaptive.install ();
+  let q1 = "SELECT ALL FROM mt_state(state-area-edge-point);" in
+  let mk () =
+    Mad_mql.Session.create ~obs:(Mad_obs.Obs.create ~tracing:false ()) brazil
+  in
+  let s_plain = mk () and s_digest = mk () in
+  ignore (Mad_mql.Session.enable_digest s_digest);
+  (* toggling selects one of two long-lived sessions, so the digest
+     side pays steady-state recording, not per-sample setup *)
+  let use_digest = ref true in
+  let digest_work () =
+    Mad_mql.Session.run (if !use_digest then s_digest else s_plain) q1
+  in
+  ignore (Bench_util.time_ns "obs/b_q1-digest-on" digest_work);
+  use_digest := false;
+  ignore (Bench_util.time_ns "obs/b_q1-digest-off" digest_work);
+  use_digest := true;
+  let d_pct, d_on, d_off =
+    measure ~set:(fun b -> use_digest := b) ~threshold:3.0 digest_work
+  in
+  let t = Table.create [ "path"; "digest on"; "digest off"; "overhead" ] in
+  Table.add_row t
+    [ "MOL b_q1"; Bench_util.pp_ns d_on; Bench_util.pp_ns d_off;
+      Printf.sprintf "%.2f%%" d_pct ];
+  Table.print t;
+  Format.printf "digest overhead: %.2f%% (threshold 3%%): %s@." d_pct
+    (if d_pct < 3.0 then "digest-overhead-ok" else "digest-overhead-exceeded");
 
   (* -- the trace artifact: dump this run's ring and prove it parses -- *)
   Bench_util.subsection "Chrome trace artifact (obs-trace.json)";

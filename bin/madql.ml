@@ -6,6 +6,7 @@
      explain  show the algebra plan and PRIMA's optimized plan
      schema   print the schema (MAD diagram) or the formal Fig. 4 view
      dot      emit Graphviz for the schema or the atom networks
+     digest   run statements and report the workload digest
      trace    run statements and dump the flight recorder (Chrome trace)
      recovery run the crash-recovery fault-injection suite
 
@@ -58,13 +59,32 @@ let data_arg =
   in
   Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~doc)
 
+let slow_arg =
+  let doc =
+    "Slow-query threshold in milliseconds: any statement at least this \
+     slow appends a JSON line (full statement, plan, EXPLAIN ANALYZE \
+     tree, flight-recorder window) to the slow-query log.  The log path \
+     defaults to slow-query.log; MAD_SLOW_LOG=MS:FILE sets both at once."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-log" ] ~docv:"MS" ~doc)
+
+(* [None] leaves the MAD_SLOW_LOG configuration alone *)
+let apply_slow = function
+  | None -> ()
+  | Some ms -> Mad_obs.Digest.set_slow_log (Some ms)
+
 (** Run [f session durable] against either a transient session over a
     built-in database or, with [--data], a durable one: recovery on
-    open, statement-level group commit, and the adaptive catalog
-    loaded from (and saved back to) the directory's [stats.mad]. *)
+    open, statement-level group commit, and the adaptive catalog and
+    workload digest loaded from (and saved back to) the directory's
+    [stats.mad] / [digest.mad].  Every CLI session records a workload
+    digest ([madql digest], repl [:digest]). *)
 let with_session ?obs db_name data f =
   match data with
-  | None -> f (Mad_mql.Session.create ?obs (load_db db_name)) None
+  | None ->
+    let session = Mad_mql.Session.create ?obs (load_db db_name) in
+    ignore (Mad_mql.Session.enable_digest session);
+    f session None
   | Some dirname ->
     let h =
       Mad_durable.Durable.open_or_seed ?obs ~snapshot_every:1000
@@ -75,15 +95,18 @@ let with_session ?obs db_name data f =
       ~finally:(fun () -> Mad_durable.Durable.close h)
       (fun () ->
         let session = Mad_mql.Session.create ?obs (Mad_durable.Durable.db h) in
+        let dg = Mad_mql.Session.enable_digest session in
         session.Mad_mql.Session.on_commit <-
           Some (fun () -> Mad_durable.Durable.commit h);
         ignore
           (Prima.Adaptive.load_session session (Mad_durable.Durable.stats_path h));
+        ignore (Mad_obs.Digest.load dg (Mad_durable.Durable.digest_path h));
         Fun.protect
           ~finally:(fun () ->
             ignore
               (Prima.Adaptive.save_session session
-                 (Mad_durable.Durable.stats_path h)))
+                 (Mad_durable.Durable.stats_path h));
+            Mad_obs.Digest.save dg (Mad_durable.Durable.digest_path h))
           (fun () -> f session (Some h)))
 
 (* ------------------------------------------------------------------ *)
@@ -97,8 +120,9 @@ let write_trace path =
 (* ------------------------------------------------------------------ *)
 (* repl                                                                 *)
 
-let repl db_name data =
+let repl db_name data slow =
   handle @@ fun () ->
+  apply_slow slow;
   with_session db_name data @@ fun session durable ->
   let db = session.Mad_mql.Session.db in
   (match durable with
@@ -108,7 +132,7 @@ let repl db_name data =
        (Mad_durable.Durable.dir h) Database.pp_summary db
        Mad_durable.Durable.pp_recovery
        (Mad_durable.Durable.recovery h));
-  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :drift :save :trace [FILE] :explain <stmt>@.";
+  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :digest :drift :save :trace [FILE] :explain <stmt>@.";
   let buf = Buffer.create 256 in
   let rec loop () =
     if Buffer.length buf = 0 then print_string "MOL> " else print_string "...> ";
@@ -142,6 +166,16 @@ let repl db_name data =
         print_string
           (Mad_obs.Registry.expose
              (Mad_obs.Obs.registry session.Mad_mql.Session.obs));
+        loop ()
+      end
+      else if String.equal trimmed ":digest" then begin
+        (match session.Mad_mql.Session.digest with
+         | None -> Format.printf "no digest recorded@."
+         | Some dg ->
+           Format.printf "%a" Mad_obs.Digest.pp_table
+             (Mad_obs.Digest.top 20 dg);
+           let sw = Mad_obs.Digest.switch_count dg in
+           if sw > 0 then Format.printf "plan switches: %d@." sw);
         loop ()
       end
       else if String.equal trimmed ":drift" then begin
@@ -194,7 +228,7 @@ let repl db_name data =
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive MOL session")
-    Term.(const repl $ db_arg $ data_arg)
+    Term.(const repl $ db_arg $ data_arg $ slow_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query / explain                                                      *)
@@ -235,8 +269,9 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let query db_name data profile trace stmt =
+let query db_name data profile trace slow stmt =
   handle @@ fun () ->
+  apply_slow slow;
   (with_session db_name data @@ fun session _durable ->
    print_string (Mad_mql.Session.run_to_string session stmt);
    match profile with
@@ -248,7 +283,9 @@ let query db_name data profile trace stmt =
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Evaluate one MOL statement")
-    Term.(const query $ db_arg $ data_arg $ profile_arg $ trace_arg $ stmt_arg)
+    Term.(
+      const query $ db_arg $ data_arg $ profile_arg $ trace_arg $ slow_arg
+      $ stmt_arg)
 
 let analyze_arg =
   Arg.(
@@ -342,8 +379,9 @@ let split_statements src =
   go 0 false;
   List.rev !out
 
-let script db_name data path =
+let script db_name data slow path =
   handle @@ fun () ->
+  apply_slow slow;
   with_session db_name data @@ fun session _durable ->
   let src =
     let ic = open_in path in
@@ -361,7 +399,7 @@ let script_path_arg =
 
 let script_cmd =
   Cmd.v (Cmd.info "script" ~doc:"Execute a file of MOL statements")
-    Term.(const script $ db_arg $ data_arg $ script_path_arg)
+    Term.(const script $ db_arg $ data_arg $ slow_arg $ script_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats — run statements, expose the session registry                  *)
@@ -373,6 +411,7 @@ let stats db_name stmts =
      histograms; nothing is emitted, the registry is the product *)
   let obs = Mad_obs.Obs.create ~tracing:true () in
   let session = Mad_mql.Session.create ~obs db in
+  ignore (Mad_mql.Session.enable_digest session);
   List.iter
     (fun src ->
       List.iter
@@ -395,6 +434,79 @@ let stats_cmd =
           as Prometheus text (counters, gauges, op.latency_us histograms \
           with flight-recorder exemplars).")
     Term.(const stats $ db_arg $ stats_stmts_arg)
+
+(* ------------------------------------------------------------------ *)
+(* digest — run statements, report the workload digest                  *)
+
+let digest db_name data top_k by json slow stmts =
+  handle @@ fun () ->
+  apply_slow slow;
+  with_session db_name data @@ fun session _durable ->
+  List.iter
+    (fun src ->
+      List.iter
+        (fun stmt ->
+          (* keep going on statement errors: failed calls are part of
+             the digest (the errors column), not a reason to stop *)
+          try ignore (Mad_mql.Session.run session (String.trim stmt))
+          with Err.Mad_error msg -> Format.eprintf "error: %s@." msg)
+        (split_statements src))
+    stmts;
+  let dg =
+    match session.Mad_mql.Session.digest with
+    | Some dg -> dg
+    | None -> Mad_mql.Session.enable_digest session
+  in
+  let by =
+    match by with
+    | "total" -> `Total
+    | "mean" -> `Mean
+    | "calls" -> `Calls
+    | other -> Err.failf "unknown order %s (expected total, mean or calls)" other
+  in
+  if json then
+    Format.printf "%s@."
+      (Mad_obs.Json.to_string (Mad_obs.Digest.to_json ~by ~top:top_k dg))
+  else begin
+    Format.printf "%a" Mad_obs.Digest.pp_table (Mad_obs.Digest.top ~by top_k dg);
+    let sw = Mad_obs.Digest.switch_count dg in
+    if sw > 0 then Format.printf "plan switches: %d@." sw
+  end
+
+let top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K" ~doc:"Show the top $(docv) digest rows.")
+
+let by_arg =
+  Arg.(
+    value & opt string "total"
+    & info [ "by" ] ~docv:"ORDER"
+        ~doc:"Rank rows by $(docv): total (latency), mean or calls.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the digest as JSON instead of a table.")
+
+let digest_stmts_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"STATEMENTS"
+        ~doc:"MOL statements to execute before reporting the digest.")
+
+let digest_cmd =
+  Cmd.v
+    (Cmd.info "digest"
+       ~doc:
+         "Execute MOL statements and report the workload digest: one row \
+          per (statement fingerprint, plan hash) with calls, errors, rows, \
+          latency (mean/p95/max), EXPLAIN ANALYZE drift, and plan \
+          switches.  With $(b,--data) the digest merges with (and persists \
+          to) the directory's digest.mad, so the report spans sessions.")
+    Term.(
+      const digest $ db_arg $ data_arg $ top_arg $ by_arg $ json_arg
+      $ slow_arg $ digest_stmts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace — run statements, dump the flight recorder                     *)
@@ -545,5 +657,5 @@ let () =
        (Cmd.group info
           [
             repl_cmd; query_cmd; explain_cmd; schema_cmd; dot_cmd; dump_cmd;
-            script_cmd; stats_cmd; trace_cmd; recovery_cmd;
+            script_cmd; stats_cmd; digest_cmd; trace_cmd; recovery_cmd;
           ]))

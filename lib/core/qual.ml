@@ -91,6 +91,31 @@ let rec pp ppf = function
 let to_string p = Format.asprintf "%a" pp p
 
 (* ------------------------------------------------------------------ *)
+(* Normalization                                                        *)
+
+(* Every literal collapses to the same placeholder, so two formulas
+   differing only in constants render (and hash) identically — the
+   statement-fingerprinting basis. *)
+let placeholder = Const (Value.String "?")
+
+let rec strip_consts_expr = function
+  | Const _ -> placeholder
+  | (Attr _ | Count _ | Agg _) as e -> e
+  | Add (a, b) -> Add (strip_consts_expr a, strip_consts_expr b)
+  | Sub (a, b) -> Sub (strip_consts_expr a, strip_consts_expr b)
+  | Mul (a, b) -> Mul (strip_consts_expr a, strip_consts_expr b)
+  | Div (a, b) -> Div (strip_consts_expr a, strip_consts_expr b)
+
+let rec strip_consts = function
+  | (True | False) as p -> p
+  | Cmp (c, a, b) -> Cmp (c, strip_consts_expr a, strip_consts_expr b)
+  | And (a, b) -> And (strip_consts a, strip_consts b)
+  | Or (a, b) -> Or (strip_consts a, strip_consts b)
+  | Not a -> Not (strip_consts a)
+  | Exists (n, p) -> Exists (n, strip_consts p)
+  | Forall (n, p) -> Forall (n, strip_consts p)
+
+(* ------------------------------------------------------------------ *)
 (* Static analysis                                                      *)
 
 module Sset = Set.Make (String)

@@ -59,6 +59,12 @@ val pp_expr : Format.formatter -> expr -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val strip_consts_expr : expr -> expr
+val strip_consts : t -> t
+(** Replace every literal with the placeholder constant ['?'], so two
+    formulas differing only in constants render identically — the
+    basis of statement fingerprinting and lifted plan identity. *)
+
 (** {1 Static analysis} *)
 
 module Sset :

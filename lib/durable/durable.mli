@@ -12,12 +12,16 @@ open Mad_store
 val snapshot_basename : string
 val wal_basename : string
 val stats_basename : string
+val digest_basename : string
 
 val exists : string -> bool
 (** Does the directory hold durable state (a snapshot or a log)? *)
 
 val stats_path_of_dir : string -> string
 (** Where the learned catalog lives beside the WAL. *)
+
+val digest_path_of_dir : string -> string
+(** Where the workload digest store lives beside the WAL. *)
 
 type recovery = {
   snapshot_loaded : bool;
@@ -69,6 +73,7 @@ val db : t -> Database.t
 val dir : t -> string
 val recovery : t -> recovery
 val stats_path : t -> string
+val digest_path : t -> string
 
 val wal_records : t -> int
 (** Records currently in the log (replayed plus appended). *)

@@ -1,0 +1,98 @@
+(** Statement fingerprinting: the identity of a statement's {e shape}.
+
+    A fingerprint abstracts a MOL statement over its parameters —
+    every literal collapses to the placeholder ['?'], atom ids to
+    [@0] — while keeping the structure graph, selected nodes,
+    predicate skeleton and statement kind.  Two executions of "the
+    same query with different constants" then share a digest row, the
+    pg_stat_statements notion of identity lifted to molecule
+    statements.
+
+    Normalization works on the AST, so whitespace and other concrete-
+    syntax noise never reach the hash: the canonical text is
+    [Ast.to_string] of the normalized tree (parse ∘ print = id makes
+    the printer a canonical form), collapsed to one line. *)
+
+let placeholder = Mad_store.Value.String "?"
+
+let normalize_from = Fun.id
+(* the FROM clause is pure structure (node/link names, recursion
+   depth); nothing to strip *)
+
+let normalize_query (q : Ast.query) =
+  { q with Ast.where = Option.map Mad.Qual.strip_consts q.Ast.where }
+
+let rec normalize_qexpr = function
+  | Ast.Q q -> Ast.Q (normalize_query q)
+  | Ast.Union (a, b) -> Ast.Union (normalize_qexpr a, normalize_qexpr b)
+  | Ast.Diff (a, b) -> Ast.Diff (normalize_qexpr a, normalize_qexpr b)
+  | Ast.Intersect (a, b) ->
+    Ast.Intersect (normalize_qexpr a, normalize_qexpr b)
+
+let rec normalize (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Define _ -> stmt
+  | Ast.Query q -> Ast.Query (normalize_qexpr q)
+  | Ast.Insert { atype; values; links } ->
+    Ast.Insert
+      {
+        atype;
+        values = List.map (fun _ -> placeholder) values;
+        links = List.map (fun (lt, _) -> (lt, 0)) links;
+      }
+  | Ast.Link { lt; _ } -> Ast.Link { lt; left = 0; right = 0 }
+  | Ast.Unlink { lt; _ } -> Ast.Unlink { lt; left = 0; right = 0 }
+  | Ast.Delete { from; where; detach } ->
+    Ast.Delete
+      {
+        from = normalize_from from;
+        where = Option.map Mad.Qual.strip_consts where;
+        detach;
+      }
+  | Ast.Modify { node; attr; value = _; from; where } ->
+    Ast.Modify
+      {
+        node;
+        attr;
+        value = placeholder;
+        from = normalize_from from;
+        where = Option.map Mad.Qual.strip_consts where;
+      }
+  | Ast.Explain { analyze; stmt } ->
+    Ast.Explain { analyze; stmt = normalize stmt }
+
+(* collapse all whitespace runs (the printer's line breaks included)
+   to single spaces, so the canonical text is margin-independent *)
+let oneline s =
+  let buf = Buffer.create (String.length s) in
+  let pending = ref false in
+  let started = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\n' | '\t' | '\r' -> if !started then pending := true
+      | c ->
+        if !pending then Buffer.add_char buf ' ';
+        pending := false;
+        started := true;
+        Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let text stmt = oneline (Ast.to_string (normalize stmt))
+
+(* FNV-1a over native ints; multiplication wraps modulo 2^63, and the
+   final mask forces a non-negative result (hex-printable, storable) *)
+let fnv_basis = 0x03345778_9ABCDEF1
+let fnv_prime = 0x100000001b3
+
+let hash s =
+  let h = ref fnv_basis in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * fnv_prime)
+    s;
+  !h land max_int
+
+let of_stmt stmt =
+  let t = text stmt in
+  (hash t, t)

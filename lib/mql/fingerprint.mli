@@ -1,0 +1,22 @@
+(** Statement fingerprinting: a stable identity for a MOL statement's
+    shape — literals and atom ids stripped, structure kept.
+
+    Normalization happens on the AST (so concrete-syntax whitespace
+    never matters) and the canonical text is the printer's rendering
+    of the normalized tree, collapsed to one line.  The fingerprint is
+    a non-negative FNV-1a hash of that text; [Mad_obs.Digest]
+    aggregates per (fingerprint, plan hash). *)
+
+val normalize : Ast.stmt -> Ast.stmt
+(** Replace every literal with ['?'] and every atom id with [@0];
+    structure, node names, predicate skeleton and statement kind are
+    preserved. *)
+
+val text : Ast.stmt -> string
+(** The canonical normalized statement text (one line). *)
+
+val hash : string -> int
+(** Non-negative FNV-1a hash. *)
+
+val of_stmt : Ast.stmt -> int * string
+(** [(hash (text stmt), text stmt)] with one rendering. *)

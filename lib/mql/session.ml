@@ -30,6 +30,19 @@ type t = {
           installs the engine's group commit (flush + fsync) here, so
           autocommit costs one fsync per {e statement}, not per
           journal record. *)
+  mutable digest : Mad_obs.Digest.t option;
+      (** Workload digest; [None] (the default) records nothing.
+          {!enable_digest} creates one against the session registry. *)
+  mutable slow_guard : bool;
+      (** True while a slow-log capture is re-running the statement
+          (EXPLAIN ANALYZE) — suppresses recursive slow-logging. *)
+  fp_cache : (string, int * string) Hashtbl.t;
+      (** source text -> (fingerprint, normalized text): normalization
+          prints the whole AST, so a repeated statement must not pay it
+          twice ({!run} consults this before fingerprinting) *)
+  mutable fp_mru : (string * (int * string)) option;
+      (** the last {!run} source and its fingerprint — a driver looping
+          one statement skips even the cache probe *)
 }
 
 (** [EXPLAIN ANALYZE] needs the physical engine, which lives above this
@@ -37,6 +50,12 @@ type t = {
     the statement there.  Without one, ANALYZE falls back to executing
     the statement and reporting the session-level actuals. *)
 let analyze_hook : (t -> Ast.stmt -> string) option ref = ref None
+
+(** The digest needs the physical plan's identity, which also lives
+    above this library; [Prima.Adaptive.install] registers a hasher
+    here.  Without one, digest rows fall back to a per-statement-kind
+    pseudo plan. *)
+let plan_hash_hook : (t -> fp:int -> Ast.stmt -> int) option ref = ref None
 
 let create ?obs db =
   let obs = match obs with Some o -> o | None -> Mad_obs.Obs.default () in
@@ -47,7 +66,19 @@ let create ?obs db =
     obs;
     ext = None;
     on_commit = None;
+    digest = None;
+    slow_guard = false;
+    fp_cache = Hashtbl.create 64;
+    fp_mru = None;
   }
+
+let enable_digest t =
+  match t.digest with
+  | Some d -> d
+  | None ->
+    let d = Mad_obs.Digest.create (Mad_obs.Obs.registry t.obs) in
+    t.digest <- Some d;
+    d
 
 (* the commit is timed as its own operator so fsync stalls show up in
    [op.latency_us{op=mql.commit}] (with a flight-recorder exemplar)
@@ -165,7 +196,7 @@ let stmt_kind = function
   | Ast.Modify _ -> "modify"
   | Ast.Explain _ -> "explain"
 
-let rec eval_stmt t (stmt : Ast.stmt) : outcome =
+let rec eval_stmt_inner t (stmt : Ast.stmt) : outcome =
   (* one root span per statement; everything the engine does beneath —
      algebra operators, derivations, closure checks — nests under it *)
   Mad_obs.Obs.timed t.obs "mql.statement"
@@ -194,7 +225,7 @@ let rec eval_stmt t (stmt : Ast.stmt) : outcome =
       and l0 = Mad.Derive.links_traversed t.stats in
       let path = Mad.Derive.describe_path t.db in
       let t0 = !Mad_obs.Span.clock () in
-      let outcome = eval_stmt t stmt in
+      let outcome = eval_stmt_inner t stmt in
       let ms = (!Mad_obs.Span.clock () -. t0) *. 1000. in
       let molecules =
         match outcome with
@@ -258,8 +289,136 @@ let rec eval_stmt t (stmt : Ast.stmt) : outcome =
     commit t;
     Dml (Printf.sprintf "modified %s.%s on %d atom(s)" node attr n)
 
-(** Parse and evaluate one statement of MOL text. *)
-let run t src = eval_stmt t (parse t src)
+(* ------------------------------------------------------------------ *)
+(* Workload digest & slow-query log                                     *)
+
+let rows_of = function
+  | Defined mt | Result (Translate.Molecules mt) ->
+    List.length (Mad.Molecule_type.occ mt)
+  | Result (Translate.Recursive r) ->
+    List.length r.Mad_recursive.Recursive.occ
+  | Result (Translate.Cycles c) ->
+    List.length c.Mad_recursive.Recursive.cocc
+  | Inserted _ -> 1
+  | Dml _ | Explained _ -> 0
+
+(* without the physical engine's hasher, the statement kind stands in
+   for the plan — one pseudo plan per kind, so DML still aggregates *)
+let fallback_plan stmt = Fingerprint.hash ("kind:" ^ stmt_kind stmt)
+
+(** Capture a slow statement: full text, algebra plan, EXPLAIN ANALYZE
+    tree (queries only — re-running DML would double-apply it) and the
+    flight-recorder window since the statement started. *)
+let slow_log t stmt ~fp ~plan ~ms ~seq0 =
+  let plan_text =
+    try explain_stmt t stmt with _ -> "<plan unavailable>"
+  in
+  let analyze =
+    match (stmt, !analyze_hook) with
+    | Ast.Query _, Some hook -> ( try Some (hook t stmt) with _ -> None)
+    | _ -> None
+  in
+  let events =
+    if Mad_obs.Recorder.enabled () then
+      List.filter
+        (fun ev -> ev.Mad_obs.Recorder.e_seq >= seq0)
+        (Mad_obs.Recorder.drain (Mad_obs.Recorder.global ()))
+    else []
+  in
+  Mad_obs.Digest.log_slow
+    {
+      Mad_obs.Digest.sl_stmt = Ast.to_string stmt;
+      sl_fp = fp;
+      sl_plan = plan;
+      sl_ms = ms;
+      sl_plan_text = plan_text;
+      sl_analyze = analyze;
+      sl_events = events;
+    }
+
+let maybe_slow_log t stmt ~fp ~plan ~ms ~seq0 =
+  match Mad_obs.Digest.slow_threshold_ms () with
+  | Some th when ms >= th && not t.slow_guard ->
+    t.slow_guard <- true;
+    Fun.protect
+      ~finally:(fun () -> t.slow_guard <- false)
+      (fun () -> slow_log t stmt ~fp ~plan ~ms ~seq0)
+  | Some _ | None -> ()
+
+let eval_stmt ?fp_text t (stmt : Ast.stmt) : outcome =
+  match t.digest with
+  | None -> eval_stmt_inner t stmt
+  | Some dg ->
+    let fp, text =
+      match fp_text with
+      | Some v -> v
+      | None -> Fingerprint.of_stmt stmt
+    in
+    let plan =
+      match !plan_hash_hook with
+      | Some h -> ( try h t ~fp stmt with _ -> fallback_plan stmt)
+      | None -> fallback_plan stmt
+    in
+    let seq0 = Mad_obs.Recorder.recorded (Mad_obs.Recorder.global ()) in
+    (* [eval_stmt_inner] runs under [timed "mql.statement"], whose
+       measurement we reuse; only a noop context (which never times)
+       needs a clock pair of our own *)
+    let noop_obs = Mad_obs.Obs.is_noop t.obs in
+    let t0 = if noop_obs then !Mad_obs.Span.clock () else 0.0 in
+    (match eval_stmt_inner t stmt with
+     | outcome ->
+       let ms =
+         if noop_obs then (!Mad_obs.Span.clock () -. t0) *. 1e3
+         else Mad_obs.Obs.last_dur_us t.obs /. 1e3
+       in
+       ignore
+         (Mad_obs.Digest.record dg ~fp ~text ~plan ~latency_us:(ms *. 1e3)
+            ~rows:(rows_of outcome) ~error:false
+            ~exemplar:(Mad_obs.Obs.last_seq t.obs)
+            ());
+       maybe_slow_log t stmt ~fp ~plan ~ms ~seq0;
+       outcome
+     | exception e ->
+       let ms =
+         if noop_obs then (!Mad_obs.Span.clock () -. t0) *. 1e3
+         else Mad_obs.Obs.last_dur_us t.obs /. 1e3
+       in
+       ignore
+         (Mad_obs.Digest.record dg ~fp ~text ~plan ~latency_us:(ms *. 1e3)
+            ~rows:0 ~error:true
+            ~exemplar:(Mad_obs.Obs.last_seq t.obs)
+            ());
+       maybe_slow_log t stmt ~fp ~plan ~ms ~seq0;
+       raise e)
+
+(** Parse and evaluate one statement of MOL text.  The parse is timed
+    as its own operator ([op.latency_us{op=mql.parse}]) so digest
+    overhead attribution is complete. *)
+let run t src =
+  let stmt = Mad_obs.Obs.timed t.obs "mql.parse" (fun _ -> parse t src) in
+  match t.digest with
+  | None -> eval_stmt t stmt
+  | Some _ ->
+    let fp_text =
+      match t.fp_mru with
+      | Some (s, v) when s == src || String.equal s src -> v
+      | _ ->
+        let v =
+          match Hashtbl.find t.fp_cache src with
+          | v -> v
+          | exception Not_found ->
+            let v = Fingerprint.of_stmt stmt in
+            (* bounded: a literal-heavy workload keys many sources to
+               few fingerprints; reset rather than evict, it rewarms *)
+            if Hashtbl.length t.fp_cache >= 1024 then
+              Hashtbl.reset t.fp_cache;
+            Hashtbl.replace t.fp_cache src v;
+            v
+        in
+        t.fp_mru <- Some (src, v);
+        v
+    in
+    eval_stmt ~fp_text t stmt
 
 (** Evaluate and render the outcome as the CLI/examples print it. *)
 let run_to_string t src =

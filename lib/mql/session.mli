@@ -26,6 +26,17 @@ type t = {
       (** Called after every successful manipulation statement — the
           statement-level durability boundary (autocommit).  A durable
           session installs the engine's group commit here. *)
+  mutable digest : Mad_obs.Digest.t option;
+      (** Workload digest; [None] (the default) records nothing.
+          {!enable_digest} creates one against the session registry. *)
+  mutable slow_guard : bool;
+      (** True while a slow-log capture is re-running the statement
+          (EXPLAIN ANALYZE) — suppresses recursive slow-logging. *)
+  fp_cache : (string, int * string) Hashtbl.t;
+      (** source text -> (fingerprint, normalized text), so a repeated
+          statement does not pay AST normalization twice *)
+  mutable fp_mru : (string * (int * string)) option;
+      (** the last {!run} source and its fingerprint *)
 }
 
 val analyze_hook : (t -> Ast.stmt -> string) option ref
@@ -33,6 +44,13 @@ val analyze_hook : (t -> Ast.stmt -> string) option ref
     this library; a profiler (see [Prima.Profile.install]) registers
     itself here.  Without one, ANALYZE executes the statement and
     reports session-level actuals only. *)
+
+val plan_hash_hook : (t -> fp:int -> Ast.stmt -> int) option ref
+(** Hashes the physical plan the engine would choose for a statement
+    (see [Prima.Adaptive.install]); the digest aggregates per
+    (fingerprint, plan hash).  [fp] is the statement's fingerprint —
+    implementations key their memoization on it.  Without a hook,
+    digest rows fall back to a per-statement-kind pseudo plan. *)
 
 val create : ?obs:Mad_obs.Obs.t -> Database.t -> t
 (** [obs] defaults to the process-wide context of [MAD_OBS]
@@ -51,10 +69,27 @@ val parse : t -> string -> Ast.stmt
 (** Parse with the session's catalog (bare FROM identifiers resolve to
     defined molecule types). *)
 
-val eval_stmt : t -> Ast.stmt -> outcome
+val enable_digest : t -> Mad_obs.Digest.t
+(** Get or create the session's workload digest (registered into the
+    session registry, so {!Mad_obs.Registry.expose} exports it).  Once
+    enabled, every {!eval_stmt} records a (fingerprint, plan hash) row
+    and statements over the slow threshold
+    ({!Mad_obs.Digest.slow_threshold_ms}) append to the slow-query
+    log. *)
+
+val stmt_kind : Ast.stmt -> string
+(** The statement's kind tag ("query", "insert", …) as used for span
+    attributes and the digest's fallback plan identity. *)
+
+val eval_stmt : ?fp_text:int * string -> t -> Ast.stmt -> outcome
+(** Evaluate one parsed statement.  With a digest enabled, the
+    execution is recorded under the statement's (fingerprint, plan
+    hash); [fp_text] supplies a pre-computed fingerprint ({!run}'s
+    source-text cache) so the AST is not re-normalized. *)
 
 val run : t -> string -> outcome
-(** Parse and evaluate one MOL statement. *)
+(** Parse and evaluate one MOL statement.  The parse is timed as its
+    own operator ([op.latency_us{op=mql.parse}]). *)
 
 val run_to_string : t -> string -> string
 (** Evaluate and render (molecule trees, explosion trees, DML

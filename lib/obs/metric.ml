@@ -140,6 +140,21 @@ let quantile h q =
     Some (go 0 0)
   end
 
+(** Merge a persisted histogram snapshot into [h] (same bounds ladder
+    assumed) — the digest store uses this to fold [digest.mad] counts
+    back into live instruments. *)
+let absorb h ~counts ~sum ~n ~min_v ~max_v =
+  let k = min (Array.length h.counts) (Array.length counts) in
+  for i = 0 to k - 1 do
+    h.counts.(i) <- h.counts.(i) + counts.(i)
+  done;
+  h.sum <- h.sum +. sum;
+  h.n <- h.n + n;
+  if n > 0 then begin
+    if min_v < h.min_v then h.min_v <- min_v;
+    if max_v > h.max_v then h.max_v <- max_v
+  end
+
 let reset = function
   | Counter c -> Atomic.set c.count 0
   | Gauge g -> Atomic.set g.cell 0.0

@@ -77,6 +77,18 @@ val quantile : histogram -> float -> float option
     bucket edges (so a long tail beyond the last bound reports its
     true maximum).  [None] while the histogram is empty. *)
 
+val absorb :
+  histogram ->
+  counts:int array ->
+  sum:float ->
+  n:int ->
+  min_v:float ->
+  max_v:float ->
+  unit
+(** Merge a persisted snapshot (bucket counts over the same bounds
+    ladder, plus sum/n/min/max) into a live histogram.  Exemplars are
+    untouched — a merged-in count has no recorder event behind it. *)
+
 val reset : sample -> unit
 val name : sample -> string
 val labels : sample -> labels

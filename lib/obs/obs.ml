@@ -47,6 +47,10 @@ type t = {
           before any; {!timed} reads it as the histogram exemplar.
           Deliberately non-atomic: a context belongs to one session on
           one domain (the kernel records to the ring directly). *)
+  mutable last_dur_us : float;
+      (** duration of the most recently completed {!timed} operation,
+          [-1] before any.  The workload digest reads it instead of
+          taking its own clock pair around a statement. *)
 }
 
 let create ?(tracing = true) ?(sink = Sink.noop) ?sample ?slow_ms
@@ -63,7 +67,7 @@ let create ?(tracing = true) ?(sink = Sink.noop) ?sample ?slow_ms
         }
   in
   { registry = Registry.create (); sink; tracing; stack = []; sampler;
-    keep_root = true; last_closed = -1 }
+    keep_root = true; last_closed = -1; last_dur_us = -1.0 }
 
 (** The shared disabled context. *)
 let noop = create ~tracing:false ~sink:Sink.noop ()
@@ -71,6 +75,10 @@ let noop = create ~tracing:false ~sink:Sink.noop ()
 let registry t = t.registry
 let sink t = t.sink
 let enabled t = t.tracing
+
+let last_seq t = if Recorder.enabled () then t.last_closed else -1
+let last_dur_us t = t.last_dur_us
+let is_noop t = t == noop
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                                *)
@@ -179,9 +187,14 @@ let timed t name ?attrs f =
     let t0 = !Span.clock () in
     (* [with_span] sets [t.last_closed] to our span's recorder seq in
        its finish (children close earlier), so the observation links
-       back to the right flight-recorder event as its exemplar *)
+       back to the right flight-recorder event as its exemplar.  With
+       the ring off [last_closed] goes stale (no new seqs are issued),
+       so it must not be attached. *)
     let record () =
-      Metric.observe ~exemplar:t.last_closed h ((!Span.clock () -. t0) *. 1e6)
+      let exemplar = if Recorder.enabled () then t.last_closed else -1 in
+      let dur = (!Span.clock () -. t0) *. 1e6 in
+      t.last_dur_us <- dur;
+      Metric.observe ~exemplar h dur
     in
     match with_span t name ?attrs f with
     | v ->

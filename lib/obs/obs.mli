@@ -32,6 +32,22 @@ val registry : t -> Registry.t
 val sink : t -> Sink.t
 val enabled : t -> bool
 
+val last_seq : t -> int
+(** Flight-recorder seq of the most recently closed span on this
+    context, usable as a histogram exemplar; [-1] before any span
+    closed or while the ring is disabled (a stale seq must not be
+    attached to fresh observations). *)
+
+val last_dur_us : t -> float
+(** Duration of the most recently completed {!timed} operation on this
+    context, [-1] before any.  Lets a caller that just ran work under
+    {!timed} reuse its measurement instead of reading the clock
+    again. *)
+
+val is_noop : t -> bool
+(** True for the shared {!noop} context (which never times, so
+    {!last_dur_us} stays [-1] on it). *)
+
 val with_span : t -> string -> ?attrs:(string * Span.value) list -> (Span.t -> 'a) -> 'a
 (** Run the function inside a span nested under the current one; on
     completion of the outermost span, the tree is emitted to the sink.

@@ -30,6 +30,8 @@ type kind =
   | Kernel_run
   | Kernel_chunk
   | Recovery_replay
+  | Plan_switch
+  | Slow_query
 
 let kind_name = function
   | Span_begin -> "span.begin"
@@ -43,6 +45,8 @@ let kind_name = function
   | Kernel_run -> "kernel.run"
   | Kernel_chunk -> "kernel.chunk"
   | Recovery_replay -> "recovery.replay"
+  | Plan_switch -> "plan.switch"
+  | Slow_query -> "slow.query"
 
 type event = {
   mutable e_seq : int;  (** global sequence number; [-1] = empty/torn *)
@@ -219,6 +223,7 @@ let is_planner_label l =
 let tid_of ev =
   match ev.e_kind with
   | Wal_append | Wal_fsync | Group_commit | Recovery_replay -> wal_tid
+  | Plan_switch -> planner_tid
   | (Span_begin | Span_end) when is_planner_label ev.e_label -> planner_tid
   | _ -> ev.e_dom
 
@@ -234,7 +239,7 @@ let is_complete ev =
   | Kernel_chunk ->
     true
   | Span_begin | Metric_flush | Wal_append | Snapshot_invalidate
-  | Recovery_replay ->
+  | Recovery_replay | Plan_switch | Slow_query ->
     false
 
 let start_ticks ev = if is_complete ev then ev.e_ticks - ev.e_dur_ns else ev.e_ticks
@@ -264,6 +269,13 @@ let args_of ev =
         ("nodes", num ev.e_b) ]
     | Kernel_chunk -> [ ("lo", num ev.e_a); ("hi", num ev.e_b) ]
     | Recovery_replay -> [ ("recno", num ev.e_a); ("bytes", num ev.e_b) ]
+    | Plan_switch ->
+      [ ("fingerprint", Json.Str ev.e_label);
+        ("old_plan", Json.Str (Printf.sprintf "%x" ev.e_a));
+        ("new_plan", Json.Str (Printf.sprintf "%x" ev.e_b)) ]
+    | Slow_query ->
+      [ ("fingerprint", Json.Str ev.e_label);
+        ("ms", Json.Num (float_of_int ev.e_a)) ]
   in
   Json.Obj (common @ specific)
 

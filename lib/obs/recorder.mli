@@ -35,6 +35,12 @@ type kind =
           [a] = roots, [b] = plan nodes *)
   | Kernel_chunk  (** one pool chunk; [a]/[b] = root range, [dur_ns] = busy time *)
   | Recovery_replay  (** one WAL record replayed; [a] = recno, [b] = bytes *)
+  | Plan_switch
+      (** a statement fingerprint changed plans; [label] = fingerprint
+          hex, [a]/[b] = old/new plan hash *)
+  | Slow_query
+      (** a statement crossed the slow-log threshold; [label] =
+          fingerprint hex, [a] = elapsed ms *)
 
 val kind_name : kind -> string
 (** Stable dotted name ("wal.fsync", "kernel.run", …) used as the

@@ -147,9 +147,14 @@ let expose t =
         type_line name "histogram";
         (* OpenMetrics exemplar: the flight-recorder seq of the last
            span that landed in the bucket, so a histogram outlier links
-           back to a concrete trace event *)
+           back to a concrete trace event.  When the ring is disabled
+           (MAD_OBS_RING=0, or toggled off mid-run) the seqs cannot be
+           chased into a trace, so no exemplar is rendered — a stale
+           seq pointing at an overwritten or never-recorded event is
+           worse than none. *)
+        let ring_on = Recorder.enabled () in
         let exemplar i value =
-          if h.Metric.ex_seq.(i) < 0 then value
+          if (not ring_on) || h.Metric.ex_seq.(i) < 0 then value
           else
             Printf.sprintf "%s # {span_seq=\"%d\"} %s" value
               h.Metric.ex_seq.(i)

@@ -27,6 +27,13 @@ type state = {
   mutable refinements : int;
   alpha : float;
   factor : float;  (** drift threshold, an off-by factor *)
+  plan_memo : (int, int * int * int) Hashtbl.t;
+      (** fingerprint -> (refinements, epoch, plan hash): the digest's
+          plan-hash cache, stale once the catalog refines or the
+          database mutates *)
+  mutable plan_mru : int * int * int * int;
+      (** (fingerprint, refinements, epoch, hash) of the last lookup —
+          the steady-state hit skips even the memo probe *)
 }
 
 type Session.ext += Adaptive of state
@@ -44,7 +51,8 @@ let state ?(alpha = 0.5) ?(factor = default_factor) (session : Session.t) =
   | Some (Adaptive st) -> st
   | _ ->
     let st =
-      { catalog = None; drifts = []; refinements = 0; alpha; factor }
+      { catalog = None; drifts = []; refinements = 0; alpha; factor;
+        plan_memo = Hashtbl.create 16; plan_mru = (-1, -1, -1, 0) }
     in
     session.Session.ext <- Some (Adaptive st);
     st
@@ -73,6 +81,46 @@ let observe st ~stmt (r : Profile.t) =
   drifted
 
 (* ------------------------------------------------------------------ *)
+(* Plan identity for the workload digest                                *)
+
+(* the same fallback Session uses for statements without a physical
+   plan: one pseudo plan per statement kind *)
+let kind_plan stmt =
+  Mad_mql.Fingerprint.hash ("kind:" ^ Session.stmt_kind stmt)
+
+(** The hash of the plan the engine would choose for [stmt] right now:
+    the algebraic rewrites plus the adaptive catalog's
+    {!Stats.replan}.  Memoized per fingerprint and invalidated when
+    the catalog refines or the database mutates, so steady-state
+    digest recording costs one hashtable probe, not a planning
+    pass. *)
+let plan_hash_stmt (session : Session.t) ~fp stmt =
+  let st = state session in
+  let db = session.Session.db in
+  let epoch = Mad_store.Database.epoch db in
+  (* memo first: a hit must not pay structure resolution, which is why
+     the probes happen before [query_of_stmt] *)
+  match st.plan_mru with
+  | f, r, e, h when f = fp && r = st.refinements && e = epoch -> h
+  | _ ->
+    let h =
+      match Hashtbl.find st.plan_memo fp with
+      | (r, e, h) when r = st.refinements && e = epoch -> h
+      | _ | (exception Not_found) ->
+        let h =
+          match Profile.query_of_stmt db stmt with
+          | None -> kind_plan stmt
+          | Some q ->
+            Planner.plan_hash
+              (Stats.replan (catalog st db) (Planner.plan ~optimize:true q))
+        in
+        Hashtbl.replace st.plan_memo fp (st.refinements, epoch, h);
+        h
+    in
+    st.plan_mru <- (fp, st.refinements, epoch, h);
+    h
+
+(* ------------------------------------------------------------------ *)
 (* The session hook                                                     *)
 
 (** [EXPLAIN ANALYZE] with learning: profile against the session's
@@ -86,6 +134,15 @@ let analyze_stmt (session : Session.t) stmt =
     let stats = catalog st session.Session.db in
     let r = Profile.analyze ~stats session.Session.db q in
     let drifted = observe st ~stmt:q.Planner.name r in
+    (* feed the estimate-vs-actual gap into the workload digest, keyed
+       by the profiled statement's own fingerprint and plan *)
+    (match session.Session.digest with
+     | Some dg ->
+       let fp, text = Mad_mql.Fingerprint.of_stmt stmt in
+       Mad_obs.Digest.note_drift dg ~fp ~text
+         ~plan:(Planner.plan_hash r.Profile.plan)
+         ~err:(Profile.error r)
+     | None -> ());
     Format.asprintf "%a%a" Profile.pp r
       (fun ppf -> function
         | [] ->
@@ -101,8 +158,11 @@ let analyze_stmt (session : Session.t) stmt =
   | None -> Profile.analyze_stmt session stmt
 
 (** Register the learning profiler as the session layer's
-    [EXPLAIN ANALYZE] engine (supersedes {!Profile.install}). *)
-let install () = Session.analyze_hook := Some analyze_stmt
+    [EXPLAIN ANALYZE] engine (supersedes {!Profile.install}), and the
+    plan hasher behind the workload digest. *)
+let install () =
+  Session.analyze_hook := Some analyze_stmt;
+  Session.plan_hash_hook := Some plan_hash_stmt
 
 (* ------------------------------------------------------------------ *)
 (* Catalog persistence                                                  *)

@@ -20,6 +20,12 @@ type state = {
   mutable refinements : int;
   alpha : float;  (** EWMA weight of each new observation *)
   factor : float;  (** drift threshold, an off-by factor *)
+  plan_memo : (int, int * int * int) Hashtbl.t;
+      (** fingerprint -> (refinements, epoch, plan hash): the digest's
+          plan-hash cache, stale once the catalog refines or the
+          database mutates *)
+  mutable plan_mru : int * int * int * int;
+      (** (fingerprint, refinements, epoch, hash) of the last lookup *)
 }
 
 type Session.ext += Adaptive of state
@@ -43,9 +49,19 @@ val analyze_stmt : Session.t -> Mad_mql.Ast.stmt -> string
     actuals are fed back into) the session's adaptive catalog; the
     report carries a trailing [adaptive:] section. *)
 
+val plan_hash_stmt : Session.t -> fp:int -> Mad_mql.Ast.stmt -> int
+(** The hash of the plan the engine would choose for the statement
+    right now (algebraic rewrites + the adaptive catalog's
+    {!Stats.replan}); statements without a physical plan map to a
+    per-kind pseudo plan.  Memoized on [fp], invalidated by catalog
+    refinement and database mutation.  This is the workload digest's
+    plan identity ({!Mad_mql.Session.plan_hash_hook}). *)
+
 val install : unit -> unit
 (** Register {!analyze_stmt} in {!Mad_mql.Session.analyze_hook}
-    (supersedes {!Profile.install}). *)
+    (supersedes {!Profile.install}) and {!plan_hash_stmt} in
+    {!Mad_mql.Session.plan_hash_hook} — the full workload-introspection
+    wiring. *)
 
 val save_session : Session.t -> string -> bool
 (** Persist the session's refined catalog as a [stats.mad] file

@@ -23,8 +23,8 @@ let satisfies db desc m pred =
   let mt = Mad.Molecule_type.v ~name:"tmp" ~desc [] in
   Mad.Molecule_algebra.molecule_satisfies db mt m pred
 
-let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
-    (q : Planner.query) =
+let run ?(obs = Obs.noop) ?stats ?catalog ?(optimize = true)
+    ?(materialize = false) db (q : Planner.query) =
   Obs.timed obs "prima.execute"
     ~attrs:[ ("query", Span.Str q.Planner.name) ]
   @@ fun _ ->
@@ -34,7 +34,13 @@ let run ?(obs = Obs.noop) ?stats ?(optimize = true) ?(materialize = false) db
     | None -> Mad.Derive.stats_in (Obs.registry obs)
   in
   let plan =
-    Obs.timed obs "prima.plan" (fun _ -> Planner.plan ~optimize q)
+    Obs.timed obs "prima.plan" (fun _ ->
+        let p = Planner.plan ~optimize q in
+        (* the catalog-driven pass on top of the algebraic rewrites:
+           residual conjunct ordering from (possibly learned) stats *)
+        match catalog with
+        | Some c when optimize -> Stats.replan c p
+        | Some _ | None -> p)
   in
   let iface = Atom_interface.v db in
   let root_node = Mad.Mdesc.root q.Planner.desc in

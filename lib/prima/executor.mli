@@ -13,6 +13,7 @@ type outcome = {
 val run :
   ?obs:Mad_obs.Obs.t ->
   ?stats:Mad.Derive.stats ->
+  ?catalog:Stats.t ->
   ?optimize:bool ->
   ?materialize:bool ->
   Database.t ->
@@ -23,7 +24,10 @@ val run :
     every plan stage (plan, scan, derive, filter, project) runs in its
     own span beneath one [prima.execute] root; [stats] (default:
     counters in [obs]'s registry, giving per-node actuals for
-    [EXPLAIN ANALYZE]) accounts the derivation work. *)
+    [EXPLAIN ANALYZE]) accounts the derivation work.  [catalog] adds
+    the statistics-driven pass ({!Stats.replan}) on top of the
+    algebraic rewrites, so learned factors steer residual conjunct
+    order. *)
 
 val compare_plans : Database.t -> Planner.query -> outcome * outcome
 (** (naive, optimized) — the ablation harness. *)

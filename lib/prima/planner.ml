@@ -129,6 +129,50 @@ let plan ?(optimize = true) (q : query) =
     }
   end
 
+(* ------------------------------------------------------------------ *)
+(* Plan identity                                                        *)
+
+(* FNV-1a (same scheme as Mad_mql.Fingerprint); wraps modulo 2^63,
+   masked non-negative *)
+let fnv_basis = 0x03345778_9ABCDEF1
+let fnv_prime = 0x100000001b3
+
+let hash_string s =
+  let h = ref fnv_basis in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime) s;
+  !h land max_int
+
+(** The plan's {e shape}: scan target, pushed and residual predicate
+    skeletons (literals stripped, conjunct {e order} kept — the
+    stats-driven reorder must change the hash), derivation structure
+    and projection.  Notes are advisory and excluded. *)
+let plan_hash p =
+  let pred_skeleton = function
+    | None -> "-"
+    | Some q -> Mad.Qual.to_string (Mad.Qual.strip_consts q)
+  in
+  let select =
+    match p.query.select with
+    | None -> "ALL"
+    | Some items ->
+      String.concat ","
+        (List.map
+           (fun (n, attrs) ->
+             match attrs with
+             | None -> n
+             | Some attrs -> n ^ "(" ^ String.concat "," attrs ^ ")")
+           items)
+  in
+  hash_string
+    (String.concat "\x00"
+       [
+         "scan " ^ Mad.Mdesc.root p.derive_desc;
+         "push " ^ pred_skeleton p.root_pred;
+         "filter " ^ pred_skeleton p.residual;
+         "derive " ^ Format.asprintf "%a" Mad.Mdesc.pp p.derive_desc;
+         "project " ^ select;
+       ])
+
 let pp ppf p =
   Fmt.pf ppf "@[<v>plan for %s:@," p.query.name;
   Fmt.pf ppf "  scan %s%a@," (Mad.Mdesc.root p.derive_desc)

@@ -20,5 +20,17 @@ type plan = {
 }
 
 val conjuncts : Mad.Qual.t -> Mad.Qual.t list
+
+val conjoin : Mad.Qual.t list -> Mad.Qual.t option
+(** Right inverse of {!conjuncts}: [None] on the empty list. *)
+
 val plan : ?optimize:bool -> query -> plan
+
+val plan_hash : plan -> int
+(** A stable non-negative hash of the plan's {e shape}: scan target,
+    predicate skeletons (literals stripped, conjunct order kept),
+    derivation structure, projection.  Two parameterizations of the
+    same plan hash identically; a stats-driven conjunct reorder does
+    not.  [Mad_obs.Digest] keys its rows on this. *)
+
 val pp : Format.formatter -> plan -> unit

@@ -46,10 +46,13 @@ let analyze ?(optimize = true) ?stats:catalog db (q : Planner.query) =
   let obs = Obs.create ~tracing:true ~sink () in
   let reg = Obs.registry obs in
   let stats = Mad.Derive.stats_in reg in
-  let outcome = Executor.run ~obs ~stats ~optimize db q in
   let catalog =
     match catalog with Some c -> c | None -> Stats.collect db
   in
+  (* the executor plans under the same catalog the estimates come
+     from, so the profiled plan (and its hash) is exactly the one a
+     digest-recorded execution of this statement would run *)
+  let outcome = Executor.run ~obs ~stats ~catalog ~optimize db q in
   let detail = Stats.estimate_detail catalog outcome.Executor.plan in
   let nodes =
     List.map

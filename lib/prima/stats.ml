@@ -337,6 +337,54 @@ let refine_actuals ?(alpha = 0.5) t (p : Planner.plan) actuals =
 let refine ?alpha t (p : Planner.plan) reg =
   refine_actuals ?alpha t p (actuals_of_registry reg p.Planner.derive_desc)
 
+(* ------------------------------------------------------------------ *)
+(* Stats-driven replanning                                              *)
+
+(** Reorder the residual qualification's conjuncts by estimated
+    evaluation cost: a conjunct touching small expected components
+    runs (and usually rejects) first, so the expensive quantified
+    checks over large components only see survivors.  The component
+    sizes flow from {!edge_factors}, so learned factors ({!refine})
+    genuinely move the order — this is the stats-driven plan decision
+    whose flips the workload digest surfaces as [plan.switch]. *)
+let replan t (p : Planner.plan) =
+  match p.Planner.residual with
+  | None -> p
+  | Some q -> begin
+    match Planner.conjuncts q with
+    | [] | [ _ ] -> p
+    | cs ->
+      let detail = estimate_detail t p in
+      let size n =
+        match
+          List.find_opt (fun ne -> String.equal ne.ne_node n) detail.d_nodes
+        with
+        | Some ne -> ne.ne_atoms
+        | None -> 0.0
+      in
+      let cost c =
+        Mad.Qual.Sset.fold
+          (fun n acc -> acc +. size n)
+          (Mad.Qual.nodes c) 0.0
+      in
+      (* cheap first; equally cheap conjuncts run the more selective
+         one first; the sort is stable so ties keep statement order *)
+      let keyed = List.map (fun c -> ((cost c, selectivity t c), c)) cs in
+      let sorted =
+        List.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2) keyed
+      in
+      let cs' = List.map snd sorted in
+      if List.for_all2 ( == ) cs cs' then p
+      else
+        {
+          p with
+          Planner.residual = Planner.conjoin cs';
+          notes =
+            p.Planner.notes
+            @ [ "reorder: residual conjuncts by estimated cost" ];
+        }
+  end
+
 (** EXPLAIN with cost estimates: the naive and optimized plans side by
     side. *)
 let explain_with_estimates db (q : Planner.query) =

@@ -70,4 +70,13 @@ val refine : ?alpha:float -> t -> Planner.plan -> Mad_obs.Registry.t -> t
 (** {!refine_actuals} over {!actuals_of_registry} — the direct
     feedback edge from an [EXPLAIN ANALYZE] run's registry. *)
 
+val replan : t -> Planner.plan -> Planner.plan
+(** The catalog-driven planning pass: reorder the residual
+    qualification's conjuncts by estimated evaluation cost (expected
+    component sizes of the referenced nodes, then selectivity; stable
+    on ties).  Because the sizes flow from learned link factors,
+    {!refine} can flip the order — a flip changes
+    {!Planner.plan_hash} and surfaces as a [plan.switch] in the
+    workload digest. *)
+
 val explain_with_estimates : Database.t -> Planner.query -> string

@@ -686,6 +686,64 @@ let test_sampling_rate_edges () =
   check_str "the survivor is the errored root" "boom"
     (List.hd !spans0).Span.name
 
+(* drain and Chrome export racing a ring that wraps under a concurrent
+   writer: readers must never see a torn or malformed event, only a
+   consistent (possibly shorter) window *)
+let test_recorder_drain_races_wrap () =
+  let r = Recorder.create 64 in
+  let total = 20_000 in
+  let writer () =
+    for i = 0 to total - 1 do
+      ignore
+        (Recorder.record r Recorder.Kernel_chunk ~label:"race" ~a:i
+           ~dur_ns:(i * 3) ())
+    done
+  in
+  let d = Domain.spawn writer in
+  for _ = 1 to 200 do
+    let evs = Recorder.drain r in
+    check "window within capacity" true
+      (List.length evs <= Recorder.capacity r);
+    List.iter
+      (fun e ->
+        check "event intact" true
+          (e.Recorder.e_seq >= 0
+          && e.Recorder.e_kind = Recorder.Kernel_chunk
+          && String.equal e.Recorder.e_label "race"
+          && e.Recorder.e_dur_ns = e.Recorder.e_a * 3))
+      evs;
+    (* seqs strictly increasing inside one drained window *)
+    let rec mono = function
+      | a :: (b :: _ as rest) ->
+        check "drain ordered" true (a.Recorder.e_seq < b.Recorder.e_seq);
+        mono rest
+      | _ -> ()
+    in
+    mono evs;
+    (* the export path runs the same snapshot logic *)
+    ignore (Json.to_string (Recorder.to_chrome r))
+  done;
+  Domain.join d;
+  check_int "no event lost by the writer" total (Recorder.recorded r);
+  check "final drain full" true (List.length (Recorder.drain r) > 0)
+
+(* satellite of the digest PR: with the ring disabled, [expose] must
+   not render exemplars at all — the stored seqs go stale the moment
+   no new ones are issued *)
+let test_expose_exemplars_gated_on_ring () =
+  Recorder.set_enabled true;
+  let obs = Obs.create ~tracing:true () in
+  Obs.timed obs "probe" (fun _ -> ());
+  let text = Registry.expose (Obs.registry obs) in
+  check "ring on: exemplar rendered" true (contains text "# {span_seq=");
+  Recorder.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Recorder.set_enabled true)
+    (fun () ->
+      let text = Registry.expose (Obs.registry obs) in
+      check "ring off: no exemplars rendered" true
+        (not (contains text "span_seq")))
+
 let suite =
   [
     Alcotest.test_case "registry get-or-create" `Quick test_registry_get_or_create;
@@ -716,6 +774,10 @@ let suite =
     Alcotest.test_case "recorder ring wrap" `Quick test_recorder_ring_wrap;
     Alcotest.test_case "recorder concurrent domains" `Quick
       test_recorder_concurrent_domains;
+    Alcotest.test_case "recorder drain races wrap" `Quick
+      test_recorder_drain_races_wrap;
+    Alcotest.test_case "expose exemplars gated on ring" `Quick
+      test_expose_exemplars_gated_on_ring;
     Alcotest.test_case "recorder chrome export" `Quick
       test_recorder_chrome_export;
     Alcotest.test_case "recorder span journal" `Quick
