@@ -38,6 +38,8 @@ type result = {
   r_mean_us : float;
   r_p50_us : float;
   r_p95_us : float;
+  r_minor_words_per_run : float;  (** minor-heap words allocated per run *)
+  r_promoted_words_per_run : float;  (** words promoted to the major heap *)
 }
 
 let recorded : result list ref = ref []
@@ -56,13 +58,22 @@ let sample_latency name f =
   let clock = !Mad_obs.Span.clock in
   let deadline = clock () +. quota in
   let runs = ref 0 in
+  (* GC counters around the sampling loop attribute allocation (minor
+     and promoted words) to the measurement, amortized per run.  Minor
+     words come from [Gc.minor_words] (reads the allocation pointer, so
+     it is exact even when the window spans no minor collection);
+     promoted words only advance at minor collections, where
+     [quick_stat] is already accurate. *)
+  let m0 = Gc.minor_words () and g0 = Gc.quick_stat () in
   while !runs < max_sample_runs && (!runs = 0 || clock () < deadline) do
     let t0 = clock () in
     ignore (Sys.opaque_identity (f ()));
     Mad_obs.Metric.observe h ((clock () -. t0) *. 1e6);
     incr runs
   done;
-  h
+  let m1 = Gc.minor_words () and g1 = Gc.quick_stat () in
+  let per tot0 tot1 = Float.max 0.0 (tot1 -. tot0) /. float_of_int !runs in
+  (h, per m0 m1, per g0.Gc.promoted_words g1.Gc.promoted_words)
 
 (** Measure [f] with Bechamel's OLS estimator; returns ns per run.
     Failed estimations warn on stderr instead of silently returning
@@ -88,6 +99,7 @@ let time_ns name f =
       | Some [] | None -> nan
     end
   in
+  let h, minor_w, promoted_w = sample_latency name f in
   if Float.is_nan est then
     Format.eprintf
       "bench: %s produced no estimate (quota %.0f ms too small?)@." name
@@ -98,8 +110,9 @@ let time_ns name f =
         ("name", Mad_obs.Span.Str name);
         ("ns_per_run", Mad_obs.Span.Float est);
         ("quota_ms", Mad_obs.Span.Float (quota *. 1000.0));
+        ("minor_words_per_run", Mad_obs.Span.Float minor_w);
+        ("promoted_words_per_run", Mad_obs.Span.Float promoted_w);
       ];
-  let h = sample_latency name f in
   recorded :=
     {
       r_name = name;
@@ -108,6 +121,8 @@ let time_ns name f =
       r_mean_us = Mad_obs.Metric.mean h;
       r_p50_us = Option.value ~default:0.0 (Mad_obs.Metric.quantile h 0.5);
       r_p95_us = Option.value ~default:0.0 (Mad_obs.Metric.quantile h 0.95);
+      r_minor_words_per_run = minor_w;
+      r_promoted_words_per_run = promoted_w;
     }
     :: !recorded;
   est
@@ -125,6 +140,8 @@ let result_json r =
       ("mean_us", json_num r.r_mean_us);
       ("p50_us", json_num r.r_p50_us);
       ("p95_us", json_num r.r_p95_us);
+      ("minor_words_per_run", json_num r.r_minor_words_per_run);
+      ("promoted_words_per_run", json_num r.r_promoted_words_per_run);
     ]
 
 (** Write every measurement recorded so far (name, sampled iteration

@@ -8,6 +8,9 @@
      dot      emit Graphviz for the schema or the atom networks
      digest   run statements and report the workload digest
      trace    run statements and dump the flight recorder (Chrome trace)
+     timeline run statements, sampling telemetry frames; export JSON/CSV
+     health   run statements and report the health verdict (exit 0/1/2)
+     top      live terminal view: health, runtime gauges, counter rates
      recovery run the crash-recovery fault-injection suite
 
    repl, query, explain and script take --data DIR to run against a
@@ -101,12 +104,23 @@ let with_session ?obs db_name data f =
         ignore
           (Prima.Adaptive.load_session session (Mad_durable.Durable.stats_path h));
         ignore (Mad_obs.Digest.load dg (Mad_durable.Durable.digest_path h));
+        (* when a timeline is live (MAD_OBS_TICK or a timeline-aware
+           subcommand), its frames and probe baselines persist beside
+           the WAL as timeline.mad *)
+        (match Mad_obs.Timeline.active () with
+         | Some tl ->
+           ignore (Mad_obs.Timeline.load tl (Mad_durable.Durable.timeline_path h))
+         | None -> ());
         Fun.protect
           ~finally:(fun () ->
             ignore
               (Prima.Adaptive.save_session session
                  (Mad_durable.Durable.stats_path h));
-            Mad_obs.Digest.save dg (Mad_durable.Durable.digest_path h))
+            Mad_obs.Digest.save dg (Mad_durable.Durable.digest_path h);
+            match Mad_obs.Timeline.active () with
+            | Some tl ->
+              Mad_obs.Timeline.save tl (Mad_durable.Durable.timeline_path h)
+            | None -> ())
           (fun () -> f session (Some h)))
 
 (* ------------------------------------------------------------------ *)
@@ -116,6 +130,34 @@ let write_trace path =
   Mad_obs.Recorder.dump (Mad_obs.Recorder.global ()) path;
   Format.eprintf "trace written to %s (%d event(s) recorded)@." path
     (Mad_obs.Recorder.recorded (Mad_obs.Recorder.global ()))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline helpers                                                     *)
+
+(* get-or-configure the global timeline and take a frame against the
+   session's registry, so :top / :health and the timeline-aware
+   subcommands work without MAD_OBS_TICK in the environment *)
+let tick_timeline session =
+  let tl = Mad_obs.Timeline.configure () in
+  ignore
+    (Mad_obs.Timeline.tick
+       ~epoch:(Database.epoch session.Mad_mql.Session.db)
+       tl
+       (Mad_obs.Obs.registry session.Mad_mql.Session.obs));
+  tl
+
+let pp_health ppf tl =
+  let h = Mad_obs.Timeline.health tl in
+  Format.fprintf ppf "health: %s (exit %d), %d frame(s)@."
+    (Mad_obs.Timeline.health_name h)
+    (Mad_obs.Timeline.health_exit h)
+    (Mad_obs.Timeline.sampled tl);
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %-28s %s (fired %d)@." (Mad_obs.Probe.id p)
+        (if Mad_obs.Probe.firing p then "FIRING" else "ok")
+        p.Mad_obs.Probe.p_fired)
+    (Mad_obs.Timeline.probes tl)
 
 (* ------------------------------------------------------------------ *)
 (* repl                                                                 *)
@@ -132,7 +174,7 @@ let repl db_name data slow =
        (Mad_durable.Durable.dir h) Database.pp_summary db
        Mad_durable.Durable.pp_recovery
        (Mad_durable.Durable.recovery h));
-  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :digest :drift :save :trace [FILE] :explain <stmt>@.";
+  Format.printf "Type MOL statements ending in ';'. Commands: :quit :schema :types :stats :metrics :digest :drift :top :health :save :trace [FILE] :explain <stmt>@.";
   let buf = Buffer.create 256 in
   let rec loop () =
     if Buffer.length buf = 0 then print_string "MOL> " else print_string "...> ";
@@ -163,9 +205,9 @@ let repl db_name data slow =
         loop ()
       end
       else if String.equal trimmed ":metrics" then begin
-        print_string
-          (Mad_obs.Registry.expose
-             (Mad_obs.Obs.registry session.Mad_mql.Session.obs));
+        let registry = Mad_obs.Obs.registry session.Mad_mql.Session.obs in
+        Mad_obs.Timeline.update_runtime ~epoch:(Database.epoch db) registry;
+        print_string (Mad_obs.Registry.expose registry);
         loop ()
       end
       else if String.equal trimmed ":digest" then begin
@@ -180,6 +222,14 @@ let repl db_name data slow =
       end
       else if String.equal trimmed ":drift" then begin
         Format.printf "%s@." (Prima.Adaptive.report session);
+        loop ()
+      end
+      else if String.equal trimmed ":top" then begin
+        Format.printf "%a" Mad_obs.Timeline.pp_dashboard (tick_timeline session);
+        loop ()
+      end
+      else if String.equal trimmed ":health" then begin
+        Format.printf "%a" pp_health (tick_timeline session);
         loop ()
       end
       else if String.equal trimmed ":save" then begin
@@ -404,7 +454,18 @@ let script_cmd =
 (* ------------------------------------------------------------------ *)
 (* stats — run statements, expose the session registry                  *)
 
-let stats db_name stmts =
+let run_all session stmts =
+  List.iter
+    (fun src ->
+      List.iter
+        (fun stmt -> ignore (Mad_mql.Session.run session (String.trim stmt)))
+        (split_statements src))
+    stmts
+
+(* "\027[2J" clears, "\027[H" homes the cursor: re-render in place *)
+let clear_screen () = print_string "\027[2J\027[H"
+
+let stats db_name watch count stmts =
   handle @@ fun () ->
   let db = load_db db_name in
   (* a private tracing context: spans drive the op.latency_us
@@ -412,13 +473,30 @@ let stats db_name stmts =
   let obs = Mad_obs.Obs.create ~tracing:true () in
   let session = Mad_mql.Session.create ~obs db in
   ignore (Mad_mql.Session.enable_digest session);
-  List.iter
-    (fun src ->
-      List.iter
-        (fun stmt -> ignore (Mad_mql.Session.run session (String.trim stmt)))
-        (split_statements src))
-    stmts;
-  print_string (Mad_obs.Registry.expose (Mad_obs.Obs.registry obs))
+  (* refresh the runtime.* gauges right before rendering, so the
+     exposition reflects the process now, not Obs-creation time *)
+  let expose () =
+    let registry = Mad_obs.Obs.registry obs in
+    Mad_obs.Timeline.update_runtime ~epoch:(Database.epoch db) registry;
+    Mad_obs.Registry.expose registry
+  in
+  match watch with
+  | None ->
+    run_all session stmts;
+    print_string (expose ())
+  | Some secs ->
+    (* watch mode: re-run the statements and re-render the registry in
+       place every SECS seconds ([--count] bounds the iterations) *)
+    let i = ref 0 in
+    while count = 0 || !i < count do
+      run_all session stmts;
+      clear_screen ();
+      Format.printf "madql stats --watch %g  (iteration %d)@." secs (!i + 1);
+      print_string (expose ());
+      flush stdout;
+      incr i;
+      if count = 0 || !i < count then Unix.sleepf (Float.max 0.01 secs)
+    done
 
 let stats_stmts_arg =
   Arg.(
@@ -426,14 +504,30 @@ let stats_stmts_arg =
     & info [] ~docv:"STATEMENTS"
         ~doc:"MOL statements to execute before exposing the metrics.")
 
+let watch_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "watch" ] ~docv:"SECS"
+        ~doc:
+          "Re-run the statements and re-render the metrics table in place \
+           every $(docv) seconds.")
+
+let count_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "count" ] ~docv:"N"
+        ~doc:"With $(b,--watch), stop after $(docv) iterations (0 = forever).")
+
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Execute MOL statements and print the session's metrics registry \
           as Prometheus text (counters, gauges, op.latency_us histograms \
-          with flight-recorder exemplars).")
-    Term.(const stats $ db_arg $ stats_stmts_arg)
+          with flight-recorder exemplars).  With $(b,--watch) the table \
+          re-renders in place.")
+    Term.(const stats $ db_arg $ watch_arg $ count_arg $ stats_stmts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* digest — run statements, report the workload digest                  *)
@@ -543,6 +637,231 @@ let trace_cmd =
           Chrome trace-event JSON: one track per domain plus WAL and \
           planner tracks, loadable in Perfetto or about://tracing.")
     Term.(const trace $ db_arg $ data_arg $ trace_out_arg $ trace_stmts_arg)
+
+(* ------------------------------------------------------------------ *)
+(* timeline / health / top — the telemetry timeline                     *)
+
+(* run the statements with one explicit frame per statement, so probe
+   behaviour is deterministic regardless of the wall-clock interval;
+   [inject = Some (k, ms)] turns on the slow-statement fault after the
+   first [k] statements (the health-smoke fault injection) *)
+let run_ticked session tl ~inject ~repeat stmts =
+  let registry = Mad_obs.Obs.registry session.Mad_mql.Session.obs in
+  let i = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Mad_mql.Session.fault_spin_ms := None)
+    (fun () ->
+      for _ = 1 to max 1 repeat do
+        List.iter
+          (fun src ->
+            List.iter
+              (fun stmt ->
+                (match inject with
+                 | Some (k, ms) when !i >= k ->
+                   Mad_mql.Session.fault_spin_ms := Some ms
+                 | Some _ | None -> ());
+                (* statement errors feed the frame (error storms are
+                   exactly what a probe should see), not stop the run *)
+                (try ignore (Mad_mql.Session.run session (String.trim stmt))
+                 with Err.Mad_error msg -> Format.eprintf "error: %s@." msg);
+                incr i;
+                ignore
+                  (Mad_obs.Timeline.tick
+                     ~epoch:(Database.epoch session.Mad_mql.Session.db)
+                     tl registry))
+              (split_statements src))
+          stmts
+      done)
+
+let write_timeline_json tl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Mad_obs.Json.to_string (Mad_obs.Timeline.to_json tl));
+      output_char oc '\n');
+  Format.eprintf "timeline written to %s (%d frame(s))@." path
+    (Mad_obs.Timeline.sampled tl)
+
+let repeat_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:"Run the statement list $(docv) times (one frame per statement).")
+
+let timeline_stmts_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"STATEMENTS"
+        ~doc:"MOL statements to execute, one timeline frame each.")
+
+let timeline db_name data repeat json csv out stmts =
+  handle @@ fun () ->
+  if json && csv then Err.failf "--json and --csv are mutually exclusive";
+  let tl = Mad_obs.Timeline.configure () in
+  with_session db_name data @@ fun session _durable ->
+  run_ticked session tl ~inject:None ~repeat stmts;
+  if csv then print_string (Mad_obs.Timeline.to_csv tl)
+  else
+    match out with
+    | Some path -> write_timeline_json tl path
+    | None ->
+      print_string (Mad_obs.Json.to_string (Mad_obs.Timeline.to_json tl));
+      print_newline ()
+
+let timeline_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the timeline as JSON (default).")
+
+let timeline_csv_arg =
+  Arg.(
+    value & flag
+    & info [ "csv" ]
+        ~doc:
+          "Emit the timeline as long-format CSV \
+           (frame,unix,ticks,kind,name,labels,value,sum).")
+
+let timeline_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the JSON export to $(docv) instead of stdout.")
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Execute MOL statements, sampling one telemetry frame per \
+          statement (registry counters and gauges, histogram summaries, \
+          runtime.* GC/heap gauges), and export the frame ring as JSON or \
+          CSV.  With $(b,--data), frames and probe baselines merge with \
+          (and persist to) the directory's timeline.mad.")
+    Term.(
+      const timeline $ db_arg $ data_arg $ repeat_arg $ timeline_json_arg
+      $ timeline_csv_arg $ timeline_out_arg $ timeline_stmts_arg)
+
+(* --inject-slow K:MS — after the first K statements, every statement
+   busy-waits MS milliseconds inside its timed block *)
+let parse_inject spec =
+  match String.index_opt spec ':' with
+  | Some i -> begin
+    match
+      ( int_of_string_opt (String.sub spec 0 i),
+        float_of_string_opt
+          (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    with
+    | Some k, Some ms when k >= 0 && ms >= 0.0 -> (k, ms)
+    | _ -> Err.failf "invalid --inject-slow %s (expected K:MS)" spec
+  end
+  | None -> Err.failf "invalid --inject-slow %s (expected K:MS)" spec
+
+let health db_name data repeat json export inject stmts =
+  match
+    (fun () ->
+      let inject = Option.map parse_inject inject in
+      let tl = Mad_obs.Timeline.configure () in
+      (with_session db_name data @@ fun session _durable ->
+       run_ticked session tl ~inject ~repeat stmts);
+      (match export with Some path -> write_timeline_json tl path | None -> ());
+      if json then begin
+        print_string (Mad_obs.Json.to_string (Mad_obs.Timeline.health_json tl));
+        print_newline ()
+      end
+      else Format.printf "%a" pp_health tl;
+      (* the health exit-code contract: 0 ok, 1 degraded, 2 unhealthy *)
+      Mad_obs.Timeline.health_exit (Mad_obs.Timeline.health tl))
+      ()
+  with
+  | code -> code
+  | exception Err.Mad_error msg ->
+    Format.eprintf "error: %s@." msg;
+    3
+
+let health_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the health document (state, exit, probes) as JSON.")
+
+let health_export_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export" ] ~docv:"FILE"
+        ~doc:"Also write the full timeline (frames and probes) as JSON.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-slow" ] ~docv:"K:MS"
+        ~doc:
+          "Fault injection for smoke tests: after the first $(i,K) \
+           statements, every statement spins $(i,MS) milliseconds inside \
+           its timed block, which the latency probe should flag.")
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Execute MOL statements (one telemetry frame each) and report the \
+          process health verdict from the anomaly probes (latency \
+          regression per statement fingerprint, plan-switch storms, \
+          snapshot-invalidation thrash, heap growth).  Exit code: 0 ok, 1 \
+          degraded (one probe firing), 2 unhealthy (two or more), 3 on \
+          errors."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"healthy: no probe firing";
+           Cmd.Exit.info 1 ~doc:"degraded: one probe firing";
+           Cmd.Exit.info 2 ~doc:"unhealthy: two or more probes firing";
+           Cmd.Exit.info 3 ~doc:"the statements or options failed";
+         ])
+    Term.(
+      const health $ db_arg $ data_arg $ repeat_arg $ health_json_arg
+      $ health_export_arg $ inject_arg $ timeline_stmts_arg)
+
+let top db_name data interval count stmts =
+  handle @@ fun () ->
+  let tl = Mad_obs.Timeline.configure () in
+  with_session db_name data @@ fun session _durable ->
+  let i = ref 0 in
+  while count = 0 || !i < count do
+    (* each refresh re-runs the statement list (the observed workload)
+       and takes a frame; with no statements the runtime gauges still
+       move *)
+    run_ticked session tl ~inject:None ~repeat:1 stmts;
+    if stmts = [] then ignore (tick_timeline session);
+    clear_screen ();
+    Format.printf "madql top — refresh %gs  (q: Ctrl-C)@." interval;
+    Format.printf "%a" Mad_obs.Timeline.pp_dashboard tl;
+    flush stdout;
+    incr i;
+    if count = 0 || !i < count then Unix.sleepf (Float.max 0.05 interval)
+  done
+
+let top_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "interval" ] ~docv:"SECS" ~doc:"Seconds between refreshes.")
+
+let top_count_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "count" ] ~docv:"N" ~doc:"Stop after $(docv) refreshes (0 = forever).")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of the telemetry timeline: health verdict, \
+          runtime GC/heap gauges, the busiest counters over the last frame \
+          window, and the anomaly-probe table, re-rendered in place.  \
+          Positional statements are re-run at each refresh as the observed \
+          workload.")
+    Term.(
+      const top $ db_arg $ data_arg $ top_interval_arg $ top_count_arg
+      $ timeline_stmts_arg)
 
 let dump db_name out =
   handle @@ fun () ->
@@ -657,5 +976,6 @@ let () =
        (Cmd.group info
           [
             repl_cmd; query_cmd; explain_cmd; schema_cmd; dot_cmd; dump_cmd;
-            script_cmd; stats_cmd; digest_cmd; trace_cmd; recovery_cmd;
+            script_cmd; stats_cmd; digest_cmd; trace_cmd; timeline_cmd;
+            health_cmd; top_cmd; recovery_cmd;
           ]))

@@ -26,11 +26,13 @@ let snapshot_basename = "snapshot.mad"
 let wal_basename = "wal.log"
 let stats_basename = "stats.mad"
 let digest_basename = "digest.mad"
+let timeline_basename = "timeline.mad"
 
 let snapshot_path dir = Filename.concat dir snapshot_basename
 let wal_path dir = Filename.concat dir wal_basename
 let stats_path_of_dir dir = Filename.concat dir stats_basename
 let digest_path_of_dir dir = Filename.concat dir digest_basename
+let timeline_path_of_dir dir = Filename.concat dir timeline_basename
 
 (** Does the directory hold durable state already? *)
 let exists dir =
@@ -68,6 +70,7 @@ let dir t = t.dir
 let recovery t = t.recovery
 let stats_path t = stats_path_of_dir t.dir
 let digest_path t = digest_path_of_dir t.dir
+let timeline_path t = timeline_path_of_dir t.dir
 let wal_records t = t.wal_records
 
 let rec mkdirs dir =

@@ -13,6 +13,7 @@ val snapshot_basename : string
 val wal_basename : string
 val stats_basename : string
 val digest_basename : string
+val timeline_basename : string
 
 val exists : string -> bool
 (** Does the directory hold durable state (a snapshot or a log)? *)
@@ -22,6 +23,10 @@ val stats_path_of_dir : string -> string
 
 val digest_path_of_dir : string -> string
 (** Where the workload digest store lives beside the WAL. *)
+
+val timeline_path_of_dir : string -> string
+(** Where the telemetry timeline ([timeline.mad]) lives beside the
+    WAL. *)
 
 type recovery = {
   snapshot_loaded : bool;
@@ -74,6 +79,7 @@ val dir : t -> string
 val recovery : t -> recovery
 val stats_path : t -> string
 val digest_path : t -> string
+val timeline_path : t -> string
 
 val wal_records : t -> int
 (** Records currently in the log (replayed plus appended). *)

@@ -196,12 +196,30 @@ let stmt_kind = function
   | Ast.Modify _ -> "modify"
   | Ast.Explain _ -> "explain"
 
+(* Fault injection for health-probe smoke tests ([madql health
+   --inject-slow]): busy-wait on {!Mad_obs.Span.clock} inside the
+   statement's timed block, so the injected latency lands in the
+   digest histograms the latency probe watches.  A spin (not a sleep)
+   keeps this library free of a unix dependency and respects
+   deterministic test clocks. *)
+let fault_spin_ms : float option ref = ref None
+
+let fault_spin () =
+  match !fault_spin_ms with
+  | Some ms when ms > 0.0 ->
+    let until = !Mad_obs.Span.clock () +. (ms /. 1000.0) in
+    while !Mad_obs.Span.clock () < until do
+      ignore (Sys.opaque_identity ())
+    done
+  | Some _ | None -> ()
+
 let rec eval_stmt_inner t (stmt : Ast.stmt) : outcome =
   (* one root span per statement; everything the engine does beneath —
      algebra operators, derivations, closure checks — nests under it *)
   Mad_obs.Obs.timed t.obs "mql.statement"
     ~attrs:[ ("kind", Mad_obs.Span.Str (stmt_kind stmt)) ]
   @@ fun _ ->
+  fault_spin ();
   match stmt with
   | Ast.Define (name, s) ->
     let desc = Translate.resolve_structure t.db s in
@@ -395,6 +413,14 @@ let eval_stmt ?fp_text t (stmt : Ast.stmt) : outcome =
     as its own operator ([op.latency_us{op=mql.parse}]) so digest
     overhead attribution is complete. *)
 let run t src =
+  (* the statement path drives the global timeline (interval gated,
+     near-free while MAD_OBS_TICK is unset); ticking even when the
+     statement raises keeps frames arriving through error storms *)
+  Fun.protect
+    ~finally:(fun () ->
+      Mad_obs.Timeline.auto_tick ~epoch:(Database.epoch t.db)
+        (Mad_obs.Obs.registry t.obs))
+  @@ fun () ->
   let stmt = Mad_obs.Obs.timed t.obs "mql.parse" (fun _ -> parse t src) in
   match t.digest with
   | None -> eval_stmt t stmt

@@ -89,7 +89,18 @@ val eval_stmt : ?fp_text:int * string -> t -> Ast.stmt -> outcome
 
 val run : t -> string -> outcome
 (** Parse and evaluate one MOL statement.  The parse is timed as its
-    own operator ([op.latency_us{op=mql.parse}]). *)
+    own operator ([op.latency_us{op=mql.parse}]).  After each
+    statement the global telemetry timeline gets an interval-gated
+    tick ({!Mad_obs.Timeline.auto_tick}) against the session registry
+    — near-free while [MAD_OBS_TICK] is unset. *)
+
+val fault_spin_ms : float option ref
+(** Fault injection for health smoke tests: when set, every statement
+    busy-waits this many milliseconds inside its timed block (on
+    {!Mad_obs.Span.clock}, so deterministic test clocks apply), which
+    the digest latency histograms — and thus the timeline's latency
+    probe — observe as a genuine regression.  [None] (the default)
+    costs one ref read per statement. *)
 
 val run_to_string : t -> string -> string
 (** Evaluate and render (molecule trees, explosion trees, DML

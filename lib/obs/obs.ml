@@ -66,8 +66,14 @@ let create ?(tracing = true) ?(sink = Sink.noop) ?sample ?slow_ms
           rng = Random.State.make [| seed |];
         }
   in
-  { registry = Registry.create (); sink; tracing; stack = []; sampler;
-    keep_root = true; last_closed = -1; last_dur_us = -1.0 }
+  let t =
+    { registry = Registry.create (); sink; tracing; stack = []; sampler;
+      keep_root = true; last_closed = -1; last_dur_us = -1.0 }
+  in
+  (* register the runtime.* GC/heap gauges up front so they ride
+     [Registry.expose] and [madql stats] even without a timeline *)
+  Timeline.update_runtime t.registry;
+  t
 
 (** The shared disabled context. *)
 let noop = create ~tracing:false ~sink:Sink.noop ()

@@ -1,0 +1,67 @@
+(** Anomaly probes: EWMA-baselined detectors with trip/clear
+    hysteresis, fed one scalar observation per timeline frame.
+
+    A probe learns a baseline as an exponentially-weighted moving
+    average of its {e normal} observations and flags an observation as
+    anomalous when it exceeds both an absolute floor ([min_fire]) and a
+    multiple of the baseline ([factor]).  Hysteresis keeps the verdict
+    stable: the probe only starts {e firing} after [trip] consecutive
+    anomalous frames (a single spike never fires it) and only clears
+    after [clear] consecutive normal frames (a single good frame never
+    silences it).  Anomalous observations do not feed the baseline, so
+    a sustained regression keeps firing instead of teaching the probe
+    that slow is the new normal.
+
+    Rate-style probes (events per frame: plan switches, snapshot
+    invalidations) set [skip_zero]: a zero observation counts as a
+    normal frame for hysteresis but does not feed the baseline — the
+    baseline models the activity level {e when active}, so an idle
+    stretch cannot drag it to zero and make ordinary load look like a
+    storm. *)
+
+type t = private {
+  p_probe : string;  (** probe family, e.g. ["latency"] *)
+  p_label : string;  (** instance label, e.g. a fingerprint hex; [""] *)
+  p_factor : float;  (** anomalous when value > factor * baseline *)
+  p_min_fire : float;  (** ... and value >= this absolute floor *)
+  p_trip : int;  (** consecutive anomalies before firing *)
+  p_clear : int;  (** consecutive normals before clearing *)
+  p_alpha : float;  (** EWMA weight of a new normal observation *)
+  p_skip_zero : bool;  (** zero observations bypass the baseline *)
+  mutable p_baseline : float;  (** [nan] until the first normal sample *)
+  mutable p_hot : int;  (** current anomalous streak *)
+  mutable p_cool : int;  (** current normal streak while firing *)
+  mutable p_firing : bool;
+  mutable p_fired : int;  (** total ok->firing transitions *)
+  mutable p_last : float;  (** most recent observation, [nan] before any *)
+  mutable p_seen : int;  (** total observations *)
+}
+
+val create :
+  ?factor:float ->
+  ?min_fire:float ->
+  ?trip:int ->
+  ?clear:int ->
+  ?alpha:float ->
+  ?skip_zero:bool ->
+  probe:string ->
+  ?label:string ->
+  unit ->
+  t
+(** Defaults: [factor] 3.0, [min_fire] 0.0, [trip] 3, [clear] 3,
+    [alpha] 0.3, [skip_zero] false. *)
+
+val observe : t -> float -> bool
+(** Feed one observation; returns [true] exactly on the ok->firing
+    transition (the caller journals it).  Non-finite observations are
+    ignored. *)
+
+val firing : t -> bool
+val id : t -> string
+(** ["probe"] or ["probe:label"] — the rendering used in reports and
+    recorder events. *)
+
+val restore : t -> baseline:float -> fired:int -> firing:bool -> unit
+(** Adopt persisted state ([timeline.mad]); only applied while the
+    probe has seen no live observations — live evidence outranks
+    history. *)

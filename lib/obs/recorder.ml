@@ -32,6 +32,7 @@ type kind =
   | Recovery_replay
   | Plan_switch
   | Slow_query
+  | Probe_fired
 
 let kind_name = function
   | Span_begin -> "span.begin"
@@ -47,6 +48,7 @@ let kind_name = function
   | Recovery_replay -> "recovery.replay"
   | Plan_switch -> "plan.switch"
   | Slow_query -> "slow.query"
+  | Probe_fired -> "probe.fired"
 
 type event = {
   mutable e_seq : int;  (** global sequence number; [-1] = empty/torn *)
@@ -239,7 +241,7 @@ let is_complete ev =
   | Kernel_chunk ->
     true
   | Span_begin | Metric_flush | Wal_append | Snapshot_invalidate
-  | Recovery_replay | Plan_switch | Slow_query ->
+  | Recovery_replay | Plan_switch | Slow_query | Probe_fired ->
     false
 
 let start_ticks ev = if is_complete ev then ev.e_ticks - ev.e_dur_ns else ev.e_ticks
@@ -276,6 +278,9 @@ let args_of ev =
     | Slow_query ->
       [ ("fingerprint", Json.Str ev.e_label);
         ("ms", Json.Num (float_of_int ev.e_a)) ]
+    | Probe_fired ->
+      [ ("probe", Json.Str ev.e_label); ("value", num ev.e_a);
+        ("baseline", num ev.e_b) ]
   in
   Json.Obj (common @ specific)
 

@@ -41,6 +41,9 @@ type kind =
   | Slow_query
       (** a statement crossed the slow-log threshold; [label] =
           fingerprint hex, [a] = elapsed ms *)
+  | Probe_fired
+      (** a timeline anomaly probe started firing; [label] = probe id
+          ("latency:fp" …), [a]/[b] = rounded value/baseline *)
 
 val kind_name : kind -> string
 (** Stable dotted name ("wal.fsync", "kernel.run", …) used as the

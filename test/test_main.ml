@@ -21,6 +21,7 @@ let () =
       ("workloads", T_workloads.suite);
       ("render", T_render.suite);
       ("obs", T_obs.suite);
+      ("timeline", T_timeline.suite);
       ("digest", T_digest.suite);
       ("durable", T_durable.suite);
       ("misc", T_misc.suite);
