@@ -773,8 +773,16 @@ let health db_name data repeat json export inject stmts =
       ()
   with
   | code -> code
+  (* every failure mode maps to the documented exit 3, not cmdliner's
+     generic 125 — CI asserts the 0/1/2/3 contract *)
   | exception Err.Mad_error msg ->
     Format.eprintf "error: %s@." msg;
+    3
+  | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    3
+  | exception e ->
+    Format.eprintf "error: %s@." (Printexc.to_string e);
     3
 
 let health_json_arg =

@@ -6,17 +6,30 @@
 
 type key = string * Metric.labels
 
+(* the lock serializes every Hashtbl / [order] access: the timeline's
+   background sampler domain snapshots ([to_list]) while the statement
+   path registers new instruments, and stdlib Hashtbl is not safe
+   under unsynchronized multi-domain use.  Instrument mutation
+   (Metric.incr and friends) stays lock-free — word-sized fields never
+   tear, and telemetry tolerates a stale read. *)
 type t = {
   metrics : (key, Metric.sample) Hashtbl.t;
+  lock : Mutex.t;
   mutable order : key list;  (** registration order, reversed *)
 }
 
-let create () = { metrics = Hashtbl.create 32; order = [] }
+let create () =
+  { metrics = Hashtbl.create 32; lock = Mutex.create (); order = [] }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let canon labels = List.sort compare labels
 
 let get_or_create t name labels build cast kind =
   let key = (name, canon labels) in
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.metrics key with
   | Some sample -> begin
     match cast sample with
@@ -57,7 +70,8 @@ let histogram ?(labels = []) ?bounds t name =
     "histogram"
 
 let find t ?(labels = []) name =
-  Hashtbl.find_opt t.metrics (name, canon labels)
+  let key = (name, canon labels) in
+  locked t (fun () -> Hashtbl.find_opt t.metrics key)
 
 let counter_value t ?labels name =
   match find t ?labels name with
@@ -65,7 +79,8 @@ let counter_value t ?labels name =
   | Some (Metric.Gauge _ | Metric.Histogram _) | None -> 0
 
 let to_list t =
-  List.rev_map (fun key -> Hashtbl.find t.metrics key) t.order
+  locked t (fun () ->
+      List.rev_map (fun key -> Hashtbl.find t.metrics key) t.order)
 
 let reset t = List.iter Metric.reset (to_list t)
 

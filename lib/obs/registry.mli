@@ -1,6 +1,12 @@
 (** The metrics registry: get-or-create instruments by (name, labels).
     Each MOL session / EXPLAIN ANALYZE run owns one, isolating its
-    actual counters. *)
+    actual counters.
+
+    Registration and enumeration are thread-safe (a mutex guards the
+    table), so the timeline's background sampler domain can snapshot
+    while the statement path registers new instruments.  Instrument
+    {e mutation} (Metric.incr etc.) is lock-free; cross-domain readers
+    may observe slightly stale values, never torn ones. *)
 
 type t
 

@@ -70,9 +70,20 @@ let create ?(capacity = 512) ?(interval = 1.0) () =
 
 let capacity t = Array.length t.ring
 let interval t = t.tl_interval
+
+(* a single int field read; monotonic, never torn, safe without the
+   lock (and [health_json] reads it while already holding the lock) *)
 let sampled t = t.count
 
-let frames t =
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* [*_u] variants assume [t.lock] is held; the public wrappers take it
+   so readers never observe the ring or probe list mid-mutation while
+   the background sampler domain is ticking *)
+
+let frames_u t =
   let cap = capacity t in
   let lo = max 0 (t.count - cap) in
   let out = ref [] in
@@ -83,15 +94,20 @@ let frames t =
   done;
   !out
 
-let last t =
+let frames t = with_lock t (fun () -> frames_u t)
+
+let last_u t =
   if t.count = 0 then None else t.ring.((t.count - 1) mod capacity t)
+
+let last t = with_lock t (fun () -> last_u t)
 
 let push_raw t f =
   t.ring.(t.count mod capacity t) <- Some f;
   t.count <- t.count + 1;
   t.seq <- max t.seq (f.f_seq + 1)
 
-let probes t = List.rev t.probe_order
+let probes_u t = List.rev t.probe_order
+let probes t = with_lock t (fun () -> probes_u t)
 
 (* (factor, min_fire, trip, clear, alpha, skip_zero) per probe family;
    the floors keep quiet processes quiet (3 replans or 16
@@ -119,11 +135,13 @@ let ensure_probe t ~probe ~label =
     t.probe_order <- p :: t.probe_order;
     p
 
-let health t =
-  match List.length (List.filter Probe.firing (probes t)) with
+let health_u t =
+  match List.length (List.filter Probe.firing (probes_u t)) with
   | 0 -> Ok
   | 1 -> Degraded
   | _ -> Unhealthy
+
+let health t = with_lock t (fun () -> health_u t)
 
 (* ------------------------------------------------------------------ *)
 (* Runtime gauges                                                       *)
@@ -294,10 +312,7 @@ let evaluate t registry ~prev ~cur =
 (* Tick                                                                 *)
 
 let tick ?epoch t registry =
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
+  with_lock t (fun () ->
       update_runtime ?epoch registry;
       update_fsync t registry;
       (* register the verdict gauge before snapshotting, so the frame
@@ -312,14 +327,14 @@ let tick ?epoch t registry =
           f_points = snapshot registry;
         }
       in
-      let prev = last t in
+      let prev = last_u t in
       push_raw t f;
       t.last_tick <- now;
       (match prev with
        | Some prev when prev.f_seq < f.f_seq ->
          evaluate t registry ~prev ~cur:f
        | Some _ | None -> ());
-      Metric.set hg (float_of_int (health_exit (health t)));
+      Metric.set hg (float_of_int (health_exit (health_u t)));
       f)
 
 let maybe_tick ?epoch t registry =
@@ -333,11 +348,19 @@ let maybe_tick ?epoch t registry =
 (* The global timeline                                                  *)
 
 let state : t option ref = ref None
-let on = ref true
+
+(* [on] and [source] are read by the background sampler domain while
+   the statement path writes them, so they must be Atomic *)
+let on = Atomic.make true
 let env_read = ref false
-let source : Registry.t option ref = ref None
-let bg_stop = Atomic.make false
-let bg_running = ref false
+let source : Registry.t option Atomic.t = Atomic.make None
+
+(* background-sampler generation token: each start hands the freshly
+   incremented value to the loop it spawns, and each stop increments
+   it again, so a stale loop sees the mismatch and exits while a later
+   [configure ~background:true] can always respawn *)
+let bg_gen = Atomic.make 0
+let bg_running = ref false  (* main-domain bookkeeping only *)
 
 let env_tick () =
   match Option.map String.trim (Sys.getenv_opt "MAD_OBS_TICK") with
@@ -359,24 +382,28 @@ let env_tick () =
          s;
        None)
 
-let rec background_loop t =
-  if not (Atomic.get bg_stop) then begin
+let rec background_loop t gen =
+  if Atomic.get bg_gen = gen then begin
     Unix.sleepf t.tl_interval;
-    if not (Atomic.get bg_stop) && !on then
-      (match !source with
+    if Atomic.get bg_gen = gen && Atomic.get on then
+      (match Atomic.get source with
        | Some registry -> ( try ignore (tick t registry) with _ -> ())
        | None -> ());
-    background_loop t
+    background_loop t gen
   end
 
 let start_background t =
   if not !bg_running then begin
     bg_running := true;
-    Atomic.set bg_stop false;
-    ignore (Domain.spawn (fun () -> background_loop t))
+    let gen = 1 + Atomic.fetch_and_add bg_gen 1 in
+    ignore (Domain.spawn (fun () -> background_loop t gen))
   end
 
-let stop_background () = Atomic.set bg_stop true
+let stop_background () =
+  if !bg_running then begin
+    bg_running := false;
+    ignore (Atomic.fetch_and_add bg_gen 1)
+  end
 
 let configure ?capacity ?interval ?(background = false) () =
   env_read := true;
@@ -388,7 +415,7 @@ let configure ?capacity ?interval ?(background = false) () =
       state := Some t;
       t
   in
-  on := true;
+  Atomic.set on true;
   if background then start_background t;
   t
 
@@ -405,15 +432,15 @@ let active () =
   init_from_env ();
   !state
 
-let enabled () = !on && Option.is_some (active ())
-let set_enabled b = on := b
+let enabled () = Atomic.get on && Option.is_some (active ())
+let set_enabled b = Atomic.set on b
 
 let auto_tick ?epoch registry =
   match active () with
   | None -> ()
   | Some t ->
-    source := Some registry;
-    if !on then ignore (maybe_tick ?epoch t registry)
+    Atomic.set source (Some registry);
+    if Atomic.get on then ignore (maybe_tick ?epoch t registry)
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                               *)
@@ -457,27 +484,31 @@ let probe_json p =
     ]
 
 let health_json t =
-  let h = health t in
-  Json.Obj
-    [
-      ("state", Json.Str (health_name h));
-      ("exit", Json.Num (float_of_int (health_exit h)));
-      ("frames", Json.Num (float_of_int (sampled t)));
-      ("probes", Json.List (List.map probe_json (probes t)));
-    ]
+  with_lock t (fun () ->
+      let h = health_u t in
+      Json.Obj
+        [
+          ("state", Json.Str (health_name h));
+          ("exit", Json.Num (float_of_int (health_exit h)));
+          ("frames", Json.Num (float_of_int (sampled t)));
+          ("probes", Json.List (List.map probe_json (probes_u t)));
+        ])
 
 let to_json t =
-  Json.Obj
-    [
-      ("interval_s", Json.Num t.tl_interval);
-      ("frames", Json.List (List.map frame_json (frames t)));
-      ("health", Json.Str (health_name (health t)));
-      ("probes", Json.List (List.map probe_json (probes t)));
-    ]
+  with_lock t (fun () ->
+      Json.Obj
+        [
+          ("interval_s", Json.Num t.tl_interval);
+          ("frames", Json.List (List.map frame_json (frames_u t)));
+          ("health", Json.Str (health_name (health_u t)));
+          ("probes", Json.List (List.map probe_json (probes_u t)));
+        ])
 
 let csv_labels labels =
   String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
 
+(* [frames t] takes the lock; frames are immutable once read, so
+   serializing the snapshot outside the lock is safe *)
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "frame,unix,ticks,kind,name,labels,value,sum\n";
@@ -501,16 +532,17 @@ let find_point f name =
   |> List.find_opt (fun p -> p.p_name = name && p.p_labels = [])
 
 let pp_dashboard ppf t =
-  let h = health t in
+  with_lock t @@ fun () ->
+  let h = health_u t in
   Format.fprintf ppf "health: %s  (%d frame(s), %d probe(s)" (health_name h)
     (sampled t)
-    (List.length (probes t));
-  (match List.filter Probe.firing (probes t) with
+    (List.length (probes_u t));
+  (match List.filter Probe.firing (probes_u t) with
    | [] -> Format.fprintf ppf ")@."
    | firing ->
      Format.fprintf ppf "; firing: %s)@."
        (String.concat ", " (List.map Probe.id firing)));
-  match last t with
+  match last_u t with
   | None -> Format.fprintf ppf "no frames yet@."
   | Some cur ->
     let gauge name =
@@ -526,7 +558,7 @@ let pp_dashboard ppf t =
       (num "runtime.db_epoch")
       (num "runtime.wal_fsync_us");
     let prev =
-      let fs = frames t in
+      let fs = frames_u t in
       let rec penultimate = function
         | [ p; _ ] -> Some p
         | _ :: rest -> penultimate rest
@@ -552,7 +584,7 @@ let pp_dashboard ppf t =
            if i < 8 then
              Format.fprintf ppf "  %-56s +%-8.0f %.1f/s@." k d (d /. dt))
          moved);
-    (match probes t with
+    (match probes_u t with
      | [] -> ()
      | ps ->
        Format.fprintf ppf "%-28s %-8s %12s %12s %6s@." "probe" "state"
@@ -574,7 +606,57 @@ let pp_dashboard ppf t =
 
 let format_header = "# MAD timeline v1"
 
+(* the format uses space, comma and equals as structural separators,
+   so names and label keys/values percent-encode those (plus '%' and
+   line breaks); everything else — typically dotted metric names and
+   hex fingerprints — stays readable *)
+let enc_char c =
+  match c with
+  | '%' | ' ' | ',' | '=' | '\n' | '\r' | '\t' -> true
+  | _ -> false
+
+let enc_field s =
+  if not (String.exists enc_char s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if enc_char c then
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let dec_field s =
+  if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n then
+         match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+         | Some c when c >= 0 && c < 256 ->
+           Buffer.add_char buf (Char.chr c);
+           i := !i + 3
+         | Some _ | None ->
+           Buffer.add_char buf s.[!i];
+           incr i
+       else begin
+         Buffer.add_char buf s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents buf
+  end
+
+(* "-" marks an empty probe label; a literal "-" label encodes its
+   dash so the two stay distinguishable *)
+let label_tok l = if l = "" then "-" else if l = "-" then "%2D" else enc_field l
+
 let to_string t =
+  with_lock t @@ fun () ->
   let buf = Buffer.create 4096 in
   Buffer.add_string buf format_header;
   Buffer.add_char buf '\n';
@@ -587,23 +669,26 @@ let to_string t =
         (fun p ->
           Buffer.add_string buf
             (Printf.sprintf "pt %s %.17g %.17g %s%s\n" (kind_tag p.p_kind)
-               p.p_value p.p_sum p.p_name
+               p.p_value p.p_sum (enc_field p.p_name)
                (match p.p_labels with
                 | [] -> ""
                 | l ->
                   " "
                   ^ String.concat ","
-                      (List.map (fun (k, v) -> k ^ "=" ^ v) l))))
+                      (List.map
+                         (fun (k, v) -> enc_field k ^ "=" ^ enc_field v)
+                         l))))
         f.f_points)
-    (frames t);
+    (frames_u t);
   List.iter
     (fun p ->
       Buffer.add_string buf
-        (Printf.sprintf "probe %s %s %.17g %d %d\n" p.Probe.p_probe
-           (if p.Probe.p_label = "" then "-" else p.Probe.p_label)
+        (Printf.sprintf "probe %s %s %.17g %d %d\n"
+           (enc_field p.Probe.p_probe)
+           (label_tok p.Probe.p_label)
            p.Probe.p_baseline p.Probe.p_fired
            (if Probe.firing p then 1 else 0)))
-    (probes t);
+    (probes_u t);
   Buffer.contents buf
 
 let split_ws s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
@@ -614,14 +699,15 @@ let parse_labels s =
          match String.index_opt kv '=' with
          | Some i ->
            Some
-             ( String.sub kv 0 i,
-               String.sub kv (i + 1) (String.length kv - i - 1) )
+             ( dec_field (String.sub kv 0 i),
+               dec_field (String.sub kv (i + 1) (String.length kv - i - 1)) )
          | None -> None)
 
 let merge_string t s =
   let lines = String.split_on_char '\n' s in
   match lines with
   | header :: rest when String.trim header = format_header ->
+    with_lock t @@ fun () ->
     let flt s = Option.value ~default:0.0 (float_of_string_opt s) in
     let int_of s = Option.value ~default:0 (int_of_string_opt s) in
     (* points accumulate under the open frame header until the next
@@ -658,7 +744,7 @@ let merge_string t s =
           in
           pts :=
             {
-              p_name = name;
+              p_name = dec_field name;
               p_labels = labels;
               p_kind = kind;
               p_value = flt value;
@@ -667,7 +753,8 @@ let merge_string t s =
             :: !pts
         | [ "probe"; probe; label; baseline; fired; firing ] ->
           flush ();
-          let label = if label = "-" then "" else label in
+          let probe = dec_field probe in
+          let label = if label = "-" then "" else dec_field label in
           Probe.restore
             (ensure_probe t ~probe ~label)
             ~baseline:(flt baseline) ~fired:(int_of fired)

@@ -73,7 +73,9 @@ val capacity : t -> int
 val interval : t -> float
 
 val frames : t -> frame list
-(** Retained frames, oldest first. *)
+(** Retained frames, oldest first.  Like every reader and export below,
+    takes the timeline's lock, so a snapshot is consistent even while
+    the background sampler domain ticks. *)
 
 val sampled : t -> int
 (** Total frames ever sampled (not the retained count). *)
@@ -139,7 +141,8 @@ val auto_tick : ?epoch:int -> Registry.t -> unit
     as the background domain's sampling source. *)
 
 val stop_background : unit -> unit
-(** Ask the background sampler domain (if any) to exit. *)
+(** Ask the background sampler domain (if any) to exit.  A later
+    [configure ~background:true] spawns a fresh one. *)
 
 (** {1 Export} *)
 
@@ -160,6 +163,10 @@ val pp_dashboard : Format.formatter -> t -> unit
 (** {1 Persistence ([timeline.mad])} *)
 
 val to_string : t -> string
+(** Metric names and label keys/values percent-encode the format's
+    structural characters (space, comma, equals, '%', line breaks), so
+    any registered name/label round-trips through
+    {!merge_string}. *)
 
 val merge_string : t -> string -> (unit, string) result
 (** Merge serialized frames (appended behind any live frames, ring

@@ -293,6 +293,52 @@ let test_timeline_mad_probe_state_and_garbage () =
      | Error _ -> true
      | Ok () -> false)
 
+(* names and label values carrying the format's structural characters
+   (space, comma, equals, percent) must round-trip through the
+   percent-encoding, and a literal "-" probe label must stay distinct
+   from the empty-label marker *)
+let test_timeline_mad_escaping () =
+  let tl = Timeline.create () in
+  let reg = Registry.create () in
+  let c =
+    Registry.counter reg ~labels:[ ("q", "a=1, b=2 % done") ] "odd name"
+  in
+  Metric.add c 7;
+  ignore (Timeline.tick tl reg);
+  let tl2 = Timeline.create () in
+  (match Timeline.merge_string tl2 (Timeline.to_string tl) with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "merge failed: %s" e);
+  let f = List.hd (Timeline.frames tl2) in
+  let pt =
+    match
+      List.find_opt
+        (fun pt -> pt.Timeline.p_name = "odd name")
+        (Array.to_list f.Timeline.f_points)
+    with
+    | Some pt -> pt
+    | None -> Alcotest.fail "escaped point not restored"
+  in
+  check "label value round-trips" true
+    (pt.Timeline.p_labels = [ ("q", "a=1, b=2 % done") ]);
+  check "value preserved" true (pt.Timeline.p_value = 7.0);
+  let tl3 = Timeline.create () in
+  (match
+     Timeline.merge_string tl3 "# MAD timeline v1\nprobe latency %2D 5.0 1 0\n"
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "merge failed: %s" e);
+  (match Timeline.probes tl3 with
+   | [ p ] -> check "dash label decoded" true (p.Probe.p_label = "-")
+   | ps -> Alcotest.failf "expected 1 probe, got %d" (List.length ps));
+  let tl4 = Timeline.create () in
+  (match Timeline.merge_string tl4 (Timeline.to_string tl3) with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "merge failed: %s" e);
+  match Timeline.probes tl4 with
+  | [ p ] -> check "dash label re-round-trips" true (p.Probe.p_label = "-")
+  | ps -> Alcotest.failf "expected 1 probe, got %d" (List.length ps)
+
 let test_exports_parse () =
   let tl = Timeline.create () in
   let reg = Registry.create () in
@@ -397,6 +443,8 @@ let suite =
       test_timeline_mad_roundtrip;
     Alcotest.test_case "timeline.mad probe state and garbage" `Quick
       test_timeline_mad_probe_state_and_garbage;
+    Alcotest.test_case "timeline.mad escaping" `Quick
+      test_timeline_mad_escaping;
     Alcotest.test_case "exports parse" `Quick test_exports_parse;
     Alcotest.test_case "latency probe end-to-end" `Quick
       test_latency_probe_end_to_end;
