@@ -127,6 +127,30 @@ let time_ns name f =
     :: !recorded;
   est
 
+(** Record a row measured outside {!time_ns} — for experiments where
+    the quantity is a property of many concurrent actors (the serve
+    bench's client-observed commit latencies), not of one repeated
+    thunk.  The row rides [write_results] like any other. *)
+let record_external ~name ~iterations ~ns_per_run ~mean_us ~p50_us ~p95_us () =
+  Mad_obs.Obs.event obs "bench"
+    [
+      ("name", Mad_obs.Span.Str name);
+      ("ns_per_run", Mad_obs.Span.Float ns_per_run);
+      ("external", Mad_obs.Span.Bool true);
+    ];
+  recorded :=
+    {
+      r_name = name;
+      r_iterations = iterations;
+      r_ns_per_run = ns_per_run;
+      r_mean_us = mean_us;
+      r_p50_us = p50_us;
+      r_p95_us = p95_us;
+      r_minor_words_per_run = 0.0;
+      r_promoted_words_per_run = 0.0;
+    }
+    :: !recorded
+
 (* NaN is not valid JSON; the OLS estimate can be NaN when the quota
    was too small, the histogram stats cannot (>= 1 sampled run) *)
 let json_num f = Mad_obs.Json.Num (if Float.is_nan f then 0.0 else f)

@@ -22,6 +22,7 @@ let experiments =
     ("clust", B_clust.run);
     ("wal", B_wal.run);
     ("obs", B_obs.run);
+    ("serve", B_serve.run);
   ]
 
 let () =

@@ -12,6 +12,8 @@
      health   run statements and report the health verdict (exit 0/1/2)
      top      live terminal view: health, runtime gauges, counter rates
      recovery run the crash-recovery fault-injection suite
+     serve    TCP server multiplexing MOL sessions (group commit)
+     connect  client for a running serve endpoint
 
    repl, query, explain and script take --data DIR to run against a
    durable store (snapshot + write-ahead log) instead of a transient
@@ -99,8 +101,9 @@ let with_session ?obs db_name data f =
       (fun () ->
         let session = Mad_mql.Session.create ?obs (Mad_durable.Durable.db h) in
         let dg = Mad_mql.Session.enable_digest session in
-        session.Mad_mql.Session.on_commit <-
-          Some (fun () -> Mad_durable.Durable.commit h);
+        ignore
+          (Mad_mql.Session.add_on_commit session (fun () ->
+               Mad_durable.Durable.commit h));
         ignore
           (Prima.Adaptive.load_session session (Mad_durable.Durable.stats_path h));
         ignore (Mad_obs.Digest.load dg (Mad_durable.Durable.digest_path h));
@@ -970,6 +973,268 @@ let recovery_cmd =
           crash point.  Exits non-zero on any divergence.")
     Term.(const recovery $ seed_arg $ ops_arg $ dir_opt_arg $ report_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / connect — the network service                                *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Bind (serve) or connect address.")
+
+let serve_port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port; 0 (the default) picks an ephemeral port, printed on startup.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains — the maximum connections served concurrently \
+           (default: MAD_PAR, else the machine's recommended domain count).")
+
+let pending_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "Accepted connections allowed to wait for a worker; beyond this \
+           the handshake answers busy and the connection is closed \
+           (admission control).")
+
+let idle_arg =
+  Arg.(
+    value & opt float 300.0
+    & info [ "idle-timeout" ] ~docv:"SECS"
+        ~doc:"Close a connection idle for $(docv) seconds (a Bye is sent).")
+
+let serve_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Dump the flight recorder as Chrome trace JSON on shutdown.")
+
+let serve db_name data port host workers max_pending idle slow trace =
+  handle @@ fun () ->
+  apply_slow slow;
+  let base = Mad_serve.Serve.default_config in
+  let config =
+    {
+      base with
+      Mad_serve.Serve.host;
+      port;
+      workers = (match workers with Some w -> w | None -> base.Mad_serve.Serve.workers);
+      max_pending;
+      idle_timeout = idle;
+    }
+  in
+  (* the serve.* metrics and the coordinator's serve.group.* land here;
+     this registry is what the Stats request exposes *)
+  let obs = Mad_obs.Obs.create ~tracing:true () in
+  let run_server srv =
+    let stop_signal _ = Mad_serve.Serve.request_stop srv in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+    (* CI and scripts parse this line for the ephemeral port; "@." flushes *)
+    Format.printf "listening on %s:%d (%d worker(s), %d pending)@." host
+      (Mad_serve.Serve.port srv)
+      (Mad_serve.Serve.config srv).Mad_serve.Serve.workers max_pending;
+    (* the signal handler only flips an atomic (Domain.join would block
+       delivery); this loop notices it and does the real shutdown *)
+    while not (Mad_serve.Serve.stopped srv) do
+      Unix.sleepf 0.2
+    done;
+    Mad_serve.Serve.stop srv;
+    Format.eprintf "server stopped (%d connection(s) served)@."
+      (Mad_serve.Serve.connections srv);
+    (match Mad_obs.Timeline.active () with
+     | Some tl -> (
+       match data with
+       | Some dirname ->
+         Mad_obs.Timeline.save tl
+           (Mad_durable.Durable.timeline_path_of_dir dirname)
+       | None -> ())
+     | None -> ());
+    match trace with Some path -> write_trace path | None -> ()
+  in
+  match data with
+  | None -> run_server (Mad_serve.Serve.start ~obs ~config (load_db db_name))
+  | Some dirname ->
+    (* no snapshot_every: auto-rolling truncates the WAL mid-stream,
+       which would break the coordinator's monotone positions — the
+       shutdown snapshot below bounds recovery instead *)
+    let h =
+      Mad_durable.Durable.open_or_seed ~obs
+        ~seed:(fun () -> load_db db_name)
+        dirname
+    in
+    Fun.protect
+      ~finally:(fun () -> Mad_durable.Durable.close ~snapshot:true h)
+      (fun () ->
+        run_server
+          (Mad_serve.Serve.start ~obs ~config ~durable:h
+             (Mad_durable.Durable.db h)))
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the database over TCP (see doc/SERVING.md for the wire \
+          protocol): one MOL session per connection, bounded worker pool \
+          with typed-busy admission control, and — with $(b,--data) — \
+          cross-session group commit: concurrent writers are acknowledged \
+          by shared batched fsyncs.  SIGINT/SIGTERM drain in-flight \
+          requests and, for durable stores, roll a shutdown snapshot."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"clean shutdown";
+           Cmd.Exit.info 1
+             ~doc:
+               "startup or shutdown failed: unresolvable or unbindable \
+                address, or a $(b,--data) directory that cannot be created, \
+                is not a directory, or is not writable";
+         ])
+    Term.(
+      const serve $ db_arg $ data_arg $ serve_port_arg $ host_arg
+      $ workers_arg $ pending_arg $ idle_arg $ slow_arg $ serve_trace_arg)
+
+(* pull "exit": N out of the health JSON document — the client passes
+   the server's health exit-code contract through *)
+let health_exit_of_json doc =
+  let key = "\"exit\":" in
+  let n = String.length doc and k = String.length key in
+  let rec find i =
+    if i + k > n then None
+    else if String.equal (String.sub doc i k) key then Some (i + k)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> 0
+  | Some j ->
+    let j = ref j in
+    while !j < n && doc.[!j] = ' ' do
+      incr j
+    done;
+    let e = ref !j in
+    while !e < n && doc.[!e] >= '0' && doc.[!e] <= '9' do
+      incr e
+    done;
+    if !e > !j then int_of_string (String.sub doc !j (!e - !j)) else 0
+
+let connect_port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Port of the running serve endpoint.")
+
+let exec_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "exec" ]
+        ~doc:
+          "Send statements as Exec (effect summaries) instead of Query \
+           (rendered results) — the DML-friendly mode.")
+
+let client_timeout_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "timeout" ] ~docv:"SECS" ~doc:"Per-request response timeout.")
+
+let ping_flag_arg =
+  Arg.(value & flag & info [ "ping" ] ~doc:"Ping the server after the statements.")
+
+let client_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the server's metrics registry (Prometheus text).")
+
+let client_health_arg =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Print the server's health verdict (JSON) and exit with its \
+           0/1/2 health code.")
+
+let connect_stmts_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"STATEMENTS" ~doc:"MOL statements to send, in order.")
+
+let connect host port exec_mode timeout do_ping show_stats show_health stmts =
+  match Mad_serve.Client.connect ~timeout ~host port with
+  | Error e ->
+    Format.eprintf "error: %a@." Mad_serve.Client.pp_connect_error e;
+    1
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf "error: cannot connect to %s:%d: %s@." host port
+      (Unix.error_message e);
+    1
+  | Ok c ->
+    let rc = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> Mad_serve.Client.close c)
+      (fun () ->
+        try
+          List.iter
+            (fun src ->
+              List.iter
+                (fun stmt ->
+                  let stmt = String.trim stmt in
+                  let r =
+                    if exec_mode then Mad_serve.Client.exec c stmt
+                    else Mad_serve.Client.query c stmt
+                  in
+                  match r with
+                  | Ok out -> if out <> "" then Format.printf "%s@." out
+                  | Error msg ->
+                    rc := 1;
+                    Format.eprintf "error: %s@." msg)
+                (split_statements src))
+            stmts;
+          if do_ping then
+            if Mad_serve.Client.ping c then Format.printf "pong@."
+            else begin
+              rc := 1;
+              Format.eprintf "error: no pong@."
+            end;
+          if show_stats then print_string (Mad_serve.Client.stats c);
+          if show_health then begin
+            let doc = Mad_serve.Client.health c in
+            Format.printf "%s@." doc;
+            rc := max !rc (health_exit_of_json doc)
+          end;
+          !rc
+        with Mad_serve.Client.Remote msg ->
+          Format.eprintf "error: %s@." msg;
+          1)
+
+let connect_cmd =
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Connect to a running $(b,madql serve) endpoint and send MOL \
+          statements over the wire protocol; $(b,--stats), $(b,--health) \
+          and $(b,--ping) query the server's observability surface."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"all statements succeeded (health: ok)";
+           Cmd.Exit.info 1
+             ~doc:
+               "connection refused/busy/mismatched, a statement failed, or \
+                (with $(b,--health)) the server is degraded";
+           Cmd.Exit.info 2 ~doc:"with $(b,--health): the server is unhealthy";
+         ])
+    Term.(
+      const connect $ host_arg $ connect_port_arg $ exec_flag_arg
+      $ client_timeout_arg $ ping_flag_arg $ client_stats_arg
+      $ client_health_arg $ connect_stmts_arg)
+
 let () =
   (* route the session layer's EXPLAIN ANALYZE to the learning PRIMA
      profiler: estimates come from (and actuals feed back into) each
@@ -985,5 +1250,5 @@ let () =
           [
             repl_cmd; query_cmd; explain_cmd; schema_cmd; dot_cmd; dump_cmd;
             script_cmd; stats_cmd; digest_cmd; trace_cmd; timeline_cmd;
-            health_cmd; top_cmd; recovery_cmd;
+            health_cmd; top_cmd; recovery_cmd; serve_cmd; connect_cmd;
           ]))

@@ -1,0 +1,45 @@
+(** The cross-session group-commit coordinator.
+
+    The single-session autocommit path ([Session.add_on_commit] →
+    [Durable.commit]) pays one fsync per statement.  A server running
+    N concurrent writer sessions over one WAL can do better: every
+    statement appends its records (already serialized by the engine
+    lock), then {e waits} here until one batched fsync covers its
+    records.  The first waiter becomes the leader and fsyncs; everyone
+    who appended before the fsync started is acknowledged by it, so
+    under concurrency the fsync count per commit drops below one.
+
+    Positions are WAL record counts ([Durable.wal_records]) — strictly
+    monotone while the log is not truncated.  Do not combine with
+    [snapshot_every] auto-rolling (which truncates the log
+    mid-stream); the server snapshots on shutdown instead.
+
+    Metrics (created against [obs] under [prefix], default
+    ["wal.group"]): [<p>.commits], [<p>.fsyncs] counters,
+    [<p>.batch] (commits per fsync) and [<p>.wait_us] (commit
+    acknowledgement latency) histograms.  Every batch also journals a
+    [Recorder.Group_commit] event carrying the covered position and
+    the batch size. *)
+
+type t
+
+val create : ?obs:Mad_obs.Obs.t -> ?prefix:string -> sync:(unit -> unit) -> unit -> t
+(** [sync] is the physical flush+fsync; it is called outside the
+    coordinator lock, by exactly one leader at a time. *)
+
+val for_durable : ?obs:Mad_obs.Obs.t -> ?prefix:string -> Durable.t -> t
+(** A coordinator over the store's log ({!Durable.sync}). *)
+
+val wait_durable : t -> int -> unit
+(** Block until an fsync covering WAL position [pos] has completed,
+    becoming the leader (and fsyncing on everyone's behalf) if no
+    fsync is in flight.  Returns immediately when [pos] is already
+    durable.  Safe from any domain.  If the leader's [sync] raises,
+    every current waiter is woken and the exception propagates to the
+    leader's caller (waiters retry with a new leader). *)
+
+val commits : t -> int
+(** Commits acknowledged through {!wait_durable}. *)
+
+val fsyncs : t -> int
+(** Physical fsync batches issued. *)

@@ -159,7 +159,21 @@ let snapshot t =
     automatically once the log holds that many records. *)
 let open_dir ?(obs = Mad_obs.Obs.noop) ?(sync = false) ?snapshot_every ?faults
     ?seed dirname =
-  mkdirs dirname;
+  (* a bad --data argument must surface as a typed, file-named error
+     (the CLI maps [Mad_error] to its documented exit code), not as a
+     raw [Unix_error]/[Sys_error] backtrace from deep inside setup *)
+  (try mkdirs dirname
+   with Unix.Unix_error (e, _, arg) ->
+     Err.failf "data directory %s: cannot create%s: %s" dirname
+       (if String.equal arg dirname || String.equal arg "" then ""
+        else Printf.sprintf " (%s)" arg)
+       (Unix.error_message e));
+  if not (try Sys.is_directory dirname with Sys_error _ -> false) then
+    Err.failf "data directory %s is not a directory" dirname;
+  (try Unix.access dirname [ Unix.W_OK; Unix.X_OK ]
+   with Unix.Unix_error (e, _, _) ->
+     Err.failf "data directory %s is not writable: %s" dirname
+       (Unix.error_message e));
   let snap = snapshot_path dirname in
   let fresh = not (exists dirname) in
   let db, snapshot_loaded =
@@ -229,6 +243,13 @@ let commit t =
   Mad_obs.Recorder.note Group_commit
     ~dur_ns:(Mad_obs.Monotonic.ticks () - t0)
     ~a:t.wal_records ()
+
+(** The raw durability boundary: flush and fsync the log without the
+    [Group_commit] journal entry — the cross-session {!Coordinator}
+    notes its own batch event around this. *)
+let sync t =
+  check_open t;
+  Wal.fsync t.wal
 
 (** Detach the journal and close the log.  [snapshot] (default false)
     rolls a final snapshot first, leaving an empty log behind. *)

@@ -52,9 +52,11 @@ val open_dir :
     snapshot), replay every durable [wal.log] record (a torn final
     record is dropped, not fatal; the log is rewritten to its durable
     prefix), and re-verify {!Integrity} before handing the database
-    back.  Fails with a file-named [Err.Mad_error] when the snapshot
-    or a durable log record is damaged, or when the recovered
-    database violates the model's structural invariants.
+    back.  Fails with a file-named [Err.Mad_error] when the directory
+    cannot be created or is not a writable directory, when the
+    snapshot or a durable log record is damaged, or when the
+    recovered database violates the model's structural invariants —
+    never with a raw [Unix_error]/[Sys_error] backtrace.
 
     The returned handle journals every subsequent mutation.  [sync]
     (default false) fsyncs each append; [snapshot_every] rolls a
@@ -91,6 +93,11 @@ val snapshot : t -> unit
 val commit : t -> unit
 (** Group commit: flush and fsync the log.  Statement-level
     durability without an fsync per record. *)
+
+val sync : t -> unit
+(** Flush and fsync the log without journaling a [Group_commit]
+    recorder event — the cross-session {!Coordinator} wraps this and
+    notes its own batch event. *)
 
 val close : ?snapshot:bool -> t -> unit
 (** Detach the journal and close the log; [snapshot] (default false)

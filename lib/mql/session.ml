@@ -18,18 +18,26 @@ type outcome =
     an extensible variant rather than a direct dependency. *)
 type ext = ..
 
+type commit_handle = int
+
 type t = {
   db : Database.t;
   env : (string, Mad.Molecule_type.t) Hashtbl.t;
   stats : Mad.Derive.stats;
   obs : Mad_obs.Obs.t;
   mutable ext : ext option;
-  mutable on_commit : (unit -> unit) option;
-      (** Called after every successful manipulation statement — the
-          statement-level durability boundary.  A durable session
-          installs the engine's group commit (flush + fsync) here, so
-          autocommit costs one fsync per {e statement}, not per
-          journal record. *)
+  mutable commit_hooks : (commit_handle * (unit -> unit)) list;
+      (** Run, in registration order, after every successful
+          manipulation statement — the statement-level durability
+          boundary.  A durable session registers the engine's group
+          commit (flush + fsync) here, so autocommit costs one fsync
+          per {e statement}, not per journal record; the network
+          server registers a second hook that routes the statement
+          through the cross-session commit coordinator.  Hooks are a
+          list precisely so those two do not clobber each other. *)
+  mutable hook_seq : int;  (** next {!commit_handle} *)
+  mutable legacy_hook : commit_handle option;
+      (** the hook owned by the deprecated {!set_on_commit} shim *)
   mutable digest : Mad_obs.Digest.t option;
       (** Workload digest; [None] (the default) records nothing.
           {!enable_digest} creates one against the session registry. *)
@@ -65,7 +73,9 @@ let create ?obs db =
     stats = Mad.Derive.stats_in (Mad_obs.Obs.registry obs);
     obs;
     ext = None;
-    on_commit = None;
+    commit_hooks = [];
+    hook_seq = 0;
+    legacy_hook = None;
     digest = None;
     slow_guard = false;
     fp_cache = Hashtbl.create 64;
@@ -80,13 +90,41 @@ let enable_digest t =
     t.digest <- Some d;
     d
 
+(* commit hooks: a registration list, so the durability engine's group
+   commit and the network server's commit coordinator can both observe
+   statement boundaries without clobbering each other *)
+
+let add_on_commit t f =
+  let h = t.hook_seq in
+  t.hook_seq <- t.hook_seq + 1;
+  t.commit_hooks <- t.commit_hooks @ [ (h, f) ];
+  h
+
+let remove_on_commit t h =
+  t.commit_hooks <- List.filter (fun (h', _) -> h' <> h) t.commit_hooks
+
+(* deprecated shim over the registration list: owns at most one hook,
+   replaced (or removed) on every call, as the old single mutable
+   [on_commit] field behaved *)
+let set_on_commit t f =
+  (match t.legacy_hook with
+   | Some h ->
+     remove_on_commit t h;
+     t.legacy_hook <- None
+   | None -> ());
+  match f with
+  | None -> ()
+  | Some f -> t.legacy_hook <- Some (add_on_commit t f)
+
 (* the commit is timed as its own operator so fsync stalls show up in
    [op.latency_us{op=mql.commit}] (with a flight-recorder exemplar)
    instead of hiding inside the statement's latency *)
 let commit t =
-  match t.on_commit with
-  | None -> ()
-  | Some f -> Mad_obs.Obs.timed t.obs "mql.commit" (fun _ -> f ())
+  match t.commit_hooks with
+  | [] -> ()
+  | hooks ->
+    Mad_obs.Obs.timed t.obs "mql.commit" (fun _ ->
+        List.iter (fun (_, f) -> f ()) hooks)
 
 let lookup t name = Hashtbl.find_opt t.env name
 

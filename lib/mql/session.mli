@@ -16,16 +16,25 @@ type ext = ..
     per-session adaptive statistics catalog here (see
     [Prima.Adaptive]) without creating a downward dependency. *)
 
+type commit_handle
+(** Identifies one registered commit hook (see {!add_on_commit}). *)
+
 type t = {
   db : Database.t;
   env : (string, Mad.Molecule_type.t) Hashtbl.t;
   stats : Mad.Derive.stats;
   obs : Mad_obs.Obs.t;
   mutable ext : ext option;
-  mutable on_commit : (unit -> unit) option;
-      (** Called after every successful manipulation statement — the
-          statement-level durability boundary (autocommit).  A durable
-          session installs the engine's group commit here. *)
+  mutable commit_hooks : (commit_handle * (unit -> unit)) list;
+      (** Run, in registration order, after every successful
+          manipulation statement — the statement-level durability
+          boundary (autocommit).  Register through {!add_on_commit};
+          a durable session installs the engine's group commit here,
+          and the network server adds its cross-session commit
+          coordinator alongside it. *)
+  mutable hook_seq : int;  (** internal: next {!commit_handle} *)
+  mutable legacy_hook : commit_handle option;
+      (** internal: the hook owned by the {!set_on_commit} shim *)
   mutable digest : Mad_obs.Digest.t option;
       (** Workload digest; [None] (the default) records nothing.
           {!enable_digest} creates one against the session registry. *)
@@ -61,9 +70,33 @@ val create : ?obs:Mad_obs.Obs.t -> Database.t -> t
 val lookup : t -> string -> Mad.Molecule_type.t option
 val define : t -> string -> Mad.Molecule_type.t -> unit
 
+val add_on_commit : t -> (unit -> unit) -> commit_handle
+(** Register a commit hook, run (in registration order) after every
+    successful manipulation statement.  Returns a handle for
+    {!remove_on_commit}.  Multiple subsystems — durability's group
+    commit, the server's cross-session commit coordinator — can each
+    hold a hook without clobbering the others. *)
+
+val remove_on_commit : t -> commit_handle -> unit
+(** Unregister; unknown handles are ignored. *)
+
+val set_on_commit : t -> (unit -> unit) option -> unit
+  [@@ocaml.deprecated "use add_on_commit / remove_on_commit"]
+(** Deprecated shim over {!add_on_commit}: replaces (or, with [None],
+    removes) the single hook this setter owns, as the old
+    [session.on_commit <- ...] field assignment behaved.  Hooks
+    registered by other subsystems are untouched. *)
+
 val commit : t -> unit
-(** Run the [on_commit] hook, if any ({!eval_stmt} does this after
-    each manipulation statement). *)
+(** Run the registered commit hooks, if any ({!eval_stmt} does this
+    after each manipulation statement). *)
+
+val refresh : t -> unit
+(** Re-derive every catalogued molecule type against the current
+    occurrence.  Manipulation statements do this implicitly for the
+    session that ran them; a server hosting {e many} sessions over one
+    database calls it on sessions whose catalog may be stale because
+    another session mutated the store (tracked by [Database.epoch]). *)
 
 val parse : t -> string -> Ast.stmt
 (** Parse with the session's catalog (bare FROM identifiers resolve to

@@ -33,6 +33,8 @@ type kind =
   | Plan_switch
   | Slow_query
   | Probe_fired
+  | Serve_conn
+  | Serve_request
 
 let kind_name = function
   | Span_begin -> "span.begin"
@@ -49,6 +51,8 @@ let kind_name = function
   | Plan_switch -> "plan.switch"
   | Slow_query -> "slow.query"
   | Probe_fired -> "probe.fired"
+  | Serve_conn -> "serve.conn"
+  | Serve_request -> "serve.request"
 
 type event = {
   mutable e_seq : int;  (** global sequence number; [-1] = empty/torn *)
@@ -240,8 +244,9 @@ let is_complete ev =
   | Span_end | Wal_fsync | Group_commit | Snapshot_build | Kernel_run
   | Kernel_chunk ->
     true
+  | Serve_request -> true
   | Span_begin | Metric_flush | Wal_append | Snapshot_invalidate
-  | Recovery_replay | Plan_switch | Slow_query | Probe_fired ->
+  | Recovery_replay | Plan_switch | Slow_query | Probe_fired | Serve_conn ->
     false
 
 let start_ticks ev = if is_complete ev then ev.e_ticks - ev.e_dur_ns else ev.e_ticks
@@ -281,6 +286,12 @@ let args_of ev =
     | Probe_fired ->
       [ ("probe", Json.Str ev.e_label); ("value", num ev.e_a);
         ("baseline", num ev.e_b) ]
+    | Serve_conn ->
+      [ ("peer", Json.Str ev.e_label); ("conn", num ev.e_a);
+        ("opened", Json.Bool (ev.e_b = 1)) ]
+    | Serve_request ->
+      [ ("op", Json.Str ev.e_label); ("conn", num ev.e_a);
+        ("status", num ev.e_b) ]
   in
   Json.Obj (common @ specific)
 

@@ -44,6 +44,12 @@ type kind =
   | Probe_fired
       (** a timeline anomaly probe started firing; [label] = probe id
           ("latency:fp" …), [a]/[b] = rounded value/baseline *)
+  | Serve_conn
+      (** a server connection opened or closed; [label] = peer
+          address, [a] = connection id, [b] = 1 open / 0 close *)
+  | Serve_request
+      (** one served request; [label] = opcode name, [a] = connection
+          id, [b] = response status, [dur_ns] = service time *)
 
 val kind_name : kind -> string
 (** Stable dotted name ("wal.fsync", "kernel.run", …) used as the

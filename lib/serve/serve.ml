@@ -1,0 +1,448 @@
+(** The MQL network service — see the interface for the contract.
+
+    Threading layout: one accept domain multiplexes the listener with
+    a 0.25 s [select] slice (so a stop request is noticed promptly);
+    [workers] domains each pop one admitted connection at a time from
+    a bounded queue and serve it for its lifetime.  Sockets carry a
+    0.25 s [SO_RCVTIMEO], and every blocking read polls the stop flag
+    and its idle/read deadline between slices ({!Wire}'s
+    [keep_waiting]).
+
+    Statement execution is serialized under [engine] (the store and
+    the kernel snapshots beneath it are single-writer); everything
+    slow around it — socket IO, response rendering, and above all the
+    group-commit fsync wait — happens outside that lock.  That is the
+    whole trick of the cross-session group commit: while the leader's
+    fsync is in flight, other writers are inside the engine appending
+    WAL records, and the next fsync acknowledges them all at once. *)
+
+open Mad_store
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  max_pending : int;
+  idle_timeout : float;
+  read_timeout : float;
+  max_frame : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = Mad_kernel.Pool.parallelism ();
+    max_pending = 16;
+    idle_timeout = 300.0;
+    read_timeout = 30.0;
+    max_frame = Wire.default_max_frame;
+  }
+
+type t = {
+  cfg : config;
+  db : Database.t;
+  durable : Mad_durable.Durable.t option;
+  coord : Mad_durable.Coordinator.t option;
+  obs : Mad_obs.Obs.t;
+  listener : Unix.file_descr;
+  port : int;
+  stop : bool Atomic.t;
+  engine : Mutex.t;  (** serializes statement execution on [db] *)
+  qm : Mutex.t;
+  qcv : Condition.t;
+  q : (Unix.file_descr * string) Queue.t;  (** admitted, not yet served *)
+  conn_seq : int Atomic.t;
+  mutable accepter : unit Stdlib.Domain.t option;
+  mutable domains : unit Stdlib.Domain.t list;
+  mutable joined : bool;
+  c_conns : Mad_obs.Metric.counter;
+  c_busy : Mad_obs.Metric.counter;
+  c_errors : Mad_obs.Metric.counter;
+  c_bytes_in : Mad_obs.Metric.counter;
+  c_bytes_out : Mad_obs.Metric.counter;
+  g_active : Mad_obs.Metric.gauge;
+  h_request_us : Mad_obs.Metric.histogram;
+  hist_m : Mutex.t;  (** histograms are not atomic; observe under this *)
+}
+
+let port t = t.port
+let config t = t.cfg
+let obs t = t.obs
+let db t = t.db
+let coordinator t = t.coord
+let connections t = Mad_obs.Metric.value t.c_conns
+let request_stop t = Atomic.set t.stop true
+let stopped t = Atomic.get t.stop
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found | Invalid_argument _ ->
+      Err.failf "serve: cannot resolve host %s" host)
+
+let peer_name = function
+  | Unix.ADDR_INET (a, p) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX s -> s
+
+(* --- admission ------------------------------------------------------ *)
+
+(* Over capacity: answer the handshake with the typed busy verdict and
+   close.  Reading the client's hello first (one receive slice,
+   best-effort) matters — closing a socket with unread inbound data
+   sends RST, which could destroy the busy reply in flight. *)
+let reject_busy t fd =
+  Mad_obs.Metric.incr t.c_busy;
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25;
+     ignore (Wire.read_client_hello ~keep_waiting:(fun ~started:_ -> false) fd);
+     Wire.write_server_hello fd ~version:Wire.version Wire.H_busy
+   with Unix.Unix_error _ -> ());
+  close_quietly fd
+
+let admit t fd peer =
+  if Atomic.get t.stop then close_quietly fd
+  else begin
+    Mutex.lock t.qm;
+    let full = Queue.length t.q >= t.cfg.max_pending in
+    if not full then begin
+      Queue.add (fd, peer_name peer) t.q;
+      Condition.signal t.qcv
+    end;
+    Mutex.unlock t.qm;
+    if full then reject_busy t fd
+  end
+
+let rec accept_ready t =
+  match Unix.accept ~cloexec:true t.listener with
+  | fd, peer ->
+    admit t fd peer;
+    if not (Atomic.get t.stop) then accept_ready t
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+    (* the listener was closed under us: stop was requested *)
+    Atomic.set t.stop true
+
+let accept_loop t =
+  let rec go () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.listener ] [] [] 0.25 with
+       | [], _, _ -> ()
+       | _ -> accept_ready t
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+         Atomic.set t.stop true);
+      go ()
+    end
+  in
+  go ()
+
+(* --- per-connection serving ----------------------------------------- *)
+
+(* a terse acknowledgement for Exec (DML-friendly: no tree rendering
+   on the wire, the client wants the effect summary) *)
+let summarize = function
+  | Mad_mql.Session.Dml s -> s
+  | Mad_mql.Session.Inserted _ -> "inserted 1 atom"
+  | Mad_mql.Session.Defined _ -> "defined"
+  | Mad_mql.Session.Explained s -> s
+  | Mad_mql.Session.Result _ -> "ok"
+
+type conn_state = {
+  session : Mad_mql.Session.t;
+  mutable last_epoch : int;  (** db epoch as of this session's last look *)
+  mutable appended : int;  (** WAL position published by the commit hook *)
+  mutable acked : int;  (** highest position the coordinator confirmed *)
+}
+
+(* run one statement-bearing request under the engine lock; the fsync
+   wait for any commit it performed happens OUTSIDE the lock, in the
+   group-commit coordinator *)
+let eval_locked t st req =
+  Mutex.lock t.engine;
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.engine)
+      (fun () ->
+        try
+          (* another connection may have mutated the store since this
+             session last looked: re-derive its catalog first *)
+          let e = Database.epoch t.db in
+          if st.last_epoch <> e then Mad_mql.Session.refresh st.session;
+          let out =
+            match req with
+            | Wire.Query s -> Ok (Mad_mql.Session.run_to_string st.session s)
+            | Wire.Exec s -> Ok (summarize (Mad_mql.Session.run st.session s))
+            | Wire.Explain s -> Ok (Mad_mql.Session.explain st.session s)
+            | Wire.Stats | Wire.Health | Wire.Ping | Wire.Quit -> assert false
+          in
+          st.last_epoch <- Database.epoch t.db;
+          out
+        with Err.Mad_error msg ->
+          st.last_epoch <- Database.epoch t.db;
+          Error msg)
+  in
+  (match t.coord with
+   | Some c when st.appended > st.acked ->
+     Mad_durable.Coordinator.wait_durable c st.appended;
+     st.acked <- st.appended
+   | Some _ | None -> ());
+  match r with Ok p -> (Wire.Ok, p) | Error m -> (Wire.Error, m)
+
+let handle_request t st req =
+  match req with
+  | Wire.Ping -> (Wire.Pong, "")
+  | Wire.Quit -> (Wire.Bye, "")
+  | Wire.Stats ->
+    let registry = Mad_obs.Obs.registry t.obs in
+    Mad_obs.Timeline.update_runtime ~epoch:(Database.epoch t.db) registry;
+    (Wire.Ok, Mad_obs.Registry.expose registry)
+  | Wire.Health ->
+    let tl = Mad_obs.Timeline.configure () in
+    ignore
+      (Mad_obs.Timeline.tick ~epoch:(Database.epoch t.db) tl
+         (Mad_obs.Obs.registry t.obs));
+    (Wire.Ok, Mad_obs.Json.to_string (Mad_obs.Timeline.health_json tl))
+  | Wire.Query _ | Wire.Exec _ | Wire.Explain _ -> eval_locked t st req
+
+(* the request/response loop of one established connection; returns
+   when the peer quits, times out, violates the protocol or the
+   server stops *)
+let session_loop t st cid fd =
+  let respond req status payload =
+    Mad_obs.Metric.add t.c_bytes_out (Wire.resp_bytes payload);
+    Mad_obs.Metric.incr
+      (Mad_obs.Obs.counter
+         ~labels:[ ("op", Wire.req_name req) ]
+         t.obs "serve.requests");
+    if status = Wire.Error then Mad_obs.Metric.incr t.c_errors;
+    Wire.write_resp fd status payload
+  in
+  let rec loop () =
+    if Atomic.get t.stop then Wire.write_resp fd Wire.Bye ""
+    else begin
+      let idle_from = Unix.gettimeofday () in
+      let started_at = ref None in
+      let keep_waiting ~started =
+        let now = Unix.gettimeofday () in
+        if started then begin
+          (* mid-frame: the sender must finish within read_timeout of
+             its first byte, stop request or not (we drain in-flight
+             requests on shutdown, not half-read ones forever) *)
+          let t0 =
+            match !started_at with
+            | Some v -> v
+            | None ->
+              started_at := Some now;
+              now
+          in
+          now -. t0 < t.cfg.read_timeout
+        end
+        else if Atomic.get t.stop then false
+        else now -. idle_from < t.cfg.idle_timeout
+      in
+      match Wire.read_req ~max_len:t.cfg.max_frame ~keep_waiting fd with
+      | Wire.Closed -> ()
+      | Wire.Truncated | Wire.Bad_magic ->
+        (* the stream cannot be resynchronized past a framing
+           violation: answer if we still can, then hang up *)
+        Mad_obs.Metric.incr t.c_errors;
+        (try Wire.write_resp fd Wire.Error "protocol error"
+         with Unix.Unix_error _ -> ())
+      | Wire.Oversized n ->
+        Mad_obs.Metric.incr t.c_errors;
+        (try
+           Wire.write_resp fd Wire.Error
+             (Printf.sprintf "frame of %d bytes exceeds the %d byte cap" n
+                t.cfg.max_frame)
+         with Unix.Unix_error _ -> ())
+      | Wire.Timeout ->
+        (* idle expiry or stop request: a polite goodbye either way *)
+        (try Wire.write_resp fd Wire.Bye "" with Unix.Unix_error _ -> ())
+      | Wire.Msg req ->
+        Mad_obs.Metric.add t.c_bytes_in (Wire.req_bytes req);
+        let t0 = Mad_obs.Monotonic.ticks () in
+        let status, payload = handle_request t st req in
+        let dur_ns = Mad_obs.Monotonic.ticks () - t0 in
+        Mad_obs.Recorder.note Serve_request ~dur_ns ~label:(Wire.req_name req)
+          ~a:cid ~b:(Wire.status_code status) ();
+        Mutex.lock t.hist_m;
+        Mad_obs.Metric.observe t.h_request_us (float_of_int dur_ns /. 1e3);
+        Mutex.unlock t.hist_m;
+        respond req status payload;
+        Mad_obs.Timeline.auto_tick ~epoch:(Database.epoch t.db)
+          (Mad_obs.Obs.registry t.obs);
+        if req <> Wire.Quit then loop ()
+    end
+  in
+  loop ()
+
+let serve_conn t fd peer =
+  let cid = Atomic.fetch_and_add t.conn_seq 1 in
+  Mad_obs.Metric.incr t.c_conns;
+  Mad_obs.Metric.add_gauge t.g_active 1.0;
+  Mad_obs.Recorder.note Serve_conn ~label:peer ~a:cid ~b:1 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Mad_obs.Metric.add_gauge t.g_active (-1.0);
+      Mad_obs.Recorder.note Serve_conn ~label:peer ~a:cid ~b:0 ();
+      close_quietly fd)
+    (fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      let t0 = Unix.gettimeofday () in
+      let keep_waiting ~started:_ =
+        (not (Atomic.get t.stop))
+        && Unix.gettimeofday () -. t0 < t.cfg.read_timeout
+      in
+      match Wire.read_client_hello ~keep_waiting fd with
+      | Wire.Msg v when v = Wire.version ->
+        Wire.write_server_hello fd ~version:Wire.version Wire.H_ok;
+        (* the connection's private session: its own observability
+           context (metrics registry), digest, adaptive-catalog slot *)
+        let session =
+          Mad_mql.Session.create ~obs:(Mad_obs.Obs.create ()) t.db
+        in
+        ignore (Mad_mql.Session.enable_digest session);
+        let st = { session; last_epoch = -1; appended = 0; acked = 0 } in
+        (match t.durable with
+         | Some h ->
+           (* runs inside [eval_locked]'s engine section, right after
+              the statement's WAL appends: publish, ack later *)
+           ignore
+             (Mad_mql.Session.add_on_commit session (fun () ->
+                  st.appended <- Mad_durable.Durable.wal_records h))
+         | None -> ());
+        session_loop t st cid fd
+      | Wire.Msg v ->
+        Mad_obs.Metric.incr t.c_errors;
+        ignore v;
+        Wire.write_server_hello fd ~version:Wire.version Wire.H_version
+      | Wire.Closed | Wire.Truncated | Wire.Oversized _ | Wire.Bad_magic
+      | Wire.Timeout ->
+        ())
+
+(* pop the next admitted connection, blocking until one arrives or the
+   server stops *)
+let take t =
+  Mutex.lock t.qm;
+  let rec go () =
+    if Atomic.get t.stop then None
+    else
+      match Queue.take_opt t.q with
+      | Some c -> Some c
+      | None ->
+        Condition.wait t.qcv t.qm;
+        go ()
+  in
+  let r = go () in
+  Mutex.unlock t.qm;
+  r
+
+let worker_loop t =
+  let rec go () =
+    match take t with
+    | None -> ()
+    | Some (fd, peer) ->
+      (* a connection failure must not take its worker down with it *)
+      (try serve_conn t fd peer
+       with
+       | Unix.Unix_error _ -> close_quietly fd
+       | e ->
+         close_quietly fd;
+         Mad_obs.Metric.incr t.c_errors;
+         ignore (Printexc.to_string e));
+      go ()
+  in
+  go ()
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+let start ?obs ?(config = default_config) ?durable database =
+  let obs = match obs with Some o -> o | None -> Mad_obs.Obs.create () in
+  (* a peer vanishing mid-write must surface as EPIPE on that one
+     socket, not as a process-wide SIGPIPE death *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr = resolve config.host in
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (addr, config.port));
+     Unix.listen listener 64;
+     Unix.set_nonblock listener
+   with Unix.Unix_error (e, _, _) ->
+     close_quietly listener;
+     Err.failf "serve: cannot bind %s:%d: %s" config.host config.port
+       (Unix.error_message e));
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let coord =
+    Option.map
+      (fun h -> Mad_durable.Coordinator.for_durable ~obs ~prefix:"serve.group" h)
+      durable
+  in
+  let t =
+    {
+      cfg = { config with workers = max 1 config.workers };
+      db = database;
+      durable;
+      coord;
+      obs;
+      listener;
+      port = bound_port;
+      stop = Atomic.make false;
+      engine = Mutex.create ();
+      qm = Mutex.create ();
+      qcv = Condition.create ();
+      q = Queue.create ();
+      conn_seq = Atomic.make 1;
+      accepter = None;
+      domains = [];
+      joined = false;
+      c_conns = Mad_obs.Obs.counter obs "serve.connections";
+      c_busy = Mad_obs.Obs.counter obs "serve.busy";
+      c_errors = Mad_obs.Obs.counter obs "serve.errors";
+      c_bytes_in = Mad_obs.Obs.counter obs "serve.bytes_in";
+      c_bytes_out = Mad_obs.Obs.counter obs "serve.bytes_out";
+      g_active = Mad_obs.Obs.gauge obs "serve.active";
+      h_request_us =
+        Mad_obs.Obs.histogram ~bounds:Mad_obs.Metric.latency_bounds_us obs
+          "serve.request_us";
+      hist_m = Mutex.create ();
+    }
+  in
+  t.accepter <- Some (Stdlib.Domain.spawn (fun () -> accept_loop t));
+  t.domains <-
+    List.init t.cfg.workers (fun _ -> Stdlib.Domain.spawn (fun () -> worker_loop t));
+  t
+
+let stop t =
+  request_stop t;
+  if not t.joined then begin
+    t.joined <- true;
+    (* closing the listener kicks the accept domain out of select *)
+    close_quietly t.listener;
+    Mutex.lock t.qm;
+    Condition.broadcast t.qcv;
+    Mutex.unlock t.qm;
+    (match t.accepter with Some d -> Stdlib.Domain.join d | None -> ());
+    List.iter Stdlib.Domain.join t.domains;
+    t.domains <- [];
+    (* admitted but never served: hang up *)
+    Mutex.lock t.qm;
+    Queue.iter (fun (fd, _) -> close_quietly fd) t.q;
+    Queue.clear t.q;
+    Mutex.unlock t.qm
+  end

@@ -1,0 +1,113 @@
+(** The MQL wire protocol: a length-prefixed binary framing over TCP.
+
+    Connection establishment is a fixed-size handshake:
+    {v
+    client → server   "MADQ" + u16 LE version + 2 reserved bytes
+    server → client   "MADQ" + u16 LE version + u8 status + 1 reserved
+    v}
+    Handshake status: 0 = accepted, 1 = version mismatch (the server's
+    version rides in the reply), 2 = busy (admission control refused
+    the connection).  After a non-zero status the server closes.
+
+    Then framed request/response, one response per request:
+    {v
+    request    u32 LE payload length | u8 opcode | payload
+    response   u32 LE payload length | u8 status | payload
+    v}
+    Opcodes: 1 Query, 2 Exec, 3 Explain, 4 Stats, 5 Health, 6 Ping,
+    7 Quit.  Response status: 0 Ok, 1 Error, 2 Busy, 3 Pong, 4 Bye.
+    The length counts the payload only; a frame whose declared length
+    exceeds the receiver's cap is rejected and the connection closed
+    (there is no way to resynchronize a stream after a framing
+    violation). *)
+
+val magic : string
+(** ["MADQ"]. *)
+
+val version : int
+(** The protocol version this library speaks (1). *)
+
+val default_max_frame : int
+(** Default request/response payload cap: 4 MiB. *)
+
+val hello_bytes : int
+(** Size of either handshake message (8). *)
+
+val header_bytes : int
+(** Frame overhead per message: u32 length + u8 opcode/status (5). *)
+
+type req =
+  | Query of string  (** evaluate one MOL statement, render the result *)
+  | Exec of string  (** evaluate, return only a summary (DML-friendly) *)
+  | Explain of string  (** the algebra plan, without executing *)
+  | Stats  (** Prometheus exposition of the server registry *)
+  | Health  (** the timeline health verdict as JSON *)
+  | Ping
+  | Quit
+
+val req_op : req -> int
+val req_name : req -> string
+(** Stable lowercase tag ("query", "exec", …) for metrics labels. *)
+
+type status = Ok | Error | Busy | Pong | Bye
+
+val status_code : status -> int
+val status_name : status -> string
+
+type hello_status = H_ok | H_version | H_busy
+
+(** {1 Blocking fd IO}
+
+    Reads poll: the socket should carry a short [SO_RCVTIMEO] slice,
+    and every time a read would block, [keep_waiting ~started] decides
+    whether to keep going ([started] is true once any byte of the
+    current message has arrived — callers use it to distinguish an
+    idle connection from a stalled mid-frame sender). *)
+
+type 'a incoming =
+  | Msg of 'a
+  | Closed  (** peer closed at a message boundary *)
+  | Truncated  (** peer closed mid-message *)
+  | Oversized of int  (** declared payload length exceeds the cap *)
+  | Bad_magic
+  | Timeout  (** [keep_waiting] said stop *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string (retrying partial writes and [EINTR]). *)
+
+val write_client_hello : Unix.file_descr -> version:int -> unit
+val write_server_hello : Unix.file_descr -> version:int -> hello_status -> unit
+
+val read_client_hello :
+  keep_waiting:(started:bool -> bool) -> Unix.file_descr -> int incoming
+(** The client's proposed version. *)
+
+val read_server_hello :
+  keep_waiting:(started:bool -> bool) ->
+  Unix.file_descr ->
+  (int * hello_status) incoming
+(** The server's (version, verdict). *)
+
+val write_req : Unix.file_descr -> req -> unit
+val write_resp : Unix.file_descr -> status -> string -> unit
+
+val read_req :
+  ?max_len:int ->
+  keep_waiting:(started:bool -> bool) ->
+  Unix.file_descr ->
+  req incoming
+(** An unknown opcode byte is a protocol violation and yields
+    [Bad_magic] (the stream cannot be trusted past it; the server
+    closes the connection). *)
+
+val read_resp :
+  ?max_len:int ->
+  keep_waiting:(started:bool -> bool) ->
+  Unix.file_descr ->
+  (status * string) incoming
+
+val req_bytes : req -> int
+(** On-wire size of the request (header + payload). *)
+
+val resp_bytes : string -> int
+(** On-wire size of a response with this payload. *)

@@ -325,7 +325,8 @@ let test_queries_do_not_journal () =
   let h = Durable.open_or_seed ~seed:Harness.seed_db dir in
   let before = Durable.wal_records h in
   let session = Mad_mql.Session.create (Durable.db h) in
-  session.Mad_mql.Session.on_commit <- Some (fun () -> Durable.commit h);
+  ignore
+    (Mad_mql.Session.add_on_commit session (fun () -> Durable.commit h));
   ignore (Mad_mql.Session.run_to_string session "SELECT ALL FROM box-part;");
   ignore
     (Mad_mql.Session.run_to_string session

@@ -578,8 +578,9 @@ let test_recorder_engine_events () =
           ~obs:(Obs.create ~tracing:false ())
           (Mad_durable.Durable.db h)
       in
-      session.Mad_mql.Session.on_commit <-
-        Some (fun () -> Mad_durable.Durable.commit h);
+      ignore
+        (Mad_mql.Session.add_on_commit session (fun () ->
+             Mad_durable.Durable.commit h));
       ignore
         (Mad_mql.Session.run session
            "INSERT INTO city VALUES ('Trace City', 3);");

@@ -1,0 +1,378 @@
+(* The network service: wire framing round trips, handshake version
+   negotiation, admission control (typed busy), concurrent writers
+   converging through the cross-session group-commit coordinator, and
+   clean shutdown draining in-flight requests. *)
+
+open Mad_serve
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let in_tmp name f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("t_serve_" ^ name)
+  in
+  Mad_durable.Harness.rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> Mad_durable.Harness.rm_rf dir)
+    (fun () -> f dir)
+
+let brazil () = Workloads.Geo_brazil.db (Workloads.Geo_brazil.build ())
+let wait_forever ~started:_ = true
+
+(* --- wire framing --------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      (* every opcode survives the frame codec *)
+      let reqs =
+        [
+          Wire.Query "SELECT ALL FROM state;";
+          Wire.Exec "INSERT INTO state VALUES ('X', 1);";
+          Wire.Explain "SELECT ALL FROM state;";
+          Wire.Stats;
+          Wire.Health;
+          Wire.Ping;
+          Wire.Quit;
+        ]
+      in
+      List.iter
+        (fun r ->
+          Wire.write_req a r;
+          match Wire.read_req ~keep_waiting:wait_forever b with
+          | Wire.Msg got -> check "req round trip" true (got = r)
+          | _ -> Alcotest.fail "request did not round trip")
+        reqs;
+      (* responses, including an empty payload *)
+      Wire.write_resp b Wire.Error "boom";
+      (match Wire.read_resp ~keep_waiting:wait_forever a with
+       | Wire.Msg (Wire.Error, "boom") -> ()
+       | _ -> Alcotest.fail "response did not round trip");
+      Wire.write_resp b Wire.Pong "";
+      (match Wire.read_resp ~keep_waiting:wait_forever a with
+       | Wire.Msg (Wire.Pong, "") -> ()
+       | _ -> Alcotest.fail "empty response did not round trip");
+      (* hello round trip *)
+      Wire.write_client_hello a ~version:7;
+      (match Wire.read_client_hello ~keep_waiting:wait_forever b with
+       | Wire.Msg 7 -> ()
+       | _ -> Alcotest.fail "client hello");
+      Wire.write_server_hello b ~version:Wire.version Wire.H_busy;
+      match Wire.read_server_hello ~keep_waiting:wait_forever a with
+      | Wire.Msg (v, Wire.H_busy) -> check_int "server hello version" Wire.version v
+      | _ -> Alcotest.fail "server hello")
+
+let test_wire_limits () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let closed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !closed then Unix.close a;
+      Unix.close b)
+    (fun () ->
+      let cap = 64 * 1024 in
+      (* a payload of exactly the cap passes...  (written from a domain:
+         a socketpair buffer cannot hold 64 KiB unread) *)
+      let big = String.make cap 'q' in
+      let w = Stdlib.Domain.spawn (fun () -> Wire.write_req a (Wire.Query big)) in
+      (match Wire.read_req ~max_len:cap ~keep_waiting:wait_forever b with
+       | Wire.Msg (Wire.Query got) -> check_int "max-size frame" cap (String.length got)
+       | _ -> Alcotest.fail "max-size frame rejected");
+      Stdlib.Domain.join w;
+      (* ...one byte more is rejected before the payload is read *)
+      let over = String.make (cap + 1) 'q' in
+      let w = Stdlib.Domain.spawn (fun () -> Wire.write_req a (Wire.Query over)) in
+      (match Wire.read_req ~max_len:cap ~keep_waiting:wait_forever b with
+       | Wire.Oversized n -> check_int "oversized declares its length" (cap + 1) n
+       | _ -> Alcotest.fail "oversized frame accepted");
+      Stdlib.Domain.join w;
+      (* drain the oversized payload left in the stream *)
+      let buf = Bytes.create 4096 in
+      let rec drain n =
+        if n > 0 then drain (n - Unix.read b buf 0 (min 4096 n))
+      in
+      drain (cap + 1);
+      (* a frame whose sender dies mid-payload is Truncated, not Closed *)
+      let hdr = Bytes.create 5 in
+      Bytes.set_int32_le hdr 0 64l;
+      Bytes.set_uint8 hdr 4 1;
+      Wire.write_all a (Bytes.to_string hdr);
+      Wire.write_all a "only-eight";
+      Unix.close a;
+      closed := true;
+      (match Wire.read_req ~keep_waiting:wait_forever b with
+       | Wire.Truncated -> ()
+       | _ -> Alcotest.fail "mid-frame close should be Truncated");
+      (* and a close at a message boundary is Closed *)
+      match Wire.read_req ~keep_waiting:wait_forever b with
+      | Wire.Closed -> ()
+      | _ -> Alcotest.fail "boundary close should be Closed")
+
+let test_wire_timeout () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      Unix.setsockopt_float b Unix.SO_RCVTIMEO 0.05;
+      match Wire.read_req ~keep_waiting:(fun ~started:_ -> false) b with
+      | Wire.Timeout -> ()
+      | _ -> Alcotest.fail "empty socket should time out")
+
+(* --- the coordinator ------------------------------------------------ *)
+
+let test_coordinator_batches () =
+  let syncs = Atomic.make 0 in
+  let c =
+    (* a private obs context: coordinators over the shared noop context
+       would get the same metric instances and bleed counts across tests *)
+    Mad_durable.Coordinator.create
+      ~obs:(Mad_obs.Obs.create ())
+      ~sync:(fun () ->
+        Atomic.incr syncs;
+        Unix.sleepf 0.3)
+      ()
+  in
+  (* the leader's fsync is deliberately slow: the three committers that
+     publish while it is in flight must share the NEXT fsync *)
+  let leader =
+    Stdlib.Domain.spawn (fun () -> Mad_durable.Coordinator.wait_durable c 1)
+  in
+  Unix.sleepf 0.05;
+  let late =
+    List.init 3 (fun i ->
+        Stdlib.Domain.spawn (fun () ->
+            Mad_durable.Coordinator.wait_durable c (2 + i)))
+  in
+  Stdlib.Domain.join leader;
+  List.iter Stdlib.Domain.join late;
+  check_int "four commits" 4 (Mad_durable.Coordinator.commits c);
+  check_int "two fsync batches cover them" 2 (Mad_durable.Coordinator.fsyncs c);
+  check_int "sync ran once per batch" 2 (Atomic.get syncs);
+  (* an already-covered position is acknowledged without an fsync *)
+  Mad_durable.Coordinator.wait_durable c 3;
+  check_int "covered position is free" 2 (Mad_durable.Coordinator.fsyncs c)
+
+let test_coordinator_leader_failure () =
+  let armed = ref true in
+  let c =
+    Mad_durable.Coordinator.create
+      ~obs:(Mad_obs.Obs.create ())
+      ~sync:(fun () -> if !armed then failwith "disk on fire")
+      ()
+  in
+  (match Mad_durable.Coordinator.wait_durable c 1 with
+   | () -> Alcotest.fail "leader failure must propagate"
+   | exception Failure msg -> check_string "leader sees the failure" "disk on fire" msg);
+  (* the next committer retries as a fresh leader and succeeds *)
+  armed := false;
+  Mad_durable.Coordinator.wait_durable c 1;
+  check_int "retry fsynced" 1 (Mad_durable.Coordinator.fsyncs c)
+
+(* --- server lifecycle ----------------------------------------------- *)
+
+let with_server ?durable ?(config = Serve.default_config) db f =
+  let srv = Serve.start ~config ?durable db in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) (fun () -> f srv)
+
+let connect_ok srv =
+  match Client.connect ~host:"127.0.0.1" (Serve.port srv) with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %a" Client.pp_connect_error e
+
+let test_basic_requests () =
+  with_server (brazil ()) @@ fun srv ->
+  let c = connect_ok srv in
+  check "ping" true (Client.ping c);
+  (match Client.query c "SELECT ALL FROM state WHERE state.name = 'SP';" with
+   | Ok out -> check "query renders molecules" true (contains ~affix:"state" out)
+   | Error msg -> Alcotest.failf "query: %s" msg);
+  (match Client.exec c "INSERT INTO state VALUES ('Wireland', 9);" with
+   | Ok out -> check "exec summarizes" true (contains ~affix:"insert" out)
+   | Error msg -> Alcotest.failf "exec: %s" msg);
+  (match Client.explain c "SELECT ALL FROM state;" with
+   | Ok out -> check "explain shows a plan" true (String.length out > 0)
+   | Error msg -> Alcotest.failf "explain: %s" msg);
+  (* statement errors are typed Error responses, not hangups *)
+  (match Client.query c "THIS IS NOT MOL;" with
+   | Error msg -> check "parse error travels" true (contains ~affix:"parse" msg)
+   | Ok _ -> Alcotest.fail "garbage should fail");
+  check "still alive after an error" true (Client.ping c);
+  let stats = Client.stats c in
+  check "stats exposes serve counters" true
+    (contains ~affix:"serve_connections" stats);
+  check "stats exposes request labels" true (contains ~affix:"op=\"query\"" stats);
+  let doc = Client.health c in
+  check "health is a verdict document" true (contains ~affix:"\"state\"" doc);
+  Client.close c;
+  check_int "one connection admitted" 1 (Serve.connections srv)
+
+let test_version_mismatch () =
+  with_server (brazil ()) @@ fun srv ->
+  (match Client.connect ~version:99 ~host:"127.0.0.1" (Serve.port srv) with
+   | Error (Client.Version_mismatch v) ->
+     check_int "server states its version" Wire.version v
+   | Ok _ -> Alcotest.fail "version 99 must be rejected"
+   | Error e -> Alcotest.failf "wrong rejection: %a" Client.pp_connect_error e);
+  (* the rejection did not wedge the server *)
+  let c = connect_ok srv in
+  check "server still serves" true (Client.ping c);
+  Client.close c
+
+let test_admission_busy () =
+  let config = { Serve.default_config with Serve.workers = 1; max_pending = 1 } in
+  with_server ~config (brazil ()) @@ fun srv ->
+  (* c1 holds the only worker... *)
+  let c1 = connect_ok srv in
+  check "c1 served" true (Client.ping c1);
+  (* ...c2 fills the pending queue (its handshake stays unanswered
+     until a worker frees, so connect runs in its own domain)... *)
+  let c2 =
+    Stdlib.Domain.spawn (fun () ->
+        Client.connect ~timeout:10.0 ~host:"127.0.0.1" (Serve.port srv))
+  in
+  Unix.sleepf 0.3;
+  (* ...and c3 is over capacity: a typed busy verdict, not a reset *)
+  (match Client.connect ~host:"127.0.0.1" (Serve.port srv) with
+   | Error Client.Busy -> ()
+   | Ok _ -> Alcotest.fail "third connection must be refused"
+   | Error e -> Alcotest.failf "wrong refusal: %a" Client.pp_connect_error e);
+  (* closing c1 frees the worker; the queued c2 is then served *)
+  Client.close c1;
+  (match Stdlib.Domain.join c2 with
+   | Ok c2 ->
+     check "queued connection eventually served" true (Client.ping c2);
+     Client.close c2
+   | Error e -> Alcotest.failf "queued connect failed: %a" Client.pp_connect_error e);
+  check "admission rejections counted" true
+    (Mad_obs.Registry.counter_value
+       (Mad_obs.Obs.registry (Serve.obs srv))
+       "serve.busy"
+     >= 1)
+
+let test_concurrent_writers () =
+  in_tmp "writers" @@ fun dir ->
+  let writers = 8 and per_writer = 5 in
+  let h = Mad_durable.Durable.open_dir ~seed:(brazil ()) dir in
+  let before = Mad_store.Database.total_atoms (Mad_durable.Durable.db h) in
+  let commits, fsyncs =
+    Fun.protect
+      ~finally:(fun () -> Mad_durable.Durable.close h)
+      (fun () ->
+        let config = { Serve.default_config with Serve.workers = 4 } in
+        with_server ~config ~durable:h (Mad_durable.Durable.db h) @@ fun srv ->
+        let spawn w =
+          Stdlib.Domain.spawn (fun () ->
+              let c = connect_ok srv in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  for j = 1 to per_writer do
+                    match
+                      Client.exec c
+                        (Printf.sprintf
+                           "INSERT INTO state VALUES ('W%d_%d', %d);" w j
+                           (100 + w))
+                    with
+                    | Ok _ -> ()
+                    | Error msg -> Alcotest.failf "writer %d: %s" w msg
+                  done))
+        in
+        let doms = List.init writers (fun w -> spawn (w + 1)) in
+        List.iter Stdlib.Domain.join doms;
+        let coord = Option.get (Serve.coordinator srv) in
+        ( Mad_durable.Coordinator.commits coord,
+          Mad_durable.Coordinator.fsyncs coord ))
+  in
+  check_int "every statement committed" (writers * per_writer) commits;
+  check "at least one fsync" true (fsyncs >= 1);
+  check "fsyncs never exceed commits" true (fsyncs <= commits);
+  (* convergence: recovery sees the serial-equivalent state — every
+     insert from every writer, and an integrity-clean database *)
+  let h2 = Mad_durable.Durable.open_dir dir in
+  Fun.protect
+    ~finally:(fun () -> Mad_durable.Durable.close h2)
+    (fun () ->
+      check_int "all inserts durable"
+        (before + (writers * per_writer))
+        (Mad_store.Database.total_atoms (Mad_durable.Durable.db h2)))
+
+let test_shutdown_drains () =
+  let srv = Serve.start (brazil ()) in
+  let c = connect_ok srv in
+  check "served before stop" true (Client.ping c);
+  (* a statement that is genuinely in flight when stop arrives: the
+     fault spin keeps it executing while the stopper runs *)
+  Mad_mql.Session.fault_spin_ms := Some 600.0;
+  Fun.protect
+    ~finally:(fun () -> Mad_mql.Session.fault_spin_ms := None)
+    (fun () ->
+      let stopper =
+        Stdlib.Domain.spawn (fun () ->
+            Unix.sleepf 0.15;
+            Serve.stop srv)
+      in
+      (match Client.query c "SELECT ALL FROM state WHERE state.name = 'SP';" with
+       | Ok out ->
+         check "in-flight request completed through shutdown" true
+           (contains ~affix:"state" out)
+       | Error msg -> Alcotest.failf "drained request failed: %s" msg);
+      Stdlib.Domain.join stopper);
+  check "server reports stopped" true (Serve.stopped srv);
+  (* the drained connection was closed by the shutdown *)
+  (match Client.ping c with
+   | exception Client.Remote _ -> ()
+   | alive -> check "connection closed after drain" false alive);
+  Client.close ~quit:false c
+
+(* --- typed data-directory errors ------------------------------------ *)
+
+(* root ignores permission bits, so provoke the failures with ENOTDIR
+   (a path through a regular file) — those fail for any uid *)
+let test_data_dir_errors () =
+  in_tmp "baddir" @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let file = Filename.concat dir "plain" in
+  let oc = open_out file in
+  output_string oc "not a directory\n";
+  close_out oc;
+  (match Mad_durable.Durable.open_dir file with
+   | _ -> Alcotest.fail "opening a file as a data dir must fail"
+   | exception Mad_store.Err.Mad_error msg ->
+     check "names the path" true (contains ~affix:file msg);
+     check "says why" true (contains ~affix:"not a directory" msg));
+  let nested = Filename.concat file "sub" in
+  match Mad_durable.Durable.open_dir nested with
+  | _ -> Alcotest.fail "a path through a file must fail"
+  | exception Mad_store.Err.Mad_error msg ->
+    check "typed creation error" true (contains ~affix:"cannot create" msg)
+
+let suite =
+  [
+    Alcotest.test_case "wire round trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire size limits and truncation" `Quick test_wire_limits;
+    Alcotest.test_case "wire timeout" `Quick test_wire_timeout;
+    Alcotest.test_case "coordinator batches commits" `Quick test_coordinator_batches;
+    Alcotest.test_case "coordinator leader failure" `Quick
+      test_coordinator_leader_failure;
+    Alcotest.test_case "basic requests" `Quick test_basic_requests;
+    Alcotest.test_case "handshake version mismatch" `Quick test_version_mismatch;
+    Alcotest.test_case "admission control says busy" `Quick test_admission_busy;
+    Alcotest.test_case "concurrent writers converge" `Quick
+      test_concurrent_writers;
+    Alcotest.test_case "shutdown drains in-flight requests" `Quick
+      test_shutdown_drains;
+    Alcotest.test_case "typed data-dir errors" `Quick test_data_dir_errors;
+  ]

@@ -24,6 +24,7 @@ let () =
       ("timeline", T_timeline.suite);
       ("digest", T_digest.suite);
       ("durable", T_durable.suite);
+      ("serve", T_serve.suite);
       ("misc", T_misc.suite);
       ("properties", T_props.suite);
     ]
