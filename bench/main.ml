@@ -23,6 +23,7 @@ let experiments =
     ("wal", B_wal.run);
     ("obs", B_obs.run);
     ("serve", B_serve.run);
+    ("mixed", B_mixed.run);
   ]
 
 let () =

@@ -11,7 +11,7 @@
     link in @2 @17
     unlink in @2 @17
     set part @17 1 4
-    delete @17
+    delete part @17
     dropatom part
     droplink in
     v}
@@ -51,8 +51,9 @@ let encode (op : Database.op) =
      word atype;
      id aid;
      List.iter (fun v -> word (Serialize.value_to_string v)) values
-   | Database.Op_delete_atom aid ->
+   | Database.Op_delete_atom { atype; id = aid } ->
      Buffer.add_string buf "delete";
+     word atype;
      id aid
    | Database.Op_add_link { lt; left; right } ->
      Buffer.add_string buf "link";
@@ -99,7 +100,12 @@ let decode ~recno payload : Database.op =
         id = Serialize.parse_id recno aid;
         values = List.map (Serialize.parse_value recno) values;
       }
-  | [ "delete"; aid ] -> Database.Op_delete_atom (Serialize.parse_id recno aid)
+  | [ "delete"; atype; aid ] ->
+    Database.Op_delete_atom { atype; id = Serialize.parse_id recno aid }
+  | [ "delete"; aid ] ->
+    (* legacy record (pre atype): replay only needs the identity — the
+       cascade resolves the type itself — so decode with it blank *)
+    Database.Op_delete_atom { atype = ""; id = Serialize.parse_id recno aid }
   | [ "link"; lt; l; r ] ->
     Database.Op_add_link
       { lt; left = Serialize.parse_id recno l;
@@ -133,7 +139,7 @@ let apply db (op : Database.op) =
   | Database.Op_drop_link_type name -> Database.drop_link_type db name
   | Database.Op_insert_atom { atype; id; values } ->
     ignore (Database.insert_atom_exact db ~atype ~id values)
-  | Database.Op_delete_atom id -> Database.delete_atom db id
+  | Database.Op_delete_atom { id; _ } -> Database.delete_atom db id
   | Database.Op_add_link { lt; left; right } ->
     Database.add_link db lt ~left ~right
   | Database.Op_remove_link { lt; left; right } ->

@@ -1,15 +1,34 @@
 (** The domain pool — see the interface for the contract. *)
 
+let max_workers = 7
+
+(* Requests above the hardware's recommended domain count are clamped:
+   extra domains only contend for the same cores (on the single-core
+   CI sandbox, MAD_PAR=4 made the kernel ~3x slower than scalar).
+   Each clamped request bumps [pool.clamped] in the default registry
+   so the capping is visible in exported metrics. *)
+let clamp_counter =
+  Mad_obs.Once.make (fun () ->
+      Mad_obs.Registry.counter
+        (Mad_obs.Obs.registry (Mad_obs.Obs.default ()))
+        "pool.clamped")
+
+let clamp requested =
+  let cap = Domain.recommended_domain_count () in
+  if requested > cap then begin
+    Mad_obs.Metric.incr (Mad_obs.Once.force clamp_counter);
+    cap
+  end
+  else requested
+
 let parallelism () =
   match Sys.getenv_opt "MAD_PAR" with
   | Some s -> begin
     match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
+    | Some n when n >= 1 -> clamp n
     | Some _ | None -> Domain.recommended_domain_count ()
   end
   | None -> Domain.recommended_domain_count ()
-
-let max_workers = 7
 
 type pool = {
   m : Mutex.t;
@@ -82,7 +101,7 @@ let ensure_workers p wanted =
   done
 
 let run_chunks ?par n f =
-  let par = match par with Some k -> k | None -> parallelism () in
+  let par = match par with Some k -> clamp k | None -> parallelism () in
   let par = min par n in
   if par <= 1 || in_worker () then begin
     if n > 0 then f 0 n

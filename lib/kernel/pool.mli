@@ -8,7 +8,10 @@
 
 val parallelism : unit -> int
 (** Requested parallelism: [MAD_PAR] when set to a positive integer,
-    else [Domain.recommended_domain_count ()]. *)
+    else [Domain.recommended_domain_count ()].  Requests above the
+    recommended domain count are clamped to it — extra domains only
+    contend for the same cores — and each clamped request bumps the
+    [pool.clamped] counter in the default metrics registry. *)
 
 val run_chunks : ?par:int -> int -> (int -> int -> unit) -> unit
 (** [run_chunks ~par n f] partitions [\[0, n)] into at most [par]
@@ -18,8 +21,9 @@ val run_chunks : ?par:int -> int -> (int -> int -> unit) -> unit
 
     Runs sequentially when [par <= 1], [n <= 1], or when called from
     inside a pool worker (no nested parallelism).  [par] defaults to
-    {!parallelism}[ ()] and is capped by the pool size
-    ({!max_workers}[ + 1]). *)
+    {!parallelism}[ ()]; explicit values are clamped to
+    [Domain.recommended_domain_count ()] (logged via [pool.clamped])
+    and capped by the pool size ({!max_workers}[ + 1]). *)
 
 val max_workers : int
 (** Upper bound on pool size; workers are spawned on demand up to it. *)

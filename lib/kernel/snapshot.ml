@@ -88,27 +88,189 @@ let csr t ltname ~dir =
     m
 
 (* ------------------------------------------------------------------ *)
-(* Cache: a small LRU keyed on physical database identity.  An entry
-   whose epoch no longer matches its database is stale and replaced on
-   the next [of_db]; [peek] never returns it. *)
+(* Delta maintenance: apply a compacted patch window to the prior
+   snapshot's materialized entries instead of rebuilding them. *)
+
+let delta_metrics =
+  Mad_obs.Once.make (fun () ->
+      let reg = Mad_obs.Obs.registry (Mad_obs.Obs.default ()) in
+      ( Mad_obs.Registry.counter reg "snapshot.delta_applied",
+        Mad_obs.Registry.counter reg "snapshot.rebuild" ))
+
+(* Old dense index -> new dense index over two ascending id arrays,
+   [-1] for ids the new index dropped.  Monotone (both inputs
+   ascending), so a CSR row mapped through it stays ascending. *)
+let index_map (old_ids : Aid.t array) (new_ids : Aid.t array) =
+  let n_old = Array.length old_ids and n_new = Array.length new_ids in
+  let map = Array.make (max 1 n_old) (-1) in
+  let j = ref 0 in
+  for i = 0 to n_old - 1 do
+    while !j < n_new && new_ids.(!j) < old_ids.(i) do
+      incr j
+    done;
+    if !j < n_new && new_ids.(!j) = old_ids.(i) then map.(i) <- !j
+  done;
+  map
+
+(* Patch one CSR: map the old rows/columns through the new type
+   indices, drop the window's removed pairs, merge in the added ones
+   (dedup — a pair dropped and re-added inside the window is in both
+   the old matrix and the add list). *)
+let patch_csr (old : csr) ~fwd ~verdicts ~(rt_old : tindex) ~(ct_old : tindex)
+    ~(rt_new : tindex) ~(ct_new : tindex) =
+  let row_map = index_map rt_old.ids rt_new.ids in
+  let col_map = index_map ct_old.ids ct_new.ids in
+  let n_old = Array.length rt_old.ids and n_new = Array.length rt_new.ids in
+  let adds : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let drops : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ((l, r), add) ->
+      let row_raw, col_raw = if fwd then (l, r) else (r, l) in
+      let j = idx_of rt_new row_raw and c = idx_of ct_new col_raw in
+      (* an endpoint absent from the new index means the atom is gone;
+         its pairs cannot survive in either direction, so the verdict
+         is moot (the row/column mapping already drops them) *)
+      if j >= 0 && c >= 0 then
+        if add then
+          Hashtbl.replace adds j
+            (c :: Option.value ~default:[] (Hashtbl.find_opt adds j))
+        else Hashtbl.replace drops (j, c) ())
+    verdicts;
+  let rows = Array.make (max 1 n_new) None in
+  (* rows surviving from the old matrix: map, filter drops, merge adds *)
+  for i = 0 to n_old - 1 do
+    let j = row_map.(i) in
+    if j >= 0 then begin
+      let mapped = ref [] in
+      for k = old.offs.(i + 1) - 1 downto old.offs.(i) do
+        let c = col_map.(old.cols.(k)) in
+        if c >= 0 && not (Hashtbl.mem drops (j, c)) then mapped := c :: !mapped
+      done;
+      let add_l =
+        List.sort_uniq compare
+          (Option.value ~default:[] (Hashtbl.find_opt adds j))
+      in
+      (* merge-dedup two ascending lists *)
+      let rec merge a b acc =
+        match (a, b) with
+        | [], rest | rest, [] -> List.rev_append acc rest
+        | x :: a', y :: b' ->
+          if x < y then merge a' b (x :: acc)
+          else if y < x then merge a b' (y :: acc)
+          else merge a' b' (x :: acc)
+      in
+      rows.(j) <- Some (merge !mapped add_l [])
+    end
+  done;
+  (* brand-new rows (atoms inserted in the window): adds only *)
+  for j = 0 to n_new - 1 do
+    if rows.(j) = None then
+      rows.(j) <-
+        Some
+          (List.sort_uniq compare
+             (Option.value ~default:[] (Hashtbl.find_opt adds j)))
+  done;
+  let offs = Array.make (n_new + 1) 0 in
+  for j = 0 to n_new - 1 do
+    offs.(j + 1) <-
+      offs.(j) + (match rows.(j) with Some l -> List.length l | None -> 0)
+  done;
+  let cols = Array.make offs.(n_new) 0 in
+  for j = 0 to n_new - 1 do
+    match rows.(j) with
+    | None -> ()
+    | Some l -> List.iteri (fun k c -> cols.(offs.(j) + k) <- c) l
+  done;
+  { offs; cols }
+
+let fresh_tindex db atname =
+  { ids = Array.of_list (Aid.Set.elements (Database.atom_ids db atname)) }
+
+(* The delta path: a new snapshot whose materialized entries are the
+   prior snapshot's, shared where the window misses them, patched
+   where it touches them.  Lazy entries stay lazy. *)
+let delta_apply (prior : t) db e w =
+  let t0 = Mad_obs.Monotonic.ticks () in
+  let snap =
+    { db; snap_epoch = e; tindexes = Hashtbl.create 8; csrs = Hashtbl.create 8 }
+  in
+  Hashtbl.iter
+    (fun name ti ->
+      Hashtbl.replace snap.tindexes name
+        (if Delta.touches_atype w name then fresh_tindex db name else ti))
+    prior.tindexes;
+  let entries = ref 0 in
+  Hashtbl.iter
+    (fun (ltname, fwd) m ->
+      incr entries;
+      let st = Database.link_store db ltname in
+      let e1, e2 = st.lt.Schema.Link_type.ends in
+      let rt_name = if fwd then e1 else e2 in
+      let ct_name = if fwd then e2 else e1 in
+      if
+        (not (Delta.touches_link w ltname))
+        && (not (Delta.touches_atype w rt_name))
+        && not (Delta.touches_atype w ct_name)
+      then Hashtbl.replace snap.csrs (ltname, fwd) m
+      else begin
+        let old_ti name =
+          match Hashtbl.find_opt prior.tindexes name with
+          | Some ti -> ti
+          | None -> fresh_tindex db name  (* unreachable: build_csr forces both *)
+        in
+        let m' =
+          patch_csr m ~fwd
+            ~verdicts:(Delta.link_patches w ltname)
+            ~rt_old:(old_ti rt_name) ~ct_old:(old_ti ct_name)
+            ~rt_new:(tindex snap rt_name) ~ct_new:(tindex snap ct_name)
+        in
+        Hashtbl.replace snap.csrs (ltname, fwd) m'
+      end)
+    prior.csrs;
+  let applied, _ = Mad_obs.Once.force delta_metrics in
+  Mad_obs.Metric.incr applied;
+  Mad_obs.Recorder.note Snapshot_delta
+    ~dur_ns:(Mad_obs.Monotonic.ticks () - t0)
+    ~label:"*" ~a:(Delta.patch_count w) ~b:!entries ();
+  snap
+
+(* ------------------------------------------------------------------ *)
+(* Cache: a small LRU keyed on physical database identity, holding at
+   most ONE snapshot per live database — the latest-epoch one.  A
+   fresh snapshot evicts its superseded predecessor on insert (after
+   consuming it as the delta-apply source), and the LRU bound caps
+   what closed databases can retain. *)
 
 let cache_cap = 8
 let cache : t list ref = ref []
 
+let rebuild db =
+  {
+    db;
+    snap_epoch = Database.epoch db;
+    tindexes = Hashtbl.create 8;
+    csrs = Hashtbl.create 8;
+  }
+
 let of_db db =
   let e = Database.epoch db in
-  match List.find_opt (fun s -> s.db == db && s.snap_epoch = e) !cache with
-  | Some s ->
+  let hit = List.find_opt (fun s -> s.db == db) !cache in
+  match hit with
+  | Some s when s.snap_epoch = e ->
     cache := s :: List.filter (fun s' -> s' != s) !cache;
     s
-  | None ->
+  | _ ->
     let s =
-      {
-        db;
-        snap_epoch = e;
-        tindexes = Hashtbl.create 8;
-        csrs = Hashtbl.create 8;
-      }
+      match hit with
+      | Some prior -> begin
+        match Delta.window db ~from_epoch:prior.snap_epoch ~to_epoch:e with
+        | Some w -> delta_apply prior db e w
+        | None ->
+          let _, rebuilt = Mad_obs.Once.force delta_metrics in
+          Mad_obs.Metric.incr rebuilt;
+          rebuild db
+      end
+      | None -> rebuild db
     in
     let keep = List.filter (fun s' -> s'.db != db) !cache in
     cache := s :: List.filteri (fun i _ -> i < cache_cap - 1) keep;
@@ -121,3 +283,7 @@ let peek db =
 let invalidate db =
   Mad_obs.Recorder.note Snapshot_invalidate ~a:(Database.epoch db) ();
   cache := List.filter (fun s -> s.db != db) !cache
+
+let materialized t =
+  ( Hashtbl.fold (fun k _ acc -> k :: acc) t.tindexes [] |> List.sort compare,
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.csrs [] |> List.sort compare )

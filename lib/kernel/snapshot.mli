@@ -14,7 +14,19 @@
     built lazily (a type index or CSR materialises on first use) and
     cached per database keyed on the {!Mad_store.Database.epoch}: any
     mutation moves the epoch, so a stale snapshot can never be
-    observed — the next {!of_db} rebuilds. *)
+    observed.
+
+    When the database is delta-tracked ({!Delta.track}) the next
+    {!of_db} after a mutation {e repairs} the prior snapshot instead
+    of rebuilding it: untouched type indices and CSR matrices are
+    shared outright, touched ones are patched with the window's
+    compacted link/atom verdicts (counted by [snapshot.delta_applied]
+    and journaled as [snapshot.delta] recorder events).  When no
+    window is available — untracked database, schema op, patch volume
+    over {!Delta.max_patches} — it falls back to the full lazy
+    rebuild (counted by [snapshot.rebuild]).  The cache holds at most
+    one snapshot per live database (the latest epoch; superseded
+    epochs are evicted on insert) in a small LRU. *)
 
 open Mad_store
 
@@ -57,4 +69,15 @@ val csr : t -> string -> dir:[ `Fwd | `Bwd ] -> csr
 
 val invalidate : Database.t -> unit
 (** Drop any cached snapshot of [db] (epoch movement already prevents
-    stale reads; this just releases memory early). *)
+    stale reads; this just releases memory early — and with it the
+    delta-apply source, so the next {!of_db} rebuilds). *)
+
+val rebuild : Database.t -> t
+(** A fresh, lazily-built snapshot at the current epoch, bypassing the
+    cache and the delta path entirely — the from-scratch baseline the
+    delta parity tests compare against. *)
+
+val materialized : t -> string list * (string * bool) list
+(** The entries this snapshot has materialised (sorted): type-index
+    atom types and [(link type, fwd?)] CSR keys.  Delta-applied
+    snapshots materialise exactly their predecessor's entries. *)

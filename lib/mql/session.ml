@@ -51,6 +51,11 @@ type t = {
   mutable fp_mru : (string * (int * string)) option;
       (** the last {!run} source and its fingerprint — a driver looping
           one statement skips even the cache probe *)
+  mutable refreshed_epoch : int;
+      (** the database epoch the catalog was last re-derived at —
+          {!refresh} consults the delta window between it and the
+          current epoch to skip types the mutations cannot have
+          touched *)
 }
 
 (** [EXPLAIN ANALYZE] needs the physical engine, which lives above this
@@ -67,6 +72,9 @@ let plan_hash_hook : (t -> fp:int -> Ast.stmt -> int) option ref = ref None
 
 let create ?obs db =
   let obs = match obs with Some o -> o | None -> Mad_obs.Obs.default () in
+  (* delta-track the database so refresh (and the kernel caches below
+     it) can repair instead of rebuild after manipulation statements *)
+  Mad_kernel.Delta.track db;
   {
     db;
     env = Hashtbl.create 16;
@@ -80,6 +88,7 @@ let create ?obs db =
     slow_guard = false;
     fp_cache = Hashtbl.create 64;
     fp_mru = None;
+    refreshed_epoch = Database.epoch db;
   }
 
 let enable_digest t =
@@ -162,14 +171,38 @@ let rec hoist_definitions t (q : Ast.qexpr) : Ast.qexpr =
 
 (* Manipulation statements change the occurrence, so cached molecule
    types in the catalog are re-derived afterwards (dynamic object
-   definition makes this cheap and always consistent). *)
+   definition makes this cheap and always consistent).  The delta
+   window between the last refresh and the current epoch narrows the
+   sweep: a type is re-derived only when the window touched one of its
+   structure's atom types or link types — attribute-only windows touch
+   neither (occurrences are structural; attribute values are fetched
+   live at qualification time), so they re-derive nothing. *)
 let refresh t =
-  Hashtbl.iter
-    (fun name (mt : Mad.Molecule_type.t) ->
-      Hashtbl.replace t.env name
-        (Mad.Molecule_algebra.define ~stats:t.stats t.db ~name
-           mt.Mad.Molecule_type.desc))
-    (Hashtbl.copy t.env)
+  let e = Database.epoch t.db in
+  if e <> t.refreshed_epoch then begin
+    let w =
+      Mad_kernel.Delta.window t.db ~from_epoch:t.refreshed_epoch ~to_epoch:e
+    in
+    let needs (mt : Mad.Molecule_type.t) =
+      match w with
+      | None -> true
+      | Some w ->
+        let d = mt.Mad.Molecule_type.desc in
+        List.exists (Mad_kernel.Delta.touches_atype w) (Mad.Mdesc.nodes d)
+        || List.exists
+             (fun (edge : Mad.Mdesc.edge) ->
+               Mad_kernel.Delta.touches_link w edge.link)
+             (Mad.Mdesc.edges d)
+    in
+    Hashtbl.iter
+      (fun name (mt : Mad.Molecule_type.t) ->
+        if needs mt then
+          Hashtbl.replace t.env name
+            (Mad.Molecule_algebra.define ~stats:t.stats t.db ~name
+               mt.Mad.Molecule_type.desc))
+      (Hashtbl.copy t.env);
+    t.refreshed_epoch <- e
+  end
 
 (* Resolve a DML target: the base molecule type plus the victims
    selected by the optional qualification. *)

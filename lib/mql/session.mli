@@ -46,6 +46,9 @@ type t = {
           statement does not pay AST normalization twice *)
   mutable fp_mru : (string * (int * string)) option;
       (** the last {!run} source and its fingerprint *)
+  mutable refreshed_epoch : int;
+      (** internal: the epoch the catalog was last re-derived at —
+          {!refresh} delta-gates its sweep against it *)
 }
 
 val analyze_hook : (t -> Ast.stmt -> string) option ref
@@ -92,11 +95,16 @@ val commit : t -> unit
     after each manipulation statement). *)
 
 val refresh : t -> unit
-(** Re-derive every catalogued molecule type against the current
-    occurrence.  Manipulation statements do this implicitly for the
-    session that ran them; a server hosting {e many} sessions over one
-    database calls it on sessions whose catalog may be stale because
-    another session mutated the store (tracked by [Database.epoch]). *)
+(** Bring the catalog up to the current occurrence.  Manipulation
+    statements do this implicitly for the session that ran them; a
+    server hosting {e many} sessions over one database calls it on
+    sessions whose catalog may be stale because another session
+    mutated the store (tracked by [Database.epoch]).  The sweep is
+    delta-gated: with a covering {!Mad_kernel.Delta} window, only
+    molecule types whose structure (atom-type nodes or link-type
+    edges) the window touched are re-derived — an attribute-only
+    window re-derives nothing; without a window every type is
+    re-derived. *)
 
 val parse : t -> string -> Ast.stmt
 (** Parse with the session's catalog (bare FROM identifiers resolve to

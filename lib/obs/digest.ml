@@ -433,13 +433,13 @@ let env_slow () =
          s;
        (None, path))
 
-let slow_config = lazy (ref (env_slow ()))
+let slow_config = Once.make (fun () -> ref (env_slow ()))
 
-let slow_threshold_ms () = fst !(Lazy.force slow_config)
-let slow_log_path () = snd !(Lazy.force slow_config)
+let slow_threshold_ms () = fst !(Once.force slow_config)
+let slow_log_path () = snd !(Once.force slow_config)
 
 let set_slow_log ?path ms =
-  let cfg = Lazy.force slow_config in
+  let cfg = Once.force slow_config in
   let path = match path with Some p -> p | None -> snd !cfg in
   cfg := (ms, path)
 

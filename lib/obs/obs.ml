@@ -289,5 +289,6 @@ let of_env ?(var = "MAD_OBS") () =
       var other;
     create ~tracing:false ()
 
-let default = lazy (of_env ())
-let default () = Lazy.force default
+(* domain-safe: the first [default] call can come from any domain *)
+let default = Once.make of_env
+let default () = Once.force default

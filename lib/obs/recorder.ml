@@ -27,6 +27,8 @@ type kind =
   | Group_commit
   | Snapshot_build
   | Snapshot_invalidate
+  | Snapshot_delta
+  | Closure_repair
   | Kernel_run
   | Kernel_chunk
   | Recovery_replay
@@ -45,6 +47,8 @@ let kind_name = function
   | Group_commit -> "wal.group_commit"
   | Snapshot_build -> "snapshot.build"
   | Snapshot_invalidate -> "snapshot.invalidate"
+  | Snapshot_delta -> "snapshot.delta"
+  | Closure_repair -> "closure.repair"
   | Kernel_run -> "kernel.run"
   | Kernel_chunk -> "kernel.chunk"
   | Recovery_replay -> "recovery.replay"
@@ -167,9 +171,12 @@ let trace_file () =
 (* forward reference: [dump] is defined below, after the Chrome export *)
 let dump_ref = ref (fun (_ : t) (_ : string) -> ())
 
+(* the first recorder use can come from any domain — several server
+   workers accepting their first connections at once — so the ring
+   initializes through [Once], not a (domain-unsafe) lazy *)
 let global_ring =
-  lazy
-    (let t =
+  Once.make (fun () ->
+    let t =
        match env_capacity () with
        | Some n -> create n
        | None ->
@@ -187,7 +194,7 @@ let global_ring =
       | None -> ());
      t)
 
-let global () = Lazy.force global_ring
+let global () = Once.force global_ring
 let enabled () = Atomic.get (global ()).on
 let set_enabled b = Atomic.set (global ()).on b
 
@@ -241,8 +248,8 @@ let track_name tid =
 (* "X" = complete event (ts + dur); everything else is an instant *)
 let is_complete ev =
   match ev.e_kind with
-  | Span_end | Wal_fsync | Group_commit | Snapshot_build | Kernel_run
-  | Kernel_chunk ->
+  | Span_end | Wal_fsync | Group_commit | Snapshot_build | Snapshot_delta
+  | Closure_repair | Kernel_run | Kernel_chunk ->
     true
   | Serve_request -> true
   | Span_begin | Metric_flush | Wal_append | Snapshot_invalidate
@@ -271,6 +278,12 @@ let args_of ev =
       [ ("target", Json.Str ev.e_label); ("rows", num ev.e_a);
         ("cells", num ev.e_b) ]
     | Snapshot_invalidate -> [ ("epoch", num ev.e_a) ]
+    | Snapshot_delta ->
+      [ ("target", Json.Str ev.e_label); ("patches", num ev.e_a);
+        ("entries", num ev.e_b) ]
+    | Closure_repair ->
+      [ ("link", Json.Str ev.e_label); ("dirty", num ev.e_a);
+        ("nodes", num ev.e_b) ]
     | Kernel_run ->
       [ ("target", Json.Str ev.e_label); ("roots", num ev.e_a);
         ("nodes", num ev.e_b) ]

@@ -30,6 +30,15 @@ type kind =
       (** a kernel CSR / type index / durable snapshot was built;
           [label] = target, [a]/[b] = rows/cells *)
   | Snapshot_invalidate  (** mutation epoch bump; [a] = new epoch *)
+  | Snapshot_delta
+      (** a CSR snapshot was delta-repaired instead of rebuilt;
+          [label] = atom/link-type target ("*" for the whole
+          snapshot), [a] = raw patches applied, [b] = entries
+          patched or shared *)
+  | Closure_repair
+      (** a memoized closure survived a mutation window; [label] =
+          link type, [a] = dirty nodes recomputed (0 = re-stamped
+          wholesale), [b] = total nodes *)
   | Kernel_run
       (** one kernel derivation; [label] = root type or ["closure"],
           [a] = roots, [b] = plan nodes *)

@@ -179,6 +179,114 @@ type memo_entry = {
 let memo_cache : memo_entry list ref = ref []
 let memo_cache_cap = 8
 
+let repair_counter =
+  Mad_obs.Once.make (fun () ->
+      Mad_obs.Registry.counter
+        (Mad_obs.Obs.registry (Mad_obs.Obs.default ()))
+        "closure.repaired")
+
+(* Repair the prior memo entry across a delta window instead of
+   recomputing it, at one of three levels:
+   - the window touches neither the link type nor the root type's atom
+     population: the memo (including a cyclic [None] verdict) is
+     re-stamped at the new epoch wholesale;
+   - the link changed but the root population did not: dense indices
+     are stable, so only the patched parents and their ancestors can
+     have different reachable sets — they are recomputed over the new
+     CSR in a fresh postorder, every clean node reuses the prior sets;
+   - anything else (root population changed, prior verdict cyclic, the
+     arrays do not line up): no repair, caller recomputes.
+   Returns [Some v] with the repaired value ([Some None] when the new
+   graph turned cyclic), [None] when the caller must recompute. *)
+let repair_closures snap (d : desc) w (prior : memo_entry) =
+  let link_touched = Mad_kernel.Delta.touches_link w d.link in
+  let roots_touched = Mad_kernel.Delta.touches_atype w d.root_type in
+  if (not link_touched) && not roots_touched then begin
+    (* nothing structural moved under this closure: re-stamp *)
+    let n =
+      match prior.me_val with
+      | Some (_, members, _) -> Array.length members
+      | None -> 0
+    in
+    Mad_obs.Metric.incr (Mad_obs.Once.force repair_counter);
+    Mad_obs.Recorder.note Closure_repair ~label:d.link ~a:0 ~b:n ();
+    Some prior.me_val
+  end
+  else
+    match prior.me_val with
+    | None -> None  (* the cycle may have been broken: recompute *)
+    | Some _ when roots_touched -> None
+    | Some (_, mem_old, lnk_old) ->
+      let t0 = Mad_obs.Monotonic.ticks () in
+      let ti = Mad_kernel.Snapshot.tindex snap d.root_type in
+      let n = Mad_kernel.Snapshot.cardinal ti in
+      if Array.length mem_old <> max 1 n then None
+      else begin
+        let dir = match d.view with Sub -> `Fwd | Super -> `Bwd in
+        let m = Mad_kernel.Snapshot.csr snap d.link ~dir in
+        match topo_postorder m n with
+        | None ->
+          (* the window introduced a cycle: the verdict is the repair *)
+          Mad_obs.Metric.incr (Mad_obs.Once.force repair_counter);
+          Mad_obs.Recorder.note Closure_repair
+            ~dur_ns:(Mad_obs.Monotonic.ticks () - t0)
+            ~label:d.link ~a:n ~b:n ();
+          Some None
+        | Some order ->
+          let members = Array.copy mem_old in
+          let links = Array.copy lnk_old in
+          let dirty = Bytes.make (max 1 n) '\000' in
+          List.iter
+            (fun ((left, right), _add) ->
+              (* the parent side of the patched pair is the CSR row
+                 whose reachable set the patch can change *)
+              let parent = match d.view with Sub -> left | Super -> right in
+              let p = Mad_kernel.Snapshot.idx_of ti parent in
+              if p >= 0 then Bytes.set dirty p '\001')
+            (Mad_kernel.Delta.link_patches w d.link);
+          let n_dirty = ref 0 in
+          for k = 0 to n - 1 do
+            let p = order.(k) in
+            let isd = ref (Bytes.get dirty p = '\001') in
+            let j = ref m.Mad_kernel.Snapshot.offs.(p) in
+            while (not !isd) && !j < m.Mad_kernel.Snapshot.offs.(p + 1) do
+              if Bytes.get dirty m.Mad_kernel.Snapshot.cols.(!j) = '\001' then
+                isd := true;
+              incr j
+            done;
+            if !isd then begin
+              (* children precede parents in the postorder, so every
+                 child entry read here is already repaired *)
+              Bytes.set dirty p '\001';
+              incr n_dirty;
+              let p_raw = ti.Mad_kernel.Snapshot.ids.(p) in
+              let mem = ref (Aid.Set.singleton p_raw) in
+              let lnk = ref Link.Set.empty in
+              for j = m.Mad_kernel.Snapshot.offs.(p)
+                  to m.Mad_kernel.Snapshot.offs.(p + 1) - 1 do
+                let c = m.Mad_kernel.Snapshot.cols.(j) in
+                let c_raw = ti.Mad_kernel.Snapshot.ids.(c) in
+                let left, right =
+                  match d.view with
+                  | Sub -> (p_raw, c_raw)
+                  | Super -> (c_raw, p_raw)
+                in
+                mem := Aid.Set.union !mem members.(c);
+                lnk :=
+                  Link.Set.add (Link.v d.link left right)
+                    (Link.Set.union !lnk links.(c))
+              done;
+              members.(p) <- !mem;
+              links.(p) <- !lnk
+            end
+          done;
+          Mad_obs.Metric.incr (Mad_obs.Once.force repair_counter);
+          Mad_obs.Recorder.note Closure_repair
+            ~dur_ns:(Mad_obs.Monotonic.ticks () - t0)
+            ~label:d.link ~a:!n_dirty ~b:n ();
+          Some (Some (ti, members, links))
+      end
+
 let memo_hit db ep (d : desc) e =
   e.me_db == db && e.me_epoch = ep
   && String.equal e.me_link d.link
@@ -198,12 +306,27 @@ let memo_probe snap db (d : desc) =
 
 let memo_closures_cached snap db (d : desc) =
   let ep = Mad_kernel.Snapshot.epoch snap in
-  let hit = memo_hit db ep d in
-  match List.find_opt hit !memo_cache with
+  match List.find_opt (memo_hit db ep d) !memo_cache with
   | Some e -> e.me_val
   | None ->
-    let v = memo_closures snap d in
-    let keep = List.filter (fun e -> not (e.me_db == db && e.me_epoch <> ep)) !memo_cache in
+    (* a stale same-key entry is the repair source, not garbage: try
+       to carry it across the mutation window before recomputing *)
+    let same_key e =
+      e.me_db == db && String.equal e.me_link d.link && e.me_view = d.view
+    in
+    let repaired =
+      match List.find_opt same_key !memo_cache with
+      | None -> None
+      | Some prior -> begin
+        match
+          Mad_kernel.Delta.window db ~from_epoch:prior.me_epoch ~to_epoch:ep
+        with
+        | None -> None
+        | Some w -> repair_closures snap d w prior
+      end
+    in
+    let v = match repaired with Some v -> v | None -> memo_closures snap d in
+    let keep = List.filter (fun e -> not (same_key e)) !memo_cache in
     let keep = List.filteri (fun i _ -> i < memo_cache_cap - 1) keep in
     memo_cache :=
       { me_db = db; me_epoch = ep; me_link = d.link; me_view = d.view; me_val = v }

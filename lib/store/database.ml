@@ -43,7 +43,7 @@ type op =
   | Op_drop_atom_type of string
   | Op_drop_link_type of string
   | Op_insert_atom of { atype : string; id : Aid.t; values : Value.t list }
-  | Op_delete_atom of Aid.t
+  | Op_delete_atom of { atype : string; id : Aid.t }
   | Op_add_link of { lt : string; left : Aid.t; right : Aid.t }
   | Op_remove_link of { lt : string; left : Aid.t; right : Aid.t }
   | Op_set_attr of { atype : string; id : Aid.t; index : int; value : Value.t }
@@ -55,6 +55,13 @@ type t = {
   mutable journal : (op -> unit) option;
       (** Called after each successful mutation (never for rejected
           ones); installed by the durability engine, [None] otherwise. *)
+  mutable taps : (int -> op -> unit) list;
+      (** Observers of the op stream, called with the post-bump epoch.
+          Unlike the journal, taps also see the sub-ops of a cascade
+          and the enlarged-database scratch mutations ([unjournaled]
+          does not detach them): they exist for delta maintenance of
+          derived structures, which must account for {e every} epoch
+          movement or fall back to a rebuild. *)
   mutable epoch : int;
       (** Monotonic mutation epoch: bumped once per successful logical
           op (cascade sub-ops included).  Derived read-only structures
@@ -64,18 +71,28 @@ type t = {
 
 let create () =
   { next_id = 1; atom_tables = Hashtbl.create 16;
-    link_stores = Hashtbl.create 16; journal = None; epoch = 0 }
+    link_stores = Hashtbl.create 16; journal = None; taps = []; epoch = 0 }
 
 let set_journal db j = db.journal <- j
+
+let add_tap db f = db.taps <- db.taps @ [ f ]
 
 let epoch db = db.epoch
 
 (* every successful mutation flows through here (rejected ones raise
-   before), so the epoch bump and the journal share one choke point;
-   the epoch also moves for unjournaled sub-mutations, which is what
-   snapshot invalidation needs *)
+   before), so the epoch bump, the taps and the journal share one
+   choke point; the epoch also moves for unjournaled sub-mutations,
+   which is what snapshot invalidation needs.  Taps run before the
+   journal: the store mutation has already happened, and a journal
+   that raises (fault injection) must not leave the taps blind to an
+   epoch that did move. *)
 let emit db op =
   db.epoch <- db.epoch + 1;
+  (match db.taps with
+   | [] -> ()
+   | taps ->
+     let e = db.epoch in
+     List.iter (fun f -> f e op) taps);
   match db.journal with None -> () | Some j -> j op
 
 (* run [f] with journaling off: used when one logical op performs
@@ -406,7 +423,7 @@ let delete_atom db id =
     let tbl = atom_table db a.atype in
     Hashtbl.remove tbl.atoms id;
     tbl.ids <- Aid.Set.remove id tbl.ids;
-    emit db (Op_delete_atom id)
+    emit db (Op_delete_atom { atype = a.atype; id })
 
 (** Set one attribute (by index) of an existing atom, domain-checked.
     The store-level modification primitive: [Manipulate] routes its

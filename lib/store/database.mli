@@ -41,7 +41,9 @@ type op =
   | Op_drop_atom_type of string
   | Op_drop_link_type of string
   | Op_insert_atom of { atype : string; id : Aid.t; values : Value.t list }
-  | Op_delete_atom of Aid.t
+  | Op_delete_atom of { atype : string; id : Aid.t }
+      (** carries the (already removed) atom's type so op-stream
+          observers can account the deletion per atom type *)
   | Op_add_link of { lt : string; left : Aid.t; right : Aid.t }
   | Op_remove_link of { lt : string; left : Aid.t; right : Aid.t }
   | Op_set_attr of { atype : string; id : Aid.t; index : int; value : Value.t }
@@ -53,6 +55,8 @@ type t = {
   mutable journal : (op -> unit) option;
       (** Called after each successful mutation, never for rejected
           ones; installed by the durability engine, [None] otherwise. *)
+  mutable taps : (int -> op -> unit) list;
+      (** Op-stream observers (see {!add_tap}). *)
   mutable epoch : int;
       (** Monotonic mutation epoch (see {!epoch}). *)
 }
@@ -71,6 +75,16 @@ val set_journal : t -> (op -> unit) option -> unit
     violations, cardinality overflows, duplicate identities — never
     reach it, and idempotent no-ops (re-adding an existing link,
     removing an absent one) are not re-journaled. *)
+
+val add_tap : t -> (int -> op -> unit) -> unit
+(** Register an op-stream observer, called as [f epoch op] after every
+    successful mutation with the epoch that mutation produced — {e
+    including} cascade sub-ops and {!unjournaled} scratch mutations,
+    which the journal never sees.  Taps run before the journal hook
+    and cannot be removed (they live as long as the database); they
+    exist for delta maintenance of derived structures
+    ([Mad_kernel.Delta]), which must observe every epoch movement or
+    fall back to a rebuild.  A tap must not mutate the database. *)
 
 val unjournaled : t -> (unit -> 'a) -> 'a
 (** Run [f] with the journal hook detached (restored on exit, even on

@@ -6,6 +6,7 @@ let () =
       ("mdesc", T_mdesc.suite);
       ("derive", T_derive.suite);
       ("kernel", T_kernel.suite);
+      ("delta", T_delta.suite);
       ("qual", T_qual.suite);
       ("atom-algebra", T_atom_algebra.suite);
       ("molecule-algebra", T_molecule_algebra.suite);
