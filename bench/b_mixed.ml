@@ -34,30 +34,44 @@ let counter name = Mad_obs.Registry.counter_value (dreg ()) name
 
 (* one reader: its own connection and session, reads until [stop] is
    raised (and at least [at_least] reads), dropping the first [drop]
-   reads (connection + catalog-define warmup) from the stats *)
+   reads (connection + catalog-define warmup) from the stats.  Returns
+   (latencies, minor words, promoted words) — GC counters are
+   domain-local in OCaml 5, so each reader samples its own deltas. *)
 let reader srv ~drop ~at_least ~stop =
   let clock = !Mad_obs.Span.clock in
-  match Client.connect ~host:"127.0.0.1" (Serve.port srv) with
-  | Error e ->
-    Format.eprintf "bench: connect failed: %a@." Client.pp_connect_error e;
-    []
-  | Ok c ->
-    Fun.protect
-      ~finally:(fun () -> Client.close c)
-      (fun () ->
-        let lats = ref [] in
-        let n = ref 0 in
-        let cap = 2000 in
-        while (!n < at_least || not (Atomic.get stop)) && !n < cap do
-          let s0 = clock () in
-          (match Client.exec c query with
-          | Ok _ -> ()
-          | Error msg -> Format.eprintf "bench: %s@." msg);
-          let dt = clock () -. s0 in
-          incr n;
-          if !n > drop then lats := (dt *. 1e6) :: !lats
-        done;
-        !lats)
+  let m0 = Gc.minor_words () and g0 = Gc.quick_stat () in
+  let lats =
+    match Client.connect ~host:"127.0.0.1" (Serve.port srv) with
+    | Error e ->
+      Format.eprintf "bench: connect failed: %a@." Client.pp_connect_error e;
+      []
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let lats = ref [] in
+          let n = ref 0 in
+          let cap = 2000 in
+          while (!n < at_least || not (Atomic.get stop)) && !n < cap do
+            let s0 = clock () in
+            (match Client.exec c query with
+            | Ok _ -> ()
+            | Error msg -> Format.eprintf "bench: %s@." msg);
+            let dt = clock () -. s0 in
+            incr n;
+            if !n > drop then lats := (dt *. 1e6) :: !lats
+          done;
+          !lats)
+  in
+  let m1 = Gc.minor_words () and g1 = Gc.quick_stat () in
+  ( lats,
+    Float.max 0.0 (m1 -. m0),
+    Float.max 0.0 (g1.Gc.promoted_words -. g0.Gc.promoted_words) )
+
+let sum_gc joined =
+  ( List.concat_map (fun (ls, _, _) -> ls) joined,
+    List.fold_left (fun acc (_, m, _) -> acc +. m) 0.0 joined,
+    List.fold_left (fun acc (_, _, p) -> acc +. p) 0.0 joined )
 
 let stats lats =
   let sorted = Array.of_list lats in
@@ -80,11 +94,11 @@ let run () =
   let readers = 4 and drop = 3 in
   (* warm phase: reads only, no epoch movement *)
   let stop_now = Atomic.make true in
-  let warm_lats =
+  let warm_lats, w_minor, w_promoted =
     List.init readers (fun _ ->
         Stdlib.Domain.spawn (fun () ->
             reader srv ~drop ~at_least:(drop + 40) ~stop:stop_now))
-    |> List.concat_map Stdlib.Domain.join
+    |> List.map Stdlib.Domain.join |> sum_gc
   in
   let w_mean, w_p50, w_p95, w_n = stats warm_lats in
   (* mixed phase: the same readers race a writer committing into the
@@ -123,7 +137,9 @@ let run () =
   in
   let commits = Stdlib.Domain.join writer in
   Atomic.set stop true;
-  let mixed_lats = List.concat_map Stdlib.Domain.join reader_doms in
+  let mixed_lats, m_minor, m_promoted =
+    List.map Stdlib.Domain.join reader_doms |> sum_gc
+  in
   let m_mean, m_p50, m_p95, m_n = stats mixed_lats in
   let applied = counter "snapshot.delta_applied" - d0 in
   let rebuilt = counter "snapshot.rebuild" - r0 in
@@ -153,9 +169,15 @@ let run () =
     ];
   Table.print t;
   Bench_util.record_external ~name:"mixed/read-warm" ~iterations:w_n
-    ~ns_per_run:(w_mean *. 1e3) ~mean_us:w_mean ~p50_us:w_p50 ~p95_us:w_p95 ();
+    ~ns_per_run:(w_mean *. 1e3) ~mean_us:w_mean ~p50_us:w_p50 ~p95_us:w_p95
+    ~minor_words_per_run:(w_minor /. float_of_int (max 1 w_n))
+    ~promoted_words_per_run:(w_promoted /. float_of_int (max 1 w_n))
+    ();
   Bench_util.record_external ~name:"mixed/read-post-commit" ~iterations:m_n
-    ~ns_per_run:(m_mean *. 1e3) ~mean_us:m_mean ~p50_us:m_p50 ~p95_us:m_p95 ();
+    ~ns_per_run:(m_mean *. 1e3) ~mean_us:m_mean ~p50_us:m_p50 ~p95_us:m_p95
+    ~minor_words_per_run:(m_minor /. float_of_int (max 1 m_n))
+    ~promoted_words_per_run:(m_promoted /. float_of_int (max 1 m_n))
+    ();
   (* the acceptance gate: commits must not turn reads into rebuilds *)
   let within = m_p50 <= 3.0 *. w_p50 in
   if within && applied > 0 then

@@ -25,36 +25,52 @@ let quantile sorted q =
               (int_of_float (q *. float_of_int (Array.length sorted))))
 
 (* one round: [writers] domains, each its own connection, each [per]
-   inserts; returns (wall seconds, all client-side commit latencies) *)
+   inserts; returns (wall seconds, all client-side commit latencies,
+   total minor words, total promoted words).  GC counters are
+   domain-local in OCaml 5, so each writer samples its own deltas and
+   the round sums them — reading [Gc.minor_words] from the spawning
+   domain would miss every word the writers allocated. *)
 let round srv ~tag ~writers ~per =
   let clock = !Mad_obs.Span.clock in
   let t0 = clock () in
   let doms =
     List.init writers (fun w ->
         Stdlib.Domain.spawn (fun () ->
-            match Client.connect ~host:"127.0.0.1" (Serve.port srv) with
-            | Error e ->
-              Format.eprintf "bench: connect failed: %a@."
-                Client.pp_connect_error e;
-              [||]
-            | Ok c ->
-              Fun.protect
-                ~finally:(fun () -> Client.close c)
-                (fun () ->
-                  Array.init per (fun j ->
-                      let s0 = clock () in
-                      (match
-                         Client.exec c
-                           (Printf.sprintf
-                              "INSERT INTO state VALUES ('%s_w%d_%d', %d);" tag
-                              w j (200 + w))
-                       with
-                      | Ok _ -> ()
-                      | Error msg -> Format.eprintf "bench: %s@." msg);
-                      clock () -. s0))))
+            let m0 = Gc.minor_words () and g0 = Gc.quick_stat () in
+            let lats =
+              match Client.connect ~host:"127.0.0.1" (Serve.port srv) with
+              | Error e ->
+                Format.eprintf "bench: connect failed: %a@."
+                  Client.pp_connect_error e;
+                [||]
+              | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    Array.init per (fun j ->
+                        let s0 = clock () in
+                        (match
+                           Client.exec c
+                             (Printf.sprintf
+                                "INSERT INTO state VALUES ('%s_w%d_%d', %d);"
+                                tag w j (200 + w))
+                         with
+                        | Ok _ -> ()
+                        | Error msg -> Format.eprintf "bench: %s@." msg);
+                        clock () -. s0))
+            in
+            let m1 = Gc.minor_words () and g1 = Gc.quick_stat () in
+            ( lats,
+              Float.max 0.0 (m1 -. m0),
+              Float.max 0.0 (g1.Gc.promoted_words -. g0.Gc.promoted_words) )))
   in
-  let lats = List.concat_map (fun d -> Array.to_list (Stdlib.Domain.join d)) doms in
-  (clock () -. t0, lats)
+  let joined = List.map Stdlib.Domain.join doms in
+  let lats =
+    List.concat_map (fun (ls, _, _) -> Array.to_list ls) joined
+  in
+  let minor = List.fold_left (fun acc (_, m, _) -> acc +. m) 0.0 joined in
+  let promoted = List.fold_left (fun acc (_, _, p) -> acc +. p) 0.0 joined in
+  (clock () -. t0, lats, minor, promoted)
 
 let run () =
   Bench_util.section "serve: network service - cross-session group commit";
@@ -74,7 +90,9 @@ let run () =
     (fun writers ->
       let c0 = Mad_durable.Coordinator.commits coord
       and f0 = Mad_durable.Coordinator.fsyncs coord in
-      let wall, lats = round srv ~tag:(string_of_int writers) ~writers ~per in
+      let wall, lats, minor, promoted =
+        round srv ~tag:(string_of_int writers) ~writers ~per
+      in
       let commits = Mad_durable.Coordinator.commits coord - c0 in
       let fsyncs = Mad_durable.Coordinator.fsyncs coord - f0 in
       let sorted = Array.of_list (List.map (fun s -> s *. 1e6) lats) in
@@ -97,7 +115,8 @@ let run () =
         ~name:(Printf.sprintf "serve/commit-%dw" writers)
         ~iterations:(writers * per)
         ~ns_per_run:(wall /. n *. 1e9)
-        ~mean_us ~p50_us:p50 ~p95_us:p95 ())
+        ~mean_us ~p50_us:p50 ~p95_us:p95 ~minor_words_per_run:(minor /. n)
+        ~promoted_words_per_run:(promoted /. n) ())
     [ 1; 2; 4; 8 ];
   Table.print t;
   Serve.stop srv;

@@ -38,8 +38,11 @@ type result = {
   r_mean_us : float;
   r_p50_us : float;
   r_p95_us : float;
-  r_minor_words_per_run : float;  (** minor-heap words allocated per run *)
-  r_promoted_words_per_run : float;  (** words promoted to the major heap *)
+  r_minor_words_per_run : float option;
+      (** minor-heap words allocated per run; [None] when the
+          experiment did not measure allocation (JSON [null]) *)
+  r_promoted_words_per_run : float option;
+      (** words promoted to the major heap; [None] when unmeasured *)
 }
 
 let recorded : result list ref = ref []
@@ -116,13 +119,13 @@ let time_ns name f =
   recorded :=
     {
       r_name = name;
-      r_iterations = h.Mad_obs.Metric.n;
+      r_iterations = Mad_obs.Metric.count h;
       r_ns_per_run = est;
       r_mean_us = Mad_obs.Metric.mean h;
       r_p50_us = Option.value ~default:0.0 (Mad_obs.Metric.quantile h 0.5);
       r_p95_us = Option.value ~default:0.0 (Mad_obs.Metric.quantile h 0.95);
-      r_minor_words_per_run = minor_w;
-      r_promoted_words_per_run = promoted_w;
+      r_minor_words_per_run = Some minor_w;
+      r_promoted_words_per_run = Some promoted_w;
     }
     :: !recorded;
   est
@@ -130,14 +133,25 @@ let time_ns name f =
 (** Record a row measured outside {!time_ns} — for experiments where
     the quantity is a property of many concurrent actors (the serve
     bench's client-observed commit latencies), not of one repeated
-    thunk.  The row rides [write_results] like any other. *)
-let record_external ~name ~iterations ~ns_per_run ~mean_us ~p50_us ~p95_us () =
+    thunk.  The row rides [write_results] like any other.  GC totals
+    are per-domain in OCaml 5, so a multi-domain experiment must sum
+    its workers' own deltas and pass them here; when omitted the JSON
+    row says [null] rather than a misleading zero. *)
+let record_external ~name ~iterations ~ns_per_run ~mean_us ~p50_us ~p95_us
+    ?minor_words_per_run ?promoted_words_per_run () =
   Mad_obs.Obs.event obs "bench"
-    [
-      ("name", Mad_obs.Span.Str name);
-      ("ns_per_run", Mad_obs.Span.Float ns_per_run);
-      ("external", Mad_obs.Span.Bool true);
-    ];
+    ([
+       ("name", Mad_obs.Span.Str name);
+       ("ns_per_run", Mad_obs.Span.Float ns_per_run);
+       ("external", Mad_obs.Span.Bool true);
+     ]
+    @ (match minor_words_per_run with
+      | Some w -> [ ("minor_words_per_run", Mad_obs.Span.Float w) ]
+      | None -> [])
+    @
+    match promoted_words_per_run with
+    | Some w -> [ ("promoted_words_per_run", Mad_obs.Span.Float w) ]
+    | None -> []);
   recorded :=
     {
       r_name = name;
@@ -146,14 +160,17 @@ let record_external ~name ~iterations ~ns_per_run ~mean_us ~p50_us ~p95_us () =
       r_mean_us = mean_us;
       r_p50_us = p50_us;
       r_p95_us = p95_us;
-      r_minor_words_per_run = 0.0;
-      r_promoted_words_per_run = 0.0;
+      r_minor_words_per_run = minor_words_per_run;
+      r_promoted_words_per_run = promoted_words_per_run;
     }
     :: !recorded
 
 (* NaN is not valid JSON; the OLS estimate can be NaN when the quota
    was too small, the histogram stats cannot (>= 1 sampled run) *)
 let json_num f = Mad_obs.Json.Num (if Float.is_nan f then 0.0 else f)
+
+(* unmeasured stays distinguishable from "measured zero" downstream *)
+let json_opt = function None -> Mad_obs.Json.Null | Some f -> json_num f
 
 let result_json r =
   Mad_obs.Json.Obj
@@ -164,8 +181,8 @@ let result_json r =
       ("mean_us", json_num r.r_mean_us);
       ("p50_us", json_num r.r_p50_us);
       ("p95_us", json_num r.r_p95_us);
-      ("minor_words_per_run", json_num r.r_minor_words_per_run);
-      ("promoted_words_per_run", json_num r.r_promoted_words_per_run);
+      ("minor_words_per_run", json_opt r.r_minor_words_per_run);
+      ("promoted_words_per_run", json_opt r.r_promoted_words_per_run);
     ]
 
 (** Write every measurement recorded so far (name, sampled iteration

@@ -1166,7 +1166,123 @@ let connect_stmts_arg =
     value & pos_all string []
     & info [] ~docv:"STATEMENTS" ~doc:"MOL statements to send, in order.")
 
-let connect host port exec_mode timeout do_ping show_stats show_health stmts =
+let connect_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a merged client/server Chrome trace: one slice per \
+           request as the client saw it, and — against a wire v2 server \
+           — the server-reported phase breakdown (lock, exec, wal, \
+           fsync, other) nested inside each request's window.")
+
+(* One traced request as the client observed it: the statement, its
+   client-side window (ticks + duration), and the server-reported phase
+   breakdown (µs) when the connection negotiated wire v2. *)
+type traced_req = {
+  tr_name : string;
+  tr_ticks : int;
+  tr_dur_ns : int;
+  tr_phases : (string * float) list;
+}
+
+(* Merged trace export: the client's request windows on one track, the
+   server's phase slices laid out sequentially inside each window on a
+   second track, so both sides of the wire line up in one timeline. *)
+let write_connect_trace path reqs =
+  let reqs = List.rev reqs in
+  let base =
+    List.fold_left (fun acc r -> min acc r.tr_ticks) max_int reqs
+  in
+  let base = if base = max_int then 0 else base in
+  let us ticks = float_of_int (max 0 (ticks - base)) /. 1e3 in
+  let slice ~name ~cat ~ts ~dur ~tid args =
+    Mad_obs.Json.Obj
+      [
+        ("name", Mad_obs.Json.Str name);
+        ("cat", Mad_obs.Json.Str cat);
+        ("ph", Mad_obs.Json.Str "X");
+        ("ts", Mad_obs.Json.Num ts);
+        ("dur", Mad_obs.Json.Num dur);
+        ("pid", Mad_obs.Json.Num 1.0);
+        ("tid", Mad_obs.Json.Num (float_of_int tid));
+        ("args", Mad_obs.Json.Obj args);
+      ]
+  in
+  let thread_meta tid name =
+    Mad_obs.Json.Obj
+      [
+        ("name", Mad_obs.Json.Str "thread_name");
+        ("ph", Mad_obs.Json.Str "M");
+        ("pid", Mad_obs.Json.Num 1.0);
+        ("tid", Mad_obs.Json.Num (float_of_int tid));
+        ("args", Mad_obs.Json.Obj [ ("name", Mad_obs.Json.Str name) ]);
+      ]
+  in
+  let events = ref [] in
+  let n_phases = ref 0 in
+  List.iteri
+    (fun i r ->
+      let ts = us r.tr_ticks in
+      events :=
+        slice ~name:r.tr_name ~cat:"client.request" ~ts
+          ~dur:(float_of_int r.tr_dur_ns /. 1e3)
+          ~tid:1
+          [ ("request", Mad_obs.Json.Num (float_of_int (i + 1))) ]
+        :: !events;
+      (* the server reports per-phase durations, not offsets: lay the
+         slices out back to back from the request's start, which matches
+         their true order (lock -> exec -> wal -> fsync) *)
+      let off = ref ts in
+      List.iter
+        (fun (phase, dur_us) ->
+          if dur_us > 0.0 then begin
+            incr n_phases;
+            events :=
+              slice ~name:phase ~cat:"serve.phase" ~ts:!off ~dur:dur_us
+                ~tid:2
+                [
+                  ("request", Mad_obs.Json.Num (float_of_int (i + 1)));
+                  ("us", Mad_obs.Json.Num dur_us);
+                ]
+              :: !events;
+            off := !off +. dur_us
+          end)
+        r.tr_phases)
+    reqs;
+  let doc =
+    Mad_obs.Json.Obj
+      [
+        ( "traceEvents",
+          Mad_obs.Json.List
+            (Mad_obs.Json.Obj
+               [
+                 ("name", Mad_obs.Json.Str "process_name");
+                 ("ph", Mad_obs.Json.Str "M");
+                 ("pid", Mad_obs.Json.Num 1.0);
+                 ( "args",
+                   Mad_obs.Json.Obj
+                     [ ("name", Mad_obs.Json.Str "madql connect") ] );
+               ]
+            :: thread_meta 1 "client requests"
+            :: thread_meta 2 "server phases"
+            :: List.rev !events) );
+        ("displayTimeUnit", Mad_obs.Json.Str "ms");
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+    (fun () ->
+      output_string oc (Mad_obs.Json.to_string doc);
+      output_char oc '\n');
+  Format.eprintf
+    "trace written to %s (%d request(s), %d server phase slice(s))@." path
+    (List.length reqs) !n_phases
+
+let connect host port exec_mode timeout do_ping show_stats show_health trace
+    stmts =
   match Mad_serve.Client.connect ~timeout ~host port with
   | Error e ->
     Format.eprintf "error: %a@." Mad_serve.Client.pp_connect_error e;
@@ -1177,8 +1293,14 @@ let connect host port exec_mode timeout do_ping show_stats show_health stmts =
     1
   | Ok c ->
     let rc = ref 0 in
+    let traced = ref [] in
+    let span = ref 0 in
     Fun.protect
-      ~finally:(fun () -> Mad_serve.Client.close c)
+      ~finally:(fun () ->
+        Mad_serve.Client.close c;
+        match trace with
+        | Some path -> write_connect_trace path !traced
+        | None -> ())
       (fun () ->
         try
           List.iter
@@ -1187,8 +1309,29 @@ let connect host port exec_mode timeout do_ping show_stats show_health stmts =
                 (fun stmt ->
                   let stmt = String.trim stmt in
                   let r =
-                    if exec_mode then Mad_serve.Client.exec c stmt
-                    else Mad_serve.Client.query c stmt
+                    match trace with
+                    | Some _ when not exec_mode ->
+                      incr span;
+                      let t0 = Mad_obs.Monotonic.ticks () in
+                      let r =
+                        Mad_serve.Client.query_traced ~span:!span c stmt
+                      in
+                      let t1 = Mad_obs.Monotonic.ticks () in
+                      let phases =
+                        match r with Ok (_, ph) -> ph | Error _ -> []
+                      in
+                      traced :=
+                        {
+                          tr_name = stmt;
+                          tr_ticks = t0;
+                          tr_dur_ns = t1 - t0;
+                          tr_phases = phases;
+                        }
+                        :: !traced;
+                      Result.map fst r
+                    | _ ->
+                      if exec_mode then Mad_serve.Client.exec c stmt
+                      else Mad_serve.Client.query c stmt
                   in
                   match r with
                   | Ok out -> if out <> "" then Format.printf "%s@." out
@@ -1220,7 +1363,8 @@ let connect_cmd =
        ~doc:
          "Connect to a running $(b,madql serve) endpoint and send MOL \
           statements over the wire protocol; $(b,--stats), $(b,--health) \
-          and $(b,--ping) query the server's observability surface."
+          and $(b,--ping) query the server's observability surface, and \
+          $(b,--trace) exports a merged client/server request timeline."
        ~exits:
          [
            Cmd.Exit.info 0 ~doc:"all statements succeeded (health: ok)";
@@ -1233,7 +1377,7 @@ let connect_cmd =
     Term.(
       const connect $ host_arg $ connect_port_arg $ exec_flag_arg
       $ client_timeout_arg $ ping_flag_arg $ client_stats_arg
-      $ client_health_arg $ connect_stmts_arg)
+      $ client_health_arg $ connect_trace_arg $ connect_stmts_arg)
 
 let () =
   (* route the session layer's EXPLAIN ANALYZE to the learning PRIMA

@@ -22,6 +22,8 @@ type t = {
   fsyncs : Mad_obs.Metric.counter;
   batch : Mad_obs.Metric.histogram;
   wait_us : Mad_obs.Metric.histogram;
+  waiters : Mad_obs.Metric.gauge;
+      (** committers currently blocked in {!wait_durable} *)
 }
 
 let create ?(obs = Mad_obs.Obs.noop) ?(prefix = "wal.group") ~sync () =
@@ -42,6 +44,7 @@ let create ?(obs = Mad_obs.Obs.noop) ?(prefix = "wal.group") ~sync () =
     wait_us =
       Mad_obs.Obs.histogram ~bounds:Mad_obs.Metric.latency_bounds_us obs
         (prefix ^ ".wait_us");
+    waiters = Mad_obs.Obs.gauge obs (prefix ^ ".waiters");
   }
 
 let for_durable ?obs ?prefix h =
@@ -52,6 +55,7 @@ let fsyncs t = Mad_obs.Metric.value t.fsyncs
 
 let wait_durable t pos =
   let t0 = !Mad_obs.Span.clock () in
+  Mad_obs.Metric.add_gauge t.waiters 1.0;
   Mutex.lock t.m;
   t.entered <- t.entered + 1;
   Mad_obs.Metric.incr t.commits;
@@ -76,8 +80,6 @@ let wait_durable t pos =
       | Ok () ->
         t.synced <- max t.synced target;
         Mad_obs.Metric.incr t.fsyncs;
-        (* single-writer under [syncing], but hold the lock anyway:
-           histograms are not atomic *)
         Mad_obs.Metric.observe t.batch (float_of_int batch_n);
         Mad_obs.Recorder.note Group_commit ~a:target ~b:batch_n ();
         Condition.broadcast t.cv;
@@ -90,7 +92,12 @@ let wait_durable t pos =
         raise e
     end
   in
-  wait ();
-  (* still under the lock: concurrent histogram observes would race *)
-  Mad_obs.Metric.observe t.wait_us ((!Mad_obs.Span.clock () -. t0) *. 1e6);
-  Mutex.unlock t.m
+  (match wait () with
+   | () -> ()
+   | exception e ->
+     Mad_obs.Metric.add_gauge t.waiters (-1.0);
+     raise e);
+  Mutex.unlock t.m;
+  Mad_obs.Metric.add_gauge t.waiters (-1.0);
+  (* histograms are atomic now: observing outside the lock is safe *)
+  Mad_obs.Metric.observe t.wait_us ((!Mad_obs.Span.clock () -. t0) *. 1e6)

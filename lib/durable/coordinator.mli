@@ -17,9 +17,11 @@
     Metrics (created against [obs] under [prefix], default
     ["wal.group"]): [<p>.commits], [<p>.fsyncs] counters,
     [<p>.batch] (commits per fsync) and [<p>.wait_us] (commit
-    acknowledgement latency) histograms.  Every batch also journals a
-    [Recorder.Group_commit] event carrying the covered position and
-    the batch size. *)
+    acknowledgement latency) histograms, and a [<p>.waiters] gauge
+    (committers currently blocked waiting for a covering fsync — the
+    fsync-wait side of the server's contention panel).  Every batch
+    also journals a [Recorder.Group_commit] event carrying the covered
+    position and the batch size. *)
 
 type t
 

@@ -96,3 +96,42 @@ let hash s =
 let of_stmt stmt =
   let t = text stmt in
   (hash t, t)
+
+(* Statement class from raw source, without parsing: the first keyword
+   decides.  This runs on the server's lock-profiling hot path — for
+   every request, possibly before the statement is even parseable — so
+   it must be allocation-light and total. *)
+let class_of_source src =
+  let n = String.length src in
+  let i = ref 0 in
+  while
+    !i < n
+    && (match src.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    incr i
+  done;
+  let start = !i in
+  while
+    !i < n
+    &&
+    match src.[!i] with
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+    | _ -> false
+  do
+    incr i
+  done;
+  let kw = String.uppercase_ascii (String.sub src start (!i - start)) in
+  match kw with
+  | "SELECT" -> "query"
+  | "INSERT" -> "insert"
+  | "DELETE" -> "delete"
+  | "MODIFY" -> "modify"
+  | "LINK" -> "link"
+  | "UNLINK" -> "unlink"
+  | "DEFINE" -> "define"
+  | "EXPLAIN" -> "explain"
+  | _ -> "other"
+
+let classes =
+  [ "query"; "insert"; "delete"; "modify"; "link"; "unlink"; "define";
+    "explain"; "other" ]

@@ -20,3 +20,15 @@ val hash : string -> int
 
 val of_stmt : Ast.stmt -> int * string
 (** [(hash (text stmt), text stmt)] with one rendering. *)
+
+val class_of_source : string -> string
+(** The statement class ("query", "insert", …, or "other") decided by
+    the source's first keyword, without parsing — cheap enough for a
+    per-request metrics label on the server's lock-profiling path.
+    Unparseable input classifies as "other"; that is fine for a
+    cardinality-bounded label. *)
+
+val classes : string list
+(** Every value {!class_of_source} can return — servers pre-register
+    one histogram point per class so idle expositions already carry
+    the full label set. *)

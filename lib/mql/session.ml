@@ -56,6 +56,12 @@ type t = {
           {!refresh} consults the delta window between it and the
           current epoch to skip types the mutations cannot have
           touched *)
+  mutable last_commit_us : float;
+      (** wall-clock µs the last {!commit} spent in its hooks (WAL
+          flush + fsync publication); [0] when the last statement
+          committed nothing.  The server takes-and-resets this to
+          attribute the WAL share of a request's latency to its own
+          phase ({!take_last_commit_us}). *)
 }
 
 (** [EXPLAIN ANALYZE] needs the physical engine, which lives above this
@@ -89,6 +95,7 @@ let create ?obs db =
     fp_cache = Hashtbl.create 64;
     fp_mru = None;
     refreshed_epoch = Database.epoch db;
+    last_commit_us = 0.0;
   }
 
 let enable_digest t =
@@ -133,7 +140,14 @@ let commit t =
   | [] -> ()
   | hooks ->
     Mad_obs.Obs.timed t.obs "mql.commit" (fun _ ->
-        List.iter (fun (_, f) -> f ()) hooks)
+        List.iter (fun (_, f) -> f ()) hooks);
+    let d = Mad_obs.Obs.last_dur_us t.obs in
+    if d > 0.0 then t.last_commit_us <- t.last_commit_us +. d
+
+let take_last_commit_us t =
+  let d = t.last_commit_us in
+  t.last_commit_us <- 0.0;
+  d
 
 let lookup t name = Hashtbl.find_opt t.env name
 

@@ -49,6 +49,9 @@ type t = {
   mutable refreshed_epoch : int;
       (** internal: the epoch the catalog was last re-derived at —
           {!refresh} delta-gates its sweep against it *)
+  mutable last_commit_us : float;
+      (** internal: commit-hook µs since the last
+          {!take_last_commit_us} *)
 }
 
 val analyze_hook : (t -> Ast.stmt -> string) option ref
@@ -82,6 +85,12 @@ val add_on_commit : t -> (unit -> unit) -> commit_handle
 
 val remove_on_commit : t -> commit_handle -> unit
 (** Unregister; unknown handles are ignored. *)
+
+val take_last_commit_us : t -> float
+(** Wall-clock µs spent inside commit hooks (WAL flush + fsync
+    publication) since the last take; resets to 0.  The network server
+    uses this to break a request's latency into phases — the commit
+    share becomes the "wal" phase. *)
 
 val set_on_commit : t -> (unit -> unit) option -> unit
   [@@ocaml.deprecated "use add_on_commit / remove_on_commit"]

@@ -172,7 +172,7 @@ let report t =
     (fun e ->
       List.map
         (fun r ->
-          let n = r.pr_lat.Metric.n in
+          let n = Metric.count r.pr_lat in
           {
             r_fp = e.en_fp;
             r_text = e.en_text;
@@ -180,7 +180,7 @@ let report t =
             r_calls = Metric.value r.pr_calls;
             r_errors = Metric.value r.pr_errors;
             r_rows = Metric.value r.pr_rows;
-            r_total_us = r.pr_lat.Metric.sum;
+            r_total_us = Metric.sum r.pr_lat;
             r_mean_us = Metric.mean r.pr_lat;
             r_p95_us =
               (if n = 0 then 0.0
@@ -291,14 +291,15 @@ let to_string t =
           let h = r.pr_lat in
           let counts =
             String.concat ","
-              (Array.to_list (Array.map string_of_int h.Metric.counts))
+              (List.init (Array.length h.Metric.counts) (fun i ->
+                   string_of_int (Metric.bucket_count h i)))
           in
           Buffer.add_string buf
             (Printf.sprintf "row %s %s %d %d %d %.17g %d %.17g %d %.17g %.17g %s\n"
                (hex e.en_fp) (hex r.pr_plan) (Metric.value r.pr_calls)
                (Metric.value r.pr_errors) (Metric.value r.pr_rows)
-               r.pr_drift_sum r.pr_drift_n h.Metric.sum h.Metric.n
-               h.Metric.min_v h.Metric.max_v counts))
+               r.pr_drift_sum r.pr_drift_n (Metric.sum h) (Metric.count h)
+               (Metric.min_raw h) (Metric.max_raw h) counts))
         e.en_rows;
       if e.en_plan >= 0 then
         Buffer.add_string buf

@@ -24,19 +24,27 @@ type gauge = {
           gauges are bumped from kernel worker domains *)
 }
 
+(* Histograms are fully atomic: server worker domains observe into the
+   same instrument concurrently (per-request phase timings, lock
+   profiles), so every cell is an [Atomic.t] — bucket increments are
+   [fetch_and_add], float accumulators are CAS retry loops.  A reader
+   racing writers may see a bucket total and [h_n] momentarily out of
+   step; exposition tolerates that (telemetry reads are snapshots, not
+   transactions). *)
 type histogram = {
   h_name : string;
   h_labels : labels;
   bounds : float array;  (** inclusive upper bounds, strictly increasing *)
-  counts : int array;  (** length = length bounds + 1 (overflow bucket) *)
-  ex_seq : int array;
+  counts : int Atomic.t array;
+      (** length = length bounds + 1 (overflow bucket) *)
+  ex_seq : int Atomic.t array;
       (** per-bucket exemplar: recorder seq of the last span that
           landed in the bucket, [-1] while the bucket has none *)
-  ex_val : float array;  (** the exemplar's observed value *)
-  mutable sum : float;
-  mutable n : int;
-  mutable min_v : float;  (** [infinity] while empty *)
-  mutable max_v : float;  (** [neg_infinity] while empty *)
+  ex_val : float Atomic.t array;  (** the exemplar's observed value *)
+  h_sum : float Atomic.t;
+  h_n : int Atomic.t;
+  h_min : float Atomic.t;  (** [infinity] while empty *)
+  h_max : float Atomic.t;  (** [neg_infinity] while empty *)
 }
 
 type sample = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -58,9 +66,17 @@ let get g = Atomic.get g.cell
 
 (* [compare_and_set] on a boxed float compares the box physically; we
    retry with the freshly read box, so the loop is ABA-safe. *)
-let rec add_gauge g d =
-  let cur = Atomic.get g.cell in
-  if not (Atomic.compare_and_set g.cell cur (cur +. d)) then add_gauge g d
+let rec add_float cell d =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. d)) then add_float cell d
+
+let add_gauge g d = add_float g.cell d
+
+let rec fold_float cell f v =
+  let cur = Atomic.get cell in
+  let next = f cur v in
+  if next <> cur && not (Atomic.compare_and_set cell cur next) then
+    fold_float cell f v
 
 (** Default histogram bounds: a 1-2-5 ladder covering microsecond to
     multi-second durations in milliseconds. *)
@@ -79,32 +95,47 @@ let histogram ?(labels = []) ?(bounds = default_bounds) name =
     h_name = name;
     h_labels = labels;
     bounds;
-    counts = Array.make (Array.length bounds + 1) 0;
-    ex_seq = Array.make (Array.length bounds + 1) (-1);
-    ex_val = Array.make (Array.length bounds + 1) 0.0;
-    sum = 0.0;
-    n = 0;
-    min_v = infinity;
-    max_v = neg_infinity;
+    counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+    ex_seq = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make (-1));
+    ex_val = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0.0);
+    h_sum = Atomic.make 0.0;
+    h_n = Atomic.make 0;
+    h_min = Atomic.make infinity;
+    h_max = Atomic.make neg_infinity;
   }
 
 let observe ?(exemplar = -1) h v =
   let k = Array.length h.bounds in
   let rec bucket i = if i >= k || v <= h.bounds.(i) then i else bucket (i + 1) in
   let i = bucket 0 in
-  h.counts.(i) <- h.counts.(i) + 1;
+  ignore (Atomic.fetch_and_add h.counts.(i) 1);
   if exemplar >= 0 then begin
-    h.ex_seq.(i) <- exemplar;
-    h.ex_val.(i) <- v
+    (* value first, seq last: a racing exposition keyed on [seq >= 0]
+       never reads the value of a half-written exemplar pair (the pair
+       can mix two concurrent exemplars — diagnostic, tolerated) *)
+    Atomic.set h.ex_val.(i) v;
+    Atomic.set h.ex_seq.(i) exemplar
   end;
-  h.sum <- h.sum +. v;
-  h.n <- h.n + 1;
-  if v < h.min_v then h.min_v <- v;
-  if v > h.max_v then h.max_v <- v
+  add_float h.h_sum v;
+  ignore (Atomic.fetch_and_add h.h_n 1);
+  fold_float h.h_min Float.min v;
+  fold_float h.h_max Float.max v
 
-let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
-let min_value h = if h.n = 0 then 0.0 else h.min_v
-let max_value h = if h.n = 0 then 0.0 else h.max_v
+let count h = Atomic.get h.h_n
+let sum h = Atomic.get h.h_sum
+let bucket_count h i = Atomic.get h.counts.(i)
+let exemplar_seq h i = Atomic.get h.ex_seq.(i)
+let exemplar_value h i = Atomic.get h.ex_val.(i)
+
+let min_raw h = Atomic.get h.h_min
+let max_raw h = Atomic.get h.h_max
+
+let mean h =
+  let n = count h in
+  if n = 0 then 0.0 else sum h /. float_of_int n
+
+let min_value h = if count h = 0 then 0.0 else min_raw h
+let max_value h = if count h = 0 then 0.0 else max_raw h
 
 (** Approximate quantile ([q] in [0,1]): find the bucket holding the
     target rank, then interpolate linearly inside it.  The first
@@ -113,19 +144,21 @@ let max_value h = if h.n = 0 then 0.0 else h.max_v
     observations beyond the last bound report their true range instead
     of being capped at [bounds.(k-1)].  [None] while the histogram is
     empty — there is no rank to interpolate against, and the sentinels
-    [min_v = infinity] / [max_v = neg_infinity] must not leak. *)
+    [h_min = infinity] / [h_max = neg_infinity] must not leak. *)
 let quantile h q =
-  if h.n = 0 then None
+  let n = count h in
+  if n = 0 then None
   else begin
-    let target = int_of_float (Float.round (q *. float_of_int h.n)) in
-    let target = max 1 (min h.n target) in
+    let min_v = min_raw h and max_v = max_raw h in
+    let target = int_of_float (Float.round (q *. float_of_int n)) in
+    let target = max 1 (min n target) in
     let k = Array.length h.bounds in
     let rec go i before =
-      let c = h.counts.(i) in
+      let c = bucket_count h i in
       if i < k && before + c < target then go (i + 1) (before + c)
       else begin
-        let lower = if i = 0 then h.min_v else h.bounds.(i - 1) in
-        let upper = if i < k then h.bounds.(i) else h.max_v in
+        let lower = if i = 0 then min_v else h.bounds.(i - 1) in
+        let upper = if i < k then h.bounds.(i) else max_v in
         let v =
           if c = 0 then upper
           else
@@ -134,7 +167,7 @@ let quantile h q =
                *. (float_of_int (target - before) /. float_of_int c)
         in
         (* observed range always brackets the estimate *)
-        Float.max h.min_v (Float.min h.max_v v)
+        Float.max min_v (Float.min max_v v)
       end
     in
     Some (go 0 0)
@@ -146,26 +179,26 @@ let quantile h q =
 let absorb h ~counts ~sum ~n ~min_v ~max_v =
   let k = min (Array.length h.counts) (Array.length counts) in
   for i = 0 to k - 1 do
-    h.counts.(i) <- h.counts.(i) + counts.(i)
+    ignore (Atomic.fetch_and_add h.counts.(i) counts.(i))
   done;
-  h.sum <- h.sum +. sum;
-  h.n <- h.n + n;
+  add_float h.h_sum sum;
+  ignore (Atomic.fetch_and_add h.h_n n);
   if n > 0 then begin
-    if min_v < h.min_v then h.min_v <- min_v;
-    if max_v > h.max_v then h.max_v <- max_v
+    fold_float h.h_min Float.min min_v;
+    fold_float h.h_max Float.max max_v
   end
 
 let reset = function
   | Counter c -> Atomic.set c.count 0
   | Gauge g -> Atomic.set g.cell 0.0
   | Histogram h ->
-    Array.fill h.counts 0 (Array.length h.counts) 0;
-    Array.fill h.ex_seq 0 (Array.length h.ex_seq) (-1);
-    Array.fill h.ex_val 0 (Array.length h.ex_val) 0.0;
-    h.sum <- 0.0;
-    h.n <- 0;
-    h.min_v <- infinity;
-    h.max_v <- neg_infinity
+    Array.iter (fun c -> Atomic.set c 0) h.counts;
+    Array.iter (fun c -> Atomic.set c (-1)) h.ex_seq;
+    Array.iter (fun c -> Atomic.set c 0.0) h.ex_val;
+    Atomic.set h.h_sum 0.0;
+    Atomic.set h.h_n 0;
+    Atomic.set h.h_min infinity;
+    Atomic.set h.h_max neg_infinity
 
 (* ------------------------------------------------------------------ *)
 
@@ -197,5 +230,5 @@ let pp ppf = function
     Fmt.pf ppf "%s%a = %g" g.g_name pp_labels g.g_labels (Atomic.get g.cell)
   | Histogram h ->
     Fmt.pf ppf "%s%a: n=%d sum=%.3f min=%.3f mean=%.3f p50=%a p95=%a max=%.3f"
-      h.h_name pp_labels h.h_labels h.n h.sum (min_value h) (mean h)
+      h.h_name pp_labels h.h_labels (count h) (sum h) (min_value h) (mean h)
       pp_quantile (quantile h 0.5) pp_quantile (quantile h 0.95) (max_value h)

@@ -20,19 +20,23 @@ type gauge = private {
           worker domains; read through {!get} *)
 }
 
+(** Histograms are lock-free: every cell is atomic, so server worker
+    domains observe into one shared instrument (request phases, lock
+    profiles) without a guarding mutex.  Read the aggregates through
+    the accessors below ({!count}, {!sum}, {!bucket_count}, …). *)
 type histogram = private {
   h_name : string;
   h_labels : labels;
   bounds : float array;
-  counts : int array;
-  ex_seq : int array;
+  counts : int Atomic.t array;
+  ex_seq : int Atomic.t array;
       (** per-bucket exemplar: flight-recorder seq of the last span
           that landed in the bucket, [-1] while the bucket has none *)
-  ex_val : float array;  (** the exemplar's observed value *)
-  mutable sum : float;
-  mutable n : int;
-  mutable min_v : float;  (** [infinity] while empty *)
-  mutable max_v : float;  (** [neg_infinity] while empty *)
+  ex_val : float Atomic.t array;  (** the exemplar's observed value *)
+  h_sum : float Atomic.t;
+  h_n : int Atomic.t;
+  h_min : float Atomic.t;  (** [infinity] while empty *)
+  h_max : float Atomic.t;  (** [neg_infinity] while empty *)
 }
 
 type sample = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -58,10 +62,33 @@ val latency_bounds_us : float array
 val histogram : ?labels:labels -> ?bounds:float array -> string -> histogram
 
 val observe : ?exemplar:int -> histogram -> float -> unit
-(** Record an observation.  [exemplar] is a flight-recorder event seq
-    ({!Recorder.record}); when [>= 0] the target bucket remembers it
-    (last-writer-wins) and {!Registry.expose} renders it as an
-    OpenMetrics exemplar. *)
+(** Record an observation — lock-free, safe from any domain.
+    [exemplar] is a flight-recorder event seq ({!Recorder.record});
+    when [>= 0] the target bucket remembers it (last-writer-wins) and
+    {!Registry.expose} renders it as an OpenMetrics exemplar. *)
+
+val count : histogram -> int
+(** Observations recorded so far. *)
+
+val sum : histogram -> float
+
+val bucket_count : histogram -> int -> int
+(** Count in bucket [i] (non-cumulative); bucket [length bounds] is
+    the overflow bucket. *)
+
+val exemplar_seq : histogram -> int -> int
+(** Bucket [i]'s exemplar recorder seq, [-1] while the bucket has
+    none. *)
+
+val exemplar_value : histogram -> int -> float
+
+val min_raw : histogram -> float
+(** Tracked minimum, [infinity] while empty (the raw sentinel — the
+    digest persistence round-trips it; display code wants
+    {!min_value}). *)
+
+val max_raw : histogram -> float
+(** Tracked maximum, [neg_infinity] while empty. *)
 
 val mean : histogram -> float
 

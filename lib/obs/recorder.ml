@@ -37,6 +37,7 @@ type kind =
   | Probe_fired
   | Serve_conn
   | Serve_request
+  | Serve_phase
 
 let kind_name = function
   | Span_begin -> "span.begin"
@@ -57,6 +58,7 @@ let kind_name = function
   | Probe_fired -> "probe.fired"
   | Serve_conn -> "serve.conn"
   | Serve_request -> "serve.request"
+  | Serve_phase -> "serve.phase"
 
 type event = {
   mutable e_seq : int;  (** global sequence number; [-1] = empty/torn *)
@@ -251,7 +253,7 @@ let is_complete ev =
   | Span_end | Wal_fsync | Group_commit | Snapshot_build | Snapshot_delta
   | Closure_repair | Kernel_run | Kernel_chunk ->
     true
-  | Serve_request -> true
+  | Serve_request | Serve_phase -> true
   | Span_begin | Metric_flush | Wal_append | Snapshot_invalidate
   | Recovery_replay | Plan_switch | Slow_query | Probe_fired | Serve_conn ->
     false
@@ -305,6 +307,9 @@ let args_of ev =
     | Serve_request ->
       [ ("op", Json.Str ev.e_label); ("conn", num ev.e_a);
         ("status", num ev.e_b) ]
+    | Serve_phase ->
+      [ ("phase", Json.Str ev.e_label); ("request", num ev.e_a);
+        ("conn", num ev.e_b) ]
   in
   Json.Obj (common @ specific)
 

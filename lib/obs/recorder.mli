@@ -59,6 +59,12 @@ type kind =
   | Serve_request
       (** one served request; [label] = opcode name, [a] = connection
           id, [b] = response status, [dur_ns] = service time *)
+  | Serve_phase
+      (** one phase of a served request (lock wait, execution, fsync
+          wait, …); [label] = phase name, [a] = the request's
+          [Serve_request] seq, [b] = connection id, [dur_ns] = phase
+          duration — together the phases partition the request's
+          service time *)
 
 val kind_name : kind -> string
 (** Stable dotted name ("wal.fsync", "kernel.run", …) used as the

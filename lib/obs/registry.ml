@@ -169,24 +169,26 @@ let expose t =
            worse than none. *)
         let ring_on = Recorder.enabled () in
         let exemplar i value =
-          if (not ring_on) || h.Metric.ex_seq.(i) < 0 then value
+          let seq = Metric.exemplar_seq h i in
+          if (not ring_on) || seq < 0 then value
           else
-            Printf.sprintf "%s # {span_seq=\"%d\"} %s" value
-              h.Metric.ex_seq.(i)
-              (prom_float h.Metric.ex_val.(i))
+            Printf.sprintf "%s # {span_seq=\"%d\"} %s" value seq
+              (prom_float (Metric.exemplar_value h i))
         in
         let acc = ref 0 in
         Array.iteri
           (fun i bound ->
-            acc := !acc + h.Metric.counts.(i);
+            acc := !acc + Metric.bucket_count h i;
             line (name ^ "_bucket")
               (h.Metric.h_labels @ [ ("le", prom_float bound) ])
               (exemplar i (string_of_int !acc)))
           h.Metric.bounds;
         line (name ^ "_bucket")
           (h.Metric.h_labels @ [ ("le", "+Inf") ])
-          (exemplar (Array.length h.Metric.bounds) (string_of_int h.Metric.n));
-        line (name ^ "_sum") h.Metric.h_labels (prom_float h.Metric.sum);
-        line (name ^ "_count") h.Metric.h_labels (string_of_int h.Metric.n))
+          (exemplar (Array.length h.Metric.bounds)
+             (string_of_int (Metric.count h)));
+        line (name ^ "_sum") h.Metric.h_labels (prom_float (Metric.sum h));
+        line (name ^ "_count") h.Metric.h_labels
+          (string_of_int (Metric.count h)))
     (to_list t);
   Buffer.contents buf

@@ -68,8 +68,8 @@ let json_of_sample = function
         ("kind", Json.Str "histogram");
         ("name", Json.Str h.Metric.h_name);
         ("labels", json_of_labels h.Metric.h_labels);
-        ("n", Json.Num (float_of_int h.Metric.n));
-        ("sum", Json.Num h.Metric.sum);
+        ("n", Json.Num (float_of_int (Metric.count h)));
+        ("sum", Json.Num (Metric.sum h));
         ("min", Json.Num (Metric.min_value h));
         ("mean", Json.Num (Metric.mean h));
         ( "p50",

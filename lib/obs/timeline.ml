@@ -119,6 +119,17 @@ let probe_spec = function
   | "plan-switch" -> (2.0, 3.0, 2, 3, 0.3, true)
   | "invalidation" -> (2.0, 16.0, 3, 3, 0.3, true)
   | "heap" -> (1.5, 2.0e6, 3, 4, 0.2, false)
+  (* saturation probes (the serving path).  Queue saturation and lock
+     contention watch values that are zero on a healthy idle server,
+     so they must NOT skip zero frames — idle ticks teach a ~0
+     baseline, and the first saturated window then trips immediately
+     (trip 1): the point is to degrade BEFORE admission control starts
+     returning typed-busy, not after.  The floors keep them quiet
+     under ordinary load: a queue under half capacity, or lock waits
+     shorter than the holds they pay for, never fire. *)
+  | "queue-saturation" -> (1.5, 50.0, 1, 2, 0.3, false)
+  | "lock-contention" -> (1.5, 100.0, 1, 2, 0.3, false)
+  | "fsync-stall" -> (3.0, 2000.0, 2, 3, 0.3, true)
   | _ -> (3.0, 0.0, 3, 3, 0.3, false)
 
 let ensure_probe t ~probe ~label =
@@ -214,8 +225,8 @@ let snapshot registry =
              p_name = h.Metric.h_name;
              p_labels = h.Metric.h_labels;
              p_kind = Hist;
-             p_value = float_of_int h.Metric.n;
-             p_sum = h.Metric.sum;
+             p_value = float_of_int (Metric.count h);
+             p_sum = Metric.sum h;
            })
   |> Array.of_list
 
@@ -292,6 +303,30 @@ let evaluate t registry ~prev ~cur =
   Hashtbl.iter
     (fun fp (n, s) -> feed t registry ~probe:"latency" ~label:fp (s /. n))
     lat;
+  (* engine-lock contention over this window: wait-time vs hold-time
+     sums aggregated across every statement class.  The fed value is
+     the wait/hold ratio as a percentage — 100 means requests spent as
+     long waiting for the engine as using it *)
+  let lock_wait = ref 0.0 and lock_hold = ref 0.0 and lock_seen = ref false in
+  Array.iter
+    (fun p ->
+      match p.p_kind with
+      | Hist
+        when p.p_name = "serve.lock.wait_us"
+             || p.p_name = "serve.lock.hold_us" ->
+        lock_seen := true;
+        let n0, s0 = before p in
+        let ds =
+          Float.max 0.0
+            (if p.p_value < n0 then p.p_sum else p.p_sum -. s0)
+        in
+        if p.p_name = "serve.lock.wait_us" then lock_wait := !lock_wait +. ds
+        else lock_hold := !lock_hold +. ds
+      | Hist | Counter | Gauge -> ())
+    cur.f_points;
+  if !lock_seen then
+    feed t registry ~probe:"lock-contention" ~label:""
+      (100.0 *. !lock_wait /. Float.max !lock_hold 1.0);
   Array.iter
     (fun p ->
       match (p.p_kind, p.p_name, p.p_labels) with
@@ -305,6 +340,14 @@ let evaluate t registry ~prev ~cur =
           (increase ~prev:(fst (before p)) ~cur:p.p_value)
       | Gauge, "runtime.heap_words", [] ->
         feed t registry ~probe:"heap" ~label:"" p.p_value
+      | Gauge, "serve.queue_peak_pct", [] ->
+        (* the server latches the admission-queue high watermark here;
+           feeding it rearms the latch, making the gauge
+           peak-since-last-tick *)
+        feed t registry ~probe:"queue-saturation" ~label:"" p.p_value;
+        Metric.set (Registry.gauge registry "serve.queue_peak_pct") 0.0
+      | Gauge, "runtime.wal_fsync_us", [] ->
+        feed t registry ~probe:"fsync-stall" ~label:"" p.p_value
       | _ -> ())
     cur.f_points
 
@@ -583,7 +626,69 @@ let pp_dashboard ppf t =
          (fun i (k, d) ->
            if i < 8 then
              Format.fprintf ppf "  %-56s +%-8.0f %.1f/s@." k d (d /. dt))
-         moved);
+         moved;
+       (* the contention panel: engine-lock profile per statement
+          class over the window, plus the saturation gauges — only on
+          registries that carry the serve metrics *)
+       let tbl = prev_index prev in
+       let before p =
+         match Hashtbl.find_opt tbl (flat_key p) with
+         | Some q -> (q.p_value, q.p_sum)
+         | None -> (0.0, 0.0)
+       in
+       let lock = Hashtbl.create 8 in
+       Array.iter
+         (fun p ->
+           if p.p_kind = Hist then
+             match (p.p_name, List.assoc_opt "class" p.p_labels) with
+             | ("serve.lock.wait_us" | "serve.lock.hold_us"), Some cls ->
+               let n0, s0 = before p in
+               let dn = increase ~prev:n0 ~cur:p.p_value in
+               let ds =
+                 Float.max 0.0
+                   (if p.p_value < n0 then p.p_sum else p.p_sum -. s0)
+               in
+               let wn, ws, hn, hs =
+                 Option.value ~default:(0.0, 0.0, 0.0, 0.0)
+                   (Hashtbl.find_opt lock cls)
+               in
+               if p.p_name = "serve.lock.wait_us" then
+                 Hashtbl.replace lock cls (wn +. dn, ws +. ds, hn, hs)
+               else Hashtbl.replace lock cls (wn, ws, hn +. dn, hs +. ds)
+             | _ -> ())
+         cur.f_points;
+       let rows =
+         Hashtbl.fold (fun cls v acc -> (cls, v) :: acc) lock []
+         |> List.filter (fun (_, (wn, _, hn, _)) -> wn > 0.0 || hn > 0.0)
+         |> List.sort (fun (_, (_, _, _, a)) (_, (_, _, _, b)) ->
+                compare b a)
+       in
+       if rows <> [] then begin
+         Format.fprintf ppf "lock contention (window):@.";
+         Format.fprintf ppf "  %-10s %8s %14s %14s@." "class" "stmts"
+           "wait us/stmt" "hold us/stmt";
+         List.iter
+           (fun (cls, (wn, ws, hn, hs)) ->
+             let per n s = if n > 0.0 then s /. n else 0.0 in
+             Format.fprintf ppf "  %-10s %8.0f %14.1f %14.1f@." cls
+               (Float.max wn hn) (per wn ws) (per hn hs))
+           rows
+       end;
+       (match find_point cur "serve.lock.contended" with
+        | None -> ()
+        | Some c ->
+          let c0 =
+            match Hashtbl.find_opt tbl (flat_key c) with
+            | Some q -> q.p_value
+            | None -> 0.0
+          in
+          Format.fprintf ppf
+            "contention: contended +%.0f  lock waiters %.0f  fsync waiters \
+             %.0f  queue peak %.0f%%@."
+            (increase ~prev:c0 ~cur:c.p_value)
+            (num "serve.lock.waiters")
+            (num "serve.group.waiters")
+            (num "serve.queue_peak_pct")));
     (match probes_u t with
      | [] -> ()
      | ps ->

@@ -25,6 +25,14 @@
     - [invalidation] — [runtime.db_epoch] delta per frame (snapshot
       invalidation thrash)
     - [heap] — [runtime.heap_words] level growing past its baseline
+    - [queue-saturation] — the server's [serve.queue_peak_pct]
+      admission-queue high watermark (read-and-rearmed every tick);
+      trips on the first window past half capacity so health degrades
+      {e before} typed-busy rejections start
+    - [lock-contention] — engine-lock wait/hold ratio (%) aggregated
+      over the [serve.lock.*_us] class histograms' window deltas
+    - [fsync-stall] — the [runtime.wal_fsync_us] mean regressing
+      against its baseline
 
     A probe's ok->firing transition journals a
     {!Recorder.Probe_fired} event and bumps the registry's

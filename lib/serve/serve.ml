@@ -51,7 +51,9 @@ type t = {
   engine : Mutex.t;  (** serializes statement execution on [db] *)
   qm : Mutex.t;
   qcv : Condition.t;
-  q : (Unix.file_descr * string) Queue.t;  (** admitted, not yet served *)
+  q : (Unix.file_descr * string * int) Queue.t;
+      (** admitted, not yet served; the int is {!Mad_obs.Monotonic}
+          ticks at admission, the start of the queue-wait phase *)
   conn_seq : int Atomic.t;
   mutable accepter : unit Stdlib.Domain.t option;
   mutable domains : unit Stdlib.Domain.t list;
@@ -63,7 +65,23 @@ type t = {
   c_bytes_out : Mad_obs.Metric.counter;
   g_active : Mad_obs.Metric.gauge;
   h_request_us : Mad_obs.Metric.histogram;
-  hist_m : Mutex.t;  (** histograms are not atomic; observe under this *)
+  (* request phases — one histogram point per phase; together (queue
+     excepted, which is per-connection) they partition request_us *)
+  h_ph_lock : Mad_obs.Metric.histogram;
+  h_ph_exec : Mad_obs.Metric.histogram;
+  h_ph_wal : Mad_obs.Metric.histogram;
+  h_ph_fsync : Mad_obs.Metric.histogram;
+  h_ph_write : Mad_obs.Metric.histogram;
+  h_ph_other : Mad_obs.Metric.histogram;
+  h_ph_queue : Mad_obs.Metric.histogram;
+  (* engine-lock profile, labeled by statement class *)
+  h_lock_wait : (string, Mad_obs.Metric.histogram) Hashtbl.t;
+  h_lock_hold : (string, Mad_obs.Metric.histogram) Hashtbl.t;
+  c_contended : Mad_obs.Metric.counter;
+  g_lock_waiters : Mad_obs.Metric.gauge;
+  g_queue_peak : Mad_obs.Metric.gauge;
+      (** queue-depth high watermark as a %% of [max_pending], latched
+          on admission; the timeline tick reads and resets it *)
 }
 
 let port t = t.port
@@ -104,15 +122,29 @@ let reject_busy t fd =
    with Unix.Unix_error _ -> ());
   close_quietly fd
 
+(* latch the queue-depth high watermark (in % of capacity) under [qm];
+   the saturation probe reads it at the next timeline tick and resets
+   it, making the gauge peak-since-last-tick *)
+let latch_queue_peak t depth =
+  let pct =
+    100.0
+    *. float_of_int (min depth t.cfg.max_pending)
+    /. float_of_int t.cfg.max_pending
+  in
+  if pct > Mad_obs.Metric.get t.g_queue_peak then
+    Mad_obs.Metric.set t.g_queue_peak pct
+
 let admit t fd peer =
   if Atomic.get t.stop then close_quietly fd
   else begin
     Mutex.lock t.qm;
-    let full = Queue.length t.q >= t.cfg.max_pending in
+    let depth = Queue.length t.q in
+    let full = depth >= t.cfg.max_pending in
     if not full then begin
-      Queue.add (fd, peer_name peer) t.q;
+      Queue.add (fd, peer_name peer, Mad_obs.Monotonic.ticks ()) t.q;
       Condition.signal t.qcv
     end;
+    latch_queue_peak t (depth + 1);
     Mutex.unlock t.qm;
     if full then reject_busy t fd
   end
@@ -163,14 +195,43 @@ type conn_state = {
   mutable acked : int;  (** highest position the coordinator confirmed *)
 }
 
-(* run one statement-bearing request under the engine lock; the fsync
+let lock_hist tbl cls =
+  match Hashtbl.find_opt tbl cls with
+  | Some h -> h
+  | None -> Hashtbl.find tbl "other"
+
+(* Run one statement-bearing request under the engine lock; the fsync
    wait for any commit it performed happens OUTSIDE the lock, in the
-   group-commit coordinator *)
+   group-commit coordinator.  Returns the response plus the request's
+   engine-side phases as [(name, dur_ns, end_ticks)] — lock wait,
+   execution, WAL flush (the commit hooks' share of the under-lock
+   time) and fsync wait.  Lock wait and hold times also feed the
+   per-statement-class contention histograms; an acquisition that
+   found the mutex taken counts as contended. *)
 let eval_locked t st req =
-  Mutex.lock t.engine;
+  let cls =
+    Mad_mql.Fingerprint.class_of_source
+      (match req with
+       | Wire.Query s | Wire.Exec s | Wire.Explain s -> s
+       | Wire.Stats | Wire.Health | Wire.Ping | Wire.Quit -> assert false)
+  in
+  let t_lock0 = Mad_obs.Monotonic.ticks () in
+  if not (Mutex.try_lock t.engine) then begin
+    Mad_obs.Metric.incr t.c_contended;
+    Mad_obs.Metric.add_gauge t.g_lock_waiters 1.0;
+    Mutex.lock t.engine;
+    Mad_obs.Metric.add_gauge t.g_lock_waiters (-1.0)
+  end;
+  let t_lock1 = Mad_obs.Monotonic.ticks () in
+  let lock_ns = t_lock1 - t_lock0 in
+  Mad_obs.Metric.observe (lock_hist t.h_lock_wait cls)
+    (float_of_int lock_ns /. 1e3);
   let r =
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.engine)
+      ~finally:(fun () ->
+        Mad_obs.Metric.observe (lock_hist t.h_lock_hold cls)
+          (float_of_int (Mad_obs.Monotonic.ticks () - t_lock1) /. 1e3);
+        Mutex.unlock t.engine)
       (fun () ->
         try
           (* another connection may have mutated the store since this
@@ -190,33 +251,55 @@ let eval_locked t st req =
           st.last_epoch <- Database.epoch t.db;
           Error msg)
   in
+  let t_exec1 = Mad_obs.Monotonic.ticks () in
+  (* the commit hooks (WAL flush + publication) ran inside the session
+     under the lock; their share of the under-lock time is the "wal"
+     phase, the rest is "exec" *)
+  let wal_ns =
+    int_of_float (Mad_mql.Session.take_last_commit_us st.session *. 1e3)
+  in
+  let wal_ns = min wal_ns (max 0 (t_exec1 - t_lock1)) in
+  let exec_ns = max 0 (t_exec1 - t_lock1 - wal_ns) in
   (match t.coord with
    | Some c when st.appended > st.acked ->
      Mad_durable.Coordinator.wait_durable c st.appended;
      st.acked <- st.appended
    | Some _ | None -> ());
-  match r with Ok p -> (Wire.Ok, p) | Error m -> (Wire.Error, m)
+  let t_fsync1 = Mad_obs.Monotonic.ticks () in
+  let phases =
+    [
+      ("lock", lock_ns, t_lock1);
+      ("exec", exec_ns, t_exec1);
+      ("wal", wal_ns, t_exec1);
+      ("fsync", t_fsync1 - t_exec1, t_fsync1);
+    ]
+  in
+  match r with
+  | Ok p -> (Wire.Ok, p, phases)
+  | Error m -> (Wire.Error, m, phases)
 
 let handle_request t st req =
   match req with
-  | Wire.Ping -> (Wire.Pong, "")
-  | Wire.Quit -> (Wire.Bye, "")
+  | Wire.Ping -> (Wire.Pong, "", [])
+  | Wire.Quit -> (Wire.Bye, "", [])
   | Wire.Stats ->
     let registry = Mad_obs.Obs.registry t.obs in
     Mad_obs.Timeline.update_runtime ~epoch:(Database.epoch t.db) registry;
-    (Wire.Ok, Mad_obs.Registry.expose registry)
+    (Wire.Ok, Mad_obs.Registry.expose registry, [])
   | Wire.Health ->
     let tl = Mad_obs.Timeline.configure () in
     ignore
       (Mad_obs.Timeline.tick ~epoch:(Database.epoch t.db) tl
          (Mad_obs.Obs.registry t.obs));
-    (Wire.Ok, Mad_obs.Json.to_string (Mad_obs.Timeline.health_json tl))
+    (Wire.Ok, Mad_obs.Json.to_string (Mad_obs.Timeline.health_json tl), [])
   | Wire.Query _ | Wire.Exec _ | Wire.Explain _ -> eval_locked t st req
 
 (* the request/response loop of one established connection; returns
    when the peer quits, times out, violates the protocol or the
-   server stops *)
-let session_loop t st cid fd =
+   server stops.  [version] is the negotiated wire version — it
+   decides the request decoding and whether phase-annotated responses
+   are available. *)
+let session_loop t st cid ~version fd =
   let respond req status payload =
     Mad_obs.Metric.add t.c_bytes_out (Wire.resp_bytes payload);
     Mad_obs.Metric.incr
@@ -249,7 +332,7 @@ let session_loop t st cid fd =
         else if Atomic.get t.stop then false
         else now -. idle_from < t.cfg.idle_timeout
       in
-      match Wire.read_req ~max_len:t.cfg.max_frame ~keep_waiting fd with
+      match Wire.read_req ~max_len:t.cfg.max_frame ~version ~keep_waiting fd with
       | Wire.Closed -> ()
       | Wire.Truncated | Wire.Bad_magic ->
         (* the stream cannot be resynchronized past a framing
@@ -267,17 +350,87 @@ let session_loop t st cid fd =
       | Wire.Timeout ->
         (* idle expiry or stop request: a polite goodbye either way *)
         (try Wire.write_resp fd Wire.Bye "" with Unix.Unix_error _ -> ())
-      | Wire.Msg req ->
-        Mad_obs.Metric.add t.c_bytes_in (Wire.req_bytes req);
+      | Wire.Msg (req, meta) ->
+        Mad_obs.Metric.add t.c_bytes_in (Wire.req_bytes ~version req);
         let t0 = Mad_obs.Monotonic.ticks () in
-        let status, payload = handle_request t st req in
-        let dur_ns = Mad_obs.Monotonic.ticks () - t0 in
-        Mad_obs.Recorder.note Serve_request ~dur_ns ~label:(Wire.req_name req)
-          ~a:cid ~b:(Wire.status_code status) ();
-        Mutex.lock t.hist_m;
-        Mad_obs.Metric.observe t.h_request_us (float_of_int dur_ns /. 1e3);
-        Mutex.unlock t.hist_m;
+        let status, payload, eng_phases = handle_request t st req in
+        let t1 = Mad_obs.Monotonic.ticks () in
+        let eng name =
+          match List.find_opt (fun (k, _, _) -> k = name) eng_phases with
+          | Some (_, d, e) -> (d, e)
+          | None -> (0, t1)
+        in
+        let lock_ns, lock_end = eng "lock" in
+        let exec_ns, exec_end = eng "exec" in
+        let wal_ns, wal_end = eng "wal" in
+        let fsync_ns, fsync_end = eng "fsync" in
+        (* phase-annotated response when a v2 client asked for it; the
+           "write" phase cannot describe itself, so the wire breakdown
+           closes with the residual up to response assembly *)
+        let payload =
+          match meta with
+          | Some m when m.Wire.want_phases ->
+            let us ns = float_of_int ns /. 1e3 in
+            let accounted = lock_ns + exec_ns + wal_ns + fsync_ns in
+            Wire.encode_result_with_phases payload
+              [
+                ("lock", us lock_ns);
+                ("exec", us exec_ns);
+                ("wal", us wal_ns);
+                ("fsync", us fsync_ns);
+                ("other", us (max 0 (t1 - t0 - accounted)));
+              ]
+          | _ -> payload
+        in
         respond req status payload;
+        let t_end = Mad_obs.Monotonic.ticks () in
+        let dur_ns = t_end - t0 in
+        let write_ns = t_end - t1 in
+        let other_ns =
+          max 0
+            (dur_ns - (lock_ns + exec_ns + wal_ns + fsync_ns + write_ns))
+        in
+        let ring = Mad_obs.Recorder.global () in
+        let seq =
+          Mad_obs.Recorder.record ring Serve_request ~ticks:t_end ~dur_ns
+            ~label:(Wire.req_name req) ~a:cid ~b:(Wire.status_code status)
+            ()
+        in
+        (* the client's span seq (v2 trace propagation) links the two
+           rings: journal it so a merged trace can pair the slices *)
+        (match meta with
+         | Some m when m.Wire.span > 0 && seq >= 0 ->
+           ignore
+             (Mad_obs.Recorder.record ring Serve_phase ~ticks:t0 ~dur_ns:0
+                ~label:"client-span" ~a:seq ~b:m.Wire.span ())
+         | _ -> ());
+        let exemplar = if seq >= 0 then Some seq else None in
+        Mad_obs.Metric.observe ?exemplar t.h_request_us
+          (float_of_int dur_ns /. 1e3);
+        (* every phase observes on every request — zeros included — so
+           the phase histograms partition request_us in sum AND count *)
+        let obs_phase h ns =
+          Mad_obs.Metric.observe ?exemplar h (float_of_int ns /. 1e3)
+        in
+        obs_phase t.h_ph_lock lock_ns;
+        obs_phase t.h_ph_exec exec_ns;
+        obs_phase t.h_ph_wal wal_ns;
+        obs_phase t.h_ph_fsync fsync_ns;
+        obs_phase t.h_ph_write write_ns;
+        obs_phase t.h_ph_other other_ns;
+        (* ring slices only for phases that actually took time *)
+        let note_phase name ns end_ticks =
+          if ns > 0 && seq >= 0 then
+            ignore
+              (Mad_obs.Recorder.record ring Serve_phase ~ticks:end_ticks
+                 ~dur_ns:ns ~label:name ~a:seq ~b:cid ())
+        in
+        note_phase "lock" lock_ns lock_end;
+        note_phase "exec" exec_ns exec_end;
+        note_phase "wal" wal_ns wal_end;
+        note_phase "fsync" fsync_ns fsync_end;
+        note_phase "write" write_ns t_end;
+        note_phase "other" other_ns t_end;
         Mad_obs.Timeline.auto_tick ~epoch:(Database.epoch t.db)
           (Mad_obs.Obs.registry t.obs);
         if req <> Wire.Quit then loop ()
@@ -305,8 +458,11 @@ let serve_conn t fd peer =
         && Unix.gettimeofday () -. t0 < t.cfg.read_timeout
       in
       match Wire.read_client_hello ~keep_waiting fd with
-      | Wire.Msg v when v = Wire.version ->
-        Wire.write_server_hello fd ~version:Wire.version Wire.H_ok;
+      | Wire.Msg v when v >= Wire.min_version && v <= Wire.version ->
+        (* negotiate down to the older of the two: the hello echoes
+           the version this connection will actually speak *)
+        let version = min v Wire.version in
+        Wire.write_server_hello fd ~version Wire.H_ok;
         (* the connection's private session: its own observability
            context (metrics registry), digest, adaptive-catalog slot *)
         let session =
@@ -322,7 +478,7 @@ let serve_conn t fd peer =
              (Mad_mql.Session.add_on_commit session (fun () ->
                   st.appended <- Mad_durable.Durable.wal_records h))
          | None -> ());
-        session_loop t st cid fd
+        session_loop t st cid ~version fd
       | Wire.Msg v ->
         Mad_obs.Metric.incr t.c_errors;
         ignore v;
@@ -352,7 +508,12 @@ let worker_loop t =
   let rec go () =
     match take t with
     | None -> ()
-    | Some (fd, peer) ->
+    | Some (fd, peer, admitted) ->
+      (* the connection's admission wait ends here — a worker picked
+         it up.  Observed separately from the request phases: it is a
+         property of the connection, not of any one request. *)
+      Mad_obs.Metric.observe t.h_ph_queue
+        (float_of_int (Mad_obs.Monotonic.ticks () - admitted) /. 1e3);
       (* a connection failure must not take its worker down with it *)
       (try serve_conn t fd peer
        with
@@ -366,6 +527,25 @@ let worker_loop t =
   go ()
 
 (* --- lifecycle ------------------------------------------------------ *)
+
+let phase_hist obs phase =
+  Mad_obs.Obs.histogram
+    ~labels:[ ("phase", phase) ]
+    ~bounds:Mad_obs.Metric.latency_bounds_us obs "serve.phase_us"
+
+(* one histogram point per statement class, pre-registered so an idle
+   server's exposition already carries the full label set (and the
+   contention probe's baseline can be taught at idle) *)
+let lock_hists obs name =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun cls ->
+      Hashtbl.replace tbl cls
+        (Mad_obs.Obs.histogram
+           ~labels:[ ("class", cls) ]
+           ~bounds:Mad_obs.Metric.latency_bounds_us obs name))
+    Mad_mql.Fingerprint.classes;
+  tbl
 
 let start ?obs ?(config = default_config) ?durable database =
   let obs = match obs with Some o -> o | None -> Mad_obs.Obs.create () in
@@ -420,7 +600,18 @@ let start ?obs ?(config = default_config) ?durable database =
       h_request_us =
         Mad_obs.Obs.histogram ~bounds:Mad_obs.Metric.latency_bounds_us obs
           "serve.request_us";
-      hist_m = Mutex.create ();
+      h_ph_lock = phase_hist obs "lock";
+      h_ph_exec = phase_hist obs "exec";
+      h_ph_wal = phase_hist obs "wal";
+      h_ph_fsync = phase_hist obs "fsync";
+      h_ph_write = phase_hist obs "write";
+      h_ph_other = phase_hist obs "other";
+      h_ph_queue = phase_hist obs "queue";
+      h_lock_wait = lock_hists obs "serve.lock.wait_us";
+      h_lock_hold = lock_hists obs "serve.lock.hold_us";
+      c_contended = Mad_obs.Obs.counter obs "serve.lock.contended";
+      g_lock_waiters = Mad_obs.Obs.gauge obs "serve.lock.waiters";
+      g_queue_peak = Mad_obs.Obs.gauge obs "serve.queue_peak_pct";
     }
   in
   t.accepter <- Some (Stdlib.Domain.spawn (fun () -> accept_loop t));
@@ -442,7 +633,7 @@ let stop t =
     t.domains <- [];
     (* admitted but never served: hang up *)
     Mutex.lock t.qm;
-    Queue.iter (fun (fd, _) -> close_quietly fd) t.q;
+    Queue.iter (fun (fd, _, _) -> close_quietly fd) t.q;
     Queue.clear t.q;
     Mutex.unlock t.qm
   end

@@ -1,7 +1,8 @@
 (** Wire framing — see the interface for the layout. *)
 
 let magic = "MADQ"
-let version = 1
+let version = 2
+let min_version = 1
 let default_max_frame = 4 * 1024 * 1024
 let hello_bytes = 8
 let header_bytes = 5
@@ -36,6 +37,66 @@ let req_name = function
 let req_payload = function
   | Query s | Exec s | Explain s -> s
   | Stats | Health | Ping | Quit -> ""
+
+(* --- v2 request metadata -------------------------------------------- *)
+
+type meta = { want_phases : bool; span : int }
+
+let no_meta = { want_phases = false; span = 0 }
+let meta_bytes = 9
+
+let encode_meta m =
+  let b = Bytes.create meta_bytes in
+  Bytes.set_uint8 b 0 (if m.want_phases then 1 else 0);
+  Bytes.set_int64_le b 1 (Int64.of_int m.span);
+  Bytes.unsafe_to_string b
+
+let decode_meta payload =
+  if String.length payload < meta_bytes then None
+  else
+    let want_phases = String.get_uint8 payload 0 land 1 = 1 in
+    let span = Int64.to_int (String.get_int64_le payload 1) in
+    let text =
+      String.sub payload meta_bytes (String.length payload - meta_bytes)
+    in
+    Some ({ want_phases; span }, text)
+
+(* --- phase breakdown codec ------------------------------------------ *)
+
+let encode_phases phases =
+  String.concat ";"
+    (List.map (fun (k, us) -> Printf.sprintf "%s:%.3f" k us) phases)
+
+let decode_phases s =
+  if String.length s = 0 then []
+  else
+    String.split_on_char ';' s
+    |> List.filter_map (fun part ->
+           match String.index_opt part ':' with
+           | None -> None
+           | Some i ->
+             let k = String.sub part 0 i in
+             let v = String.sub part (i + 1) (String.length part - i - 1) in
+             Option.map (fun f -> (k, f)) (float_of_string_opt v))
+
+let encode_result_with_phases result phases =
+  let p = encode_phases phases in
+  let rl = String.length result in
+  let b = Bytes.create (4 + rl + String.length p) in
+  Bytes.set_int32_le b 0 (Int32.of_int rl);
+  Bytes.blit_string result 0 b 4 rl;
+  Bytes.blit_string p 0 b (4 + rl) (String.length p);
+  Bytes.unsafe_to_string b
+
+let decode_result_with_phases s =
+  if String.length s < 4 then None
+  else
+    let rl = Int32.to_int (String.get_int32_le s 0) in
+    if rl < 0 || 4 + rl > String.length s then None
+    else
+      Some
+        ( String.sub s 4 rl,
+          decode_phases (String.sub s (4 + rl) (String.length s - 4 - rl)) )
 
 type status = Ok | Error | Busy | Pong | Bye
 
@@ -163,7 +224,17 @@ let frame tag payload =
   Bytes.blit_string payload 0 b header_bytes len;
   Bytes.unsafe_to_string b
 
-let write_req fd r = write_all fd (frame (req_op r) (req_payload r))
+(* On a v2 connection every statement payload carries the fixed-size
+   metadata prefix (zeros when the caller supplied none), so decoding
+   depends only on the negotiated version, never on sniffing. *)
+let write_req ?(version = 1) ?meta fd r =
+  let payload =
+    match r with
+    | (Query _ | Exec _ | Explain _) when version >= 2 ->
+      encode_meta (Option.value meta ~default:no_meta) ^ req_payload r
+    | _ -> req_payload r
+  in
+  write_all fd (frame (req_op r) payload)
 let write_resp fd st payload = write_all fd (frame (status_code st) payload)
 
 (* read one frame; [decode tag payload] interprets it *)
@@ -185,16 +256,23 @@ let read_frame ?(max_len = default_max_frame) ~keep_waiting ~decode fd =
       | `Done -> decode tag (Bytes.unsafe_to_string payload)
     end
 
-let read_req ?max_len ~keep_waiting fd =
+let read_req ?max_len ?(version = 1) ~keep_waiting fd =
   read_frame ?max_len ~keep_waiting fd ~decode:(fun tag payload ->
+      let stmt mk =
+        if version >= 2 then
+          match decode_meta payload with
+          | Some (m, text) -> Msg (mk text, Some m)
+          | None -> Bad_magic
+        else Msg (mk payload, None)
+      in
       match tag with
-      | 1 -> Msg (Query payload)
-      | 2 -> Msg (Exec payload)
-      | 3 -> Msg (Explain payload)
-      | 4 -> Msg Stats
-      | 5 -> Msg Health
-      | 6 -> Msg Ping
-      | 7 -> Msg Quit
+      | 1 -> stmt (fun s -> Query s)
+      | 2 -> stmt (fun s -> Exec s)
+      | 3 -> stmt (fun s -> Explain s)
+      | 4 -> Msg (Stats, None)
+      | 5 -> Msg (Health, None)
+      | 6 -> Msg (Ping, None)
+      | 7 -> Msg (Quit, None)
       | _ -> Bad_magic)
 
 let read_resp ?max_len ~keep_waiting fd =
@@ -203,5 +281,11 @@ let read_resp ?max_len ~keep_waiting fd =
       | Some st -> Msg (st, payload)
       | None -> Bad_magic)
 
-let req_bytes r = header_bytes + String.length (req_payload r)
+let req_bytes ?(version = 1) r =
+  let m =
+    match r with
+    | (Query _ | Exec _ | Explain _) when version >= 2 -> meta_bytes
+    | _ -> 0
+  in
+  header_bytes + m + String.length (req_payload r)
 let resp_bytes payload = header_bytes + String.length payload

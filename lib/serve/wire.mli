@@ -19,13 +19,37 @@
     The length counts the payload only; a frame whose declared length
     exceeds the receiver's cap is rejected and the connection closed
     (there is no way to resynchronize a stream after a framing
-    violation). *)
+    violation).
+
+    {2 Version 2}
+
+    The server accepts any proposed version in
+    [[min_version, version]] and echoes the {e negotiated} version
+    (the minimum of the proposal and its own) in its hello; a proposal
+    outside the range is refused with status 1.  On a negotiated-v2
+    connection every statement payload (opcodes 1–3) starts with a
+    fixed 9-byte metadata prefix:
+    {v
+    u8 flags | i64 LE client span seq | statement text
+    v}
+    flags bit 0 asks the server to return its phase breakdown; the
+    span seq links the request to the client's own trace ring.  When
+    phases were requested, an [Ok] response to the statement is
+    re-framed as
+    {v
+    u32 LE result length | result | phase text
+    v}
+    where the phase text is [name:us;name:us;…] ({!encode_phases}).
+    Version-1 connections are byte-for-byte unchanged. *)
 
 val magic : string
 (** ["MADQ"]. *)
 
 val version : int
-(** The protocol version this library speaks (1). *)
+(** The newest protocol version this library speaks (2). *)
+
+val min_version : int
+(** The oldest protocol version still accepted (1). *)
 
 val default_max_frame : int
 (** Default request/response payload cap: 4 MiB. *)
@@ -48,6 +72,33 @@ type req =
 val req_op : req -> int
 val req_name : req -> string
 (** Stable lowercase tag ("query", "exec", …) for metrics labels. *)
+
+type meta = { want_phases : bool; span : int }
+(** Per-request metadata carried by v2 statement payloads:
+    [want_phases] asks for the server-side phase breakdown in the
+    response; [span] is the client's trace span seq (0 when the client
+    is not tracing). *)
+
+val no_meta : meta
+(** [{ want_phases = false; span = 0 }] — what a v2 statement carries
+    when the caller supplied none. *)
+
+val meta_bytes : int
+(** Size of the encoded metadata prefix (9). *)
+
+val encode_phases : (string * float) list -> string
+(** [name:us;name:us;…] — phase names never contain [':'] or [';']. *)
+
+val decode_phases : string -> (string * float) list
+(** Inverse of {!encode_phases}; malformed segments are dropped. *)
+
+val encode_result_with_phases : string -> (string * float) list -> string
+(** The phase-carrying [Ok] payload: u32 LE result length, the result,
+    then the encoded phases. *)
+
+val decode_result_with_phases : string -> (string * (string * float) list) option
+(** [None] when the payload is too short or the embedded length is
+    inconsistent. *)
 
 type status = Ok | Error | Busy | Pong | Bye
 
@@ -88,17 +139,26 @@ val read_server_hello :
   (int * hello_status) incoming
 (** The server's (version, verdict). *)
 
-val write_req : Unix.file_descr -> req -> unit
+val write_req : ?version:int -> ?meta:meta -> Unix.file_descr -> req -> unit
+(** [version] (default 1) is the connection's {e negotiated} version;
+    on v2, statement requests always carry the metadata prefix
+    ([meta], default {!no_meta}).  [meta] is ignored on v1 and on
+    non-statement requests. *)
+
 val write_resp : Unix.file_descr -> status -> string -> unit
 
 val read_req :
   ?max_len:int ->
+  ?version:int ->
   keep_waiting:(started:bool -> bool) ->
   Unix.file_descr ->
-  req incoming
-(** An unknown opcode byte is a protocol violation and yields
-    [Bad_magic] (the stream cannot be trusted past it; the server
-    closes the connection). *)
+  (req * meta option) incoming
+(** [version] (default 1) is the negotiated version; the metadata is
+    [Some _] exactly for statement requests on v2 connections.  An
+    unknown opcode byte — or a v2 statement payload shorter than the
+    metadata prefix — is a protocol violation and yields [Bad_magic]
+    (the stream cannot be trusted past it; the server closes the
+    connection). *)
 
 val read_resp :
   ?max_len:int ->
@@ -106,8 +166,9 @@ val read_resp :
   Unix.file_descr ->
   (status * string) incoming
 
-val req_bytes : req -> int
-(** On-wire size of the request (header + payload). *)
+val req_bytes : ?version:int -> req -> int
+(** On-wire size of the request (header + payload, including the v2
+    metadata prefix when [version >= 2]). *)
 
 val resp_bytes : string -> int
 (** On-wire size of a response with this payload. *)

@@ -87,7 +87,7 @@ let test_histogram_stats () =
   List.iter (Metric.observe h) [ 5.0; 15.0; 15.0; 100.0 ];
   check "min tracked" true (Metric.min_value h = 5.0);
   check "max tracked" true (Metric.max_value h = 100.0);
-  check "sum tracked" true (h.Metric.sum = 135.0);
+  check "sum tracked" true (Metric.sum h = 135.0);
   (* rank 2 of 4 lands mid-bucket (10, 20]: interpolates to exactly 15 *)
   check "median interpolated" true (abs_float (qv h 0.5 -. 15.0) < 1e-9);
   (* the top quantile reports the tracked maximum, not a bucket bound *)
@@ -242,7 +242,7 @@ let test_sampling_metrics_stay_exact () =
     Registry.find (Obs.registry obs) ~labels:[ ("op", "work") ] "op.latency_us"
   with
   | Some (Metric.Histogram h) ->
-    check_int "histogram counted every run" 5 h.Metric.n
+    check_int "histogram counted every run" 5 (Metric.count h)
   | _ -> Alcotest.fail "op.latency_us{op=work} histogram missing"
 
 let test_timed_without_tracing () =
@@ -256,7 +256,7 @@ let test_timed_without_tracing () =
   (match
      Registry.find (Obs.registry obs) ~labels:[ ("op", "op.x") ] "op.latency_us"
    with
-  | Some (Metric.Histogram h) -> check_int "latency recorded" 1 h.Metric.n
+  | Some (Metric.Histogram h) -> check_int "latency recorded" 1 (Metric.count h)
   | _ -> Alcotest.fail "op.latency_us{op=op.x} histogram missing");
   (* only the shared noop context skips the record entirely *)
   ignore (Obs.timed Obs.noop "noop.probe" (fun _ -> ()));
@@ -396,7 +396,7 @@ let test_adaptive_session () =
        "op.latency_us"
    with
   | Some (Metric.Histogram h) ->
-    check "statement latency recorded" true (h.Metric.n >= 1)
+    check "statement latency recorded" true (Metric.count h >= 1)
   | _ -> Alcotest.fail "op.latency_us{op=mql.statement} missing");
   check "exposition carries the latency histogram" true
     (has_substr (Registry.expose (Obs.registry obs)) "op_latency_us_bucket");
@@ -642,9 +642,9 @@ let test_exemplars () =
   Metric.observe ~exemplar:42 h 5.0;
   Metric.observe ~exemplar:99 h 7.0 (* same bucket: last writer wins *);
   Metric.observe ~exemplar:7 h 100.0 (* overflow bucket *);
-  check_int "bucket exemplar overwritten" 99 h.Metric.ex_seq.(1);
-  check "exemplar value kept" true (h.Metric.ex_val.(1) = 7.0);
-  check_int "no exemplar where none landed" (-1) h.Metric.ex_seq.(0);
+  check_int "bucket exemplar overwritten" 99 (Metric.exemplar_seq h 1);
+  check "exemplar value kept" true (Metric.exemplar_value h 1 = 7.0);
+  check_int "no exemplar where none landed" (-1) (Metric.exemplar_seq h 0);
   let text = Registry.expose reg in
   check "bucket line carries its exemplar" true
     (contains text "lat_bucket{le=\"10\"} 3 # {span_seq=\"99\"} 7");

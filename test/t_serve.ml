@@ -51,7 +51,8 @@ let test_wire_roundtrip () =
         (fun r ->
           Wire.write_req a r;
           match Wire.read_req ~keep_waiting:wait_forever b with
-          | Wire.Msg got -> check "req round trip" true (got = r)
+          | Wire.Msg (got, None) -> check "req round trip" true (got = r)
+          | Wire.Msg (_, Some _) -> Alcotest.fail "v1 request carried metadata"
           | _ -> Alcotest.fail "request did not round trip")
         reqs;
       (* responses, including an empty payload *)
@@ -87,7 +88,8 @@ let test_wire_limits () =
       let big = String.make cap 'q' in
       let w = Stdlib.Domain.spawn (fun () -> Wire.write_req a (Wire.Query big)) in
       (match Wire.read_req ~max_len:cap ~keep_waiting:wait_forever b with
-       | Wire.Msg (Wire.Query got) -> check_int "max-size frame" cap (String.length got)
+       | Wire.Msg (Wire.Query got, _) ->
+         check_int "max-size frame" cap (String.length got)
        | _ -> Alcotest.fail "max-size frame rejected");
       Stdlib.Domain.join w;
       (* ...one byte more is rejected before the payload is read *)
@@ -130,6 +132,87 @@ let test_wire_timeout () =
       match Wire.read_req ~keep_waiting:(fun ~started:_ -> false) b with
       | Wire.Timeout -> ()
       | _ -> Alcotest.fail "empty socket should time out")
+
+(* --- wire v2: request metadata and phase payloads ------------------- *)
+
+let test_wire_v2_codec () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      (* a v2 statement always carries the 9-byte metadata prefix *)
+      let meta = { Wire.want_phases = true; span = 42 } in
+      Wire.write_req ~version:2 ~meta a (Wire.Query "SELECT ALL FROM state;");
+      (match Wire.read_req ~version:2 ~keep_waiting:wait_forever b with
+       | Wire.Msg (Wire.Query s, Some m) ->
+         check_string "v2 statement text" "SELECT ALL FROM state;" s;
+         check "v2 meta wants phases" true m.Wire.want_phases;
+         check_int "v2 meta span" 42 m.Wire.span
+       | _ -> Alcotest.fail "v2 statement did not round trip");
+      (* metadata defaults to no_meta when the writer supplies none *)
+      Wire.write_req ~version:2 a (Wire.Exec "INSERT;");
+      (match Wire.read_req ~version:2 ~keep_waiting:wait_forever b with
+       | Wire.Msg (Wire.Exec _, Some m) ->
+         check "default meta is inert" false m.Wire.want_phases;
+         check_int "default meta span" 0 m.Wire.span
+       | _ -> Alcotest.fail "v2 default meta did not round trip");
+      (* non-statement opcodes never carry metadata, any version *)
+      Wire.write_req ~version:2 a Wire.Ping;
+      (match Wire.read_req ~version:2 ~keep_waiting:wait_forever b with
+       | Wire.Msg (Wire.Ping, None) -> ()
+       | _ -> Alcotest.fail "ping must stay meta-free");
+      (* the v2 statement is meta_bytes bigger on the wire, and the
+         byte accounting knows *)
+      check_int "req_bytes counts the prefix"
+        (Wire.req_bytes (Wire.Query "x") + Wire.meta_bytes)
+        (Wire.req_bytes ~version:2 (Wire.Query "x"));
+      (* the frame cap applies to the whole payload, prefix included *)
+      let cap = 64 in
+      let text = String.make (cap - Wire.meta_bytes + 1) 'q' in
+      let w =
+        Stdlib.Domain.spawn (fun () ->
+            Wire.write_req ~version:2 a (Wire.Query text))
+      in
+      (match Wire.read_req ~version:2 ~max_len:cap ~keep_waiting:wait_forever b with
+       | Wire.Oversized n -> check_int "v2 oversized includes prefix" (cap + 1) n
+       | _ -> Alcotest.fail "v2 oversized frame accepted");
+      Stdlib.Domain.join w;
+      let buf = Bytes.create 256 in
+      let rec drain n = if n > 0 then drain (n - Unix.read b buf 0 (min 256 n)) in
+      drain (cap + 1);
+      (* a v2 statement payload shorter than the prefix is a protocol
+         violation, same as an unknown opcode *)
+      let hdr = Bytes.create 5 in
+      Bytes.set_int32_le hdr 0 4l;
+      Bytes.set_uint8 hdr 4 1;
+      Wire.write_all a (Bytes.to_string hdr ^ "abcd");
+      (match Wire.read_req ~version:2 ~keep_waiting:wait_forever b with
+       | Wire.Bad_magic -> ()
+       | _ -> Alcotest.fail "short v2 payload must be rejected");
+      (* phase codec round trip, including the empty list *)
+      let phases = [ ("lock", 12.5); ("exec", 0.0); ("fsync", 3250.125) ] in
+      (match
+         Wire.decode_result_with_phases
+           (Wire.encode_result_with_phases "result text" phases)
+       with
+       | Some (r, got) ->
+         check_string "result survives" "result text" r;
+         check_int "phase count" 3 (List.length got);
+         check "phase values survive" true
+           (List.assoc "fsync" got = 3250.125 && List.assoc "lock" got = 12.5)
+       | None -> Alcotest.fail "phase payload did not decode");
+      (match
+         Wire.decode_result_with_phases (Wire.encode_result_with_phases "" [])
+       with
+       | Some ("", []) -> ()
+       | _ -> Alcotest.fail "empty phase payload");
+      (* malformed phase payloads are rejected, not misread *)
+      check "truncated payload rejected" true
+        (Wire.decode_result_with_phases "ab" = None);
+      check "inconsistent length rejected" true
+        (Wire.decode_result_with_phases "\255\255\255\127rest" = None))
 
 (* --- the coordinator ------------------------------------------------ *)
 
@@ -214,6 +297,13 @@ let test_basic_requests () =
   check "stats exposes serve counters" true
     (contains ~affix:"serve_connections" stats);
   check "stats exposes request labels" true (contains ~affix:"op=\"query\"" stats);
+  check "stats exposes phase histograms" true
+    (contains ~affix:"serve_phase_us" stats);
+  check "stats exposes the lock profile by class" true
+    (contains ~affix:"serve_lock_wait_us" stats
+     && contains ~affix:"class=\"query\"" stats);
+  check "stats exposes the saturation gauge" true
+    (contains ~affix:"serve_queue_peak_pct" stats);
   let doc = Client.health c in
   check "health is a verdict document" true (contains ~affix:"\"state\"" doc);
   Client.close c;
@@ -230,6 +320,142 @@ let test_version_mismatch () =
   let c = connect_ok srv in
   check "server still serves" true (Client.ping c);
   Client.close c
+
+(* --- version negotiation (v1 ↔ v2 interop) -------------------------- *)
+
+let test_v1_client_v2_server () =
+  with_server (brazil ()) @@ fun srv ->
+  match Client.connect ~version:1 ~host:"127.0.0.1" (Serve.port srv) with
+  | Error e -> Alcotest.failf "v1 connect: %a" Client.pp_connect_error e
+  | Ok c ->
+    check_int "negotiated down to 1" 1 (Client.version c);
+    check "v1 ping" true (Client.ping c);
+    (match Client.query c "SELECT ALL FROM state WHERE state.name = 'SP';" with
+     | Ok out ->
+       check "v1 query works on a v2 server" true (contains ~affix:"state" out)
+     | Error msg -> Alcotest.failf "v1 query: %s" msg);
+    (* phase tracing degrades gracefully on a v1 connection *)
+    (match Client.query_traced c "SELECT ALL FROM state;" with
+     | Ok (_, phases) -> check "no phases over v1" true (phases = [])
+     | Error msg -> Alcotest.failf "v1 traced query: %s" msg);
+    Client.close c
+
+(* a minimal v1-only peer: refuses a v2 hello naming version 1, then
+   accepts the downgraded retry and answers pings — what a pre-v2
+   [madql serve] does on the wire *)
+let test_v2_client_v1_server () =
+  let lst = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lst Unix.SO_REUSEADDR true;
+  Unix.bind lst (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lst 4;
+  let port =
+    match Unix.getsockname lst with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let server =
+    Stdlib.Domain.spawn (fun () ->
+        let serve_one () =
+          let fd, _ = Unix.accept lst in
+          (match Wire.read_client_hello ~keep_waiting:wait_forever fd with
+           | Wire.Msg 1 ->
+             Wire.write_server_hello fd ~version:1 Wire.H_ok;
+             let rec loop () =
+               match Wire.read_req ~keep_waiting:wait_forever fd with
+               | Wire.Msg (Wire.Ping, _) ->
+                 Wire.write_resp fd Wire.Pong "";
+                 loop ()
+               | Wire.Msg (Wire.Quit, _) -> Wire.write_resp fd Wire.Bye ""
+               | _ -> ()
+             in
+             loop ()
+           | Wire.Msg _ -> Wire.write_server_hello fd ~version:1 Wire.H_version
+           | _ -> ());
+          Unix.close fd
+        in
+        serve_one ();
+        (* the refused v2 proposal... *)
+        serve_one ())
+    (* ...and the downgraded retry *)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Stdlib.Domain.join server;
+      Unix.close lst)
+    (fun () ->
+      match Client.connect ~host:"127.0.0.1" port with
+      | Ok c ->
+        check_int "auto-downgraded to v1" 1 (Client.version c);
+        check "ping over the downgraded link" true (Client.ping c);
+        Client.close c
+      | Error e -> Alcotest.failf "downgrade failed: %a" Client.pp_connect_error e)
+
+(* --- request phases -------------------------------------------------- *)
+
+let test_phase_breakdown () =
+  with_server (brazil ()) @@ fun srv ->
+  let c = connect_ok srv in
+  check_int "negotiated v2" 2 (Client.version c);
+  (match
+     Client.query_traced ~span:7 c
+       "SELECT ALL FROM state WHERE state.name = 'SP';"
+   with
+   | Ok (out, phases) ->
+     check "traced query renders" true (contains ~affix:"state" out);
+     List.iter
+       (fun n ->
+         match List.assoc_opt n phases with
+         | Some v -> check (n ^ " phase is non-negative") true (v >= 0.0)
+         | None -> Alcotest.failf "missing %s phase" n)
+       [ "lock"; "exec"; "wal"; "fsync"; "other" ]
+   | Error msg -> Alcotest.failf "traced query: %s" msg);
+  (* a few more requests of each flavor, then let the connection close
+     so every in-flight observation lands *)
+  (match Client.exec c "INSERT INTO state VALUES ('Phase', 77);" with
+   | Ok _ -> ()
+   | Error m -> Alcotest.failf "exec: %s" m);
+  ignore (Client.ping c);
+  (match Client.query c "SELECT ALL FROM state;" with
+   | Ok _ -> ()
+   | Error m -> Alcotest.failf "query: %s" m);
+  Client.close c;
+  (* the worker observes metrics after writing the response, so wait
+     for the connection teardown (active gauge back to zero) before
+     auditing the histograms *)
+  let obs = Serve.obs srv in
+  let g_active = Mad_obs.Obs.gauge obs "serve.active" in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Mad_obs.Metric.get g_active > 0.0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  (* sum consistency: the six per-request phases partition request_us
+     — equal counts, sums matching within float rounding *)
+  let h_req =
+    Mad_obs.Obs.histogram ~bounds:Mad_obs.Metric.latency_bounds_us obs
+      "serve.request_us"
+  in
+  let phase n =
+    Mad_obs.Obs.histogram
+      ~labels:[ ("phase", n) ]
+      ~bounds:Mad_obs.Metric.latency_bounds_us obs "serve.phase_us"
+  in
+  let names = [ "lock"; "exec"; "wal"; "fsync"; "write"; "other" ] in
+  let n_req = Mad_obs.Metric.count h_req in
+  check "requests were measured" true (n_req >= 4);
+  List.iter
+    (fun n ->
+      check_int
+        (n ^ " phase count partitions requests")
+        n_req
+        (Mad_obs.Metric.count (phase n)))
+    names;
+  let phase_sum =
+    List.fold_left (fun acc n -> acc +. Mad_obs.Metric.sum (phase n)) 0.0 names
+  in
+  let total = Mad_obs.Metric.sum h_req in
+  check "phase sums partition request_us" true
+    (Float.abs (phase_sum -. total)
+     <= (0.001 *. Float.max 1.0 total) +. (0.01 *. float_of_int n_req))
 
 let test_admission_busy () =
   let config = { Serve.default_config with Serve.workers = 1; max_pending = 1 } in
@@ -364,11 +590,19 @@ let suite =
     Alcotest.test_case "wire round trip" `Quick test_wire_roundtrip;
     Alcotest.test_case "wire size limits and truncation" `Quick test_wire_limits;
     Alcotest.test_case "wire timeout" `Quick test_wire_timeout;
+    Alcotest.test_case "wire v2 metadata and phase codec" `Quick
+      test_wire_v2_codec;
     Alcotest.test_case "coordinator batches commits" `Quick test_coordinator_batches;
     Alcotest.test_case "coordinator leader failure" `Quick
       test_coordinator_leader_failure;
     Alcotest.test_case "basic requests" `Quick test_basic_requests;
     Alcotest.test_case "handshake version mismatch" `Quick test_version_mismatch;
+    Alcotest.test_case "v1 client against a v2 server" `Quick
+      test_v1_client_v2_server;
+    Alcotest.test_case "v2 client auto-downgrades to a v1 server" `Quick
+      test_v2_client_v1_server;
+    Alcotest.test_case "request phases partition latency" `Quick
+      test_phase_breakdown;
     Alcotest.test_case "admission control says busy" `Quick test_admission_busy;
     Alcotest.test_case "concurrent writers converge" `Quick
       test_concurrent_writers;

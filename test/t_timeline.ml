@@ -424,6 +424,83 @@ let test_latency_probe_end_to_end () =
   in
   check "probe.fired counter bumped" true (fired_total >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Serving saturation: the queue/lock probes and the dashboard panel    *)
+
+let test_saturation_probes_fire () =
+  let tl = Timeline.create () in
+  let reg = Registry.create () in
+  let peak = Registry.gauge reg "serve.queue_peak_pct" in
+  let wait =
+    Registry.histogram
+      ~labels:[ ("class", "insert") ]
+      reg "serve.lock.wait_us"
+  in
+  let hold =
+    Registry.histogram
+      ~labels:[ ("class", "insert") ]
+      reg "serve.lock.hold_us"
+  in
+  (* idle ticks teach both probes a ~0 baseline (the first observation
+     never fires; these probes feed zero frames by design) *)
+  ignore (Timeline.tick tl reg);
+  ignore (Timeline.tick tl reg);
+  check "healthy while idle" true (Timeline.health tl = Timeline.Ok);
+  (* a saturated window: the admission queue latched an 80% peak and
+     waiting dwarfed useful lock work — both must trip on one frame *)
+  Metric.set peak 80.0;
+  Metric.observe wait 5000.0;
+  Metric.observe hold 10.0;
+  ignore (Timeline.tick tl reg);
+  let firing p =
+    List.exists
+      (fun q -> q.Probe.p_probe = p && Probe.firing q)
+      (Timeline.probes tl)
+  in
+  check "queue-saturation fires" true (firing "queue-saturation");
+  check "lock-contention fires" true (firing "lock-contention");
+  (* the tick read-and-rearmed the peak gauge for the next window *)
+  check "queue peak re-armed" true (Metric.get peak = 0.0);
+  (* back to idle: the peak stays re-armed and the lock window is
+     empty, so both probes clear after their hysteresis *)
+  for _ = 1 to 3 do ignore (Timeline.tick tl reg) done;
+  check "queue-saturation clears" false (firing "queue-saturation");
+  check "lock-contention clears" false (firing "lock-contention")
+
+let test_dashboard_contention_panel () =
+  let tl = Timeline.create () in
+  let reg = Registry.create () in
+  let wait =
+    Registry.histogram
+      ~labels:[ ("class", "insert") ]
+      reg "serve.lock.wait_us"
+  in
+  let hold =
+    Registry.histogram
+      ~labels:[ ("class", "insert") ]
+      reg "serve.lock.hold_us"
+  in
+  let contended = Registry.counter reg "serve.lock.contended" in
+  ignore (Registry.gauge reg "serve.lock.waiters");
+  ignore (Registry.gauge reg "serve.group.waiters");
+  ignore (Registry.gauge reg "serve.queue_peak_pct");
+  ignore (Timeline.tick tl reg);
+  (* before any lock activity lands in the window, the panel is absent *)
+  Metric.incr contended;
+  ignore (Timeline.tick tl reg);
+  let quiet = Format.asprintf "%a" Timeline.pp_dashboard tl in
+  check "no per-class table without lock activity" false
+    (contains quiet "lock contention (window):");
+  check "gauges line still renders" true (contains quiet "contention: contended");
+  Metric.observe wait 250.0;
+  Metric.observe hold 80.0;
+  Metric.incr contended;
+  ignore (Timeline.tick tl reg);
+  let dash = Format.asprintf "%a" Timeline.pp_dashboard tl in
+  check "panel header" true (contains dash "lock contention (window):");
+  check "class row" true (contains dash "insert");
+  check "contended delta" true (contains dash "contention: contended +1")
+
 let suite =
   [
     Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
@@ -446,6 +523,10 @@ let suite =
     Alcotest.test_case "timeline.mad escaping" `Quick
       test_timeline_mad_escaping;
     Alcotest.test_case "exports parse" `Quick test_exports_parse;
+    Alcotest.test_case "saturation probes fire and clear" `Quick
+      test_saturation_probes_fire;
+    Alcotest.test_case "dashboard contention panel" `Quick
+      test_dashboard_contention_panel;
     Alcotest.test_case "latency probe end-to-end" `Quick
       test_latency_probe_end_to_end;
   ]
